@@ -1,0 +1,322 @@
+//! ASCII rendering of the paper's figures.
+//!
+//! The experiment binaries render terminal equivalents of the paper's
+//! MATLAB plots: multi-series line plots (Figs. 4–6 bottom panels), phase-
+//! space scatter densities (Figs. 4/6 top panels) and heatmaps (the Fig. 3
+//! phase-space histograms).
+
+use crate::series::TimeSeries;
+use std::fmt::Write as _;
+
+/// Density ramp from sparse to dense.
+const DENSITY_RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Configuration for [`line_plot`].
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Plot title printed above the canvas.
+    pub title: String,
+    /// Canvas width in characters (excluding axis labels).
+    pub width: usize,
+    /// Canvas height in characters.
+    pub height: usize,
+    /// Use a log10 y-axis (amplitude plots, like Fig. 4 bottom).
+    pub log_y: bool,
+    /// Optional fixed y-limits; autoscaled when `None`.
+    pub y_limits: Option<(f64, f64)>,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        Self { title: String::new(), width: 72, height: 20, log_y: false, y_limits: None }
+    }
+}
+
+impl PlotOptions {
+    /// Convenience constructor with a title.
+    pub fn titled(title: impl Into<String>) -> Self {
+        Self { title: title.into(), ..Self::default() }
+    }
+
+    /// Builder-style log-y toggle.
+    pub fn log_y(mut self, on: bool) -> Self {
+        self.log_y = on;
+        self
+    }
+
+    /// Builder-style fixed y-limits.
+    pub fn with_y_limits(mut self, lo: f64, hi: f64) -> Self {
+        self.y_limits = Some((lo, hi));
+        self
+    }
+}
+
+/// Renders several time series on one canvas; each series gets the marker
+/// character paired with it. Later series overwrite earlier ones on
+/// collisions.
+pub fn line_plot(series: &[(char, &TimeSeries)], opts: &PlotOptions) -> String {
+    assert!(!series.is_empty(), "no series to plot");
+    let (w, h) = (opts.width.max(8), opts.height.max(4));
+
+    // Transform for the y-axis.
+    let ty = |v: f64| -> Option<f64> {
+        if opts.log_y {
+            if v > 0.0 {
+                Some(v.log10())
+            } else {
+                None
+            }
+        } else {
+            Some(v)
+        }
+    };
+
+    // Data ranges.
+    let mut tmin = f64::INFINITY;
+    let mut tmax = f64::NEG_INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for (&t, &v) in s.times.iter().zip(&s.values) {
+            tmin = tmin.min(t);
+            tmax = tmax.max(t);
+            if let Some(y) = ty(v) {
+                ymin = ymin.min(y);
+                ymax = ymax.max(y);
+            }
+        }
+    }
+    if let Some((lo, hi)) = opts.y_limits {
+        if let (Some(lo), Some(hi)) = (ty(lo), ty(hi)) {
+            ymin = lo;
+            ymax = hi;
+        }
+    }
+    if !tmin.is_finite() || !ymin.is_finite() || tmax <= tmin {
+        return format!("{} [no plottable data]\n", opts.title);
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+
+    let mut canvas = vec![vec![' '; w]; h];
+    for (marker, s) in series {
+        for (&t, &v) in s.times.iter().zip(&s.values) {
+            let Some(y) = ty(v) else { continue };
+            let col = (((t - tmin) / (tmax - tmin)) * (w - 1) as f64).round() as usize;
+            let frac = (y - ymin) / (ymax - ymin);
+            if !(0.0..=1.0).contains(&frac) {
+                continue;
+            }
+            let row = h - 1 - (frac * (h - 1) as f64).round() as usize;
+            canvas[row][col.min(w - 1)] = *marker;
+        }
+    }
+
+    let fmt_y = |y: f64| -> String {
+        if opts.log_y {
+            format!("1e{y:+.1}")
+        } else {
+            format!("{y:.4}")
+        }
+    };
+
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "{}", opts.title);
+    }
+    for (i, row) in canvas.iter().enumerate() {
+        let label = if i == 0 {
+            fmt_y(ymax)
+        } else if i == h - 1 {
+            fmt_y(ymin)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "{label:>9} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(w));
+    let _ = writeln!(out, "{:>9}  t={tmin:<10.3} {:>width$}", "", format!("t={tmax:.3}"), width = w.saturating_sub(13));
+    let legend: Vec<String> =
+        series.iter().map(|(m, s)| format!("{m} {}", s.name)).collect();
+    let _ = writeln!(out, "{:>10} {}", "", legend.join("    "));
+    out
+}
+
+/// Renders an `(x, v)` scatter as a density plot — the phase-space panels of
+/// Figs. 4 and 6.
+pub fn scatter_density(
+    xs: &[f64],
+    ys: &[f64],
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    width: usize,
+    height: usize,
+    title: &str,
+) -> String {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let (w, h) = (width.max(8), height.max(4));
+    let mut counts = vec![0usize; w * h];
+    let (x0, x1) = x_range;
+    let (y0, y1) = y_range;
+    assert!(x1 > x0 && y1 > y0, "degenerate plot ranges");
+    for (&x, &y) in xs.iter().zip(ys) {
+        let fx = (x - x0) / (x1 - x0);
+        let fy = (y - y0) / (y1 - y0);
+        if !(0.0..1.0).contains(&fx) || !(0.0..1.0).contains(&fy) {
+            continue;
+        }
+        let col = (fx * w as f64) as usize;
+        let row = h - 1 - (fy * h as f64) as usize;
+        counts[row * w + col] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    if !title.is_empty() {
+        let _ = writeln!(out, "{title}");
+    }
+    for row in 0..h {
+        let label = if row == 0 {
+            format!("{y1:+.2}")
+        } else if row == h - 1 {
+            format!("{y0:+.2}")
+        } else {
+            String::new()
+        };
+        let mut line = String::with_capacity(w);
+        for col in 0..w {
+            let c = counts[row * w + col];
+            let idx = if c == 0 {
+                0
+            } else {
+                // Log-compress so both the beams and the vortex wings show.
+                let f = (c as f64).ln() / (peak as f64).ln().max(1.0);
+                1 + ((DENSITY_RAMP.len() - 2) as f64 * f).round() as usize
+            };
+            line.push(DENSITY_RAMP[idx.min(DENSITY_RAMP.len() - 1)]);
+        }
+        let _ = writeln!(out, "{label:>7} |{line}");
+    }
+    let _ = writeln!(out, "{:>7} +{}", "", "-".repeat(w));
+    let _ = writeln!(out, "{:>7}  x={x0:<8.3}{:>width$}", "", format!("x={x1:.3}"), width = w.saturating_sub(10));
+    out
+}
+
+/// Renders a row-major `ny × nx` grid as an ASCII heatmap (Fig. 3-style
+/// phase-space histograms).
+pub fn heatmap(data: &[f32], nx: usize, ny: usize, title: &str) -> String {
+    assert_eq!(data.len(), nx * ny, "grid size mismatch");
+    let peak = data.iter().copied().fold(0.0f32, f32::max).max(1e-12);
+    let mut out = String::new();
+    if !title.is_empty() {
+        let _ = writeln!(out, "{title}");
+    }
+    for row in 0..ny {
+        let mut line = String::with_capacity(nx);
+        for col in 0..nx {
+            let v = data[row * nx + col];
+            let idx = if v <= 0.0 {
+                0
+            } else {
+                1 + (((DENSITY_RAMP.len() - 2) as f32) * (v / peak)).round() as usize
+            };
+            line.push(DENSITY_RAMP[idx.min(DENSITY_RAMP.len() - 1)]);
+        }
+        let _ = writeln!(out, "|{line}|");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_series(name: &str) -> TimeSeries {
+        TimeSeries::from_data(
+            name,
+            (0..50).map(|i| i as f64 * 0.2).collect(),
+            (0..50).map(|i| (0.35 * i as f64 * 0.2).exp() * 1e-4).collect(),
+        )
+    }
+
+    #[test]
+    fn line_plot_contains_markers_and_legend() {
+        let s1 = ramp_series("traditional");
+        let s2 = ramp_series("dl-based");
+        let text = line_plot(
+            &[('*', &s1), ('o', &s2)],
+            &PlotOptions::titled("E1 Amplitude").log_y(true),
+        );
+        assert!(text.contains("E1 Amplitude"));
+        assert!(text.contains('*') || text.contains('o'));
+        assert!(text.contains("traditional"));
+        assert!(text.contains("dl-based"));
+    }
+
+    #[test]
+    fn line_plot_linear_scale_has_numeric_labels() {
+        let s = TimeSeries::from_data("e", vec![0.0, 1.0, 2.0], vec![0.041, 0.042, 0.0415]);
+        let text = line_plot(&[('x', &s)], &PlotOptions::default());
+        assert!(text.contains("0.042"), "{text}");
+    }
+
+    #[test]
+    fn log_plot_skips_nonpositive_values_without_panicking() {
+        let s = TimeSeries::from_data("e", vec![0.0, 1.0, 2.0], vec![0.0, -1.0, 1e-3]);
+        let text = line_plot(&[('x', &s)], &PlotOptions::default().log_y(true));
+        assert!(text.contains('x'));
+    }
+
+    #[test]
+    fn fixed_y_limits_clip_out_of_range_points() {
+        let s = TimeSeries::from_data(
+            "e",
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![0.5, 5.0, 0.6, -3.0], // 5.0 and -3.0 outside [0, 1]
+        );
+        let text = line_plot(&[('#', &s)], &PlotOptions::default().with_y_limits(0.0, 1.0));
+        // Only the two in-range points are drawn on the canvas (the legend
+        // line repeats the marker once).
+        let canvas_marks = text
+            .lines()
+            .filter(|l| l.contains('|'))
+            .flat_map(|l| l.chars())
+            .filter(|c| *c == '#')
+            .count();
+        assert_eq!(canvas_marks, 2, "{text}");
+    }
+
+    #[test]
+    fn empty_data_yields_placeholder() {
+        let s = TimeSeries::new("empty");
+        let text = line_plot(&[('x', &s)], &PlotOptions::titled("nothing"));
+        assert!(text.contains("no plottable data"));
+    }
+
+    #[test]
+    fn scatter_density_shows_two_beams() {
+        // Two horizontal bands at v = ±0.2.
+        let n = 2000;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / n as f64 * 2.05).collect();
+        let ys: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.2 } else { -0.2 }).collect();
+        let text = scatter_density(&xs, &ys, (0.0, 2.05), (-0.4, 0.4), 60, 16, "phase space");
+        // The band rows should be dense, the middle empty.
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
+        let mid = &lines[lines.len() / 2];
+        assert!(mid.chars().filter(|c| *c == '@' || *c == '%').count() == 0);
+        assert!(text.contains('@') || text.contains('%') || text.contains('#'));
+    }
+
+    #[test]
+    fn heatmap_renders_all_rows() {
+        let data = vec![0.5f32; 8 * 4];
+        let text = heatmap(&data, 8, 4, "histogram");
+        assert_eq!(text.lines().count(), 5); // title + 4 rows
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size mismatch")]
+    fn heatmap_rejects_bad_dims() {
+        let _ = heatmap(&[0.0; 7], 4, 2, "bad");
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion benches of phase-space binning — the extra stage the DL-based
+//! PIC adds to the computational cycle (paper Fig. 2, first grey box).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlpic_core::phase_space::{bin_phase_space, BinningShape, PhaseGridSpec};
+use dlpic_pic::grid::Grid1D;
+use dlpic_pic::init::TwoStreamInit;
+use std::time::Duration;
+
+fn bench_binning(c: &mut Criterion) {
+    let grid = Grid1D::paper();
+    let particles = TwoStreamInit::random(0.2, 0.025, 64_000, 9).build(&grid);
+    let mut group = c.benchmark_group("binning_64k");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (label, spec) in [
+        ("scaled_32x32", PhaseGridSpec::scaled()),
+        ("paper_64x64", PhaseGridSpec::paper()),
+    ] {
+        for shape in [BinningShape::Ngp, BinningShape::Cic] {
+            let mut hist = vec![0.0f32; spec.cells()];
+            group.bench_function(format!("{label}_{shape:?}"), |b| {
+                b.iter(|| bin_phase_space(&particles, &grid, &spec, shape, &mut hist));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binning);
+criterion_main!(benches);

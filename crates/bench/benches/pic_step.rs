@@ -1,0 +1,75 @@
+//! Criterion benches of the PIC cycle stages at the paper's particle count
+//! (64 cells × 1000 electrons/cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlpic_pic::deposit::deposit_charge;
+use dlpic_pic::gather::gather_field;
+use dlpic_pic::grid::Grid1D;
+use dlpic_pic::init::TwoStreamInit;
+use dlpic_pic::mover::{push_positions, push_velocities};
+use dlpic_pic::presets::paper_config;
+use dlpic_pic::shape::Shape;
+use dlpic_pic::simulation::Simulation;
+use dlpic_pic::solver::TraditionalSolver;
+use std::time::Duration;
+
+fn bench_deposit(c: &mut Criterion) {
+    let grid = Grid1D::paper();
+    let particles = TwoStreamInit::random(0.2, 0.025, 64_000, 3).build(&grid);
+    let mut group = c.benchmark_group("deposit_64k");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for shape in [Shape::Ngp, Shape::Cic, Shape::Tsc] {
+        group.bench_function(format!("{shape:?}"), |b| {
+            let mut rho = grid.zeros();
+            b.iter(|| {
+                rho.iter_mut().for_each(|r| *r = 0.0);
+                deposit_charge(&particles, &grid, shape, &mut rho);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_and_mover(c: &mut Criterion) {
+    let grid = Grid1D::paper();
+    let mut particles = TwoStreamInit::random(0.2, 0.025, 64_000, 4).build(&grid);
+    let e: Vec<f64> = (0..64).map(|j| 0.01 * (j as f64 * 0.3).sin()).collect();
+    let mut e_part = vec![0.0; particles.len()];
+    let mut group = c.benchmark_group("cycle_64k");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("gather_cic", |b| {
+        b.iter(|| gather_field(&particles, &grid, Shape::Cic, &e, &mut e_part));
+    });
+    group.bench_function("push_velocities", |b| {
+        b.iter(|| push_velocities(&mut particles, &e_part, 0.2));
+    });
+    group.bench_function("push_positions", |b| {
+        b.iter(|| push_positions(&mut particles, &grid, 0.2));
+    });
+    group.finish();
+}
+
+fn bench_full_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_step");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("traditional_step_64k", |b| {
+        let mut sim = Simulation::new(
+            paper_config(0.2, 0.025, 11),
+            Box::new(TraditionalSolver::paper_default()),
+        );
+        b.iter(|| sim.step());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deposit, bench_gather_and_mover, bench_full_step);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches of the training substrate: GEMM throughput and
+//! per-batch training cost (the paper trained on a Tesla K80; these
+//! numbers characterize the CPU substitute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlpic_nn::data::Dataset;
+use dlpic_nn::init::Init;
+use dlpic_nn::layers::{Dense, Relu};
+use dlpic_nn::linalg::matmul_nn;
+use dlpic_nn::loss::Mse;
+use dlpic_nn::network::Sequential;
+use dlpic_nn::optimizer::{Adam, Optimizer};
+use dlpic_nn::tensor::Tensor;
+use std::time::Duration;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for n in [64usize, 256, 512] {
+        let a: Vec<f32> = (0..n * n).map(|i| (i % 13) as f32 / 13.0 - 0.5).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| (i % 17) as f32 / 17.0 - 0.5).collect();
+        let mut cm = vec![0.0f32; n * n];
+        group.bench_function(format!("nn_{n}x{n}"), |bch| {
+            bch.iter(|| matmul_nn(&a, &b, &mut cm, n, n, n));
+        });
+    }
+    group.finish();
+}
+
+fn scaled_mlp() -> Sequential {
+    Sequential::new()
+        .push(Dense::new(1024, 256, Init::HeNormal, 1))
+        .push(Relu::new())
+        .push(Dense::new(256, 256, Init::HeNormal, 2))
+        .push(Relu::new())
+        .push(Dense::new(256, 256, Init::HeNormal, 3))
+        .push(Relu::new())
+        .push(Dense::new(256, 64, Init::GlorotUniform, 4))
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let n = 64; // the paper's batch size
+    let x = Tensor::new((0..n * 1024).map(|i| (i % 19) as f32 / 19.0).collect(), &[n, 1024]);
+    let y = Tensor::new((0..n * 64).map(|i| (i % 7) as f32 / 70.0).collect(), &[n, 64]);
+    let data = Dataset::new(x.clone(), y.clone());
+
+    group.bench_function("mlp_scaled_batch64_fwd_bwd_adam", |b| {
+        let mut net = scaled_mlp();
+        let mut opt = Adam::paper();
+        b.iter(|| {
+            let loss = net.compute_gradients(&Mse, &x, &y);
+            opt.step(&mut net);
+            loss
+        });
+    });
+    group.bench_function("mlp_scaled_inference_batch64", |b| {
+        let mut net = scaled_mlp();
+        b.iter(|| net.predict(&data.x));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_train_batch);
+criterion_main!(benches);

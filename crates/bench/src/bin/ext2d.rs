@@ -1,0 +1,220 @@
+//! **Extension: 2-D systems** — the paper's §VII names "two- and
+//! three-dimensional systems" as the next step for the DL-PIC method.
+//! This binary runs the full pipeline in 2-D: harvest training data from
+//! traditional 2-D PIC runs across a small (v0, seed) sweep, train the
+//! 2-D DL field solver (density histogram → `[Ex | Ey]`), and compare the
+//! DL-based and traditional 2-D PIC on the two-stream validation run —
+//! the 2-D analogue of the paper's Figs. 4–5.
+//!
+//! Run: `cargo run -p dlpic-bench --release --bin ext2d [--scale ...]`
+
+use dlpic_analytics::dispersion::TwoStreamDispersion;
+use dlpic_analytics::fit::{fit_growth_rate, GrowthFitOptions};
+use dlpic_analytics::plot::{line_plot, PlotOptions};
+use dlpic_analytics::series::{write_csv, Table, TimeSeries};
+use dlpic_analytics::stats;
+use dlpic_bench::{out_dir, Cli};
+use dlpic_core::presets::Scale;
+use dlpic_core::twod::{harvest_2d, train_2d_solver, DensityBinning, Train2DConfig};
+use dlpic_pic::shape::Shape;
+use dlpic_pic2d::grid2d::Grid2D;
+use dlpic_pic2d::init2d::TwoStream2DInit;
+use dlpic_pic2d::simulation2d::{Pic2DConfig, Simulation2D};
+use dlpic_pic2d::solver2d::TraditionalSolver2D;
+
+/// Experiment sizes per scale: (cells per axis, particles, train seeds,
+/// hidden width, epochs).
+fn sizing(scale: Scale) -> (usize, usize, usize, usize, usize) {
+    match scale {
+        Scale::Smoke => (16, 8_192, 2, 96, 40),
+        Scale::Scaled => (32, 65_536, 3, 256, 60),
+        Scale::Paper => (64, 1 << 20, 6, 1024, 100),
+    }
+}
+
+fn config(grid: &Grid2D, n_part: usize, v0: f64, vth: f64, seed: u64) -> Pic2DConfig {
+    // Seed amplitude 3e-3: large enough that the instability signal rises
+    // above the DL model's prediction floor early (the paper's own Fig. 4
+    // shows the DL curve riding a higher floor for the same reason).
+    Pic2DConfig {
+        grid: grid.clone(),
+        init: TwoStream2DInit::quiet(v0, vth, n_part, 3e-3, seed),
+        dt: 0.2,
+        n_steps: 200,
+        gather_shape: Shape::Cic,
+        tracked_modes: vec![(1, 0), (0, 1)],
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let (n_axis, n_part, n_seeds, hidden, epochs) = sizing(cli.scale);
+    let grid = Grid2D::new(n_axis, n_axis, 2.0532, 2.0532);
+    println!(
+        "== Extension: 2-D DL-PIC [{} scale: {n_axis}²(cells) {n_part} particles] ==\n",
+        cli.scale.name()
+    );
+
+    // 1. Harvest training data: a small sweep over v0 × seeds (the same
+    //    augmentation-by-seed procedure as the paper's 1-D dataset).
+    eprintln!(
+        "harvesting 2-D training data ({n_seeds} seeds × 2 drift speeds × 2 thermal spreads)..."
+    );
+    let mut samples = Vec::new();
+    for &v0 in &[0.18, 0.2] {
+        for &vth in &[0.0, 0.01] {
+            for seed in 0..n_seeds as u64 {
+                samples.extend(harvest_2d(
+                    config(&grid, n_part, v0, vth, seed),
+                    DensityBinning::Cic,
+                    1,
+                ));
+            }
+        }
+    }
+    eprintln!("  {} samples harvested", samples.len());
+
+    // 2. Train.
+    eprintln!("training 2-D MLP ({hidden} hidden, {epochs} epochs)...");
+    let tc = Train2DConfig {
+        hidden: vec![hidden],
+        learning_rate: 1e-3,
+        epochs,
+        batch_size: 32,
+        seed: 7,
+    };
+    let (mut solver, history) = train_2d_solver(&grid, &samples, DensityBinning::Cic, &tc);
+    eprintln!(
+        "  final MSE {:.3e} ({:.1}s)",
+        history.final_loss().unwrap_or(f64::NAN),
+        history.seconds
+    );
+
+    // 3. Validation run on an unseen seed, traditional vs DL.
+    let seed = 20210705;
+    let (v0, vth) = (0.2, 0.0125);
+
+    // Held-out field accuracy (the 2-D analogue of Table I's MAE): drive a
+    // traditional run at the evaluation parameters and compare the DL
+    // prediction against the Poisson field on the same states.
+    let (field_mae, field_scale) = {
+        use dlpic_pic2d::solver2d::FieldSolver2D;
+        let mut probe = Simulation2D::new(
+            config(&grid, n_part, v0, vth, seed + 1),
+            Box::new(TraditionalSolver2D::default_config()),
+        );
+        let mut err_sum = 0.0f64;
+        let mut count = 0usize;
+        let mut scale = 0.0f64;
+        let mut ex_dl = grid.zeros();
+        let mut ey_dl = grid.zeros();
+        for step in 0..200 {
+            probe.step();
+            if step % 10 != 0 {
+                continue;
+            }
+            solver.solve(probe.particles(), &grid, &mut ex_dl, &mut ey_dl);
+            for (a, b) in
+                ex_dl.iter().zip(probe.ex()).chain(ey_dl.iter().zip(probe.ey()))
+            {
+                err_sum += (a - b).abs();
+                scale = scale.max(b.abs());
+                count += 1;
+            }
+        }
+        (err_sum / count as f64, scale)
+    };
+    eprintln!("held-out field MAE {field_mae:.2e} (max |E| = {field_scale:.3})");
+    eprintln!("running traditional 2-D PIC (v0 = {v0}, vth = {vth})...");
+    let mut trad = Simulation2D::new(
+        config(&grid, n_part, v0, vth, seed),
+        Box::new(TraditionalSolver2D::default_config()),
+    );
+    trad.run();
+    eprintln!("running DL-based 2-D PIC...");
+    let mut dl = Simulation2D::new(config(&grid, n_part, v0, vth, seed), Box::new(solver));
+    dl.run();
+
+    // 4. Report: growth of the streaming (1,0) mode vs 1-D linear theory.
+    let theory = TwoStreamDispersion::new(v0).growth_rate(3.06);
+    let series = |sim: &Simulation2D, name: &str| -> TimeSeries {
+        let (t, a) = sim.history().mode_series((1, 0)).expect("mode tracked");
+        TimeSeries::from_data(name, t.to_vec(), a.to_vec())
+    };
+    let e_trad = series(&trad, "E10-traditional");
+    let e_dl = series(&dl, "E10-dl");
+    let fit_of = |s: &TimeSeries| {
+        fit_growth_rate(&s.times, &s.values, GrowthFitOptions::default())
+    };
+
+    println!(
+        "{}",
+        line_plot(
+            &[('*', &e_trad), ('o', &e_dl)],
+            &PlotOptions::titled(format!(
+                "E(1,0) amplitude - 2D two-stream, v0 = {v0}, vth = {vth}"
+            ))
+            .log_y(true),
+        )
+    );
+
+    let mut table = Table::new(&[
+        "quantity",
+        "linear theory",
+        "traditional 2D",
+        "DL-based 2D",
+    ]);
+    let (g_trad, r2_trad) =
+        fit_of(&e_trad).map(|f| (f.gamma, f.r2)).unwrap_or((f64::NAN, f64::NAN));
+    let (g_dl, r2_dl) =
+        fit_of(&e_dl).map(|f| (f.gamma, f.r2)).unwrap_or((f64::NAN, f64::NAN));
+    table.row(&[
+        "growth rate γ".into(),
+        format!("{theory:.4}"),
+        format!("{g_trad:.4} (r²={r2_trad:.3})"),
+        format!("{g_dl:.4} (r²={r2_dl:.3})"),
+    ]);
+
+    let energy_var = |sim: &Simulation2D| -> f64 {
+        let tot = &sim.history().total;
+        stats::relative_variation(tot)
+    };
+    table.row(&[
+        "total-energy variation".into(),
+        "0 (exact)".into(),
+        format!("{:.2}%", 100.0 * energy_var(&trad)),
+        format!("{:.2}%", 100.0 * energy_var(&dl)),
+    ]);
+    let mom_drift = |sim: &Simulation2D| -> f64 {
+        let px = &sim.history().momentum_x;
+        px.iter().fold(0.0f64, |m, p| m.max((p - px[0]).abs()))
+    };
+    table.row(&[
+        "max |Δpx|".into(),
+        "0 (exact)".into(),
+        format!("{:.2e}", mom_drift(&trad)),
+        format!("{:.2e}", mom_drift(&dl)),
+    ]);
+    table.row(&[
+        "held-out field MAE".into(),
+        "-".into(),
+        "(reference)".into(),
+        format!("{field_mae:.2e} ({:.1}% of max |E| = {field_scale:.3})",
+            100.0 * field_mae / field_scale),
+    ]);
+    println!("{}", table.render());
+
+    let path = out_dir().join(format!("ext2d-{}.csv", cli.scale.name()));
+    let tot_trad = TimeSeries::from_data(
+        "energy-traditional",
+        trad.history().times.clone(),
+        trad.history().total.clone(),
+    );
+    let tot_dl = TimeSeries::from_data(
+        "energy-dl",
+        dl.history().times.clone(),
+        dl.history().total.clone(),
+    );
+    write_csv(&path, &[&e_trad, &e_dl, &tot_trad, &tot_dl]).expect("write csv");
+    println!("series written to {}", path.display());
+}

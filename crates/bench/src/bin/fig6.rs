@@ -1,0 +1,128 @@
+//! **Fig. 6** — the cold-beam numerical-instability stress test:
+//! `v0 = ±0.4`, `vth = 0`.
+//!
+//! With the paper's box, `k₁·v0 = 1.224 > 1`, so every mode is *linearly
+//! stable* and the beams should stream forever. The traditional explicit
+//! momentum-conserving PIC nevertheless develops the numerical "cold-beam
+//! instability" (phase-space ripples, total-energy growth); the DL-based
+//! PIC — whose field solver never saw grid-scale aliasing noise in
+//! training — stays clean, at the price of a growing momentum drift.
+//!
+//! Run: `cargo run -p dlpic-bench --release --bin fig6 [--scale ...]`
+
+use dlpic_analytics::plot::{line_plot, scatter_density, PlotOptions};
+use dlpic_analytics::series::write_csv;
+use dlpic_analytics::stats;
+use dlpic_bench::{get_or_train_mlp, out_dir, Cli};
+use dlpic_pic::constants;
+use dlpic_pic::presets::paper_config;
+use dlpic_pic::shape::Shape;
+use dlpic_pic::simulation::Simulation;
+use dlpic_pic::solver::TraditionalSolver;
+
+fn main() {
+    let cli = Cli::parse();
+    let v0 = constants::PAPER_COLD_BEAM_V0;
+    println!(
+        "== Fig. 6: cold-beam stress test, v0 = ±{v0}, vth = 0 [{} scale] ==\n",
+        cli.scale.name()
+    );
+    println!(
+        "linear theory: k1*v0 = {:.3} > 1  ->  every mode stable; any growth is numerical\n",
+        3.06 * v0
+    );
+
+    let bundle = get_or_train_mlp(cli.scale, cli.retrain, true);
+    let dl_solver = bundle.into_solver().expect("bundle -> solver");
+
+    let seed = 20210706;
+    // The paper's traditional baseline is the "basic NGP scheme" (§II) —
+    // the variant where the cold-beam instability shows most clearly.
+    let mut cfg_trad = paper_config(v0, 0.0, seed);
+    cfg_trad.gather_shape = Shape::Ngp;
+    let cfg_dl = cfg_trad.clone();
+    let mut trad = Simulation::new(cfg_trad, Box::new(TraditionalSolver::basic_ngp()));
+    let mut dl = Simulation::new(cfg_dl, Box::new(dl_solver));
+    eprintln!("running traditional PIC...");
+    trad.run();
+    eprintln!("running DL-based PIC...");
+    dl.run();
+
+    // Phase space at t = 40 (the paper's top panels: ripples vs clean).
+    let l = trad.grid().length();
+    let (tx, tv) = trad.phase_space();
+    println!(
+        "{}",
+        scatter_density(tx, tv, (0.0, l), (-0.6, 0.6), 64, 16,
+            &format!("Traditional PIC - v0 = {v0}, vth = 0.0 (t = 40)"))
+    );
+    let (dx, dv) = dl.phase_space();
+    println!(
+        "{}",
+        scatter_density(dx, dv, (0.0, l), (-0.6, 0.6), 64, 16,
+            &format!("DL-based PIC (MLP) - v0 = {v0}, vth = 0.0 (t = 40)"))
+    );
+
+    let te_trad = trad.history().total_energy_series("energy-traditional");
+    let te_dl = dl.history().total_energy_series("energy-dl-mlp");
+    let p_trad = trad.history().momentum_series("momentum-traditional");
+    let p_dl = dl.history().momentum_series("momentum-dl-mlp");
+
+    println!(
+        "{}",
+        line_plot(
+            &[('*', &te_trad), ('o', &te_dl)],
+            &PlotOptions::titled(format!("Total Energy - v0 = {v0}, vth = 0.0")),
+        )
+    );
+    println!(
+        "{}",
+        line_plot(
+            &[('*', &p_trad), ('o', &p_dl)],
+            &PlotOptions::titled(format!("Momentum - v0 = {v0}, vth = 0.0")),
+        )
+    );
+
+    // Quantify the paper's qualitative claims.
+    // Beam-velocity spread growth = phase-space "ripples".
+    let spread = |v: &[f64]| {
+        let beam: Vec<f64> = v.iter().copied().filter(|v| *v > 0.0).collect();
+        stats::std_dev(&beam)
+    };
+    let ripple_trad = spread(tv);
+    let ripple_dl = spread(dv);
+    // The signature of the aliasing (cold-beam) instability is a *rising*
+    // total-energy trend — plasma heating out of nothing. Peak-to-peak
+    // variation would confuse that with benign fluctuations.
+    let trend = |h: &[f64]| (h.last().unwrap() - h[0]) / h[0];
+    let et_trad = trend(&trad.history().total);
+    let et_dl = trend(&dl.history().total);
+    let pd_trad = stats::max_drift(&trad.history().momentum);
+    let pd_dl = stats::max_drift(&dl.history().momentum);
+
+    println!("cold-beam (numerical) instability indicators at t = 40:");
+    println!("  beam velocity spread  : traditional {ripple_trad:.4}  |  DL-based {ripple_dl:.4} (coherent ripples vs incoherent model-noise heating)");
+    println!(
+        "  energy trend (t=0..40): traditional {:+.2}%  |  DL-based {:+.2}%  (paper: trad rises ~1.5%)",
+        et_trad * 100.0,
+        et_dl * 100.0
+    );
+    println!("  momentum drift        : traditional {pd_trad:.2e}  |  DL-based {pd_dl:.2e}");
+
+    let csv = out_dir().join(format!("fig6-{}.csv", cli.scale.name()));
+    write_csv(&csv, &[&te_trad, &te_dl, &p_trad, &p_dl]).expect("write CSV");
+    println!("\nwrote {}", csv.display());
+
+    // The paper's shape: the traditional method heats (the numerical
+    // instability), the DL method does not heat through that mechanism —
+    // but it leaks momentum.
+    let pass = et_trad > 0.002 && et_dl < et_trad && pd_dl > pd_trad * 100.0;
+    println!(
+        "verdict: {}",
+        if pass {
+            "PASS — traditional PIC heats (cold-beam instability); DL-based PIC does not, but drifts in momentum"
+        } else {
+            "CHECK — see indicators above"
+        }
+    );
+}

@@ -1,0 +1,266 @@
+//! Model bundles: everything needed to reconstruct a DL field solver.
+//!
+//! A trained solver is more than network weights — reproducing the paper's
+//! inference step requires the architecture, the phase-grid geometry, the
+//! binning order and the training-set normalization statistics (Eq. 5).
+//! [`ModelBundle`] packages all of them into one self-describing binary
+//! blob so experiment binaries can train once and reload.
+
+use crate::builder::ArchSpec;
+use crate::field_solver::DlFieldSolver;
+use crate::normalize::NormStats;
+use crate::phase_space::{BinningShape, PhaseGridSpec};
+use bytes::{Buf, BufMut};
+use dlpic_nn::network::Sequential;
+use dlpic_nn::serialize::{params_from_bytes, params_to_bytes};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DLPB";
+const VERSION: u32 = 2;
+
+/// A complete, serializable trained model.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// Network architecture.
+    pub arch: ArchSpec,
+    /// Phase-grid geometry the model was trained on.
+    pub spec: PhaseGridSpec,
+    /// Binning order used to build training histograms.
+    pub binning: BinningShape,
+    /// Training-set normalization statistics.
+    pub norm: NormStats,
+    /// Total mass (= particle count) of the training histograms; 0 means
+    /// "unknown" and disables inference-time mass rescaling.
+    pub reference_mass: f32,
+    /// Serialized network parameters (`dlpic_nn::serialize` format).
+    pub params: Vec<u8>,
+}
+
+/// Bundle (de)serialization failure.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Not a bundle / wrong version / truncated.
+    Malformed(&'static str),
+    /// The parameter blob does not fit the declared architecture.
+    Params(dlpic_nn::serialize::SerializeError),
+    /// Filesystem error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BundleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Malformed(what) => write!(f, "malformed model bundle: {what}"),
+            Self::Params(e) => write!(f, "parameter restore failed: {e}"),
+            Self::Io(e) => write!(f, "bundle I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl ModelBundle {
+    /// Captures a trained network into a bundle.
+    pub fn from_network(
+        net: &mut Sequential,
+        arch: ArchSpec,
+        spec: PhaseGridSpec,
+        binning: BinningShape,
+        norm: NormStats,
+    ) -> Self {
+        Self { params: params_to_bytes(net), arch, spec, binning, norm, reference_mass: 0.0 }
+    }
+
+    /// Builder-style setter for the training histogram mass (see
+    /// [`DlFieldSolver::with_reference_mass`]).
+    pub fn with_reference_mass(mut self, mass: f32) -> Self {
+        self.reference_mass = mass;
+        self
+    }
+
+    /// Serializes the bundle.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.params.len());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        self.arch.encode(&mut buf);
+        buf.put_u32_le(self.spec.nx as u32);
+        buf.put_u32_le(self.spec.nv as u32);
+        buf.put_f64_le(self.spec.vmin);
+        buf.put_f64_le(self.spec.vmax);
+        buf.put_u8(match self.binning {
+            BinningShape::Ngp => 0,
+            BinningShape::Cic => 1,
+        });
+        buf.put_f32_le(self.norm.min);
+        buf.put_f32_le(self.norm.max);
+        buf.put_f32_le(self.reference_mass);
+        buf.put_u64_le(self.params.len() as u64);
+        buf.put_slice(&self.params);
+        buf
+    }
+
+    /// Deserializes a bundle.
+    pub fn decode(bytes: &[u8]) -> Result<Self, BundleError> {
+        let mut buf = bytes;
+        if buf.remaining() < 8 {
+            return Err(BundleError::Malformed("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(BundleError::Malformed("bad magic"));
+        }
+        if buf.get_u32_le() != VERSION {
+            return Err(BundleError::Malformed("unsupported version"));
+        }
+        let arch =
+            ArchSpec::decode(&mut buf).ok_or(BundleError::Malformed("bad architecture spec"))?;
+        if buf.remaining() < 4 + 4 + 8 + 8 + 1 + 4 + 4 + 4 + 8 {
+            return Err(BundleError::Malformed("truncated metadata"));
+        }
+        let nx = buf.get_u32_le() as usize;
+        let nv = buf.get_u32_le() as usize;
+        let vmin = buf.get_f64_le();
+        let vmax = buf.get_f64_le();
+        // NaN-rejecting form: `vmax <= vmin` would accept NaN bounds.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if nx == 0 || nv == 0 || !(vmax > vmin) {
+            return Err(BundleError::Malformed("bad phase-grid geometry"));
+        }
+        let binning = match buf.get_u8() {
+            0 => BinningShape::Ngp,
+            1 => BinningShape::Cic,
+            _ => return Err(BundleError::Malformed("bad binning tag")),
+        };
+        let norm = NormStats { min: buf.get_f32_le(), max: buf.get_f32_le() };
+        let reference_mass = buf.get_f32_le();
+        // NaN-rejecting form: `reference_mass < 0.0` would accept NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(reference_mass >= 0.0) {
+            return Err(BundleError::Malformed("bad reference mass"));
+        }
+        let plen = buf.get_u64_le() as usize;
+        if buf.remaining() < plen {
+            return Err(BundleError::Malformed("truncated parameters"));
+        }
+        let params = buf[..plen].to_vec();
+        Ok(Self {
+            arch,
+            spec: PhaseGridSpec::new(nx, nv, vmin, vmax),
+            binning,
+            norm,
+            reference_mass,
+            params,
+        })
+    }
+
+    /// Writes the bundle to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), BundleError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads a bundle from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, BundleError> {
+        Self::decode(&std::fs::read(path)?)
+    }
+
+    /// Reconstructs a ready-to-run field solver from the bundle.
+    pub fn into_solver(self) -> Result<DlFieldSolver, BundleError> {
+        let mut net = self.arch.build(0);
+        params_from_bytes(&mut net, &self.params).map_err(BundleError::Params)?;
+        let name = match self.arch.kind_name() {
+            "mlp" => "dl-mlp",
+            "cnn" => "dl-cnn",
+            _ => "dl-resmlp",
+        };
+        Ok(DlFieldSolver::new(
+            net,
+            self.spec,
+            self.binning,
+            self.norm,
+            self.arch.input_kind(),
+            name,
+        )
+        .with_reference_mass(self.reference_mass))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlpic_pic::grid::Grid1D;
+    use dlpic_pic::init::TwoStreamInit;
+    use dlpic_pic::solver::FieldSolver as _;
+
+    fn tiny_bundle() -> ModelBundle {
+        let spec = PhaseGridSpec::smoke();
+        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![8], output: 64 };
+        let mut net = arch.build(77);
+        ModelBundle::from_network(
+            &mut net,
+            arch,
+            spec,
+            BinningShape::Cic,
+            NormStats { min: 0.0, max: 123.0 },
+        )
+        .with_reference_mass(64_000.0)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let bundle = tiny_bundle();
+        let decoded = ModelBundle::decode(&bundle.encode()).unwrap();
+        assert_eq!(decoded.arch, bundle.arch);
+        assert_eq!(decoded.spec, bundle.spec);
+        assert_eq!(decoded.binning, bundle.binning);
+        assert_eq!(decoded.norm, bundle.norm);
+        assert_eq!(decoded.reference_mass, bundle.reference_mass);
+        assert_eq!(decoded.params, bundle.params);
+    }
+
+    #[test]
+    fn solver_from_bundle_reproduces_predictions() {
+        let bundle = tiny_bundle();
+        let grid = Grid1D::paper();
+        let p = TwoStreamInit::random(0.2, 0.01, 1_000, 5).build(&grid);
+
+        let mut s1 = bundle.clone().into_solver().unwrap();
+        let mut s2 = ModelBundle::decode(&bundle.encode()).unwrap().into_solver().unwrap();
+        let mut e1 = grid.zeros();
+        let mut e2 = grid.zeros();
+        s1.solve(&p, &grid, &mut e1);
+        s2.solve(&p, &grid, &mut e2);
+        assert_eq!(e1, e2);
+        assert_eq!(s1.name(), "dl-mlp");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let bundle = tiny_bundle();
+        let dir = std::env::temp_dir().join("dlpic-bundle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dlpb");
+        bundle.save(&path).unwrap();
+        let loaded = ModelBundle::load(&path).unwrap();
+        assert_eq!(loaded.params, bundle.params);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(matches!(ModelBundle::decode(b"nope"), Err(BundleError::Malformed(_))));
+        let mut blob = tiny_bundle().encode();
+        blob.truncate(blob.len() - 3);
+        assert!(matches!(ModelBundle::decode(&blob), Err(BundleError::Malformed(_))));
+        blob[0] = b'X';
+        assert!(matches!(ModelBundle::decode(&blob), Err(BundleError::Malformed(_))));
+    }
+}

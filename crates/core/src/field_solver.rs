@@ -1,0 +1,263 @@
+//! The DL electric-field solver — the second grey box of the paper's
+//! Fig. 2.
+//!
+//! Implements [`dlpic_pic::solver::FieldSolver`], so it drops into the same
+//! [`dlpic_pic::simulation::Simulation`] as the traditional solver: the
+//! interpolation step and particle mover are untouched, exactly as the
+//! paper describes. Each PIC cycle it
+//!
+//! 1. bins the electron phase space into a 2-D histogram,
+//! 2. normalizes it with the *training-set* min/max (paper Eq. 5),
+//! 3. runs one network inference,
+//! 4. writes the predicted electric field onto the grid nodes.
+
+use crate::builder::InputKind;
+use crate::normalize::NormStats;
+use crate::phase_space::{bin_phase_space, BinningShape, PhaseGridSpec};
+use dlpic_nn::network::Sequential;
+use dlpic_nn::tensor::Tensor;
+use dlpic_pic::grid::Grid1D;
+use dlpic_pic::particles::Particles;
+use dlpic_pic::solver::FieldSolver;
+
+/// A neural-network-backed electric-field solver.
+pub struct DlFieldSolver {
+    net: Sequential,
+    spec: PhaseGridSpec,
+    binning: BinningShape,
+    norm: NormStats,
+    input_kind: InputKind,
+    name: &'static str,
+    reference_mass: f32,
+    scratch: Vec<f32>,
+}
+
+impl DlFieldSolver {
+    /// Wraps a trained network.
+    ///
+    /// `norm` must be the statistics of the network's *training* inputs;
+    /// `input_kind` must match the architecture (flat for MLP, image for
+    /// CNN).
+    pub fn new(
+        net: Sequential,
+        spec: PhaseGridSpec,
+        binning: BinningShape,
+        norm: NormStats,
+        input_kind: InputKind,
+        name: &'static str,
+    ) -> Self {
+        let scratch = vec![0.0f32; spec.cells()];
+        Self { net, spec, binning, norm, input_kind, name, reference_mass: 0.0, scratch }
+    }
+
+    /// Sets the total histogram mass (= particle count) of the *training*
+    /// histograms. When set (> 0), inference histograms are rescaled to
+    /// this mass before normalization, so a model trained at one
+    /// macro-particle count stays calibrated at any other — a count
+    /// histogram is an extensive quantity, and Eq. 5's min–max statistics
+    /// only transfer between runs of equal mass.
+    pub fn with_reference_mass(mut self, mass: f32) -> Self {
+        self.reference_mass = mass;
+        self
+    }
+
+    /// The phase-grid geometry this solver bins into.
+    pub fn spec(&self) -> &PhaseGridSpec {
+        &self.spec
+    }
+
+    /// The binning order used for the phase-space histogram.
+    pub fn binning(&self) -> BinningShape {
+        self.binning
+    }
+
+    /// Immutable access to the wrapped network.
+    pub fn network(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Mutable access (benchmarks re-use the network for timing runs).
+    pub fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Completes a solve from a *raw* (unnormalized) histogram binned
+    /// elsewhere: rescales it to the training mass, applies the
+    /// training-set normalization (paper Eq. 5), runs inference and
+    /// writes the field. `total_mass` is the histogram's total count.
+    ///
+    /// This is the distributed-memory path (crate `dlpic-ddecomp`): each
+    /// rank bins its local particles, the summed global histogram arrives
+    /// via an all-reduce, and every rank finishes the solve locally with
+    /// its replicated network.
+    ///
+    /// # Panics
+    /// Panics if the histogram size mismatches the phase grid or the
+    /// network output width mismatches `e`.
+    pub fn solve_from_raw_histogram(
+        &mut self,
+        histogram: &[f32],
+        total_mass: f32,
+        e: &mut [f64],
+    ) {
+        assert_eq!(histogram.len(), self.spec.cells(), "histogram size mismatch");
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(histogram);
+        if self.reference_mass > 0.0 && (total_mass - self.reference_mass).abs() > 0.5 {
+            let factor = self.reference_mass / total_mass;
+            for v in scratch.iter_mut() {
+                *v *= factor;
+            }
+        }
+        self.norm.apply(&mut scratch);
+        let pred = self.predict_from_histogram(&scratch);
+        self.scratch = scratch;
+        assert_eq!(
+            pred.len(),
+            e.len(),
+            "network output width {} does not match grid cells {}",
+            pred.len(),
+            e.len()
+        );
+        for (dst, &src) in e.iter_mut().zip(&pred) {
+            *dst = src as f64;
+        }
+    }
+
+    /// Runs one inference from an already-binned, already-normalized
+    /// histogram (the inner step of [`FieldSolver::solve`], exposed for
+    /// benchmarking the pure inference cost).
+    pub fn predict_from_histogram(&mut self, histogram: &[f32]) -> Vec<f32> {
+        assert_eq!(histogram.len(), self.spec.cells(), "histogram size mismatch");
+        let input = match self.input_kind {
+            InputKind::Flat => Tensor::new(histogram.to_vec(), &[1, self.spec.cells()]),
+            InputKind::Image => {
+                Tensor::new(histogram.to_vec(), &[1, 1, self.spec.nv, self.spec.nx])
+            }
+        };
+        self.net.predict(&input).into_data()
+    }
+}
+
+impl FieldSolver for DlFieldSolver {
+    fn solve(&mut self, particles: &Particles, grid: &Grid1D, e: &mut [f64]) {
+        // 1-2. Bin, rescale to the training mass, and normalize.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        bin_phase_space(particles, grid, &self.spec, self.binning, &mut scratch);
+        if self.reference_mass > 0.0 {
+            let mass = particles.len() as f32;
+            if (mass - self.reference_mass).abs() > 0.5 {
+                let factor = self.reference_mass / mass;
+                for v in scratch.iter_mut() {
+                    *v *= factor;
+                }
+            }
+        }
+        self.norm.apply(&mut scratch);
+        // 3. Inference.
+        let pred = self.predict_from_histogram(&scratch);
+        self.scratch = scratch;
+        // 4. Write the field.
+        assert_eq!(
+            pred.len(),
+            e.len(),
+            "network output width {} does not match grid cells {}",
+            pred.len(),
+            e.len()
+        );
+        for (dst, &src) in e.iter_mut().zip(&pred) {
+            *dst = src as f64;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ArchSpec;
+    use dlpic_pic::init::TwoStreamInit;
+    use dlpic_pic::simulation::{two_stream_config, Simulation};
+
+    fn tiny_solver() -> DlFieldSolver {
+        let spec = PhaseGridSpec::smoke();
+        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![8], output: 64 };
+        DlFieldSolver::new(
+            arch.build(0),
+            spec,
+            BinningShape::Ngp,
+            NormStats::identity(),
+            arch.input_kind(),
+            "dl-mlp",
+        )
+    }
+
+    #[test]
+    fn solver_writes_finite_field_of_grid_size() {
+        let grid = Grid1D::paper();
+        let p = TwoStreamInit::random(0.2, 0.0, 2_000, 1).build(&grid);
+        let mut solver = tiny_solver();
+        let mut e = grid.zeros();
+        FieldSolver::solve(&mut solver, &p, &grid, &mut e);
+        assert_eq!(e.len(), 64);
+        assert!(e.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn plugs_into_the_shared_simulation_loop() {
+        let init = TwoStreamInit::random(0.2, 0.0, 2_000, 2);
+        let cfg = two_stream_config(init, 5);
+        let mut sim = Simulation::new(cfg, Box::new(tiny_solver()));
+        sim.run();
+        assert_eq!(sim.history().len(), 6);
+        assert_eq!(sim.solver_name(), "dl-mlp");
+        assert!(sim.efield().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cnn_input_kind_reshapes_to_image() {
+        let spec = PhaseGridSpec::new(16, 16, -0.8, 0.8);
+        let arch = ArchSpec::Cnn {
+            nv: 16,
+            nx: 16,
+            channels: (2, 2),
+            kernel: 3,
+            hidden: vec![16],
+            output: 64,
+        };
+        let mut solver = DlFieldSolver::new(
+            arch.build(1),
+            spec,
+            BinningShape::Cic,
+            NormStats::identity(),
+            arch.input_kind(),
+            "dl-cnn",
+        );
+        let hist = vec![0.5f32; spec.cells()];
+        let out = solver.predict_from_histogram(&hist);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match grid cells")]
+    fn output_width_mismatch_detected() {
+        let spec = PhaseGridSpec::smoke();
+        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![4], output: 32 };
+        let mut solver = DlFieldSolver::new(
+            arch.build(0),
+            spec,
+            BinningShape::Ngp,
+            NormStats::identity(),
+            arch.input_kind(),
+            "dl-mlp",
+        );
+        let grid = Grid1D::paper(); // 64 cells ≠ 32 outputs
+        let p = TwoStreamInit::random(0.2, 0.0, 100, 0).build(&grid);
+        let mut e = grid.zeros();
+        FieldSolver::solve(&mut solver, &p, &grid, &mut e);
+    }
+}

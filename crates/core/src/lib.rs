@@ -1,0 +1,44 @@
+//! # dlpic-core
+//!
+//! The paper's contribution: the **DL-based Particle-in-Cell method** of
+//! Aguilar & Markidis (CLUSTER 2021).
+//!
+//! The DL-based PIC keeps the traditional gather + leap-frog mover and
+//! replaces the deposition + Poisson field solve (the grey boxes of the
+//! paper's Fig. 2) with:
+//!
+//! 1. [`phase_space`] — binning of the electron `(x, v)` phase space into
+//!    a 2-D histogram;
+//! 2. [`normalize`] — the dataset min–max transform of paper Eq. 5;
+//! 3. [`field_solver::DlFieldSolver`] — a neural-network inference that
+//!    maps the histogram to the 64-cell electric field. It implements
+//!    `dlpic_pic::solver::FieldSolver`, so the *same* simulation loop runs
+//!    both methods.
+//!
+//! [`builder`] constructs the paper's §IV.A architectures (MLP: 3×1024
+//! ReLU hidden + 64 linear out; CNN: two blocks of conv→conv→pool + 3 FC), plus the
+//! residual MLP suggested in §VII. [`physics_loss`] implements the
+//! PINN-flavoured loss §VII proposes. [`bundle`] persists trained solvers;
+//! [`presets`] defines the smoke/scaled/paper experiment scales.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod bundle;
+pub mod field_solver;
+pub mod normalize;
+pub mod phase_space;
+pub mod physics_loss;
+pub mod presets;
+pub mod temporal;
+pub mod twod;
+
+pub use builder::{ArchSpec, InputKind};
+pub use bundle::{BundleError, ModelBundle};
+pub use field_solver::DlFieldSolver;
+pub use normalize::NormStats;
+pub use phase_space::{bin_phase_space, phase_space_histogram, BinningShape, PhaseGridSpec};
+pub use physics_loss::PhysicsInformedMse;
+pub use temporal::TemporalDlSolver;
+pub use twod::{Dl2DFieldSolver, DensityBinning};
+pub use presets::Scale;

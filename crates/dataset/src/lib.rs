@@ -1,0 +1,32 @@
+//! # dlpic-dataset
+//!
+//! The training-data pipeline of the reproduction (paper §IV.A.1):
+//!
+//! * [`spec`] — the parameter sweeps: the paper's 20 (v0, vth) training
+//!   combinations × 10 seeded "augmentation" experiments × 200 steps
+//!   (40,000 samples), and the unseen-parameter sweep behind Test Set II.
+//! * [`generator`] — runs traditional PIC simulations and harvests
+//!   (phase-space histogram, electric field) pairs each step.
+//! * [`sample`] — the in-memory dataset, convertible into trainable
+//!   `dlpic-nn` tensors for either MLP (flat) or CNN (image) inputs.
+//! * [`split`] — the paper's shuffle + 38k/1k/1k-proportion split.
+//! * [`store`] — packed binary persistence.
+//! * [`stats`] — dataset inspection ("no numerical instability or
+//!   artifacts").
+//! * [`vlasov_bridge`] — noise-free training data from the continuum
+//!   Vlasov solver (paper §VII future-work path).
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod sample;
+pub mod spec;
+pub mod split;
+pub mod stats;
+pub mod store;
+pub mod vlasov_bridge;
+
+pub use generator::{generate, GeneratorConfig};
+pub use sample::PhaseDataset;
+pub use spec::{SweepCombo, SweepSpec};
+pub use split::{shuffle_split, SplitSizes};

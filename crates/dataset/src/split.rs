@@ -1,0 +1,136 @@
+//! Shuffle and split — "The data set was shuffled and then divided into
+//! 38,000 images for training, 1,000 images for validation, and 1,000
+//! images for testing" (paper §IV.A.1).
+
+use crate::sample::PhaseDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sizes of the three standard portions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitSizes {
+    /// Training samples.
+    pub train: usize,
+    /// Validation samples.
+    pub val: usize,
+    /// Test (Set I) samples.
+    pub test: usize,
+}
+
+impl SplitSizes {
+    /// The paper's proportions (38k/1k/1k of 40k = 95% / 2.5% / 2.5%)
+    /// applied to a dataset of `n` samples. Guarantees at least one sample
+    /// per portion for small `n`.
+    ///
+    /// # Panics
+    /// Panics for datasets smaller than 3 samples.
+    pub fn paper_proportions(n: usize) -> Self {
+        assert!(n >= 3, "cannot split fewer than 3 samples");
+        let val = (n / 40).max(1);
+        let test = (n / 40).max(1);
+        Self { train: n - val - test, val, test }
+    }
+
+    /// Total samples consumed.
+    pub fn total(&self) -> usize {
+        self.train + self.val + self.test
+    }
+}
+
+/// Shuffles the dataset with a seeded permutation and splits it into
+/// (train, validation, test).
+///
+/// # Panics
+/// Panics if the sizes exceed the dataset.
+pub fn shuffle_split(
+    ds: &PhaseDataset,
+    sizes: SplitSizes,
+    seed: u64,
+) -> (PhaseDataset, PhaseDataset, PhaseDataset) {
+    assert!(sizes.total() <= ds.len(), "split {}+{}+{} exceeds dataset {}",
+        sizes.train, sizes.val, sizes.test, ds.len());
+    let n = ds.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    let train = ds.select(&perm[..sizes.train]);
+    let val = ds.select(&perm[sizes.train..sizes.train + sizes.val]);
+    let test = ds.select(&perm[sizes.train + sizes.val..sizes.total()]);
+    (train, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlpic_core::phase_space::{BinningShape, PhaseGridSpec};
+
+    fn numbered_dataset(n: usize) -> PhaseDataset {
+        let spec = PhaseGridSpec::new(2, 2, -1.0, 1.0);
+        let mut ds = PhaseDataset::new(spec, BinningShape::Ngp, 2);
+        for i in 0..n {
+            ds.push(&[i as f32; 4], &[i as f64, -(i as f64)]);
+        }
+        ds
+    }
+
+    #[test]
+    fn paper_proportions_of_forty_thousand() {
+        let s = SplitSizes::paper_proportions(40_000);
+        assert_eq!(s, SplitSizes { train: 38_000, val: 1_000, test: 1_000 });
+    }
+
+    #[test]
+    fn small_datasets_get_nonempty_portions() {
+        let s = SplitSizes::paper_proportions(10);
+        assert_eq!(s.val, 1);
+        assert_eq!(s.test, 1);
+        assert_eq!(s.train, 8);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = numbered_dataset(50);
+        let sizes = SplitSizes::paper_proportions(50);
+        let (train, val, test) = shuffle_split(&ds, sizes, 7);
+        assert_eq!(train.len() + val.len() + test.len(), 50);
+        // Collect all sample ids and verify each appears exactly once.
+        let mut seen = vec![0usize; 50];
+        for part in [&train, &val, &test] {
+            for i in 0..part.len() {
+                let id = part.input_row(i)[0] as usize;
+                seen[id] += 1;
+                // Pairing intact: target matches input id.
+                assert_eq!(part.target_row(i)[0], id as f32);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "not a partition: {seen:?}");
+    }
+
+    #[test]
+    fn shuffling_actually_shuffles() {
+        let ds = numbered_dataset(100);
+        let (train, ..) = shuffle_split(&ds, SplitSizes::paper_proportions(100), 3);
+        let in_order = (0..train.len()).all(|i| train.input_row(i)[0] as usize == i);
+        assert!(!in_order, "split came out unshuffled");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = numbered_dataset(30);
+        let sizes = SplitSizes::paper_proportions(30);
+        let (a, ..) = shuffle_split(&ds, sizes, 11);
+        let (b, ..) = shuffle_split(&ds, sizes, 11);
+        assert_eq!(a.inputs(), b.inputs());
+        let (c, ..) = shuffle_split(&ds, sizes, 12);
+        assert_ne!(a.inputs(), c.inputs());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dataset")]
+    fn oversized_split_rejected() {
+        let ds = numbered_dataset(5);
+        let _ = shuffle_split(&ds, SplitSizes { train: 4, val: 1, test: 1 }, 0);
+    }
+}

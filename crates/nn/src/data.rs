@@ -1,0 +1,191 @@
+//! In-memory dataset with shuffling, splitting and mini-batching — the
+//! "shuffled and then divided into 38,000 / 1,000 / 1,000" workflow of the
+//! paper's §IV.A.1.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Paired inputs and targets, both `[n, ...]` with a shared leading
+/// dimension.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Inputs `[n, ...]`.
+    pub x: Tensor,
+    /// Targets `[n, out]`.
+    pub y: Tensor,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    /// Panics if the leading dimensions differ.
+    pub fn new(x: Tensor, y: Tensor) -> Self {
+        assert_eq!(x.batch(), y.batch(), "input/target count mismatch");
+        Self { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.batch()
+    }
+
+    /// True when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new dataset with rows permuted by a seeded Fisher–Yates
+    /// shuffle.
+    pub fn shuffled(&self, seed: u64) -> Self {
+        let n = self.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..n).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        self.select(&perm)
+    }
+
+    /// Builds a dataset from the given row indices (in order).
+    pub fn select(&self, indices: &[usize]) -> Self {
+        let xw = self.x.row_len();
+        let yw = self.y.row_len();
+        let mut xd = Vec::with_capacity(indices.len() * xw);
+        let mut yd = Vec::with_capacity(indices.len() * yw);
+        for &i in indices {
+            xd.extend_from_slice(self.x.row(i));
+            yd.extend_from_slice(self.y.row(i));
+        }
+        let mut x_shape = self.x.shape().to_vec();
+        x_shape[0] = indices.len();
+        let mut y_shape = self.y.shape().to_vec();
+        y_shape[0] = indices.len();
+        Self::new(Tensor::new(xd, &x_shape), Tensor::new(yd, &y_shape))
+    }
+
+    /// Splits into consecutive chunks of the given sizes (like the paper's
+    /// 38k/1k/1k). The sizes must sum to at most `len`; a final remainder
+    /// chunk is NOT returned.
+    ///
+    /// # Panics
+    /// Panics if the sizes exceed the sample count.
+    pub fn split(&self, sizes: &[usize]) -> Vec<Dataset> {
+        let total: usize = sizes.iter().sum();
+        assert!(total <= self.len(), "split sizes {total} exceed dataset {}", self.len());
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut start = 0;
+        for &s in sizes {
+            let idx: Vec<usize> = (start..start + s).collect();
+            out.push(self.select(&idx));
+            start += s;
+        }
+        out
+    }
+
+    /// Copies rows `[start, start+size)` into a batch pair (clamped to the
+    /// end of the data).
+    pub fn batch(&self, start: usize, size: usize) -> (Tensor, Tensor) {
+        let end = (start + size).min(self.len());
+        let idx: Vec<usize> = (start..end).collect();
+        let d = self.select(&idx);
+        (d.x, d.y)
+    }
+
+    /// Ranges covering the dataset in batches of `batch_size` (the last
+    /// batch may be short).
+    pub fn batch_ranges(&self, batch_size: usize) -> Vec<(usize, usize)> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            out.push((start, end - start));
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_dataset(n: usize) -> Dataset {
+        let x = Tensor::new((0..n * 2).map(|i| i as f32).collect(), &[n, 2]);
+        let y = Tensor::new((0..n).map(|i| i as f32).collect(), &[n, 1]);
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing_and_content() {
+        let d = seq_dataset(100);
+        let s = d.shuffled(7);
+        assert_eq!(s.len(), 100);
+        // Pairing: row i of x is [2y, 2y+1] for its y.
+        for i in 0..100 {
+            let label = s.y.row(i)[0];
+            assert_eq!(s.x.row(i), &[2.0 * label, 2.0 * label + 1.0]);
+        }
+        // Content: the multiset of labels is unchanged.
+        let mut labels: Vec<f32> = (0..100).map(|i| s.y.row(i)[0]).collect();
+        labels.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(labels, (0..100).map(|i| i as f32).collect::<Vec<_>>());
+        // Shuffle actually moved something.
+        assert_ne!(s.y.data(), d.y.data());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let d = seq_dataset(50);
+        assert_eq!(d.shuffled(3).y.data(), d.shuffled(3).y.data());
+        assert_ne!(d.shuffled(3).y.data(), d.shuffled(4).y.data());
+    }
+
+    #[test]
+    fn split_partitions_in_order() {
+        let d = seq_dataset(10);
+        let parts = d.split(&[7, 2, 1]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 7);
+        assert_eq!(parts[1].len(), 2);
+        assert_eq!(parts[2].len(), 1);
+        assert_eq!(parts[1].y.data(), &[7.0, 8.0]);
+        assert_eq!(parts[2].y.data(), &[9.0]);
+    }
+
+    #[test]
+    fn batch_ranges_cover_everything_once() {
+        let d = seq_dataset(10);
+        let ranges = d.batch_ranges(4);
+        assert_eq!(ranges, vec![(0, 4), (4, 4), (8, 2)]);
+        let total: usize = ranges.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn batch_extraction() {
+        let d = seq_dataset(5);
+        let (bx, by) = d.batch(3, 4); // clamped to 2 rows
+        assert_eq!(bx.shape(), &[2, 2]);
+        assert_eq!(by.data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn multidim_inputs_keep_trailing_shape() {
+        let x = Tensor::zeros(&[6, 1, 4, 4]);
+        let y = Tensor::zeros(&[6, 3]);
+        let d = Dataset::new(x, y);
+        let s = d.shuffled(0);
+        assert_eq!(s.x.shape(), &[6, 1, 4, 4]);
+        let parts = d.split(&[4, 2]);
+        assert_eq!(parts[0].x.shape(), &[4, 1, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed dataset")]
+    fn oversized_split_rejected() {
+        let _ = seq_dataset(3).split(&[2, 2]);
+    }
+}

@@ -1,0 +1,36 @@
+//! The layer abstraction: forward, backward, parameter visitation.
+
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// The backward contract: [`Layer::forward`] with `training = true` caches
+/// whatever the backward pass needs; [`Layer::backward`] consumes the
+/// gradient w.r.t. the layer *output*, accumulates parameter gradients
+/// internally (`+=`, so callers zero them between optimizer steps via
+/// [`Layer::zero_grads`]) and returns the gradient w.r.t. the layer
+/// *input*.
+pub trait Layer: Send {
+    /// Computes the layer output. With `training = true` the activation
+    /// cache for backprop is retained.
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor;
+
+    /// Backpropagates: accumulates parameter gradients and returns the
+    /// input gradient. Must be preceded by a `forward(.., true)`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits each (parameter, gradient) pair in a stable order. Layers
+    /// without parameters do nothing (default).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    /// Zeros the accumulated parameter gradients (default: no-op).
+    fn zero_grads(&mut self) {}
+
+    /// Layer name for summaries.
+    fn name(&self) -> &'static str;
+
+    /// Total trainable parameter count (default 0).
+    fn param_count(&self) -> usize {
+        0
+    }
+}

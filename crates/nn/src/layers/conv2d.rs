@@ -1,0 +1,387 @@
+//! 2-D convolution (stride 1, "same" zero padding) via im2col + GEMM.
+//!
+//! The paper's CNN (§IV.A) stacks two blocks of
+//! `[conv, conv, maxpool]` before the fully connected head. Kernel size and
+//! channel counts are not stated in the paper; the `dlpic-core` builders
+//! use 3×3 kernels (recorded as an inferred choice in DESIGN.md).
+
+use crate::init::Init;
+use crate::layer::Layer;
+use crate::linalg::{matmul_nn, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+
+/// A same-padded stride-1 2-D convolution on `[batch, channels, h, w]`
+/// tensors. Weights are stored `[out_ch, in_ch, k, k]` row-major.
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    dw: Vec<f32>,
+    db: Vec<f32>,
+    cached_input: Option<Tensor>,
+    // Scratch buffers reused across calls.
+    cols: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with an odd kernel size (same padding needs
+    /// `k/2` on each side).
+    ///
+    /// # Panics
+    /// Panics for even or zero kernel size.
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, init: Init, seed: u64) -> Self {
+        assert!(k % 2 == 1 && k > 0, "kernel size must be odd, got {k}");
+        assert!(in_ch > 0 && out_ch > 0, "degenerate conv");
+        let fan_in = in_ch * k * k;
+        let fan_out = out_ch * k * k;
+        let mut w = vec![0.0f32; out_ch * in_ch * k * k];
+        init.fill(&mut w, fan_in, fan_out, seed);
+        Self {
+            in_ch,
+            out_ch,
+            k,
+            w,
+            b: vec![0.0; out_ch],
+            dw: vec![0.0; out_ch * in_ch * k * k],
+            db: vec![0.0; out_ch],
+            cached_input: None,
+            cols: Vec::new(),
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+
+    /// Unpacks one sample `[C, H, W]` into the column matrix
+    /// `[C·K·K, H·W]` with zero padding.
+    fn im2col(&self, sample: &[f32], h: usize, w: usize, cols: &mut [f32]) {
+        let k = self.k;
+        let pad = k / 2;
+        let hw = h * w;
+        debug_assert_eq!(cols.len(), self.in_ch * k * k * hw);
+        cols.fill(0.0);
+        for c in 0..self.in_ch {
+            let plane = &sample[c * hw..(c + 1) * hw];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((c * k + ky) * k + kx) * hw;
+                    // Valid input-row window for this kernel offset.
+                    for oy in 0..h {
+                        let iy = oy as isize + ky as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        // ix = ox + kx - pad must lie in [0, w).
+                        let ox_lo = pad.saturating_sub(kx);
+                        let ox_hi = (w + pad).saturating_sub(kx).min(w);
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        let src_lo = ox_lo + kx - pad;
+                        let dst = &mut cols[row + oy * w + ox_lo..row + oy * w + ox_hi];
+                        let src = &plane[iy * w + src_lo..iy * w + src_lo + (ox_hi - ox_lo)];
+                        dst.copy_from_slice(src);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scatter-adds a column-matrix gradient back to a `[C, H, W]` sample
+    /// gradient (the adjoint of [`Self::im2col`]).
+    fn col2im_add(&self, dcols: &[f32], h: usize, w: usize, dsample: &mut [f32]) {
+        let k = self.k;
+        let pad = k / 2;
+        let hw = h * w;
+        for c in 0..self.in_ch {
+            let plane = &mut dsample[c * hw..(c + 1) * hw];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((c * k + ky) * k + kx) * hw;
+                    for oy in 0..h {
+                        let iy = oy as isize + ky as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        let ox_lo = pad.saturating_sub(kx);
+                        let ox_hi = (w + pad).saturating_sub(kx).min(w);
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        let src_lo = ox_lo + kx - pad;
+                        for (o, ox) in (ox_lo..ox_hi).enumerate() {
+                            plane[iy * w + src_lo + o] += dcols[row + oy * w + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn dims(&self, input: &Tensor) -> (usize, usize, usize) {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "conv2d expects [batch, ch, h, w], got {shape:?}");
+        assert_eq!(shape[1], self.in_ch, "conv2d expected {} channels, got {}", self.in_ch, shape[1]);
+        (shape[0], shape[2], shape[3])
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let (batch, h, w) = self.dims(input);
+        let hw = h * w;
+        let ckk = self.in_ch * self.k * self.k;
+        let mut out = Tensor::zeros(&[batch, self.out_ch, h, w]);
+        self.cols.resize(ckk * hw, 0.0);
+        let mut cols = std::mem::take(&mut self.cols);
+        for bi in 0..batch {
+            let sample = input.row(bi);
+            self.im2col(sample, h, w, &mut cols);
+            let out_b = &mut out.data_mut()[bi * self.out_ch * hw..(bi + 1) * self.out_ch * hw];
+            matmul_nn(&self.w, &cols, out_b, self.out_ch, ckk, hw);
+            for (o, bias) in self.b.iter().enumerate() {
+                for v in &mut out_b[o * hw..(o + 1) * hw] {
+                    *v += bias;
+                }
+            }
+        }
+        self.cols = cols;
+        if training {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.take().expect("backward before forward(training)");
+        let (batch, h, w) = self.dims(&input);
+        let hw = h * w;
+        let ckk = self.in_ch * self.k * self.k;
+        assert_eq!(grad_out.shape(), &[batch, self.out_ch, h, w], "grad_out shape");
+
+        let mut grad_in = Tensor::zeros(input.shape());
+        self.cols.resize(ckk * hw, 0.0);
+        let mut cols = std::mem::take(&mut self.cols);
+        let mut dw_step = vec![0.0f32; self.w.len()];
+        let mut dcols = vec![0.0f32; ckk * hw];
+
+        for bi in 0..batch {
+            let sample = input.row(bi);
+            let dy = &grad_out.data()[bi * self.out_ch * hw..(bi + 1) * self.out_ch * hw];
+
+            // dW += dY·colsᵀ.
+            self.im2col(sample, h, w, &mut cols);
+            matmul_nt(dy, &cols, &mut dw_step, self.out_ch, hw, ckk);
+            for (d, s) in self.dw.iter_mut().zip(&dw_step) {
+                *d += s;
+            }
+            // db += per-channel sums of dY.
+            for o in 0..self.out_ch {
+                self.db[o] += dy[o * hw..(o + 1) * hw].iter().sum::<f32>();
+            }
+            // dcols = Wᵀ·dY, then scatter back to the input gradient.
+            matmul_tn(&self.w, dy, &mut dcols, ckk, self.out_ch, hw);
+            let dsample =
+                &mut grad_in.data_mut()[bi * self.in_ch * hw..(bi + 1) * self.in_ch * hw];
+            self.col2im_add(&dcols, h, w, dsample);
+        }
+        self.cols = cols;
+        self.cached_input = Some(input);
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.dw);
+        f(&mut self.b, &mut self.db);
+    }
+
+    fn zero_grads(&mut self) {
+        self.dw.fill(0.0);
+        self.db.fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference direct convolution for the oracle tests.
+    // The eight arguments are the convolution geometry; a struct would
+    // only rename the same numbers in the hot loop.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_naive(
+        input: &[f32],
+        w: &[f32],
+        b: &[f32],
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        h: usize,
+        wid: usize,
+    ) -> Vec<f32> {
+        let pad = k as isize / 2;
+        let hw = h * wid;
+        let mut out = vec![0.0f32; out_ch * hw];
+        for o in 0..out_ch {
+            for oy in 0..h {
+                for ox in 0..wid {
+                    let mut acc = b[o];
+                    for c in 0..in_ch {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy as isize + ky as isize - pad;
+                                let ix = ox as isize + kx as isize - pad;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= wid as isize {
+                                    continue;
+                                }
+                                acc += input[c * hw + iy as usize * wid + ix as usize]
+                                    * w[((o * in_ch + c) * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    out[o * hw + oy * wid + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn pseudo(len: usize, seed: u64) -> Vec<f32> {
+        (0..len).map(|i| (((i as u64 + seed) * 2654435761 % 997) as f32 / 498.5) - 1.0).collect()
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut conv = Conv2d::new(1, 1, 3, Init::Zeros, 0);
+        conv.w[4] = 1.0; // center tap
+        let x = Tensor::new(pseudo(16, 3), &[1, 1, 4, 4]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shift_kernel_moves_image() {
+        // Kernel with the tap at (ky=1, kx=0): output(y,x) = input(y, x-1).
+        let mut conv = Conv2d::new(1, 1, 3, Init::Zeros, 0);
+        conv.w[3] = 1.0; // row 1, col 0 → ix = ox - 1
+        let x = Tensor::new((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let y = conv.forward(&x, false);
+        // Column 0 sees padding (zero); column j>0 sees input col j-1.
+        for row in 0..4 {
+            assert_eq!(y.data()[row * 4], 0.0);
+            for col in 1..4 {
+                assert_eq!(y.data()[row * 4 + col], x.data()[row * 4 + col - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_conv_multichannel() {
+        let (in_ch, out_ch, k, h, w) = (3, 4, 3, 6, 5);
+        let mut conv = Conv2d::new(in_ch, out_ch, k, Init::Zeros, 0);
+        conv.w.copy_from_slice(&pseudo(out_ch * in_ch * k * k, 11));
+        conv.b.copy_from_slice(&pseudo(out_ch, 13));
+        let x_data = pseudo(in_ch * h * w, 17);
+        let x = Tensor::new(x_data.clone(), &[1, in_ch, h, w]);
+        let y = conv.forward(&x, false);
+        let oracle = conv_naive(&x_data, &conv.w, &conv.b, in_ch, out_ch, k, h, w);
+        for (i, (a, b)) in y.data().iter().zip(&oracle).enumerate() {
+            assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batch_samples_are_independent() {
+        let mut conv = Conv2d::new(1, 2, 3, Init::HeNormal, 5);
+        let a = pseudo(9, 1);
+        let b = pseudo(9, 2);
+        let both = Tensor::new([a.clone(), b.clone()].concat(), &[2, 1, 3, 3]);
+        let ya = conv.forward(&Tensor::new(a, &[1, 1, 3, 3]), false);
+        let yb = conv.forward(&Tensor::new(b, &[1, 1, 3, 3]), false);
+        let yab = conv.forward(&both, false);
+        for (i, v) in ya.data().iter().enumerate() {
+            assert!((yab.data()[i] - v).abs() < 1e-6);
+        }
+        for (i, v) in yb.data().iter().enumerate() {
+            assert!((yab.data()[ya.len() + i] - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_bias_gradient_is_output_sum() {
+        let mut conv = Conv2d::new(1, 2, 3, Init::HeNormal, 7);
+        let x = Tensor::new(pseudo(2 * 16, 3), &[2, 1, 4, 4]);
+        let _ = conv.forward(&x, true);
+        let gy = Tensor::full(&[2, 2, 4, 4], 1.0);
+        let _ = conv.backward(&gy);
+        // Each bias sees 2 samples × 16 pixels of unit gradient.
+        assert!((conv.db[0] - 32.0).abs() < 1e-4);
+        assert!((conv.db[1] - 32.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn five_by_five_kernel_matches_naive_conv() {
+        let (in_ch, out_ch, k, h, w) = (2, 3, 5, 8, 6);
+        let mut conv = Conv2d::new(in_ch, out_ch, k, Init::Zeros, 0);
+        conv.w.copy_from_slice(&pseudo(out_ch * in_ch * k * k, 23));
+        conv.b.copy_from_slice(&pseudo(out_ch, 29));
+        let x_data = pseudo(in_ch * h * w, 31);
+        let x = Tensor::new(x_data.clone(), &[1, in_ch, h, w]);
+        let y = conv.forward(&x, false);
+        let oracle = conv_naive(&x_data, &conv.w, &conv.b, in_ch, out_ch, k, h, w);
+        for (i, (a, b)) in y.data().iter().zip(&oracle).enumerate() {
+            assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn backward_weight_gradient_matches_finite_difference_probe() {
+        // Poke one weight, verify dL/dw against the accumulated gradient
+        // for a quadratic loss L = ½Σy².
+        let mut conv = Conv2d::new(1, 1, 3, Init::HeNormal, 41);
+        let x = Tensor::new(pseudo(2 * 25, 43), &[2, 1, 5, 5]);
+        let y = conv.forward(&x, true);
+        let gy = y.clone(); // dL/dy = y for L = ½Σy²
+        let _ = conv.backward(&gy);
+        let analytic = conv.dw[4];
+
+        let loss = |c: &mut Conv2d| -> f64 {
+            let out = c.forward(&x, false);
+            out.data().iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+        };
+        let eps = 1e-3;
+        conv.w[4] += eps;
+        let plus = loss(&mut conv);
+        conv.w[4] -= 2.0 * eps;
+        let minus = loss(&mut conv);
+        conv.w[4] += eps;
+        let numeric = ((plus - minus) / (2.0 * eps as f64)) as f32;
+        assert!(
+            (analytic - numeric).abs() / numeric.abs().max(1e-3) < 5e-2,
+            "dW: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_rejected() {
+        let _ = Conv2d::new(1, 1, 4, Init::Zeros, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Flattening layer: `[batch, ...] → [batch, features]` between the
+//! convolutional blocks and the dense head of the paper's CNN.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Collapses all trailing dimensions into one.
+#[derive(Default)]
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let batch = input.batch();
+        let features = input.row_len();
+        if training {
+            self.input_shape = input.shape().to_vec();
+        }
+        input.clone().reshape(&[batch, features])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.input_shape.is_empty(), "backward before forward(training)");
+        grad_out.clone().reshape(&self.input_shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_shape_and_data() {
+        let mut fl = Flatten::new();
+        let x = Tensor::new((0..24).map(|i| i as f32).collect(), &[2, 3, 2, 2]);
+        let y = fl.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        assert_eq!(y.data(), x.data());
+        let gx = fl.backward(&y);
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gx.data(), x.data());
+    }
+}

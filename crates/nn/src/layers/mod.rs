@@ -1,0 +1,15 @@
+//! Layer implementations.
+
+pub mod conv2d;
+pub mod dense;
+pub mod flatten;
+pub mod maxpool2;
+pub mod relu;
+pub mod residual;
+
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use flatten::Flatten;
+pub use maxpool2::MaxPool2;
+pub use relu::Relu;
+pub use residual::ResidualDense;

@@ -1,0 +1,76 @@
+//! Rectified linear activation.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Element-wise `max(0, x)`; the hidden activation of the paper's MLP and
+/// CNN (§IV.A).
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if training {
+            self.mask.clear();
+            self.mask.extend(input.data().iter().map(|&v| v > 0.0));
+        }
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward(training)");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::new(data, grad_out.shape())
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::new(vec![-1.0, 0.0, 2.0], &[1, 3]);
+        let y = r.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::new(vec![-1.0, 0.5, 2.0, -0.1], &[2, 2]);
+        let _ = r.forward(&x, true);
+        let gy = Tensor::new(vec![1.0, 1.0, 1.0, 1.0], &[2, 2]);
+        let gx = r.backward(&gy);
+        assert_eq!(gx.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // Subgradient convention: d relu/dx at exactly 0 is 0.
+        let mut r = Relu::new();
+        let x = Tensor::new(vec![0.0], &[1, 1]);
+        let _ = r.forward(&x, true);
+        let gx = r.backward(&Tensor::new(vec![5.0], &[1, 1]));
+        assert_eq!(gx.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Residual dense block: `y = relu(x + Dense(x))`.
+//!
+//! The paper's §VII suggests that "the usage of neural networks fit to
+//! encode time sequences, such as Residual networks (ResNet), might be a
+//! better fit to DL-based PIC methods than MLPs" — this block lets the
+//! `ablation_arch` experiment test a residual MLP against the plain one.
+
+use crate::init::Init;
+use crate::layer::Layer;
+use crate::layers::dense::Dense;
+use crate::tensor::Tensor;
+
+/// A width-preserving residual block around one dense layer.
+pub struct ResidualDense {
+    inner: Dense,
+    mask: Vec<bool>,
+}
+
+impl ResidualDense {
+    /// Creates a residual block of the given width.
+    pub fn new(width: usize, init: Init, seed: u64) -> Self {
+        Self { inner: Dense::new(width, width, init, seed), mask: Vec::new() }
+    }
+}
+
+impl Layer for ResidualDense {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut y = self.inner.forward(input, training);
+        y.add_assign(input);
+        if training {
+            self.mask.clear();
+            self.mask.extend(y.data().iter().map(|&v| v > 0.0));
+        }
+        y.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward(training)");
+        // Through the ReLU.
+        let masked = Tensor::new(
+            grad_out
+                .data()
+                .iter()
+                .zip(&self.mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+            grad_out.shape(),
+        );
+        // Through the dense branch, plus the skip connection.
+        let mut grad_in = self.inner.backward(&masked);
+        grad_in.add_assign(&masked);
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.inner.visit_params(f);
+    }
+
+    fn zero_grads(&mut self) {
+        self.inner.zero_grads();
+    }
+
+    fn name(&self) -> &'static str {
+        "residual-dense"
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_weights_reduce_to_relu_identity() {
+        let mut block = ResidualDense::new(3, Init::Zeros, 0);
+        let x = Tensor::new(vec![1.0, -2.0, 0.5], &[1, 3]);
+        let y = block.forward(&x, false);
+        assert_eq!(y.data(), &[1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn skip_connection_carries_gradient() {
+        let mut block = ResidualDense::new(2, Init::Zeros, 0);
+        let x = Tensor::new(vec![1.0, 2.0], &[1, 2]); // all positive → mask open
+        let _ = block.forward(&x, true);
+        let gx = block.backward(&Tensor::new(vec![1.0, 1.0], &[1, 2]));
+        // Zero weights: gradient flows only through the skip → identity.
+        assert_eq!(gx.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn parameter_count_matches_inner_dense() {
+        let block = ResidualDense::new(8, Init::HeNormal, 1);
+        assert_eq!(block.param_count(), 8 * 8 + 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! Loss functions.
+
+use crate::tensor::Tensor;
+
+/// A differentiable scalar loss over a batch.
+pub trait Loss: Sync {
+    /// Computes the loss value and writes `∂loss/∂pred` into `grad`.
+    ///
+    /// # Panics
+    /// Implementations panic on shape mismatches.
+    fn loss_and_grad(&self, pred: &Tensor, target: &Tensor, grad: &mut Tensor) -> f32;
+
+    /// Loss name for logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Mean squared error over every element of the batch — the regression
+/// loss behind the paper's multi-variate electric-field output.
+pub struct Mse;
+
+impl Loss for Mse {
+    fn loss_and_grad(&self, pred: &Tensor, target: &Tensor, grad: &mut Tensor) -> f32 {
+        assert_eq!(pred.shape(), target.shape(), "pred/target shape mismatch");
+        assert_eq!(pred.shape(), grad.shape(), "grad shape mismatch");
+        let n = pred.len() as f32;
+        let mut acc = 0.0f64;
+        for ((&p, &t), g) in pred.data().iter().zip(target.data()).zip(grad.data_mut()) {
+            let d = p - t;
+            acc += (d * d) as f64;
+            *g = 2.0 * d / n;
+        }
+        (acc / n as f64) as f32
+    }
+
+    fn name(&self) -> &'static str {
+        "mse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_gives_zero_loss_and_grad() {
+        let p = Tensor::new(vec![1.0, 2.0], &[1, 2]);
+        let mut g = Tensor::zeros(&[1, 2]);
+        let v = Mse.loss_and_grad(&p, &p.clone(), &mut g);
+        assert_eq!(v, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn known_value_and_gradient() {
+        let p = Tensor::new(vec![1.0, 3.0], &[1, 2]);
+        let t = Tensor::new(vec![0.0, 1.0], &[1, 2]);
+        let mut g = Tensor::zeros(&[1, 2]);
+        let v = Mse.loss_and_grad(&p, &t, &mut g);
+        assert!((v - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert!((g.data()[0] - 2.0 * 1.0 / 2.0).abs() < 1e-6);
+        assert!((g.data()[1] - 2.0 * 2.0 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let p = Tensor::new(vec![0.3, -0.7, 1.1], &[1, 3]);
+        let t = Tensor::new(vec![0.0, 0.5, 1.0], &[1, 3]);
+        let mut g = Tensor::zeros(&[1, 3]);
+        let base = Mse.loss_and_grad(&p, &t, &mut g);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let mut scratch = Tensor::zeros(&[1, 3]);
+            let plus = Mse.loss_and_grad(&pp, &t, &mut scratch);
+            let fd = (plus - base) / eps;
+            assert!((fd - g.data()[i]).abs() < 1e-2, "elem {i}: fd {fd} vs {}", g.data()[i]);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Evaluation metrics — the two numbers of the paper's Table I.
+
+use crate::data::Dataset;
+use crate::network::Sequential;
+use crate::tensor::Tensor;
+
+/// Mean Absolute Error over all elements (paper Eq. 6).
+///
+/// # Panics
+/// Panics on shape mismatch or empty tensors.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    assert!(!pred.is_empty(), "empty tensors");
+    let sum: f64 = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| (p - t).abs() as f64)
+        .sum();
+    (sum / pred.len() as f64) as f32
+}
+
+/// Maximum absolute error over all elements ("Max Error" of Table I).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn max_abs_error(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    pred.data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| (p - t).abs())
+        .fold(0.0, f32::max)
+}
+
+/// MAE and max error of a network over a dataset, evaluated in batches.
+pub fn evaluate(net: &mut Sequential, data: &Dataset, batch_size: usize) -> (f32, f32) {
+    assert!(!data.is_empty(), "empty dataset");
+    let mut abs_sum = 0.0f64;
+    let mut worst = 0.0f32;
+    let mut count = 0usize;
+    for (start, size) in data.batch_ranges(batch_size) {
+        let (bx, by) = data.batch(start, size);
+        let pred = net.predict(&bx);
+        for (&p, &t) in pred.data().iter().zip(by.data()) {
+            abs_sum += (p - t).abs() as f64;
+            worst = worst.max((p - t).abs());
+        }
+        count += pred.len();
+    }
+    ((abs_sum / count as f64) as f32, worst)
+}
+
+/// Per-output-element mean absolute error (length = output width). Feeding
+/// the result to an FFT gives the paper-§VII "spectral analysis of errors".
+pub fn per_output_mae(net: &mut Sequential, data: &Dataset, batch_size: usize) -> Vec<f64> {
+    let out_w = data.y.row_len();
+    let mut acc = vec![0.0f64; out_w];
+    let mut count = 0usize;
+    for (start, size) in data.batch_ranges(batch_size) {
+        let (bx, by) = data.batch(start, size);
+        let pred = net.predict(&bx);
+        for r in 0..pred.batch() {
+            for (a, (&p, &t)) in acc.iter_mut().zip(pred.row(r).iter().zip(by.row(r))) {
+                *a += (p - t).abs() as f64;
+            }
+        }
+        count += size;
+    }
+    for a in &mut acc {
+        *a /= count as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::Dense;
+
+    #[test]
+    fn mae_and_max_of_known_errors() {
+        let p = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let t = Tensor::new(vec![1.5, 2.0, 3.0, 2.0], &[2, 2]);
+        assert!((mae(&p, &t) - (0.5 + 2.0) / 4.0).abs() < 1e-6);
+        assert!((max_abs_error(&p, &t) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_identity_network() {
+        // Dense initialized as the identity: predictions equal inputs.
+        let mut d = Dense::new(2, 2, Init::Zeros, 0);
+        let mut net = Sequential::new();
+        {
+            use crate::layer::Layer as _;
+            d.visit_params(&mut |p, _| {
+                if p.len() == 4 {
+                    p.copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+                }
+            });
+        }
+        net.push_boxed(Box::new(d));
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let data = Dataset::new(x.clone(), x);
+        let (m, w) = evaluate(&mut net, &data, 2);
+        assert!(m < 1e-6 && w < 1e-6);
+    }
+
+    #[test]
+    fn per_output_mae_localizes_bad_output() {
+        // Identity on element 0, constant 0 on element 1.
+        let mut d = Dense::new(2, 2, Init::Zeros, 0);
+        {
+            use crate::layer::Layer as _;
+            d.visit_params(&mut |p, _| {
+                if p.len() == 4 {
+                    p.copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+                }
+            });
+        }
+        let mut net = Sequential::new();
+        net.push_boxed(Box::new(d));
+        let x = Tensor::new(vec![1.0, 1.0, 2.0, 2.0], &[2, 2]);
+        let data = Dataset::new(x.clone(), x);
+        let per = per_output_mae(&mut net, &data, 8);
+        assert!(per[0] < 1e-9);
+        assert!((per[1] - 1.5).abs() < 1e-6);
+    }
+}

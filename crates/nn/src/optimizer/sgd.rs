@@ -1,0 +1,101 @@
+//! Stochastic gradient descent with optional momentum.
+
+use crate::network::Sequential;
+use crate::optimizer::Optimizer;
+
+/// Plain SGD: `p ← p − lr·g`, optionally with heavy-ball momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Sequential) {
+        let lr = self.lr;
+        let mu = self.momentum;
+        let mut idx = 0;
+        let velocity = &mut self.velocity;
+        net.visit_params(&mut |p, g| {
+            if mu == 0.0 {
+                for (pv, gv) in p.iter_mut().zip(g.iter()) {
+                    *pv -= lr * gv;
+                }
+            } else {
+                if velocity.len() <= idx {
+                    velocity.push(vec![0.0; p.len()]);
+                }
+                let v = &mut velocity[idx];
+                debug_assert_eq!(v.len(), p.len(), "parameter layout changed between steps");
+                for ((pv, gv), vv) in p.iter_mut().zip(g.iter()).zip(v.iter_mut()) {
+                    *vv = mu * *vv - lr * gv;
+                    *pv += *vv;
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::Dense;
+    use crate::loss::Mse;
+    use crate::tensor::Tensor;
+
+    /// Builds a 1-parameter problem: fit y = 2x with a single 1→1 dense.
+    fn one_weight_problem() -> (Sequential, Tensor, Tensor) {
+        let net = Sequential::new().push(Dense::new(1, 1, Init::Zeros, 0));
+        let x = Tensor::new(vec![1.0, 2.0, -1.0, 0.5], &[4, 1]);
+        let y = Tensor::new(vec![2.0, 4.0, -2.0, 1.0], &[4, 1]);
+        (net, x, y)
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_fit() {
+        let (mut net, x, y) = one_weight_problem();
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            net.compute_gradients(&Mse, &x, &y);
+            opt.step(&mut net);
+        }
+        let final_loss = net.compute_gradients(&Mse, &x, &y);
+        assert!(final_loss < 1e-6, "loss {final_loss}");
+    }
+
+    #[test]
+    fn momentum_accelerates_on_same_problem() {
+        let run = |mut opt: Sgd| -> f32 {
+            let (mut net, x, y) = one_weight_problem();
+            for _ in 0..25 {
+                net.compute_gradients(&Mse, &x, &y);
+                opt.step(&mut net);
+            }
+            let (.., loss) = (0, net.compute_gradients(&Mse, &x, &y));
+            loss
+        };
+        let plain = run(Sgd::new(0.02));
+        let heavy = run(Sgd::with_momentum(0.02, 0.9));
+        assert!(heavy < plain, "momentum {heavy} vs plain {plain}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Parameter (de)serialization.
+//!
+//! The byte format is deliberately simple and self-describing:
+//!
+//! ```text
+//! magic "DLNN" | version u32 | tensor-count u32 | { len u64 | f32·len }*
+//! ```
+//!
+//! Parameters are stored in the network's stable visitation order, so a
+//! load must target an *architecturally identical* network — the model
+//! bundles in `dlpic-core` store the architecture spec alongside.
+
+use crate::network::Sequential;
+use bytes::{Buf, BufMut};
+
+const MAGIC: &[u8; 4] = b"DLNN";
+const VERSION: u32 = 1;
+
+/// Serialization / deserialization failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SerializeError {
+    /// The byte stream does not start with the expected magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The stream ended early or has trailing/mismatched tensor sizes.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad magic: not a DLNN parameter blob"),
+            Self::BadVersion(v) => write!(f, "unsupported DLNN version {v}"),
+            Self::Corrupt(what) => write!(f, "corrupt parameter blob: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// Serializes all parameters of a network.
+pub fn params_to_bytes(net: &mut Sequential) -> Vec<u8> {
+    let mut tensors: Vec<Vec<f32>> = Vec::new();
+    net.visit_params(&mut |p, _| tensors.push(p.to_vec()));
+    let payload: usize = tensors.iter().map(|t| 8 + 4 * t.len()).sum();
+    let mut buf = Vec::with_capacity(12 + payload);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(tensors.len() as u32);
+    for t in &tensors {
+        buf.put_u64_le(t.len() as u64);
+        for &v in t {
+            buf.put_f32_le(v);
+        }
+    }
+    buf
+}
+
+/// Restores parameters into an architecturally identical network.
+pub fn params_from_bytes(net: &mut Sequential, bytes: &[u8]) -> Result<(), SerializeError> {
+    let mut buf = bytes;
+    if buf.remaining() < 12 {
+        return Err(SerializeError::Corrupt("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SerializeError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SerializeError::BadVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+
+    // Decode all tensors first so a failure cannot leave the network
+    // half-overwritten.
+    let mut tensors: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(SerializeError::Corrupt("truncated tensor header"));
+        }
+        let len = buf.get_u64_le() as usize;
+        if buf.remaining() < 4 * len {
+            return Err(SerializeError::Corrupt("truncated tensor payload"));
+        }
+        let mut t = Vec::with_capacity(len);
+        for _ in 0..len {
+            t.push(buf.get_f32_le());
+        }
+        tensors.push(t);
+    }
+
+    // Shape check against the target network.
+    let mut expected: Vec<usize> = Vec::new();
+    net.visit_params(&mut |p, _| expected.push(p.len()));
+    if expected.len() != tensors.len() {
+        return Err(SerializeError::Corrupt("tensor count does not match architecture"));
+    }
+    if expected.iter().zip(&tensors).any(|(&e, t)| e != t.len()) {
+        return Err(SerializeError::Corrupt("tensor size does not match architecture"));
+    }
+
+    let mut it = tensors.into_iter();
+    net.visit_params(&mut |p, _| {
+        let t = it.next().expect("counted above");
+        p.copy_from_slice(&t);
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Conv2d, Dense, Relu};
+    use crate::tensor::Tensor;
+
+    fn make_net(seed: u64) -> Sequential {
+        Sequential::new()
+            .push(Conv2d::new(1, 2, 3, Init::HeNormal, seed))
+            .push(Relu::new())
+            .push(crate::layers::Flatten::new())
+            .push(Dense::new(2 * 16, 4, Init::GlorotUniform, seed + 1))
+    }
+
+    #[test]
+    fn round_trip_restores_exact_predictions() {
+        let mut net = make_net(1);
+        let x = Tensor::new((0..16).map(|i| i as f32 / 16.0).collect(), &[1, 1, 4, 4]);
+        let before = net.predict(&x);
+        let blob = params_to_bytes(&mut net);
+
+        let mut restored = make_net(999); // different init, same architecture
+        assert_ne!(restored.predict(&x).data(), before.data());
+        params_from_bytes(&mut restored, &blob).unwrap();
+        assert_eq!(restored.predict(&x).data(), before.data());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut net = make_net(1);
+        let mut blob = params_to_bytes(&mut net);
+        blob[0] = b'X';
+        assert_eq!(params_from_bytes(&mut net, &blob), Err(SerializeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected_without_corrupting_target() {
+        let mut net = make_net(1);
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let blob = params_to_bytes(&mut net);
+        let mut other = make_net(2);
+        let before = other.predict(&x);
+        let err = params_from_bytes(&mut other, &blob[..blob.len() - 7]).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)));
+        // Target unchanged on failure.
+        assert_eq!(other.predict(&x).data(), before.data());
+    }
+
+    #[test]
+    fn architecture_mismatch_detected() {
+        let mut net = make_net(1);
+        let blob = params_to_bytes(&mut net);
+        let mut smaller = Sequential::new().push(Dense::new(4, 2, Init::Zeros, 0));
+        let err = params_from_bytes(&mut smaller, &blob).unwrap_err();
+        assert!(matches!(err, SerializeError::Corrupt(_)));
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let mut net = make_net(1);
+        let mut blob = params_to_bytes(&mut net);
+        blob[4] = 99;
+        assert!(matches!(
+            params_from_bytes(&mut net, &blob),
+            Err(SerializeError::BadVersion(_))
+        ));
+    }
+}

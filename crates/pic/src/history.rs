@@ -1,0 +1,107 @@
+//! Time-history recording of the diagnostics.
+
+use crate::diagnostics::EnergyReport;
+use dlpic_analytics::series::TimeSeries;
+
+/// Accumulated per-step diagnostics of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Sample times.
+    pub times: Vec<f64>,
+    /// Kinetic energy per step.
+    pub kinetic: Vec<f64>,
+    /// Field energy per step.
+    pub field: Vec<f64>,
+    /// Total energy per step.
+    pub total: Vec<f64>,
+    /// Total momentum per step.
+    pub momentum: Vec<f64>,
+    /// Which field modes are tracked.
+    pub tracked_modes: Vec<usize>,
+    /// Mode amplitudes: `mode_amps[i][step]` follows `tracked_modes[i]`.
+    pub mode_amps: Vec<Vec<f64>>,
+}
+
+impl History {
+    /// Creates a history tracking the given field modes.
+    pub fn new(tracked_modes: Vec<usize>) -> Self {
+        let slots = tracked_modes.len();
+        Self { tracked_modes, mode_amps: vec![Vec::new(); slots], ..Self::default() }
+    }
+
+    /// Appends one step's diagnostics.
+    ///
+    /// # Panics
+    /// Panics if `amps` length differs from the number of tracked modes.
+    pub fn push(&mut self, t: f64, report: EnergyReport, amps: &[f64]) {
+        assert_eq!(amps.len(), self.tracked_modes.len(), "mode amplitude count mismatch");
+        self.times.push(t);
+        self.kinetic.push(report.kinetic);
+        self.field.push(report.field);
+        self.total.push(report.total());
+        self.momentum.push(report.momentum);
+        for (slot, &a) in self.mode_amps.iter_mut().zip(amps) {
+            slot.push(a);
+        }
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The amplitude history of grid mode `m`, if tracked.
+    pub fn mode_series(&self, mode: usize) -> Option<TimeSeries> {
+        let idx = self.tracked_modes.iter().position(|&m| m == mode)?;
+        Some(TimeSeries::from_data(
+            format!("E{mode}"),
+            self.times.clone(),
+            self.mode_amps[idx].clone(),
+        ))
+    }
+
+    /// Total-energy history as a named series.
+    pub fn total_energy_series(&self, name: impl Into<String>) -> TimeSeries {
+        TimeSeries::from_data(name, self.times.clone(), self.total.clone())
+    }
+
+    /// Momentum history as a named series.
+    pub fn momentum_series(&self, name: impl Into<String>) -> TimeSeries {
+        TimeSeries::from_data(name, self.times.clone(), self.momentum.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(k: f64, f: f64, p: f64) -> EnergyReport {
+        EnergyReport { kinetic: k, field: f, momentum: p }
+    }
+
+    #[test]
+    fn push_and_series_round_trip() {
+        let mut h = History::new(vec![1, 2]);
+        h.push(0.0, report(1.0, 0.1, 0.0), &[1e-4, 2e-5]);
+        h.push(0.2, report(0.9, 0.2, -1e-3), &[2e-4, 3e-5]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.total, vec![1.1, 1.1]);
+        let e1 = h.mode_series(1).unwrap();
+        assert_eq!(e1.values, vec![1e-4, 2e-4]);
+        assert_eq!(e1.name, "E1");
+        assert!(h.mode_series(3).is_none());
+        assert_eq!(h.momentum_series("p").values, vec![0.0, -1e-3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode amplitude count mismatch")]
+    fn wrong_amp_count_rejected() {
+        let mut h = History::new(vec![1]);
+        h.push(0.0, report(1.0, 0.0, 0.0), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! The leap-frog particle mover (paper Eqs. 1–2):
+//!
+//! ```text
+//! v_p^{n+1/2} = v_p^{n-1/2} + (q/m)·E^n(x_p)·Δt
+//! x_p^{n+1}   = x_p^n + v_p^{n+1/2}·Δt
+//! ```
+//!
+//! Velocities live at half-integer time levels; [`half_step_back`]
+//! initializes the stagger from the `t = 0` state. The velocity push
+//! returns the time-centred kinetic energy `½·m·Σ v⁻·v⁺`, the standard
+//! leap-frog energy estimate whose sum with the field energy is the
+//! conserved "Total Energy" of the paper's Figs. 5–6.
+
+use crate::grid::Grid1D;
+use crate::particles::Particles;
+use rayon::prelude::*;
+
+/// Minimum particle count before the parallel path is worth spawning.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Advances velocities by one step: `v += (q/m)·E_p·Δt`.
+///
+/// Returns the time-centred kinetic energy `½·m·Σ v_old·v_new`.
+///
+/// # Panics
+/// Panics if `e_part` length differs from the particle count.
+pub fn push_velocities(particles: &mut Particles, e_part: &[f64], dt: f64) -> f64 {
+    assert_eq!(e_part.len(), particles.len(), "per-particle field mismatch");
+    let qm_dt = particles.charge_over_mass() * dt;
+    let half_m = 0.5 * particles.mass();
+    let ke_sum: f64 = if particles.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+        particles
+            .v
+            .par_iter_mut()
+            .zip(e_part.par_iter())
+            .map(|(v, &ep)| {
+                let v_old = *v;
+                let v_new = v_old + qm_dt * ep;
+                *v = v_new;
+                v_old * v_new
+            })
+            .sum()
+    } else {
+        let mut acc = 0.0;
+        for (v, &ep) in particles.v.iter_mut().zip(e_part) {
+            let v_old = *v;
+            let v_new = v_old + qm_dt * ep;
+            *v = v_new;
+            acc += v_old * v_new;
+        }
+        acc
+    };
+    half_m * ke_sum
+}
+
+/// Advances positions by one step with periodic wrap: `x += v·Δt`.
+pub fn push_positions(particles: &mut Particles, grid: &Grid1D, dt: f64) {
+    let length = grid.length();
+    let advance = |x: &mut f64, v: f64| {
+        let mut nx = *x + v * dt;
+        if nx < 0.0 || nx >= length {
+            nx = nx.rem_euclid(length);
+            if nx >= length {
+                nx = 0.0;
+            }
+        }
+        *x = nx;
+    };
+    if particles.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
+        particles
+            .x
+            .par_iter_mut()
+            .zip(particles.v.par_iter())
+            .for_each(|(x, &v)| advance(x, v));
+    } else {
+        for (x, &v) in particles.x.iter_mut().zip(particles.v.iter()) {
+            advance(x, v);
+        }
+    }
+}
+
+/// Rewinds velocities by half a step to set up the leap-frog stagger:
+/// `v^{-1/2} = v^0 − (q/m)·E^0(x_p)·Δt/2`.
+pub fn half_step_back(particles: &mut Particles, e_part: &[f64], dt: f64) {
+    assert_eq!(e_part.len(), particles.len(), "per-particle field mismatch");
+    let qm_half_dt = particles.charge_over_mass() * 0.5 * dt;
+    for (v, &ep) in particles.v.iter_mut().zip(e_part) {
+        *v -= qm_half_dt * ep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn free_particles(x: Vec<f64>, v: Vec<f64>) -> Particles {
+        Particles::new(x, v, -1.0, 1.0)
+    }
+
+    #[test]
+    fn free_streaming_advances_linearly() {
+        let grid = Grid1D::new(8, 8.0);
+        let mut p = free_particles(vec![1.0, 2.0], vec![0.5, -0.25]);
+        push_positions(&mut p, &grid, 2.0);
+        assert!((p.x[0] - 2.0).abs() < 1e-15);
+        assert!((p.x[1] - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn positions_wrap_periodically() {
+        let grid = Grid1D::new(8, 8.0);
+        let mut p = free_particles(vec![7.5, 0.5], vec![1.0, -1.0]);
+        push_positions(&mut p, &grid, 1.0);
+        assert!((p.x[0] - 0.5).abs() < 1e-12);
+        assert!((p.x[1] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_push_applies_lorentz_force() {
+        // q/m = -1: E > 0 decelerates a positive-moving electron.
+        let mut p = free_particles(vec![0.0], vec![0.2]);
+        let ke = push_velocities(&mut p, &[0.1], 0.2);
+        assert!((p.v[0] - (0.2 - 0.1 * 0.2)).abs() < 1e-15);
+        // Time-centred KE: ½·m·v_old·v_new.
+        assert!((ke - 0.5 * 0.2 * 0.18).abs() < 1e-15);
+    }
+
+    #[test]
+    fn half_step_back_then_forward_is_identity() {
+        let mut p = free_particles(vec![0.0, 1.0], vec![0.3, -0.3]);
+        let e = [0.05, -0.02];
+        let orig = p.v.clone();
+        half_step_back(&mut p, &e, 0.2);
+        // A forward half-step with the same field must restore v.
+        let qm_half_dt = p.charge_over_mass() * 0.1;
+        for (v, &ep) in p.v.iter_mut().zip(&e) {
+            *v += qm_half_dt * ep;
+        }
+        for (a, b) in p.v.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_field_preserves_velocity_and_energy() {
+        let mut p = free_particles(vec![0.0; 3], vec![0.1, -0.2, 0.3]);
+        let ke0 = p.kinetic_energy();
+        let ke = push_velocities(&mut p, &[0.0; 3], 0.2);
+        assert!((ke - ke0).abs() < 1e-15);
+        assert_eq!(p.v, vec![0.1, -0.2, 0.3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Leap-frog is time-reversible: push with +dt then flip the sign of
+        /// dt and push again — positions return exactly (the velocity push
+        /// reverses trivially since E is held fixed here).
+        #[test]
+        fn leapfrog_time_reversibility(
+            xs in proptest::collection::vec(0.0f64..7.9, 1..32),
+            vs in proptest::collection::vec(-1.0f64..1.0, 32),
+            e in proptest::collection::vec(-0.5f64..0.5, 32),
+        ) {
+            let grid = Grid1D::new(8, 8.0);
+            let n = xs.len();
+            let vs = vs[..n].to_vec();
+            let e = e[..n].to_vec();
+            let mut p = free_particles(xs.clone(), vs.clone());
+            let dt = 0.2;
+            push_velocities(&mut p, &e, dt);
+            push_positions(&mut p, &grid, dt);
+            // Reverse.
+            push_positions(&mut p, &grid, -dt);
+            push_velocities(&mut p, &e, -dt);
+            for (a, b) in p.x.iter().zip(&xs) {
+                let d = (a - b).abs();
+                prop_assert!(d < 1e-10 || (grid.length() - d) < 1e-10, "{a} vs {b}");
+            }
+            for (a, b) in p.v.iter().zip(&vs) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+
+        /// Momentum change equals total impulse q·ΣE·dt.
+        #[test]
+        fn momentum_change_matches_impulse(
+            vs in proptest::collection::vec(-1.0f64..1.0, 1..64),
+            e_val in -1.0f64..1.0,
+        ) {
+            let n = vs.len();
+            let mut p = free_particles(vec![0.0; n], vs);
+            let p0 = p.total_momentum();
+            let e = vec![e_val; n];
+            push_velocities(&mut p, &e, 0.2);
+            let impulse = p.charge() * e_val * n as f64 * 0.2;
+            prop_assert!((p.total_momentum() - p0 - impulse).abs() < 1e-9);
+        }
+
+        /// The time-centred KE lies between the old and new instantaneous
+        /// KE for a uniform field (Cauchy-Schwarz-ish sanity bound).
+        #[test]
+        fn centred_ke_is_finite_and_sane(
+            vs in proptest::collection::vec(-1.0f64..1.0, 1..32),
+            e_val in -0.2f64..0.2,
+        ) {
+            let n = vs.len();
+            let mut p = free_particles(vec![0.0; n], vs);
+            let ke_old = p.kinetic_energy();
+            let e = vec![e_val; n];
+            let ke_mid = push_velocities(&mut p, &e, 0.1);
+            let ke_new = p.kinetic_energy();
+            let lo = ke_old.min(ke_new) - 1e-9;
+            let hi = ke_old.max(ke_new) + 1e-9;
+            prop_assert!(ke_mid >= lo - 0.05 * hi && ke_mid <= hi + 0.05 * hi,
+                "centred {ke_mid} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Particle storage.
+//!
+//! Structure-of-arrays layout (separate `x` and `v` vectors), per the
+//! HPC-parallel guide: the mover, gather and deposit loops each touch only
+//! the component they need, which keeps them vectorizable and
+//! cache-friendly.
+//!
+//! All particles of a [`Particles`] buffer belong to one species with a
+//! single macro-particle charge and mass — the paper simulates electrons
+//! only, with protons as a fixed neutralizing background (§III).
+
+/// A species of macro-particles in 1D-1V phase space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Particles {
+    /// Positions, each in `[0, L)`.
+    pub x: Vec<f64>,
+    /// Velocities (at half-integer time levels once leap-frog is running).
+    pub v: Vec<f64>,
+    charge: f64,
+    mass: f64,
+}
+
+impl Particles {
+    /// Creates a buffer from positions, velocities and per-macro-particle
+    /// charge and mass.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or mass is not positive.
+    pub fn new(x: Vec<f64>, v: Vec<f64>, charge: f64, mass: f64) -> Self {
+        assert_eq!(x.len(), v.len(), "position/velocity length mismatch");
+        assert!(mass > 0.0, "mass must be positive");
+        Self { x, v, charge, mass }
+    }
+
+    /// Electron macro-particles normalized so that the species produces
+    /// `ω_p = 1` in a box of length `box_len`: `q = -L/N`, `m = L/N`
+    /// (thus `q/m = -1` and mean density `n·|q| = 1`).
+    pub fn electrons_normalized(x: Vec<f64>, v: Vec<f64>, box_len: f64) -> Self {
+        let n = x.len();
+        assert!(n > 0, "need at least one particle");
+        let w = box_len / n as f64;
+        Self::new(x, v, -w, w)
+    }
+
+    /// Number of macro-particles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the buffer holds no particles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Macro-particle charge (negative for electrons).
+    #[inline]
+    pub fn charge(&self) -> f64 {
+        self.charge
+    }
+
+    /// Macro-particle mass.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Charge-to-mass ratio (−1 for the normalized electrons).
+    #[inline]
+    pub fn charge_over_mass(&self) -> f64 {
+        self.charge / self.mass
+    }
+
+    /// Total charge carried by the species.
+    pub fn total_charge(&self) -> f64 {
+        self.charge * self.len() as f64
+    }
+
+    /// Total momentum `m·Σv`.
+    pub fn total_momentum(&self) -> f64 {
+        self.mass * self.v.iter().sum::<f64>()
+    }
+
+    /// Kinetic energy `½·m·Σv²` (instantaneous; the time-centred estimate
+    /// used in conservation plots lives in the mover).
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.mass * self.v.iter().map(|v| v * v).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_electrons_have_unit_plasma_frequency() {
+        let n = 1000;
+        let l = 2.0532;
+        let p = Particles::electrons_normalized(vec![0.0; n], vec![0.0; n], l);
+        // ω_p² = (N/L)·q²/m·(1/ε₀) with ε₀ = 1.
+        let density = n as f64 / l;
+        let omega_p_sq = density * p.charge() * p.charge() / p.mass();
+        assert!((omega_p_sq - 1.0).abs() < 1e-12);
+        assert!((p.charge_over_mass() + 1.0).abs() < 1e-12);
+        // Mean charge density −1 (neutralized by the +1 ion background).
+        assert!((p.total_charge() / l + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagnostics_on_simple_data() {
+        let p = Particles::new(vec![0.0, 1.0], vec![2.0, -1.0], -0.5, 0.5);
+        assert_eq!(p.len(), 2);
+        assert!((p.total_momentum() - 0.5).abs() < 1e-15);
+        assert!((p.kinetic_energy() - 0.25 * 5.0).abs() < 1e-15);
+        assert!((p.total_charge() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_beam_energy_matches_half_l_v0_squared() {
+        // The paper's Fig. 5/6 energy scales: KE = ½·L·v0².
+        let n = 10_000;
+        let l = 2.0 * std::f64::consts::PI / 3.06;
+        let v0 = 0.2;
+        let v: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { v0 } else { -v0 }).collect();
+        let p = Particles::electrons_normalized(vec![0.0; n], v, l);
+        assert!((p.kinetic_energy() - 0.5 * l * v0 * v0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = Particles::new(vec![0.0], vec![], 1.0, 1.0);
+    }
+}

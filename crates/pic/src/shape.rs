@@ -1,0 +1,174 @@
+//! Particle shape (assignment) functions.
+//!
+//! The paper (§II) names the standard interpolation hierarchy: Nearest Grid
+//! Point (constant), Cloud-in-Cell (linear) and "higher-order interpolation
+//! functions". All three orders are implemented; the same weights are used
+//! for both charge deposition (scatter) and field interpolation (gather),
+//! which is what makes the explicit scheme momentum-conserving.
+
+/// Interpolation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Shape {
+    /// Nearest Grid Point — zeroth order, one node.
+    Ngp,
+    /// Cloud-in-Cell — linear, two nodes. The common default.
+    #[default]
+    Cic,
+    /// Triangular-Shaped Cloud — quadratic, three nodes ("higher-order").
+    Tsc,
+}
+
+/// Assignment weights of one particle: up to three consecutive nodes
+/// starting at (wrapped) `leftmost`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// Unwrapped index of the first supporting node (may be negative or
+    /// ≥ ncells; callers wrap it).
+    pub leftmost: i64,
+    /// Weights of nodes `leftmost`, `leftmost+1`, `leftmost+2`. Unused
+    /// entries are zero. Weights always sum to 1.
+    pub w: [f64; 3],
+}
+
+impl Shape {
+    /// Number of supporting nodes.
+    #[inline]
+    pub fn support(self) -> usize {
+        match self {
+            Shape::Ngp => 1,
+            Shape::Cic => 2,
+            Shape::Tsc => 3,
+        }
+    }
+
+    /// Computes the assignment of a particle at normalized position
+    /// `xdx = x/dx` (grid nodes sit at integers).
+    #[inline]
+    pub fn assign(self, xdx: f64) -> Assignment {
+        match self {
+            Shape::Ngp => {
+                let j = (xdx + 0.5).floor() as i64;
+                Assignment { leftmost: j, w: [1.0, 0.0, 0.0] }
+            }
+            Shape::Cic => {
+                let j = xdx.floor();
+                let f = xdx - j;
+                Assignment { leftmost: j as i64, w: [1.0 - f, f, 0.0] }
+            }
+            Shape::Tsc => {
+                let j = (xdx + 0.5).floor();
+                let f = xdx - j; // f ∈ [-0.5, 0.5)
+                Assignment {
+                    leftmost: j as i64 - 1,
+                    w: [
+                        0.5 * (0.5 - f) * (0.5 - f),
+                        0.75 - f * f,
+                        0.5 * (0.5 + f) * (0.5 + f),
+                    ],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ngp_picks_nearest_node() {
+        let a = Shape::Ngp.assign(3.4);
+        assert_eq!(a.leftmost, 3);
+        assert_eq!(a.w, [1.0, 0.0, 0.0]);
+        let b = Shape::Ngp.assign(3.6);
+        assert_eq!(b.leftmost, 4);
+    }
+
+    #[test]
+    fn cic_on_node_gives_full_weight() {
+        let a = Shape::Cic.assign(5.0);
+        assert_eq!(a.leftmost, 5);
+        assert!((a.w[0] - 1.0).abs() < 1e-15);
+        assert!(a.w[1].abs() < 1e-15);
+    }
+
+    #[test]
+    fn cic_midpoint_splits_evenly() {
+        let a = Shape::Cic.assign(5.5);
+        assert_eq!(a.leftmost, 5);
+        assert!((a.w[0] - 0.5).abs() < 1e-15);
+        assert!((a.w[1] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tsc_on_node_gives_three_quarters_center() {
+        let a = Shape::Tsc.assign(4.0);
+        assert_eq!(a.leftmost, 3);
+        assert!((a.w[1] - 0.75).abs() < 1e-15);
+        assert!((a.w[0] - 0.125).abs() < 1e-15);
+        assert!((a.w[2] - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_positions_handled() {
+        // Particle just left of the origin (callers wrap the indices).
+        let a = Shape::Cic.assign(-0.25);
+        assert_eq!(a.leftmost, -1);
+        assert!((a.w[0] - 0.25).abs() < 1e-15);
+        assert!((a.w[1] - 0.75).abs() < 1e-15);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn partition_of_unity(xdx in -50.0f64..50.0) {
+            for shape in [Shape::Ngp, Shape::Cic, Shape::Tsc] {
+                let a = shape.assign(xdx);
+                let sum: f64 = a.w.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-12, "{shape:?} at {xdx}: Σw = {sum}");
+            }
+        }
+
+        #[test]
+        fn weights_nonnegative(xdx in -50.0f64..50.0) {
+            for shape in [Shape::Ngp, Shape::Cic, Shape::Tsc] {
+                let a = shape.assign(xdx);
+                for w in a.w {
+                    prop_assert!(w >= -1e-15, "{shape:?} at {xdx}: negative weight {w}");
+                }
+            }
+        }
+
+        #[test]
+        fn translation_covariance(xdx in 0.0f64..10.0, shift in 1i64..20) {
+            // Shifting by a whole cell shifts the support, not the weights.
+            for shape in [Shape::Ngp, Shape::Cic, Shape::Tsc] {
+                let a = shape.assign(xdx);
+                let b = shape.assign(xdx + shift as f64);
+                prop_assert_eq!(b.leftmost, a.leftmost + shift);
+                for (wa, wb) in a.w.iter().zip(b.w.iter()) {
+                    prop_assert!((wa - wb).abs() < 1e-10);
+                }
+            }
+        }
+
+        #[test]
+        fn first_moment_preserved_for_linear_and_quadratic(xdx in 0.0f64..10.0) {
+            // CIC and TSC reproduce the particle position exactly:
+            // Σ w_i · node_i = xdx.
+            for shape in [Shape::Cic, Shape::Tsc] {
+                let a = shape.assign(xdx);
+                let centroid: f64 = a
+                    .w
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| w * (a.leftmost + i as i64) as f64)
+                    .sum();
+                prop_assert!((centroid - xdx).abs() < 1e-10,
+                    "{shape:?}: centroid {centroid} vs {xdx}");
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Electric field from the potential: `E = −∇Φ` by periodic second-order
+//! central differences, plus the field-energy diagnostic.
+
+use crate::grid2d::Grid2D;
+
+/// Computes both components of `E = −∇Φ`:
+/// `Ex[i,j] = −(Φ[i+1,j] − Φ[i−1,j]) / (2·dx)` and the analogue in `y`.
+///
+/// # Panics
+/// Panics if array lengths disagree with the grid.
+pub fn efield_from_phi(grid: &Grid2D, phi: &[f64], ex: &mut [f64], ey: &mut [f64]) {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    assert_eq!(phi.len(), grid.nodes(), "phi length mismatch");
+    assert_eq!(ex.len(), grid.nodes(), "ex length mismatch");
+    assert_eq!(ey.len(), grid.nodes(), "ey length mismatch");
+    assert!(nx >= 2 && ny >= 2, "need at least two nodes per dimension");
+    let inv_2dx = 1.0 / (2.0 * grid.dx());
+    let inv_2dy = 1.0 / (2.0 * grid.dy());
+
+    for iy in 0..ny {
+        let row = iy * nx;
+        let up = grid.wrap_iy(iy as i64 + 1) * nx;
+        let down = grid.wrap_iy(iy as i64 - 1) * nx;
+        // Bulk of the row (no x-wrap): plain windowed loop.
+        for ix in 1..nx - 1 {
+            ex[row + ix] = -(phi[row + ix + 1] - phi[row + ix - 1]) * inv_2dx;
+        }
+        ex[row] = -(phi[row + 1] - phi[row + nx - 1]) * inv_2dx;
+        ex[row + nx - 1] = -(phi[row] - phi[row + nx - 2]) * inv_2dx;
+        for ix in 0..nx {
+            ey[row + ix] = -(phi[up + ix] - phi[down + ix]) * inv_2dy;
+        }
+    }
+}
+
+/// Field energy `½·ε₀·Σ (Ex² + Ey²)·dx·dy` with `ε₀ = 1` — the
+/// electrostatic half of the total-energy diagnostic.
+pub fn field_energy(grid: &Grid2D, ex: &[f64], ey: &[f64]) -> f64 {
+    assert_eq!(ex.len(), grid.nodes(), "ex length mismatch");
+    assert_eq!(ey.len(), grid.nodes(), "ey length mismatch");
+    let sum: f64 = ex.iter().zip(ey).map(|(x, y)| x * x + y * y).sum();
+    0.5 * grid.cell_area() * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_of_separable_cosine_potential() {
+        let grid = Grid2D::new(32, 32, 2.0, 2.0);
+        let kx = grid.mode_wavenumber_x(1);
+        let ky = grid.mode_wavenumber_y(2);
+        let mut phi = grid.zeros();
+        for iy in 0..grid.ny() {
+            for ix in 0..grid.nx() {
+                let (x, y) = (ix as f64 * grid.dx(), iy as f64 * grid.dy());
+                phi[grid.index(ix, iy)] = (kx * x).cos() * (ky * y).cos();
+            }
+        }
+        let mut ex = grid.zeros();
+        let mut ey = grid.zeros();
+        efield_from_phi(&grid, &phi, &mut ex, &mut ey);
+        // Central differences attenuate each axis by sin(k·h)/(k·h).
+        let ax = (kx * grid.dx()).sin() / (kx * grid.dx());
+        let ay = (ky * grid.dy()).sin() / (ky * grid.dy());
+        for iy in 0..grid.ny() {
+            for ix in 0..grid.nx() {
+                let (x, y) = (ix as f64 * grid.dx(), iy as f64 * grid.dy());
+                let expect_x = kx * (kx * x).sin() * (ky * y).cos() * ax;
+                let expect_y = ky * (kx * x).cos() * (ky * y).sin() * ay;
+                let i = grid.index(ix, iy);
+                assert!((ex[i] - expect_x).abs() < 1e-10, "Ex at ({ix},{iy})");
+                assert!((ey[i] - expect_y).abs() < 1e-10, "Ey at ({ix},{iy})");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_potential_gives_zero_field() {
+        let grid = Grid2D::new(8, 8, 1.0, 1.0);
+        let phi = vec![2.5; grid.nodes()];
+        let mut ex = vec![1.0; grid.nodes()];
+        let mut ey = vec![1.0; grid.nodes()];
+        efield_from_phi(&grid, &phi, &mut ex, &mut ey);
+        assert!(ex.iter().all(|v| v.abs() < 1e-14));
+        assert!(ey.iter().all(|v| v.abs() < 1e-14));
+    }
+
+    #[test]
+    fn y_independent_potential_has_no_ey() {
+        let grid = Grid2D::new(16, 8, 2.0, 1.0);
+        let mut phi = grid.zeros();
+        for iy in 0..grid.ny() {
+            for ix in 0..grid.nx() {
+                phi[grid.index(ix, iy)] =
+                    (grid.mode_wavenumber_x(1) * ix as f64 * grid.dx()).sin();
+            }
+        }
+        let mut ex = grid.zeros();
+        let mut ey = grid.zeros();
+        efield_from_phi(&grid, &phi, &mut ex, &mut ey);
+        assert!(ey.iter().all(|v| v.abs() < 1e-14));
+        assert!(ex.iter().any(|v| v.abs() > 1e-3));
+    }
+
+    #[test]
+    fn field_energy_of_uniform_field() {
+        let grid = Grid2D::new(8, 8, 2.0, 2.0);
+        let ex = vec![0.5; grid.nodes()];
+        let ey = vec![0.0; grid.nodes()];
+        // ½ · 0.25 · area = 0.125 · 4.0
+        assert!((field_energy(&grid, &ex, &ey) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_energy_is_component_symmetric() {
+        let grid = Grid2D::new(8, 8, 2.0, 2.0);
+        let a = vec![0.3; grid.nodes()];
+        let b = vec![0.0; grid.nodes()];
+        assert!(
+            (field_energy(&grid, &a, &b) - field_energy(&grid, &b, &a)).abs() < 1e-15
+        );
+    }
+}

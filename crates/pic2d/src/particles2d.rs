@@ -1,0 +1,175 @@
+//! Particle storage for the 2-D extension.
+//!
+//! Structure-of-arrays layout (four component vectors), matching the 1-D
+//! crate: the mover, gather and deposit loops each stream over exactly the
+//! components they need.
+
+/// A species of macro-particles in 2D-2V phase space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Particles2D {
+    /// Positions along `x`, each in `[0, lx)`.
+    pub x: Vec<f64>,
+    /// Positions along `y`, each in `[0, ly)`.
+    pub y: Vec<f64>,
+    /// Velocities along `x` (half-integer time levels under leap-frog).
+    pub vx: Vec<f64>,
+    /// Velocities along `y`.
+    pub vy: Vec<f64>,
+    charge: f64,
+    mass: f64,
+}
+
+impl Particles2D {
+    /// Creates a buffer from positions, velocities and per-macro-particle
+    /// charge and mass.
+    ///
+    /// # Panics
+    /// Panics if component lengths mismatch or mass is not positive.
+    pub fn new(
+        x: Vec<f64>,
+        y: Vec<f64>,
+        vx: Vec<f64>,
+        vy: Vec<f64>,
+        charge: f64,
+        mass: f64,
+    ) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert_eq!(x.len(), vx.len(), "x/vx length mismatch");
+        assert_eq!(x.len(), vy.len(), "x/vy length mismatch");
+        assert!(mass > 0.0, "mass must be positive");
+        Self { x, y, vx, vy, charge, mass }
+    }
+
+    /// Electron macro-particles normalized to `ω_p = 1` in a box of area
+    /// `area`: `q = −A/N`, `m = A/N` (so `q/m = −1`, mean density
+    /// `n·|q| = 1`).
+    pub fn electrons_normalized(
+        x: Vec<f64>,
+        y: Vec<f64>,
+        vx: Vec<f64>,
+        vy: Vec<f64>,
+        area: f64,
+    ) -> Self {
+        let n = x.len();
+        assert!(n > 0, "need at least one particle");
+        let w = area / n as f64;
+        Self::new(x, y, vx, vy, -w, w)
+    }
+
+    /// Number of macro-particles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the buffer holds no particles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Macro-particle charge (negative for electrons).
+    #[inline]
+    pub fn charge(&self) -> f64 {
+        self.charge
+    }
+
+    /// Macro-particle mass.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Charge-to-mass ratio (−1 for the normalized electrons).
+    #[inline]
+    pub fn charge_over_mass(&self) -> f64 {
+        self.charge / self.mass
+    }
+
+    /// Total charge carried by the species.
+    pub fn total_charge(&self) -> f64 {
+        self.charge * self.len() as f64
+    }
+
+    /// Total momentum components `(m·Σvx, m·Σvy)`.
+    pub fn total_momentum(&self) -> (f64, f64) {
+        (
+            self.mass * self.vx.iter().sum::<f64>(),
+            self.mass * self.vy.iter().sum::<f64>(),
+        )
+    }
+
+    /// Kinetic energy `½·m·Σ(vx² + vy²)` (instantaneous; the time-centred
+    /// estimate used in conservation plots lives in the mover).
+    pub fn kinetic_energy(&self) -> f64 {
+        let sum: f64 = self
+            .vx
+            .iter()
+            .zip(&self.vy)
+            .map(|(vx, vy)| vx * vx + vy * vy)
+            .sum();
+        0.5 * self.mass * sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_electrons_have_unit_plasma_frequency() {
+        let n = 1024;
+        let area = 2.0532 * 2.0532;
+        let p = Particles2D::electrons_normalized(
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![0.0; n],
+            area,
+        );
+        let density = n as f64 / area;
+        let omega_p_sq = density * p.charge() * p.charge() / p.mass();
+        assert!((omega_p_sq - 1.0).abs() < 1e-12);
+        assert!((p.charge_over_mass() + 1.0).abs() < 1e-12);
+        assert!((p.total_charge() / area + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_and_energy_on_simple_data() {
+        let p = Particles2D::new(
+            vec![0.0, 1.0],
+            vec![0.0, 0.5],
+            vec![2.0, -1.0],
+            vec![0.0, 3.0],
+            -0.5,
+            0.5,
+        );
+        let (px, py) = p.total_momentum();
+        assert!((px - 0.5).abs() < 1e-15);
+        assert!((py - 1.5).abs() < 1e-15);
+        // ½·0.5·(4 + 1 + 0 + 9) = 3.5
+        assert!((p.kinetic_energy() - 3.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "x/vx length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = Particles2D::new(vec![0.0], vec![0.0], vec![], vec![0.0], -1.0, 1.0);
+    }
+
+    #[test]
+    fn drifting_population_energy() {
+        // N particles all drifting at (v0, 0): KE = ½·m·N·v0² = ½·A·v0².
+        let n = 100;
+        let area = 4.0;
+        let v0 = 0.3;
+        let p = Particles2D::electrons_normalized(
+            vec![0.0; n],
+            vec![0.0; n],
+            vec![v0; n],
+            vec![0.0; n],
+            area,
+        );
+        assert!((p.kinetic_energy() - 0.5 * area * v0 * v0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Train a DL electric-field solver from scratch — the paper's offline
+//! training phase (Fig. 2 left, Fig. 3).
+//!
+//! Walks the full pipeline on the public API:
+//!
+//! 1. generate (phase-space histogram, E-field) pairs from traditional PIC
+//!    runs over the paper's (v0, vth) sweep;
+//! 2. shuffle and split with the paper's 38k/1k/1k proportions;
+//! 3. train the paper's MLP with Adam and MSE;
+//! 4. evaluate MAE / max error on Test Set I (seen parameters) and
+//!    Test Set II (unseen parameters) — the paper's Table I;
+//! 5. save a self-describing model bundle for the other examples.
+//!
+//! Defaults to the fast `smoke` scale; set `DLPIC_SCALE=scaled` for the
+//! real (minutes-long) configuration.
+//!
+//! ```sh
+//! cargo run --release --example train_field_solver
+//! ```
+
+use dlpic_repro::core::phase_space::BinningShape;
+use dlpic_repro::core::{ModelBundle, Scale};
+use dlpic_repro::dataset::generator::{generate, GeneratorConfig};
+use dlpic_repro::dataset::spec::SweepSpec;
+use dlpic_repro::dataset::split::{shuffle_split, SplitSizes};
+use dlpic_repro::dataset::stats;
+use dlpic_repro::nn::metrics::evaluate;
+use dlpic_repro::nn::trainer::{train, TrainConfig};
+use dlpic_repro::nn::{Adam, Mse};
+
+fn main() {
+    // Default to smoke so the example finishes in seconds.
+    let scale = std::env::var("DLPIC_SCALE")
+        .ok()
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Smoke);
+    println!("== training a DL field solver [{} scale] ==\n", scale.name());
+
+    // 1. Harvest training data from traditional PIC runs.
+    let sweep = SweepSpec::training_for(scale);
+    println!(
+        "sweep: {} (v0, vth) combos x {} experiments x {} steps = {} samples",
+        sweep.combos.len(),
+        sweep.experiments_per_combo,
+        sweep.steps,
+        sweep.total_samples()
+    );
+    let mut gen_cfg = GeneratorConfig::new(sweep, scale.phase_spec());
+    gen_cfg.ppc = scale.dataset_ppc();
+    let full = generate(&gen_cfg);
+    println!("\ndataset summary:\n{}", stats::summary(&full));
+
+    // 2. Shuffle/split (the paper's proportions).
+    let sizes = SplitSizes::paper_proportions(full.len());
+    let (train_set, val_set, test1) = shuffle_split(&full, sizes, 1);
+    let norm = train_set.input_norm_stats();
+
+    // Test Set II from unseen parameters.
+    let mut gen2 = GeneratorConfig::new(SweepSpec::test_set_ii_for(scale), scale.phase_spec());
+    gen2.ppc = scale.dataset_ppc();
+    let test2 = generate(&gen2);
+
+    // 3. Train the paper's MLP.
+    let arch = scale.mlp_arch();
+    let mut net = arch.build(42);
+    println!("architecture ({} parameters):\n{}", net.param_count(), net.summary());
+    let kind = arch.input_kind();
+    let mut opt = Adam::new(scale.learning_rate());
+    let cfg = TrainConfig {
+        epochs: scale.mlp_epochs(),
+        batch_size: 64,
+        shuffle_seed: 7,
+        log_every: (scale.mlp_epochs() / 6).max(1),
+    };
+    let history = train(
+        &mut net,
+        &Mse,
+        &mut opt,
+        &train_set.to_nn_dataset(&norm, kind),
+        Some(&val_set.to_nn_dataset(&norm, kind)),
+        &cfg,
+    );
+    println!(
+        "\ntrained {} epochs in {:.1}s (final loss {:.3e})",
+        cfg.epochs,
+        history.seconds,
+        history.final_loss().unwrap_or(f64::NAN)
+    );
+
+    // 4. Table-I style evaluation.
+    let (mae1, max1) = evaluate(&mut net, &test1.to_nn_dataset(&norm, kind), 64);
+    let (mae2, max2) = evaluate(&mut net, &test2.to_nn_dataset(&norm, kind), 64);
+    println!("\nTest Set I  (seen params)  : MAE {mae1:.5}  max {max1:.5}");
+    println!("Test Set II (unseen params): MAE {mae2:.5}  max {max2:.5}");
+    println!("(paper, full scale: MLP MAE 0.0019 / 0.0015, max |E| ~ 0.1)");
+
+    // 5. Persist for the other examples.
+    let reference_mass: f32 = full.input_row(0).iter().sum();
+    let bundle = ModelBundle::from_network(&mut net, arch, scale.phase_spec(), BinningShape::Ngp, norm)
+        .with_reference_mass(reference_mass);
+    std::fs::create_dir_all("out/models").expect("create out/models");
+    let path = format!("out/models/example-mlp-{}.dlpb", scale.name());
+    bundle.save(&path).expect("save bundle");
+    println!("\nsaved model bundle to {path}");
+    println!("next: cargo run --release --example two_stream");
+}

@@ -1,0 +1,82 @@
+//! The two-stream instability on the continuum Vlasov–Poisson solver —
+//! the paper's §VII "Vlasov codes … not affected by the PIC numerical
+//! noise" improvement path, demonstrated.
+//!
+//! Runs the same physical configuration as the PIC quickstart and shows
+//! what noise-free dynamics buy: a growth-rate measurement within a few
+//! percent of linear theory with a near-perfect exponential fit, and a
+//! clean phase-space picture with no shot noise.
+//!
+//! ```sh
+//! cargo run --release --example vlasov_two_stream
+//! ```
+
+use dlpic_repro::analytics::dispersion::TwoStreamDispersion;
+use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
+use dlpic_repro::analytics::plot::{heatmap, line_plot, PlotOptions};
+use dlpic_repro::analytics::series::TimeSeries;
+use dlpic_repro::vlasov::{VlasovConfig, VlasovSolver};
+
+fn main() {
+    let (v0, vth) = (0.2, 0.02);
+    println!("== Vlasov-Poisson two-stream instability: v0 = ±{v0}, vth = {vth} ==\n");
+
+    let mut solver = VlasovSolver::new(VlasovConfig::two_stream(v0, vth));
+    let theory =
+        TwoStreamDispersion::new(v0).mode_growth_rate(1, solver.config().grid.length());
+
+    let start = std::time::Instant::now();
+    let mut e1 = TimeSeries::new("E1 (vlasov)");
+    let steps = 800; // t = 40 at dt = 0.05
+    for _ in 0..steps {
+        e1.push(solver.time(), solver.field_mode(1));
+        solver.step();
+    }
+    println!(
+        "ran {} steps ({}x{} phase grid) to t = {:.0} in {:.2?}\n",
+        steps,
+        solver.config().grid.ncells(),
+        solver.config().nv,
+        solver.time(),
+        start.elapsed()
+    );
+
+    println!(
+        "{}",
+        line_plot(
+            &[('*', &e1)],
+            &PlotOptions::titled("E1 amplitude, Vlasov-Poisson (log scale)").log_y(true),
+        )
+    );
+
+    let fit = fit_growth_rate(&e1.times, &e1.values, GrowthFitOptions::default())
+        .expect("growth phase detected");
+    println!("growth rate:");
+    println!("  linear theory : γ = {theory:.4}");
+    println!(
+        "  Vlasov        : γ = {:.4}  ({:+.2}% vs theory, r² = {:.5})",
+        fit.gamma,
+        (fit.gamma - theory) / theory * 100.0,
+        fit.r2
+    );
+    println!("  (compare the PIC quickstart: ~10% off with r² ≈ 0.99 — shot noise)\n");
+
+    // Phase space at the end of the run: the trapping vortex, noise-free.
+    // Downsample the 256 velocity rows to 32 for the terminal.
+    let nx = solver.config().grid.ncells();
+    let nv = solver.config().nv;
+    let rows = 32;
+    let mut small = vec![0.0f32; rows * nx];
+    for (iv, f) in solver.distribution().chunks(nx).enumerate() {
+        let r = iv * rows / nv;
+        for (j, &v) in f.iter().enumerate() {
+            small[r * nx + j] += v as f32;
+        }
+    }
+    println!("{}", heatmap(&small, nx, rows, "f(x, v) at t = 40 (noise-free vortex)"));
+
+    println!("conservation over the run:");
+    println!("  mass     : {:.6} (box length = {:.6})", solver.mass(), solver.config().grid.length());
+    println!("  momentum : {:.2e}", solver.momentum());
+    println!("  energy   : {:.5}", solver.total_energy());
+}

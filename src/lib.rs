@@ -1,0 +1,37 @@
+//! # dlpic-repro
+//!
+//! Umbrella crate for the reproduction of Aguilar & Markidis, *"A Deep
+//! Learning-Based Particle-in-Cell Method for Plasma Simulations"*
+//! (IEEE CLUSTER 2021).
+//!
+//! This crate re-exports the workspace members under one roof so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`pic`] — the traditional explicit electrostatic 1-D PIC method.
+//! * [`pic2d`] — the 2-D electrostatic PIC (paper §VII's
+//!   "two-dimensional systems" extension).
+//! * [`nn`] — the from-scratch neural-network library (MLP/CNN + Adam).
+//! * [`core`] — the DL-based PIC method (phase-space binning + DL field
+//!   solver), the paper's contribution; includes the 2-D DL solver
+//!   (`core::twod`).
+//! * [`dataset`] — the training-data pipeline.
+//! * [`analytics`] — FFT, dispersion relation, growth-rate fits, plots.
+//! * [`vlasov`] — a continuum Vlasov–Poisson solver (the paper's §VII
+//!   noise-free-training-data path).
+//! * [`ddecomp`] — domain-decomposed PIC with exact communication
+//!   accounting (paper §VII's distributed-memory discussion, made
+//!   measurable).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the full system inventory.
+
+#![warn(missing_docs)]
+
+pub use dlpic_analytics as analytics;
+pub use dlpic_core as core;
+pub use dlpic_dataset as dataset;
+pub use dlpic_ddecomp as ddecomp;
+pub use dlpic_nn as nn;
+pub use dlpic_pic as pic;
+pub use dlpic_pic2d as pic2d;
+pub use dlpic_vlasov as vlasov;
