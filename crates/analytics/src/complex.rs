@@ -248,7 +248,10 @@ mod tests {
 
     #[test]
     fn i_squared_is_minus_one() {
-        assert!(close(Complex64::I * Complex64::I, Complex64::from_real(-1.0)));
+        assert!(close(
+            Complex64::I * Complex64::I,
+            Complex64::from_real(-1.0)
+        ));
     }
 
     #[test]
@@ -282,7 +285,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (1.0, 1.0), (-3.0, -4.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (1.0, 1.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
             let z = Complex64::new(re, im);
             let r = z.sqrt();
             assert!(close(r * r, z), "sqrt({z:?})^2 = {:?}", r * r);

@@ -46,7 +46,10 @@ pub fn dft_naive(input: &[Complex64]) -> Vec<Complex64> {
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_in_place(data: &mut [Complex64]) {
     let n = data.len();
-    assert!(is_power_of_two(n), "FFT length must be a power of two, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -122,7 +125,11 @@ pub fn mode_amplitudes(signal: &[f64]) -> Vec<f64> {
     let mut amps = Vec::with_capacity(half + 1);
     amps.push(spec[0].abs() / n as f64);
     for (k, s) in spec.iter().enumerate().take(half + 1).skip(1) {
-        let factor = if n.is_multiple_of(2) && k == half { 1.0 } else { 2.0 };
+        let factor = if n.is_multiple_of(2) && k == half {
+            1.0
+        } else {
+            2.0
+        };
         amps.push(factor * s.abs() / n as f64);
     }
     amps
@@ -208,7 +215,9 @@ mod tests {
     fn nyquist_mode_amplitude() {
         // x_j = (-1)^j = cos(pi j): Nyquist amplitude 1, no factor 2.
         let n = 16;
-        let signal: Vec<f64> = (0..n).map(|j| if j % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|j| if j % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let amps = mode_amplitudes(&signal);
         assert_close(amps[n / 2], 1.0, 1e-12, "nyquist");
     }
@@ -225,7 +234,10 @@ mod tests {
         let signal: Vec<f64> = (0..12).map(|j| (j as f64 * 0.3).sin()).collect();
         let spec = rdft(&signal);
         let oracle = dft_naive(
-            &signal.iter().map(|&x| Complex64::from_real(x)).collect::<Vec<_>>(),
+            &signal
+                .iter()
+                .map(|&x| Complex64::from_real(x))
+                .collect::<Vec<_>>(),
         );
         for (a, b) in spec.iter().zip(&oracle) {
             assert!((*a - *b).abs() < 1e-9);

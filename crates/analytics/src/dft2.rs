@@ -108,10 +108,10 @@ mod tests {
     fn round_trip_recovers_signal() {
         let nx = 16;
         let ny = 8;
-        let signal: Vec<f64> =
-            (0..nx * ny).map(|i| ((i * 37 + 11) % 101) as f64 / 101.0 - 0.5).collect();
-        let mut data: Vec<Complex64> =
-            signal.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let signal: Vec<f64> = (0..nx * ny)
+            .map(|i| ((i * 37 + 11) % 101) as f64 / 101.0 - 0.5)
+            .collect();
+        let mut data: Vec<Complex64> = signal.iter().map(|&v| Complex64::new(v, 0.0)).collect();
         fft2_in_place(&mut data, nx, ny);
         ifft2_in_place(&mut data, nx, ny);
         for (orig, back) in signal.iter().zip(&data) {
@@ -128,8 +128,7 @@ mod tests {
         let signal: Vec<f64> = (0..nx * ny)
             .map(|i| {
                 let (ix, iy) = (i % nx, i / nx);
-                (2.0 * PI * (mx * ix) as f64 / nx as f64
-                    + 2.0 * PI * (my * iy) as f64 / ny as f64)
+                (2.0 * PI * (mx * ix) as f64 / nx as f64 + 2.0 * PI * (my * iy) as f64 / ny as f64)
                     .cos()
             })
             .collect();

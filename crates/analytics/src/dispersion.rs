@@ -210,15 +210,13 @@ impl Poly {
         let poly = Poly(monic.clone());
 
         // Radius bound: 1 + max |a_i| (Cauchy bound for monic polynomials).
-        let radius = 1.0
-            + monic[..n]
-                .iter()
-                .fold(0.0f64, |acc, c| acc.max(c.abs()));
+        let radius = 1.0 + monic[..n].iter().fold(0.0f64, |acc, c| acc.max(c.abs()));
 
         // Start from non-real, non-symmetric seeds inside the root bound.
         let seed = Complex64::new(0.4, 0.9);
-        let mut roots: Vec<Complex64> =
-            (0..n).map(|i| seed.powi(i as i32 + 1) * radius * 0.5).collect();
+        let mut roots: Vec<Complex64> = (0..n)
+            .map(|i| seed.powi(i as i32 + 1) * radius * 0.5)
+            .collect();
 
         for _ in 0..400 {
             let mut max_step = 0.0f64;
@@ -359,8 +357,14 @@ mod tests {
     #[test]
     fn multi_beam_matches_closed_form_at_paper_point() {
         let beams = [
-            Beam { weight: 0.5, velocity: 0.2 },
-            Beam { weight: 0.5, velocity: -0.2 },
+            Beam {
+                weight: 0.5,
+                velocity: 0.2,
+            },
+            Beam {
+                weight: 0.5,
+                velocity: -0.2,
+            },
         ];
         let k = 3.06;
         let general = multi_beam_growth_rate(&beams, k);
@@ -370,7 +374,10 @@ mod tests {
 
     #[test]
     fn single_beam_is_stable_doppler_shifted_langmuir() {
-        let beams = [Beam { weight: 1.0, velocity: 0.3 }];
+        let beams = [Beam {
+            weight: 1.0,
+            velocity: 0.3,
+        }];
         assert_eq!(multi_beam_growth_rate(&beams, 2.0), 0.0);
     }
 

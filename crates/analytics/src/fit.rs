@@ -6,6 +6,55 @@
 //! `log E1` against time over the exponential-growth window, which it
 //! selects automatically: after the noise floor, before saturation.
 
+/// Why a fit could not be produced.
+///
+/// The legacy `Option`-returning entry points collapse all of these to
+/// `None` (and panicked on length mismatches); the `try_*` variants
+/// return the reason so callers — the `dlpic_repro::engine` API in
+/// particular — can surface it instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// `xs` and `ys` have different lengths.
+    LengthMismatch {
+        /// Number of abscissa points.
+        xs: usize,
+        /// Number of ordinate points.
+        ys: usize,
+    },
+    /// Fewer usable points than the fit requires.
+    TooFewPoints {
+        /// Points available.
+        have: usize,
+        /// Points required.
+        need: usize,
+    },
+    /// All abscissa values coincide; the slope is undefined.
+    DegenerateAbscissa,
+    /// No positive amplitude anywhere — nothing to fit in the log domain.
+    NoPositiveAmplitude,
+    /// The amplitude never reached the saturation threshold; no credible
+    /// growth phase exists (e.g. a stable run at the noise floor).
+    NoGrowthPhase,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LengthMismatch { xs, ys } => {
+                write!(f, "x/y length mismatch: {xs} vs {ys}")
+            }
+            Self::TooFewPoints { have, need } => {
+                write!(f, "too few points for a fit: have {have}, need {need}")
+            }
+            Self::DegenerateAbscissa => write!(f, "all x values coincide"),
+            Self::NoPositiveAmplitude => write!(f, "no positive amplitude to fit"),
+            Self::NoGrowthPhase => write!(f, "no growth phase detected"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
 /// Ordinary least-squares line fit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinFit {
@@ -19,12 +68,23 @@ pub struct LinFit {
 
 /// Fits `y = slope·x + intercept` by least squares.
 ///
-/// Returns `None` if fewer than two points are given or all `x` coincide.
+/// Returns `None` on any [`FitError`]; use [`try_linear_fit`] for the
+/// reason.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinFit> {
-    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    try_linear_fit(xs, ys).ok()
+}
+
+/// Fits `y = slope·x + intercept` by least squares, reporting failures.
+pub fn try_linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
     let n = xs.len();
     if n < 2 {
-        return None;
+        return Err(FitError::TooFewPoints { have: n, need: 2 });
     }
     let nf = n as f64;
     let mx = xs.iter().sum::<f64>() / nf;
@@ -38,12 +98,20 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinFit> {
         syy += (y - my) * (y - my);
     }
     if sxx == 0.0 {
-        return None;
+        return Err(FitError::DegenerateAbscissa);
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinFit { slope, intercept, r2 })
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Ok(LinFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 /// Options for the automatic growth-window selection.
@@ -61,7 +129,11 @@ pub struct GrowthFitOptions {
 
 impl Default for GrowthFitOptions {
     fn default() -> Self {
-        Self { lo_frac: 0.02, hi_frac: 0.5, min_points: 5 }
+        Self {
+            lo_frac: 0.02,
+            hi_frac: 0.5,
+            min_points: 5,
+        }
     }
 }
 
@@ -97,24 +169,39 @@ impl GrowthFit {
 /// (log-domain fit).
 ///
 /// Returns `None` when no credible growth phase exists — e.g. a stable run
-/// whose amplitude stays at the noise floor.
-pub fn fit_growth_rate(
+/// whose amplitude stays at the noise floor. Use [`try_fit_growth_rate`]
+/// for the reason.
+pub fn fit_growth_rate(times: &[f64], amps: &[f64], opts: GrowthFitOptions) -> Option<GrowthFit> {
+    try_fit_growth_rate(times, amps, opts).ok()
+}
+
+/// Fits the exponential-growth phase, reporting failures (see
+/// [`fit_growth_rate`] for the window-selection procedure).
+pub fn try_fit_growth_rate(
     times: &[f64],
     amps: &[f64],
     opts: GrowthFitOptions,
-) -> Option<GrowthFit> {
-    assert_eq!(times.len(), amps.len(), "time/amplitude length mismatch");
+) -> Result<GrowthFit, FitError> {
+    if times.len() != amps.len() {
+        return Err(FitError::LengthMismatch {
+            xs: times.len(),
+            ys: amps.len(),
+        });
+    }
     let peak = amps.iter().copied().fold(f64::MIN, f64::max);
     // NaN-rejecting form: `peak <= 0.0` would accept NaN.
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(peak > 0.0) {
-        return None;
+        return Err(FitError::NoPositiveAmplitude);
     }
     let lo = peak * opts.lo_frac;
     let hi = peak * opts.hi_frac;
 
     // First crossing of the saturation threshold.
-    let end = amps.iter().position(|&a| a >= hi)?;
+    let end = amps
+        .iter()
+        .position(|&a| a >= hi)
+        .ok_or(FitError::NoGrowthPhase)?;
     // Walk backwards to the last sub-floor sample before `end`.
     let mut start = 0;
     for i in (0..end).rev() {
@@ -133,10 +220,13 @@ pub fn fit_growth_rate(
         }
     }
     if xs.len() < opts.min_points {
-        return None;
+        return Err(FitError::TooFewPoints {
+            have: xs.len(),
+            need: opts.min_points,
+        });
     }
-    let fit = linear_fit(&xs, &ys)?;
-    Some(GrowthFit {
+    let fit = try_linear_fit(&xs, &ys)?;
+    Ok(GrowthFit {
         gamma: fit.slope,
         log_intercept: fit.intercept,
         r2: fit.r2,
@@ -166,6 +256,31 @@ mod tests {
         assert!(linear_fit(&[1.0], &[2.0]).is_none());
         assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
         assert!(linear_fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn try_variants_report_the_reason() {
+        assert_eq!(
+            try_linear_fit(&[1.0], &[1.0, 2.0]),
+            Err(FitError::LengthMismatch { xs: 1, ys: 2 })
+        );
+        assert_eq!(
+            try_linear_fit(&[1.0], &[2.0]),
+            Err(FitError::TooFewPoints { have: 1, need: 2 })
+        );
+        assert_eq!(
+            try_linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(FitError::DegenerateAbscissa)
+        );
+        let opts = GrowthFitOptions::default();
+        assert_eq!(
+            try_fit_growth_rate(&[0.0, 1.0], &[0.0, 0.0], opts).err(),
+            Some(FitError::NoPositiveAmplitude)
+        );
+        assert_eq!(
+            try_fit_growth_rate(&[0.0], &[1.0, 2.0], opts).err(),
+            Some(FitError::LengthMismatch { xs: 1, ys: 2 })
+        );
     }
 
     #[test]

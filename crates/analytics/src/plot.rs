@@ -28,14 +28,23 @@ pub struct PlotOptions {
 
 impl Default for PlotOptions {
     fn default() -> Self {
-        Self { title: String::new(), width: 72, height: 20, log_y: false, y_limits: None }
+        Self {
+            title: String::new(),
+            width: 72,
+            height: 20,
+            log_y: false,
+            y_limits: None,
+        }
     }
 }
 
 impl PlotOptions {
     /// Convenience constructor with a title.
     pub fn titled(title: impl Into<String>) -> Self {
-        Self { title: title.into(), ..Self::default() }
+        Self {
+            title: title.into(),
+            ..Self::default()
+        }
     }
 
     /// Builder-style log-y toggle.
@@ -136,9 +145,17 @@ pub fn line_plot(series: &[(char, &TimeSeries)], opts: &PlotOptions) -> String {
         let _ = writeln!(out, "{label:>9} |{}", row.iter().collect::<String>());
     }
     let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(w));
-    let _ = writeln!(out, "{:>9}  t={tmin:<10.3} {:>width$}", "", format!("t={tmax:.3}"), width = w.saturating_sub(13));
-    let legend: Vec<String> =
-        series.iter().map(|(m, s)| format!("{m} {}", s.name)).collect();
+    let _ = writeln!(
+        out,
+        "{:>9}  t={tmin:<10.3} {:>width$}",
+        "",
+        format!("t={tmax:.3}"),
+        width = w.saturating_sub(13)
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .map(|(m, s)| format!("{m} {}", s.name))
+        .collect();
     let _ = writeln!(out, "{:>10} {}", "", legend.join("    "));
     out
 }
@@ -198,7 +215,13 @@ pub fn scatter_density(
         let _ = writeln!(out, "{label:>7} |{line}");
     }
     let _ = writeln!(out, "{:>7} +{}", "", "-".repeat(w));
-    let _ = writeln!(out, "{:>7}  x={x0:<8.3}{:>width$}", "", format!("x={x1:.3}"), width = w.saturating_sub(10));
+    let _ = writeln!(
+        out,
+        "{:>7}  x={x0:<8.3}{:>width$}",
+        "",
+        format!("x={x1:.3}"),
+        width = w.saturating_sub(10)
+    );
     out
 }
 
@@ -235,7 +258,9 @@ mod tests {
         TimeSeries::from_data(
             name,
             (0..50).map(|i| i as f64 * 0.2).collect(),
-            (0..50).map(|i| (0.35 * i as f64 * 0.2).exp() * 1e-4).collect(),
+            (0..50)
+                .map(|i| (0.35 * i as f64 * 0.2).exp() * 1e-4)
+                .collect(),
         )
     }
 
@@ -274,7 +299,10 @@ mod tests {
             vec![0.0, 1.0, 2.0, 3.0],
             vec![0.5, 5.0, 0.6, -3.0], // 5.0 and -3.0 outside [0, 1]
         );
-        let text = line_plot(&[('#', &s)], &PlotOptions::default().with_y_limits(0.0, 1.0));
+        let text = line_plot(
+            &[('#', &s)],
+            &PlotOptions::default().with_y_limits(0.0, 1.0),
+        );
         // Only the two in-range points are drawn on the canvas (the legend
         // line repeats the marker once).
         let canvas_marks = text
@@ -298,7 +326,9 @@ mod tests {
         // Two horizontal bands at v = ±0.2.
         let n = 2000;
         let xs: Vec<f64> = (0..n).map(|i| i as f64 / n as f64 * 2.05).collect();
-        let ys: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.2 } else { -0.2 }).collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 0.2 } else { -0.2 })
+            .collect();
         let text = scatter_density(&xs, &ys, (0.0, 2.05), (-0.4, 0.4), 60, 16, "phase space");
         // The band rows should be dense, the middle empty.
         let lines: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();

@@ -22,7 +22,11 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), times: Vec::new(), values: Vec::new() }
+        Self {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates a series from existing data.
@@ -31,7 +35,11 @@ impl TimeSeries {
     /// Panics if the vectors differ in length.
     pub fn from_data(name: impl Into<String>, times: Vec<f64>, values: Vec<f64>) -> Self {
         assert_eq!(times.len(), values.len(), "time/value length mismatch");
-        Self { name: name.into(), times, values }
+        Self {
+            name: name.into(),
+            times,
+            values,
+        }
     }
 
     /// Appends a sample.
@@ -113,7 +121,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -141,7 +152,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
             for i in 0..ncols {
@@ -172,7 +187,11 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String]| -> String {
-            cells.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            cells
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers));
         for row in &self.rows {
@@ -231,7 +250,12 @@ mod tests {
     fn table_alignment_and_csv() {
         let mut t = Table::new(&["Metric", "Test Set", "MLP", "CNN"]);
         t.row(&["MAE".into(), "I".into(), "0.0019".into(), "0.0020".into()]);
-        t.row(&["Max Error".into(), "I".into(), "0.0690".into(), "0.0463".into()]);
+        t.row(&[
+            "Max Error".into(),
+            "I".into(),
+            "0.0690".into(),
+            "0.0463".into(),
+        ]);
         let text = t.render();
         assert!(text.contains("Metric"));
         assert!(text.contains("0.0019"));

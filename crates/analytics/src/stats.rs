@@ -53,7 +53,10 @@ pub fn mae(a: &[f64], b: &[f64]) -> f64 {
 /// Panics on length mismatch.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Root-mean-square error between two equal-length slices.
@@ -76,7 +79,10 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
 pub fn relative_variation(history: &[f64]) -> f64 {
     assert!(!history.is_empty(), "empty history");
     let first = history[0];
-    assert!(first != 0.0, "history starts at zero; relative variation undefined");
+    assert!(
+        first != 0.0,
+        "history starts at zero; relative variation undefined"
+    );
     (max(history) - min(history)) / first.abs()
 }
 
@@ -85,7 +91,10 @@ pub fn relative_variation(history: &[f64]) -> f64 {
 pub fn max_drift(history: &[f64]) -> f64 {
     assert!(!history.is_empty(), "empty history");
     let first = history[0];
-    history.iter().map(|x| (x - first).abs()).fold(0.0, f64::max)
+    history
+        .iter()
+        .map(|x| (x - first).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -123,7 +132,7 @@ mod tests {
     fn variation_of_two_percent_history() {
         // Energy history drifting from 0.0410 up to 0.04182: 2% variation.
         let h = [0.0410, 0.0412, 0.04182, 0.0411];
-        assert!((relative_variation(&h) - 0.02) .abs() < 1e-3);
+        assert!((relative_variation(&h) - 0.02).abs() < 1e-3);
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn dl_solver(scale: Scale) -> DlFieldSolver {
         arch.build(1),
         scale.phase_spec(),
         BinningShape::Ngp,
-        NormStats { min: 0.0, max: 300.0 },
+        NormStats {
+            min: 0.0,
+            max: 300.0,
+        },
         arch.input_kind(),
         "dl-mlp",
     )
@@ -68,7 +71,10 @@ fn bench_inference(c: &mut Criterion) {
         arch.build(2),
         spec,
         BinningShape::Ngp,
-        NormStats { min: 0.0, max: 300.0 },
+        NormStats {
+            min: 0.0,
+            max: 300.0,
+        },
         arch.input_kind(),
         "dl-cnn",
     );

@@ -71,5 +71,10 @@ fn bench_full_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_deposit, bench_gather_and_mover, bench_full_step);
+criterion_group!(
+    benches,
+    bench_deposit,
+    bench_gather_and_mover,
+    bench_full_step
+);
 criterion_main!(benches);

@@ -48,8 +48,14 @@ fn bench_train_batch(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
     let n = 64; // the paper's batch size
-    let x = Tensor::new((0..n * 1024).map(|i| (i % 19) as f32 / 19.0).collect(), &[n, 1024]);
-    let y = Tensor::new((0..n * 64).map(|i| (i % 7) as f32 / 70.0).collect(), &[n, 64]);
+    let x = Tensor::new(
+        (0..n * 1024).map(|i| (i % 19) as f32 / 19.0).collect(),
+        &[n, 1024],
+    );
+    let y = Tensor::new(
+        (0..n * 64).map(|i| (i % 7) as f32 / 70.0).collect(),
+        &[n, 64],
+    );
     let data = Dataset::new(x.clone(), y.clone());
 
     group.bench_function("mlp_scaled_batch64_fwd_bwd_adam", |b| {

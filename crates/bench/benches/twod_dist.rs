@@ -7,7 +7,7 @@ use dlpic_core::builder::ArchSpec;
 use dlpic_core::field_solver::DlFieldSolver;
 use dlpic_core::normalize::NormStats;
 use dlpic_core::phase_space::{BinningShape, PhaseGridSpec};
-use dlpic_core::twod::{arch_2d, bin_density, Dl2DFieldSolver, DensityBinning};
+use dlpic_core::twod::{arch_2d, bin_density, DensityBinning, Dl2DFieldSolver};
 use dlpic_ddecomp::sim::{DistConfig, DistSimulation};
 use dlpic_ddecomp::strategy::{DistFieldStrategy, GatherScatter, ReplicatedDl};
 use dlpic_pic::grid::Grid1D;
@@ -53,8 +53,7 @@ fn bench_poisson_2d(c: &mut Criterion) {
     for iy in 0..grid.ny() {
         for ix in 0..grid.nx() {
             let (x, y) = (ix as f64 * grid.dx(), iy as f64 * grid.dy());
-            rho[grid.index(ix, iy)] =
-                (kx * kx + ky * ky) * (kx * x).cos() * (ky * y).cos();
+            rho[grid.index(ix, iy)] = (kx * kx + ky * ky) * (kx * x).cos() * (ky * y).cos();
         }
     }
     let mut group = c.benchmark_group("pic2d_poisson_64x64");
@@ -65,7 +64,10 @@ fn bench_poisson_2d(c: &mut Criterion) {
         b.iter(|| solver.solve(&grid, &rho, &mut phi));
     });
     group.bench_function("sor", |b| {
-        let mut solver = SorPoisson2D { tolerance: 1e-8, ..Default::default() };
+        let mut solver = SorPoisson2D {
+            tolerance: 1e-8,
+            ..Default::default()
+        };
         let mut phi = grid.zeros();
         b.iter(|| solver.solve(&grid, &rho, &mut phi));
     });
@@ -134,7 +136,11 @@ fn bench_distributed_step(c: &mut Criterion) {
     };
     let dl_solver = || {
         let spec = PhaseGridSpec::scaled();
-        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![64], output: 64 };
+        let arch = ArchSpec::Mlp {
+            input: spec.cells(),
+            hidden: vec![64],
+            output: 64,
+        };
         DlFieldSolver::new(
             arch.build(0),
             spec,
@@ -147,8 +153,7 @@ fn bench_distributed_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("dist_step_64k_4ranks");
     tune(&mut group);
     group.bench_function("gather_scatter", |b| {
-        let mut sim =
-            DistSimulation::new(config(4), Box::new(GatherScatter::new(Shape::Cic, 1.0)));
+        let mut sim = DistSimulation::new(config(4), Box::new(GatherScatter::new(Shape::Cic, 1.0)));
         b.iter(|| sim.step());
     });
     group.bench_function("replicated_dl", |b| {

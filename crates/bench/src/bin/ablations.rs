@@ -25,17 +25,17 @@ use dlpic_analytics::series::Table;
 use dlpic_analytics::stats;
 use dlpic_bench::{out_dir, prepare_data, train_arch, TrainedModel};
 use dlpic_core::builder::ArchSpec;
+use dlpic_core::normalize::NormStats;
 use dlpic_core::phase_space::{BinningShape, PhaseGridSpec};
 use dlpic_core::physics_loss::PhysicsInformedMse;
-use dlpic_core::normalize::NormStats;
-use dlpic_core::temporal::{harvest_trace, windowed_pairs, TemporalDlSolver};
 use dlpic_core::presets::Scale;
+use dlpic_core::temporal::{harvest_trace, windowed_pairs, TemporalDlSolver};
 use dlpic_dataset::generator::{generate, GeneratorConfig};
 use dlpic_dataset::spec::SweepSpec;
 use dlpic_dataset::split::{shuffle_split, SplitSizes};
-use dlpic_nn::loss::Mse;
 use dlpic_dataset::vlasov_bridge::{generate_vlasov, VlasovDatasetConfig};
 use dlpic_nn::data::Dataset;
+use dlpic_nn::loss::Mse;
 use dlpic_nn::optimizer::Adam;
 use dlpic_nn::tensor::Tensor;
 use dlpic_nn::trainer::{train, TrainConfig};
@@ -51,11 +51,12 @@ fn parse_args() -> (Scale, Option<String>) {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = Scale::parse(args.get(i).map(String::as_str).unwrap_or(""))
-                    .unwrap_or_else(|| {
+                scale = Scale::parse(args.get(i).map(String::as_str).unwrap_or("")).unwrap_or_else(
+                    || {
                         eprintln!("unknown scale; use smoke|scaled|paper");
                         std::process::exit(2);
-                    });
+                    },
+                );
             }
             "--only" => {
                 i += 1;
@@ -72,7 +73,11 @@ fn parse_args() -> (Scale, Option<String>) {
 }
 
 fn run_dl_pic_momentum_drift(model: &TrainedModel) -> f64 {
-    let solver = model.bundle.clone().into_solver().expect("bundle -> solver");
+    let solver = model
+        .bundle
+        .clone()
+        .into_solver()
+        .expect("bundle -> solver");
     let mut sim = Simulation::new(paper_config(0.2, 0.025, 99), Box::new(solver));
     sim.run();
     stats::max_drift(&sim.history().momentum)
@@ -106,8 +111,7 @@ fn ablation_binning(scale: Scale, out: &mut Vec<String>) {
 fn ablation_physics(scale: Scale, out: &mut Vec<String>) {
     println!("-- ablation: MSE vs physics-informed loss (paper §VII PINN path) --");
     let data = prepare_data(scale, BinningShape::Ngp, false);
-    let mut table =
-        Table::new(&["loss", "MAE set I", "MAE set II", "DL-PIC momentum drift"]);
+    let mut table = Table::new(&["loss", "MAE set I", "MAE set II", "DL-PIC momentum drift"]);
     let mse_model = train_arch(
         &scale.mlp_arch(),
         &data,
@@ -181,7 +185,13 @@ fn ablation_grid(scale: Scale, out: &mut Vec<String>) {
         cfg2.ppc = scale.dataset_ppc();
         let test2 = generate(&cfg2);
         let norm = train.input_norm_stats();
-        let data = dlpic_bench::DataBundle { train, val, test1, test2, norm };
+        let data = dlpic_bench::DataBundle {
+            train,
+            val,
+            test1,
+            test2,
+            norm,
+        };
         let arch = ArchSpec::Mlp {
             input: spec.cells(),
             hidden: match scale {
@@ -190,7 +200,15 @@ fn ablation_grid(scale: Scale, out: &mut Vec<String>) {
             },
             output: 64,
         };
-        let m = train_arch(&arch, &data, &Mse, scale.mlp_epochs(), scale.learning_rate(), 0xAB4, 0);
+        let m = train_arch(
+            &arch,
+            &data,
+            &Mse,
+            scale.mlp_epochs(),
+            scale.learning_rate(),
+            0xAB4,
+            0,
+        );
         table.row(&[
             format!("{n}x{n}"),
             format!("{:.5}", m.mae1),
@@ -223,9 +241,17 @@ fn ablation_data(scale: Scale, out: &mut Vec<String>) {
         norm,
     };
 
-    let mut table = Table::new(&["training data", "samples", "MAE set I", "MAE set II",
-        "DL-PIC momentum drift"]);
-    for (name, data) in [("pic (noisy)", &pic_data), ("vlasov (noise-free)", &vlasov_data)] {
+    let mut table = Table::new(&[
+        "training data",
+        "samples",
+        "MAE set I",
+        "MAE set II",
+        "DL-PIC momentum drift",
+    ]);
+    for (name, data) in [
+        ("pic (noisy)", &pic_data),
+        ("vlasov (noise-free)", &vlasov_data),
+    ] {
         let m = train_arch(
             &scale.mlp_arch(),
             data,
@@ -271,8 +297,7 @@ fn ablation_temporal(scale: Scale, out: &mut Vec<String>) {
             ));
         }
     }
-    let test_trace =
-        harvest_trace(reduced_config(0.2, 0.005, ppc, 200, 77), &spec, binning);
+    let test_trace = harvest_trace(reduced_config(0.2, 0.005, ppc, 200, 77), &spec, binning);
 
     let mut table = Table::new(&[
         "window k",
@@ -289,7 +314,11 @@ fn ablation_temporal(scale: Scale, out: &mut Vec<String>) {
             Tensor::new(inputs, &[n, in_len]),
             Tensor::new(targets, &[n, 64]),
         );
-        let arch = ArchSpec::Mlp { input: in_len, hidden: vec![hidden], output: 64 };
+        let arch = ArchSpec::Mlp {
+            input: in_len,
+            hidden: vec![hidden],
+            output: 64,
+        };
         let mut net = arch.build(0xC0FE);
         let mut opt = Adam::new(scale.learning_rate());
         let tc = TrainConfig {

@@ -114,8 +114,10 @@ fn main() {
                 continue;
             }
             solver.solve(probe.particles(), &grid, &mut ex_dl, &mut ey_dl);
-            for (a, b) in
-                ex_dl.iter().zip(probe.ex()).chain(ey_dl.iter().zip(probe.ey()))
+            for (a, b) in ex_dl
+                .iter()
+                .zip(probe.ex())
+                .chain(ey_dl.iter().zip(probe.ey()))
             {
                 err_sum += (a - b).abs();
                 scale = scale.max(b.abs());
@@ -143,9 +145,7 @@ fn main() {
     };
     let e_trad = series(&trad, "E10-traditional");
     let e_dl = series(&dl, "E10-dl");
-    let fit_of = |s: &TimeSeries| {
-        fit_growth_rate(&s.times, &s.values, GrowthFitOptions::default())
-    };
+    let fit_of = |s: &TimeSeries| fit_growth_rate(&s.times, &s.values, GrowthFitOptions::default());
 
     println!(
         "{}",
@@ -158,16 +158,13 @@ fn main() {
         )
     );
 
-    let mut table = Table::new(&[
-        "quantity",
-        "linear theory",
-        "traditional 2D",
-        "DL-based 2D",
-    ]);
-    let (g_trad, r2_trad) =
-        fit_of(&e_trad).map(|f| (f.gamma, f.r2)).unwrap_or((f64::NAN, f64::NAN));
-    let (g_dl, r2_dl) =
-        fit_of(&e_dl).map(|f| (f.gamma, f.r2)).unwrap_or((f64::NAN, f64::NAN));
+    let mut table = Table::new(&["quantity", "linear theory", "traditional 2D", "DL-based 2D"]);
+    let (g_trad, r2_trad) = fit_of(&e_trad)
+        .map(|f| (f.gamma, f.r2))
+        .unwrap_or((f64::NAN, f64::NAN));
+    let (g_dl, r2_dl) = fit_of(&e_dl)
+        .map(|f| (f.gamma, f.r2))
+        .unwrap_or((f64::NAN, f64::NAN));
     table.row(&[
         "growth rate γ".into(),
         format!("{theory:.4}"),
@@ -199,8 +196,10 @@ fn main() {
         "held-out field MAE".into(),
         "-".into(),
         "(reference)".into(),
-        format!("{field_mae:.2e} ({:.1}% of max |E| = {field_scale:.3})",
-            100.0 * field_mae / field_scale),
+        format!(
+            "{field_mae:.2e} ({:.1}% of max |E| = {field_scale:.3})",
+            100.0 * field_mae / field_scale
+        ),
     ]);
     println!("{}", table.render());
 

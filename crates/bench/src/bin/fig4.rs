@@ -7,77 +7,69 @@
 //! instability). Bottom panel: `E1(t)` of both methods against the
 //! linear-theory growth rate `γ = 1/(2√2) ≈ 0.354`.
 //!
+//! Both methods run the *same* engine scenario; only the [`Backend`]
+//! value differs.
+//!
 //! Run: `cargo run -p dlpic-bench --release --bin fig4 [--scale ...]`
 
 use dlpic_analytics::dispersion::TwoStreamDispersion;
-use dlpic_analytics::fit::{fit_growth_rate, GrowthFitOptions};
+use dlpic_analytics::fit::GrowthFit;
 use dlpic_analytics::plot::{line_plot, scatter_density, PlotOptions};
 use dlpic_analytics::series::{write_csv, TimeSeries};
-use dlpic_bench::{get_or_train_mlp, out_dir, Cli};
-use dlpic_pic::constants;
-use dlpic_pic::presets::paper_config;
-use dlpic_pic::shape::Shape;
-use dlpic_pic::simulation::Simulation;
-use dlpic_pic::solver::TraditionalSolver;
+use dlpic_bench::{get_or_train_mlp, out_dir, paper_figure_spec, Cli};
+use dlpic_repro::engine::{Backend, Engine, Numerics1D};
 
 fn main() {
     let cli = Cli::parse();
-    let (v0, vth) = (constants::PAPER_VALIDATION_V0, constants::PAPER_VALIDATION_VTH);
+    let spec = paper_figure_spec("two_stream", cli.scale);
+    let (v0, vth) = (0.2, 0.025);
     println!(
         "== Fig. 4: two-stream validation, v0 = ±{v0}, vth = {vth} [{} scale] ==\n",
         cli.scale.name()
     );
 
     // The DL electric-field solver (trained on the sweep; cached on disk).
-    let bundle = get_or_train_mlp(cli.scale, cli.retrain, true);
-    let dl_solver = bundle.into_solver().expect("bundle -> solver");
-
-    // Identical physics setup for both methods (the paper's full scale).
-    let seed = 20210705;
     // The paper's traditional baseline is the "basic NGP scheme" (§II);
     // both methods share the NGP gather so the comparison is apples to
     // apples (the DL method "retains the interpolation step", Fig. 2).
-    let mut cfg_trad = paper_config(v0, vth, seed);
-    cfg_trad.gather_shape = Shape::Ngp;
-    let cfg_dl = cfg_trad.clone();
-    let mut trad = Simulation::new(cfg_trad, Box::new(TraditionalSolver::basic_ngp()));
-    let mut dl = Simulation::new(cfg_dl, Box::new(dl_solver));
+    let mut engine = Engine::new()
+        .with_model_1d(get_or_train_mlp(cli.scale, cli.retrain, true))
+        .with_numerics_1d(Numerics1D::basic_ngp());
 
     eprintln!("running traditional PIC (200 steps, 64k particles)...");
-    trad.run();
+    let trad = engine
+        .run(&spec, Backend::Traditional1D)
+        .expect("traditional run");
     eprintln!("running DL-based PIC (200 steps, 64k particles)...");
-    dl.run();
+    let dl = engine.run(&spec, Backend::Dl1D).expect("dl run");
 
     // --- Top panels: phase space. -------------------------------------
-    let l = trad.grid().length();
-    let (tx, tv) = trad.phase_space();
-    println!(
-        "{}",
-        scatter_density(tx, tv, (0.0, l), (-0.4, 0.4), 64, 16,
-            &format!("Traditional PIC - v0 = {v0}, vth = {vth} (t = 40)"))
-    );
-    let (dx, dv) = dl.phase_space();
-    println!(
-        "{}",
-        scatter_density(dx, dv, (0.0, l), (-0.4, 0.4), 64, 16,
-            &format!("DL-based PIC (MLP) - v0 = {v0}, vth = {vth} (t = 40)"))
-    );
+    let l = dlpic_pic::constants::paper_box_length();
+    for (summary, label) in [(&trad, "Traditional PIC"), (&dl, "DL-based PIC (MLP)")] {
+        let ps = summary.phase_space.as_ref().expect("particle backend");
+        println!(
+            "{}",
+            scatter_density(
+                &ps.x,
+                &ps.v,
+                (0.0, l),
+                (-0.4, 0.4),
+                64,
+                16,
+                &format!("{label} - v0 = {v0}, vth = {vth} (t = 40)")
+            )
+        );
+    }
 
     // --- Bottom panel: E1 amplitude vs linear theory. ------------------
-    let e1_trad = {
-        let mut s = trad.history().mode_series(1).expect("mode 1 tracked");
-        s.name = "traditional".into();
-        s
-    };
-    let e1_dl = {
-        let mut s = dl.history().mode_series(1).expect("mode 1 tracked");
-        s.name = "dl-mlp".into();
-        s
-    };
+    let mut e1_trad = trad.history.mode_series(1).expect("mode 1 tracked");
+    e1_trad.name = "traditional".into();
+    let mut e1_dl = dl.history.mode_series(1).expect("mode 1 tracked");
+    e1_dl.name = "dl-mlp".into();
 
     let gamma_theory = TwoStreamDispersion::new(v0).mode_growth_rate(1, l);
-    let fit_trad = fit_growth_rate(&e1_trad.times, &e1_trad.values, GrowthFitOptions::default());
-    let fit_dl = fit_growth_rate(&e1_dl.times, &e1_dl.values, GrowthFitOptions::default());
+    let fit_trad = trad.growth_rate(1).ok();
+    let fit_dl = dl.growth_rate(1).ok();
 
     // Theory line anchored to the traditional run's fitted intercept.
     let theory = if let Some(f) = &fit_trad {
@@ -103,7 +95,7 @@ fn main() {
 
     println!("growth rate of the most unstable mode:");
     println!("  linear theory     : γ = {gamma_theory:.4}");
-    let report = |label: &str, fit: &Option<dlpic_analytics::fit::GrowthFit>| match fit {
+    let report = |label: &str, fit: &Option<GrowthFit>| match fit {
         Some(f) => println!(
             "  {label:<18}: γ = {:.4}  ({:+.1}% vs theory, r² = {:.3}, t = {:.1}..{:.1})",
             f.gamma,
@@ -123,7 +115,7 @@ fn main() {
 
     // Shape verdict: both methods within 25% of the analytic slope (the
     // paper's claim is qualitative slope agreement in the linear phase).
-    let ok = |f: &Option<dlpic_analytics::fit::GrowthFit>| {
+    let ok = |f: &Option<GrowthFit>| {
         f.as_ref()
             .map(|f| (f.gamma - gamma_theory).abs() / gamma_theory < 0.25)
             .unwrap_or(false)

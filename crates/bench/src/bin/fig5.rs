@@ -10,47 +10,42 @@
 //!   t = 40 in the paper) because the predicted field carries a small net
 //!   bias force.
 //!
+//! Both methods run the *same* engine scenario; only the [`Backend`]
+//! value differs.
+//!
 //! Run: `cargo run -p dlpic-bench --release --bin fig5 [--scale ...]`
 
 use dlpic_analytics::plot::{line_plot, PlotOptions};
 use dlpic_analytics::series::write_csv;
-use dlpic_analytics::stats;
-use dlpic_bench::{get_or_train_mlp, out_dir, Cli};
-use dlpic_pic::constants;
-use dlpic_pic::presets::paper_config;
-use dlpic_pic::shape::Shape;
-use dlpic_pic::simulation::Simulation;
-use dlpic_pic::solver::TraditionalSolver;
+use dlpic_bench::{get_or_train_mlp, out_dir, paper_figure_spec, Cli};
+use dlpic_repro::engine::{Backend, Engine, Numerics1D};
 
 fn main() {
     let cli = Cli::parse();
-    let (v0, vth) = (constants::PAPER_VALIDATION_V0, constants::PAPER_VALIDATION_VTH);
+    let spec = paper_figure_spec("two_stream", cli.scale);
+    let (v0, vth) = (0.2, 0.025);
     println!(
         "== Fig. 5: conservation properties, v0 = ±{v0}, vth = {vth} [{} scale] ==\n",
         cli.scale.name()
     );
 
-    let bundle = get_or_train_mlp(cli.scale, cli.retrain, true);
-    let dl_solver = bundle.into_solver().expect("bundle -> solver");
-
-    let seed = 20210705;
     // The paper's traditional baseline is the "basic NGP scheme" (§II);
     // both methods share the NGP gather so the comparison is apples to
     // apples (the DL method "retains the interpolation step", Fig. 2).
-    let mut cfg_trad = paper_config(v0, vth, seed);
-    cfg_trad.gather_shape = Shape::Ngp;
-    let cfg_dl = cfg_trad.clone();
-    let mut trad = Simulation::new(cfg_trad, Box::new(TraditionalSolver::basic_ngp()));
-    let mut dl = Simulation::new(cfg_dl, Box::new(dl_solver));
+    let mut engine = Engine::new()
+        .with_model_1d(get_or_train_mlp(cli.scale, cli.retrain, true))
+        .with_numerics_1d(Numerics1D::basic_ngp());
     eprintln!("running traditional PIC...");
-    trad.run();
+    let trad = engine
+        .run(&spec, Backend::Traditional1D)
+        .expect("traditional run");
     eprintln!("running DL-based PIC...");
-    dl.run();
+    let dl = engine.run(&spec, Backend::Dl1D).expect("dl run");
 
-    let te_trad = trad.history().total_energy_series("energy-traditional");
-    let te_dl = dl.history().total_energy_series("energy-dl-mlp");
-    let p_trad = trad.history().momentum_series("momentum-traditional");
-    let p_dl = dl.history().momentum_series("momentum-dl-mlp");
+    let te_trad = trad.history.total_energy_series("energy-traditional");
+    let te_dl = dl.history.total_energy_series("energy-dl-mlp");
+    let p_trad = trad.history.momentum_series("momentum-traditional");
+    let p_dl = dl.history.momentum_series("momentum-dl-mlp");
 
     println!(
         "{}",
@@ -71,10 +66,10 @@ fn main() {
         )
     );
 
-    let ev_trad = stats::relative_variation(&trad.history().total);
-    let ev_dl = stats::relative_variation(&dl.history().total);
-    let pd_trad = stats::max_drift(&trad.history().momentum);
-    let pd_dl = stats::max_drift(&dl.history().momentum);
+    let ev_trad = trad.energy_variation();
+    let ev_dl = dl.energy_variation();
+    let pd_trad = trad.momentum_drift();
+    let pd_dl = dl.momentum_drift();
 
     println!("total energy variation:");
     println!("  traditional : {:.2}%  (paper: ~2%)", ev_trad * 100.0);
@@ -89,10 +84,7 @@ fn main() {
 
     // Shape verdicts per the paper: bounded energy for both, conserved
     // momentum only for the traditional method.
-    let pass = ev_trad < 0.05
-        && ev_dl < 0.20
-        && pd_trad < 1e-9
-        && pd_dl > pd_trad * 100.0;
+    let pass = ev_trad < 0.05 && ev_dl < 0.20 && pd_trad < 1e-9 && pd_dl > pd_trad * 100.0;
     println!(
         "verdict: {}",
         if pass {

@@ -8,65 +8,64 @@
 //! PIC — whose field solver never saw grid-scale aliasing noise in
 //! training — stays clean, at the price of a growing momentum drift.
 //!
+//! Both methods run the *same* engine scenario (`cold_beam` from the
+//! registry); only the [`Backend`] value differs.
+//!
 //! Run: `cargo run -p dlpic-bench --release --bin fig6 [--scale ...]`
 
 use dlpic_analytics::plot::{line_plot, scatter_density, PlotOptions};
 use dlpic_analytics::series::write_csv;
 use dlpic_analytics::stats;
-use dlpic_bench::{get_or_train_mlp, out_dir, Cli};
-use dlpic_pic::constants;
-use dlpic_pic::presets::paper_config;
-use dlpic_pic::shape::Shape;
-use dlpic_pic::simulation::Simulation;
-use dlpic_pic::solver::TraditionalSolver;
+use dlpic_bench::{get_or_train_mlp, out_dir, paper_figure_spec, Cli};
+use dlpic_repro::engine::{Backend, Engine, Numerics1D};
 
 fn main() {
     let cli = Cli::parse();
-    let v0 = constants::PAPER_COLD_BEAM_V0;
+    let spec = paper_figure_spec("cold_beam", cli.scale);
+    let v0 = 0.4;
     println!(
         "== Fig. 6: cold-beam stress test, v0 = ±{v0}, vth = 0 [{} scale] ==\n",
         cli.scale.name()
     );
     println!(
         "linear theory: k1*v0 = {:.3} > 1  ->  every mode stable; any growth is numerical\n",
-        3.06 * v0
+        dlpic_pic::constants::PAPER_K1 * v0
     );
 
-    let bundle = get_or_train_mlp(cli.scale, cli.retrain, true);
-    let dl_solver = bundle.into_solver().expect("bundle -> solver");
-
-    let seed = 20210706;
     // The paper's traditional baseline is the "basic NGP scheme" (§II) —
     // the variant where the cold-beam instability shows most clearly.
-    let mut cfg_trad = paper_config(v0, 0.0, seed);
-    cfg_trad.gather_shape = Shape::Ngp;
-    let cfg_dl = cfg_trad.clone();
-    let mut trad = Simulation::new(cfg_trad, Box::new(TraditionalSolver::basic_ngp()));
-    let mut dl = Simulation::new(cfg_dl, Box::new(dl_solver));
+    let mut engine = Engine::new()
+        .with_model_1d(get_or_train_mlp(cli.scale, cli.retrain, true))
+        .with_numerics_1d(Numerics1D::basic_ngp());
     eprintln!("running traditional PIC...");
-    trad.run();
+    let trad = engine
+        .run(&spec, Backend::Traditional1D)
+        .expect("traditional run");
     eprintln!("running DL-based PIC...");
-    dl.run();
+    let dl = engine.run(&spec, Backend::Dl1D).expect("dl run");
 
     // Phase space at t = 40 (the paper's top panels: ripples vs clean).
-    let l = trad.grid().length();
-    let (tx, tv) = trad.phase_space();
-    println!(
-        "{}",
-        scatter_density(tx, tv, (0.0, l), (-0.6, 0.6), 64, 16,
-            &format!("Traditional PIC - v0 = {v0}, vth = 0.0 (t = 40)"))
-    );
-    let (dx, dv) = dl.phase_space();
-    println!(
-        "{}",
-        scatter_density(dx, dv, (0.0, l), (-0.6, 0.6), 64, 16,
-            &format!("DL-based PIC (MLP) - v0 = {v0}, vth = 0.0 (t = 40)"))
-    );
+    let l = dlpic_pic::constants::paper_box_length();
+    for (summary, label) in [(&trad, "Traditional PIC"), (&dl, "DL-based PIC (MLP)")] {
+        let ps = summary.phase_space.as_ref().expect("particle backend");
+        println!(
+            "{}",
+            scatter_density(
+                &ps.x,
+                &ps.v,
+                (0.0, l),
+                (-0.6, 0.6),
+                64,
+                16,
+                &format!("{label} - v0 = {v0}, vth = 0.0 (t = 40)")
+            )
+        );
+    }
 
-    let te_trad = trad.history().total_energy_series("energy-traditional");
-    let te_dl = dl.history().total_energy_series("energy-dl-mlp");
-    let p_trad = trad.history().momentum_series("momentum-traditional");
-    let p_dl = dl.history().momentum_series("momentum-dl-mlp");
+    let te_trad = trad.history.total_energy_series("energy-traditional");
+    let te_dl = dl.history.total_energy_series("energy-dl-mlp");
+    let p_trad = trad.history.momentum_series("momentum-traditional");
+    let p_dl = dl.history.momentum_series("momentum-dl-mlp");
 
     println!(
         "{}",
@@ -89,16 +88,16 @@ fn main() {
         let beam: Vec<f64> = v.iter().copied().filter(|v| *v > 0.0).collect();
         stats::std_dev(&beam)
     };
-    let ripple_trad = spread(tv);
-    let ripple_dl = spread(dv);
+    let ripple_trad = spread(&trad.phase_space.as_ref().expect("particles").v);
+    let ripple_dl = spread(&dl.phase_space.as_ref().expect("particles").v);
     // The signature of the aliasing (cold-beam) instability is a *rising*
     // total-energy trend — plasma heating out of nothing. Peak-to-peak
     // variation would confuse that with benign fluctuations.
     let trend = |h: &[f64]| (h.last().unwrap() - h[0]) / h[0];
-    let et_trad = trend(&trad.history().total);
-    let et_dl = trend(&dl.history().total);
-    let pd_trad = stats::max_drift(&trad.history().momentum);
-    let pd_dl = stats::max_drift(&dl.history().momentum);
+    let et_trad = trend(&trad.history.total);
+    let et_dl = trend(&dl.history.total);
+    let pd_trad = trad.momentum_drift();
+    let pd_dl = dl.momentum_drift();
 
     println!("cold-beam (numerical) instability indicators at t = 40:");
     println!("  beam velocity spread  : traditional {ripple_trad:.4}  |  DL-based {ripple_dl:.4} (coherent ripples vs incoherent model-noise heating)");

@@ -41,7 +41,10 @@ fn time_us(mut f: impl FnMut(), reps: usize) -> f64 {
 
 fn main() {
     let cli = Cli::parse();
-    println!("== §VII: field-solver stage timing [{} scale] ==\n", cli.scale.name());
+    println!(
+        "== §VII: field-solver stage timing [{} scale] ==\n",
+        cli.scale.name()
+    );
 
     let grid = Grid1D::paper();
     let particles = TwoStreamInit::random(0.2, 0.025, 64_000, 7).build(&grid);
@@ -93,19 +96,46 @@ fn main() {
     let trad_solve = t_deposit + t_poisson_fd + t_gradient;
     let mut table = Table::new(&["Stage", "Method", "µs/call"]);
     let f = |v: f64| format!("{v:.1}");
-    table.row(&["charge deposit (64k, CIC)".into(), "traditional".into(), f(t_deposit)]);
-    table.row(&["Poisson solve (FD/Thomas)".into(), "traditional".into(), f(t_poisson_fd)]);
-    table.row(&["Poisson solve (spectral)".into(), "traditional".into(), f(t_poisson_sp)]);
+    table.row(&[
+        "charge deposit (64k, CIC)".into(),
+        "traditional".into(),
+        f(t_deposit),
+    ]);
+    table.row(&[
+        "Poisson solve (FD/Thomas)".into(),
+        "traditional".into(),
+        f(t_poisson_fd),
+    ]);
+    table.row(&[
+        "Poisson solve (spectral)".into(),
+        "traditional".into(),
+        f(t_poisson_sp),
+    ]);
     table.row(&["E = -grad(phi)".into(), "traditional".into(), f(t_gradient)]);
-    table.row(&["TOTAL field solve".into(), "traditional".into(), f(trad_solve)]);
-    table.row(&["phase-space binning (64k)".into(), "dl-based".into(), f(t_binning)]);
+    table.row(&[
+        "TOTAL field solve".into(),
+        "traditional".into(),
+        f(trad_solve),
+    ]);
+    table.row(&[
+        "phase-space binning (64k)".into(),
+        "dl-based".into(),
+        f(t_binning),
+    ]);
     table.row(&["normalization".into(), "dl-based".into(), f(t_normalize)]);
-    table.row(&["network inference (MLP)".into(), "dl-based".into(), f(t_inference)]);
+    table.row(&[
+        "network inference (MLP)".into(),
+        "dl-based".into(),
+        f(t_inference),
+    ]);
     table.row(&["TOTAL field solve".into(), "dl-based".into(), f(t_dl_total)]);
     table.row(&["field gather (shared)".into(), "both".into(), f(t_gather)]);
     println!("{}", table.render());
 
-    println!("ratio DL/traditional field solve: {:.2}x", t_dl_total / trad_solve);
+    println!(
+        "ratio DL/traditional field solve: {:.2}x",
+        t_dl_total / trad_solve
+    );
     println!();
     println!("notes: the paper's argument concerns the *linear solve* vs *inference*");
     println!("       comparison: FD Poisson {t_poisson_fd:.1} µs vs MLP inference {t_inference:.1} µs here;");

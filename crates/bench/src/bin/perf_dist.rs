@@ -211,8 +211,7 @@ fn main() {
             sim.comm_phases()
                 .iter()
                 .filter(|(p, _)| {
-                    ["rho-gather", "e-scatter", "hist-reduce", "hist-bcast"]
-                        .contains(p)
+                    ["rho-gather", "e-scatter", "hist-reduce", "hist-bcast"].contains(p)
                 })
                 .map(|(_, s)| s.bytes)
                 .sum::<u64>() as f64
@@ -224,7 +223,12 @@ fn main() {
             ncells.to_string(),
             format!("{gs:.0}"),
             format!("{dl:.0}"),
-            if dl < gs { "replicated-dl" } else { "gather-scatter" }.into(),
+            if dl < gs {
+                "replicated-dl"
+            } else {
+                "gather-scatter"
+            }
+            .into(),
         ]);
     }
     println!("{}", sweep.render());

@@ -56,7 +56,10 @@ fn spectrum_series(name: &str, spectrum: &[f64]) -> TimeSeries {
 
 fn main() {
     let cli = Cli::parse();
-    println!("== spectral analysis of E-field errors [{} scale] ==\n", cli.scale.name());
+    println!(
+        "== spectral analysis of E-field errors [{} scale] ==\n",
+        cli.scale.name()
+    );
 
     eprintln!("generating datasets...");
     let data: DataBundle = prepare_data(cli.scale, BinningShape::Ngp, false);
@@ -87,10 +90,22 @@ fn main() {
     let cnn_ii = error_spectrum(&cnn.bundle, &data.test2);
 
     // Table of the first 8 modes + the high-k tail mean.
-    let mut table = Table::new(&["mode k", "MLP set I", "MLP set II", "CNN set I", "CNN set II"]);
+    let mut table = Table::new(&[
+        "mode k",
+        "MLP set I",
+        "MLP set II",
+        "CNN set I",
+        "CNN set II",
+    ]);
     let f = |v: f64| format!("{v:.6}");
     for m in 0..8.min(mlp_i.len()) {
-        table.row(&[m.to_string(), f(mlp_i[m]), f(mlp_ii[m]), f(cnn_i[m]), f(cnn_ii[m])]);
+        table.row(&[
+            m.to_string(),
+            f(mlp_i[m]),
+            f(mlp_ii[m]),
+            f(cnn_i[m]),
+            f(cnn_ii[m]),
+        ]);
     }
     let tail = |s: &[f64]| s[8.min(s.len())..].iter().sum::<f64>() / (s.len() - 8).max(1) as f64;
     table.row(&[
@@ -109,7 +124,12 @@ fn main() {
     println!(
         "{}",
         line_plot(
-            &[('m', &s_mlp_i), ('M', &s_mlp_ii), ('c', &s_cnn_i), ('C', &s_cnn_ii)],
+            &[
+                ('m', &s_mlp_i),
+                ('M', &s_mlp_ii),
+                ('c', &s_cnn_i),
+                ('C', &s_cnn_ii)
+            ],
             &PlotOptions::titled("mean error amplitude per field mode (x-axis: mode number)")
                 .log_y(true),
         )
@@ -121,7 +141,11 @@ fn main() {
 
     // Where does each architecture put its error?
     let dominant = |s: &[f64]| {
-        s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).map(|(m, _)| m)
+        s.iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(m, _)| m)
     };
     println!(
         "\ndominant error mode: MLP set II -> k = {:?}, CNN set II -> k = {:?}",

@@ -23,7 +23,10 @@ use dlpic_nn::loss::Mse;
 fn main() {
     let cli = Cli::parse();
     let scale = cli.scale;
-    println!("== Table I: MAE and maximum error with each network [{} scale] ==\n", scale.name());
+    println!(
+        "== Table I: MAE and maximum error with each network [{} scale] ==\n",
+        scale.name()
+    );
 
     let t0 = std::time::Instant::now();
     eprintln!("generating datasets (traditional PIC sweep)...");
@@ -39,31 +42,69 @@ fn main() {
     );
 
     eprintln!("training MLP ({} epochs)...", scale.mlp_epochs());
-    let mlp = train_arch(&scale.mlp_arch(), &data, &Mse, scale.mlp_epochs(), scale.learning_rate(), 0xD1, 5);
+    let mlp = train_arch(
+        &scale.mlp_arch(),
+        &data,
+        &Mse,
+        scale.mlp_epochs(),
+        scale.learning_rate(),
+        0xD1,
+        5,
+    );
     eprintln!(
         "MLP done in {:.1}s (final train loss {:.3e})\n",
         mlp.history.seconds,
         mlp.history.final_loss().unwrap_or(f64::NAN)
     );
-    mlp.bundle.save(models_dir().join(format!("mlp-{}.dlpb", scale.name()))).expect("save mlp");
+    mlp.bundle
+        .save(models_dir().join(format!("mlp-{}.dlpb", scale.name())))
+        .expect("save mlp");
 
     eprintln!("training CNN ({} epochs)...", scale.cnn_epochs());
-    let cnn = train_arch(&scale.cnn_arch(), &data, &Mse, scale.cnn_epochs(), scale.learning_rate(), 0xC1, 2);
+    let cnn = train_arch(
+        &scale.cnn_arch(),
+        &data,
+        &Mse,
+        scale.cnn_epochs(),
+        scale.learning_rate(),
+        0xC1,
+        2,
+    );
     eprintln!(
         "CNN done in {:.1}s (final train loss {:.3e})\n",
         cnn.history.seconds,
         cnn.history.final_loss().unwrap_or(f64::NAN)
     );
-    cnn.bundle.save(models_dir().join(format!("cnn-{}.dlpb", scale.name()))).expect("save cnn");
+    cnn.bundle
+        .save(models_dir().join(format!("cnn-{}.dlpb", scale.name())))
+        .expect("save cnn");
 
     let fmt = |v: f32| format!("{v:.5}");
     let mut table = Table::new(&["Metric", "Test Set", "MLP", "CNN"]);
-    table.row(&["Mean Absolute Error".into(), "I".into(), fmt(mlp.mae1), fmt(cnn.mae1)]);
+    table.row(&[
+        "Mean Absolute Error".into(),
+        "I".into(),
+        fmt(mlp.mae1),
+        fmt(cnn.mae1),
+    ]);
     table.row(&["Max Error".into(), "I".into(), fmt(mlp.max1), fmt(cnn.max1)]);
-    table.row(&["Mean Absolute Error".into(), "II".into(), fmt(mlp.mae2), fmt(cnn.mae2)]);
-    table.row(&["Max Error".into(), "II".into(), fmt(mlp.max2), fmt(cnn.max2)]);
+    table.row(&[
+        "Mean Absolute Error".into(),
+        "II".into(),
+        fmt(mlp.mae2),
+        fmt(cnn.mae2),
+    ]);
+    table.row(&[
+        "Max Error".into(),
+        "II".into(),
+        fmt(mlp.max2),
+        fmt(cnn.max2),
+    ]);
     println!("{}", table.render());
-    println!("reference max |E| in the dataset: {:.4} (paper: ~0.1)\n", data.train.max_abs_field());
+    println!(
+        "reference max |E| in the dataset: {:.4} (paper: ~0.1)\n",
+        data.train.max_abs_field()
+    );
 
     println!("paper values: MLP 0.0019/0.06899 (I), 0.0015/0.0286 (II);");
     println!("              CNN 0.0020/0.0463 (I), 0.0032/0.073 (II)\n");
@@ -81,6 +122,10 @@ fn main() {
     println!(
         "shape check: MAE << max|E| : {}   CNN set-II degradation: {}",
         if verdict_small { "PASS" } else { "CHECK" },
-        if verdict_cnn_gap { "PASS" } else { "CHECK (paper saw CNN worsen on unseen params)" },
+        if verdict_cnn_gap {
+            "PASS"
+        } else {
+            "CHECK (paper saw CNN worsen on unseen params)"
+        },
     );
 }

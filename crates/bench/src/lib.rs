@@ -84,6 +84,22 @@ impl Cli {
     }
 }
 
+/// The engine scenario a figure binary runs: the named registry entry at
+/// full paper physics (1000 electrons/cell, 200 steps) regardless of
+/// `scale` — the scale shrinks only the *learning* problem, exactly as the
+/// original figure binaries did with `paper_config`. Seeds match the
+/// historical figure runs.
+pub fn paper_figure_spec(name: &str, scale: Scale) -> dlpic_repro::engine::ScenarioSpec {
+    let mut spec = dlpic_repro::engine::scenario(name, scale).expect("registry entry");
+    spec.ppc = dlpic_pic::constants::PAPER_PARTICLES_PER_CELL;
+    spec.n_steps = dlpic_pic::constants::PAPER_NSTEPS;
+    spec.seed = match name {
+        "cold_beam" => 20210706,
+        _ => 20210705,
+    };
+    spec
+}
+
 /// Output directory (`./out`), created on demand.
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from("out");
@@ -131,7 +147,13 @@ pub fn prepare_data(scale: Scale, binning: BinningShape, verbose: bool) -> DataB
     let test2 = generate(&cfg2);
 
     let norm = train.input_norm_stats();
-    DataBundle { train, val, test1, test2, norm }
+    DataBundle {
+        train,
+        val,
+        test1,
+        test2,
+        norm,
+    }
 }
 
 /// A trained model plus its Table-I row numbers.
@@ -170,7 +192,12 @@ pub fn train_arch(
 
     let mut net = arch.build(seed);
     let mut opt = Adam::new(lr);
-    let cfg = TrainConfig { epochs, batch_size: 64, shuffle_seed: seed, log_every };
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 64,
+        shuffle_seed: seed,
+        log_every,
+    };
     let history = train(&mut net, loss, &mut opt, &train_set, Some(&val_set), &cfg);
 
     let (mae1, max1) = evaluate(&mut net, &test1_set, 64);
@@ -186,7 +213,14 @@ pub fn train_arch(
         data.norm,
     )
     .with_reference_mass(reference_mass);
-    TrainedModel { bundle, history, mae1, max1, mae2, max2 }
+    TrainedModel {
+        bundle,
+        history,
+        mae1,
+        max1,
+        mae2,
+        max2,
+    }
 }
 
 /// Loads a cached MLP bundle for the scale, or trains (and caches) one.
@@ -204,7 +238,11 @@ pub fn get_or_train_mlp(scale: Scale, retrain: bool, verbose: bool) -> ModelBund
         }
     }
     if verbose {
-        eprintln!("training MLP at {} scale (cache: {})", scale.name(), path.display());
+        eprintln!(
+            "training MLP at {} scale (cache: {})",
+            scale.name(),
+            path.display()
+        );
     }
     let data = prepare_data(scale, BinningShape::Ngp, verbose);
     let arch = scale.mlp_arch();

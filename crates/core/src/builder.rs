@@ -72,7 +72,11 @@ impl ArchSpec {
     /// The paper's MLP at full scale for a `nv·nx` input: 3×1024 hidden,
     /// 64 outputs.
     pub fn paper_mlp(input: usize, output: usize) -> Self {
-        ArchSpec::Mlp { input, hidden: vec![1024, 1024, 1024], output }
+        ArchSpec::Mlp {
+            input,
+            hidden: vec![1024, 1024, 1024],
+            output,
+        }
     }
 
     /// The paper's CNN at full scale: blocks of (16, 32) channels, 3×3
@@ -129,11 +133,20 @@ impl ArchSpec {
     /// 4 — two pooling stages).
     pub fn build(&self, seed: u64) -> Sequential {
         match self {
-            ArchSpec::Mlp { input, hidden, output } => {
+            ArchSpec::Mlp {
+                input,
+                hidden,
+                output,
+            } => {
                 let mut net = Sequential::new();
                 let mut prev = *input;
                 for (i, &h) in hidden.iter().enumerate() {
-                    net.push_boxed(Box::new(Dense::new(prev, h, Init::HeNormal, seed + i as u64)));
+                    net.push_boxed(Box::new(Dense::new(
+                        prev,
+                        h,
+                        Init::HeNormal,
+                        seed + i as u64,
+                    )));
                     net.push_boxed(Box::new(Relu::new()));
                     prev = h;
                 }
@@ -145,7 +158,14 @@ impl ArchSpec {
                 )));
                 net
             }
-            ArchSpec::Cnn { nv, nx, channels, kernel, hidden, output } => {
+            ArchSpec::Cnn {
+                nv,
+                nx,
+                channels,
+                kernel,
+                hidden,
+                output,
+            } => {
                 assert!(
                     nv % 4 == 0 && nx % 4 == 0,
                     "CNN needs spatial dims divisible by 4 (two pools), got {nv}x{nx}"
@@ -178,7 +198,12 @@ impl ArchSpec {
                 net.push_boxed(Box::new(Dense::new(prev, *output, Init::GlorotUniform, s)));
                 net
             }
-            ArchSpec::ResMlp { input, width, blocks, output } => {
+            ArchSpec::ResMlp {
+                input,
+                width,
+                blocks,
+                output,
+            } => {
                 let mut net = Sequential::new();
                 net.push_boxed(Box::new(Dense::new(*input, *width, Init::HeNormal, seed)));
                 net.push_boxed(Box::new(Relu::new()));
@@ -203,7 +228,11 @@ impl ArchSpec {
     /// Binary encoding (for model bundles).
     pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            ArchSpec::Mlp { input, hidden, output } => {
+            ArchSpec::Mlp {
+                input,
+                hidden,
+                output,
+            } => {
                 buf.put_u8(0);
                 buf.put_u32_le(*input as u32);
                 buf.put_u32_le(hidden.len() as u32);
@@ -212,7 +241,14 @@ impl ArchSpec {
                 }
                 buf.put_u32_le(*output as u32);
             }
-            ArchSpec::Cnn { nv, nx, channels, kernel, hidden, output } => {
+            ArchSpec::Cnn {
+                nv,
+                nx,
+                channels,
+                kernel,
+                hidden,
+                output,
+            } => {
                 buf.put_u8(1);
                 buf.put_u32_le(*nv as u32);
                 buf.put_u32_le(*nx as u32);
@@ -225,7 +261,12 @@ impl ArchSpec {
                 }
                 buf.put_u32_le(*output as u32);
             }
-            ArchSpec::ResMlp { input, width, blocks, output } => {
+            ArchSpec::ResMlp {
+                input,
+                width,
+                blocks,
+                output,
+            } => {
                 buf.put_u8(2);
                 buf.put_u32_le(*input as u32);
                 buf.put_u32_le(*width as u32);
@@ -260,7 +301,11 @@ impl ArchSpec {
                     hidden.push(get(buf)?);
                 }
                 let output = get(buf)?;
-                Some(ArchSpec::Mlp { input, hidden, output })
+                Some(ArchSpec::Mlp {
+                    input,
+                    hidden,
+                    output,
+                })
             }
             1 => {
                 let nv = get(buf)?;
@@ -277,14 +322,26 @@ impl ArchSpec {
                     hidden.push(get(buf)?);
                 }
                 let output = get(buf)?;
-                Some(ArchSpec::Cnn { nv, nx, channels: (c1, c2), kernel, hidden, output })
+                Some(ArchSpec::Cnn {
+                    nv,
+                    nx,
+                    channels: (c1, c2),
+                    kernel,
+                    hidden,
+                    output,
+                })
             }
             2 => {
                 let input = get(buf)?;
                 let width = get(buf)?;
                 let blocks = get(buf)?;
                 let output = get(buf)?;
-                Some(ArchSpec::ResMlp { input, width, blocks, output })
+                Some(ArchSpec::ResMlp {
+                    input,
+                    width,
+                    blocks,
+                    output,
+                })
             }
             _ => None,
         }
@@ -328,7 +385,12 @@ mod tests {
 
     #[test]
     fn resmlp_builds_and_runs() {
-        let spec = ArchSpec::ResMlp { input: 64, width: 32, blocks: 2, output: 16 };
+        let spec = ArchSpec::ResMlp {
+            input: 64,
+            width: 32,
+            blocks: 2,
+            output: 16,
+        };
         let mut net = spec.build(3);
         let y = net.predict(&Tensor::zeros(&[1, 64]));
         assert_eq!(y.shape(), &[1, 16]);
@@ -346,7 +408,12 @@ mod tests {
                 hidden: vec![128, 128, 128],
                 output: 64,
             },
-            ArchSpec::ResMlp { input: 256, width: 64, blocks: 3, output: 64 },
+            ArchSpec::ResMlp {
+                input: 256,
+                width: 64,
+                blocks: 3,
+                output: 64,
+            },
         ];
         for spec in specs {
             let mut buf = Vec::new();
@@ -368,7 +435,11 @@ mod tests {
 
     #[test]
     fn deterministic_build() {
-        let spec = ArchSpec::Mlp { input: 8, hidden: vec![4], output: 2 };
+        let spec = ArchSpec::Mlp {
+            input: 8,
+            hidden: vec![4],
+            output: 2,
+        };
         let mut a = spec.build(5);
         let mut b = spec.build(5);
         let x = Tensor::full(&[1, 8], 0.5);

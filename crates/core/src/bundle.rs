@@ -74,7 +74,14 @@ impl ModelBundle {
         binning: BinningShape,
         norm: NormStats,
     ) -> Self {
-        Self { params: params_to_bytes(net), arch, spec, binning, norm, reference_mass: 0.0 }
+        Self {
+            params: params_to_bytes(net),
+            arch,
+            spec,
+            binning,
+            norm,
+            reference_mass: 0.0,
+        }
     }
 
     /// Builder-style setter for the training histogram mass (see
@@ -139,7 +146,10 @@ impl ModelBundle {
             1 => BinningShape::Cic,
             _ => return Err(BundleError::Malformed("bad binning tag")),
         };
-        let norm = NormStats { min: buf.get_f32_le(), max: buf.get_f32_le() };
+        let norm = NormStats {
+            min: buf.get_f32_le(),
+            max: buf.get_f32_le(),
+        };
         let reference_mass = buf.get_f32_le();
         // NaN-rejecting form: `reference_mass < 0.0` would accept NaN.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -202,14 +212,21 @@ mod tests {
 
     fn tiny_bundle() -> ModelBundle {
         let spec = PhaseGridSpec::smoke();
-        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![8], output: 64 };
+        let arch = ArchSpec::Mlp {
+            input: spec.cells(),
+            hidden: vec![8],
+            output: 64,
+        };
         let mut net = arch.build(77);
         ModelBundle::from_network(
             &mut net,
             arch,
             spec,
             BinningShape::Cic,
-            NormStats { min: 0.0, max: 123.0 },
+            NormStats {
+                min: 0.0,
+                max: 123.0,
+            },
         )
         .with_reference_mass(64_000.0)
     }
@@ -233,7 +250,10 @@ mod tests {
         let p = TwoStreamInit::random(0.2, 0.01, 1_000, 5).build(&grid);
 
         let mut s1 = bundle.clone().into_solver().unwrap();
-        let mut s2 = ModelBundle::decode(&bundle.encode()).unwrap().into_solver().unwrap();
+        let mut s2 = ModelBundle::decode(&bundle.encode())
+            .unwrap()
+            .into_solver()
+            .unwrap();
         let mut e1 = grid.zeros();
         let mut e2 = grid.zeros();
         s1.solve(&p, &grid, &mut e1);
@@ -256,11 +276,20 @@ mod tests {
 
     #[test]
     fn malformed_inputs_rejected() {
-        assert!(matches!(ModelBundle::decode(b"nope"), Err(BundleError::Malformed(_))));
+        assert!(matches!(
+            ModelBundle::decode(b"nope"),
+            Err(BundleError::Malformed(_))
+        ));
         let mut blob = tiny_bundle().encode();
         blob.truncate(blob.len() - 3);
-        assert!(matches!(ModelBundle::decode(&blob), Err(BundleError::Malformed(_))));
+        assert!(matches!(
+            ModelBundle::decode(&blob),
+            Err(BundleError::Malformed(_))
+        ));
         blob[0] = b'X';
-        assert!(matches!(ModelBundle::decode(&blob), Err(BundleError::Malformed(_))));
+        assert!(matches!(
+            ModelBundle::decode(&blob),
+            Err(BundleError::Malformed(_))
+        ));
     }
 }

@@ -47,7 +47,16 @@ impl DlFieldSolver {
         name: &'static str,
     ) -> Self {
         let scratch = vec![0.0f32; spec.cells()];
-        Self { net, spec, binning, norm, input_kind, name, reference_mass: 0.0, scratch }
+        Self {
+            net,
+            spec,
+            binning,
+            norm,
+            input_kind,
+            name,
+            reference_mass: 0.0,
+            scratch,
+        }
     }
 
     /// Sets the total histogram mass (= particle count) of the *training*
@@ -94,13 +103,12 @@ impl DlFieldSolver {
     /// # Panics
     /// Panics if the histogram size mismatches the phase grid or the
     /// network output width mismatches `e`.
-    pub fn solve_from_raw_histogram(
-        &mut self,
-        histogram: &[f32],
-        total_mass: f32,
-        e: &mut [f64],
-    ) {
-        assert_eq!(histogram.len(), self.spec.cells(), "histogram size mismatch");
+    pub fn solve_from_raw_histogram(&mut self, histogram: &[f32], total_mass: f32, e: &mut [f64]) {
+        assert_eq!(
+            histogram.len(),
+            self.spec.cells(),
+            "histogram size mismatch"
+        );
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         scratch.extend_from_slice(histogram);
@@ -129,7 +137,11 @@ impl DlFieldSolver {
     /// histogram (the inner step of [`FieldSolver::solve`], exposed for
     /// benchmarking the pure inference cost).
     pub fn predict_from_histogram(&mut self, histogram: &[f32]) -> Vec<f32> {
-        assert_eq!(histogram.len(), self.spec.cells(), "histogram size mismatch");
+        assert_eq!(
+            histogram.len(),
+            self.spec.cells(),
+            "histogram size mismatch"
+        );
         let input = match self.input_kind {
             InputKind::Flat => Tensor::new(histogram.to_vec(), &[1, self.spec.cells()]),
             InputKind::Image => {
@@ -185,7 +197,11 @@ mod tests {
 
     fn tiny_solver() -> DlFieldSolver {
         let spec = PhaseGridSpec::smoke();
-        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![8], output: 64 };
+        let arch = ArchSpec::Mlp {
+            input: spec.cells(),
+            hidden: vec![8],
+            output: 64,
+        };
         DlFieldSolver::new(
             arch.build(0),
             spec,
@@ -246,7 +262,11 @@ mod tests {
     #[should_panic(expected = "does not match grid cells")]
     fn output_width_mismatch_detected() {
         let spec = PhaseGridSpec::smoke();
-        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![4], output: 32 };
+        let arch = ArchSpec::Mlp {
+            input: spec.cells(),
+            hidden: vec![4],
+            output: 32,
+        };
         let mut solver = DlFieldSolver::new(
             arch.build(0),
             spec,

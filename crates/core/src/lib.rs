@@ -39,6 +39,6 @@ pub use field_solver::DlFieldSolver;
 pub use normalize::NormStats;
 pub use phase_space::{bin_phase_space, phase_space_histogram, BinningShape, PhaseGridSpec};
 pub use physics_loss::PhysicsInformedMse;
-pub use temporal::TemporalDlSolver;
-pub use twod::{Dl2DFieldSolver, DensityBinning};
 pub use presets::Scale;
+pub use temporal::TemporalDlSolver;
+pub use twod::{DensityBinning, Dl2DFieldSolver};

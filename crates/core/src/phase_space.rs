@@ -174,7 +174,10 @@ mod tests {
             let top_row: f32 = h[3 * 4..].iter().sum();
             let bottom_row: f32 = h[..4].iter().sum();
             assert!((top_row - 1.0).abs() < 1e-6, "{shape:?} top {top_row}");
-            assert!((bottom_row - 1.0).abs() < 1e-6, "{shape:?} bottom {bottom_row}");
+            assert!(
+                (bottom_row - 1.0).abs() < 1e-6,
+                "{shape:?} bottom {bottom_row}"
+            );
         }
     }
 

@@ -33,7 +33,10 @@ pub struct PhysicsInformedMse {
 impl PhysicsInformedMse {
     /// Creates the loss with the given penalty weights.
     pub fn new(lambda_mean: f32, lambda_gauss: f32) -> Self {
-        Self { lambda_mean, lambda_gauss }
+        Self {
+            lambda_mean,
+            lambda_gauss,
+        }
     }
 }
 
@@ -157,7 +160,9 @@ mod tests {
         let pi = PhysicsInformedMse::new(0.0, 10.0);
         let n = 16;
         let target = Tensor::new(
-            (0..n).map(|j| (2.0 * std::f32::consts::PI * j as f32 / n as f32).sin() * 0.1).collect(),
+            (0..n)
+                .map(|j| (2.0 * std::f32::consts::PI * j as f32 / n as f32).sin() * 0.1)
+                .collect(),
             &[1, n],
         );
         // Same L2 scale of error, different roughness. The wiggle has
@@ -187,6 +192,10 @@ mod tests {
         let x = Tensor::new(pseudo(3 * 6, 5), &[3, 6]);
         let y = Tensor::new(pseudo(3 * 8, 7), &[3, 8]);
         let report = check_gradients(&mut net, &pi, &x, &y, 3e-3, 1);
-        assert!(report.max_rel_error < 5e-2, "max rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 5e-2,
+            "max rel err {}",
+            report.max_rel_error
+        );
     }
 }

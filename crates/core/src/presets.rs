@@ -42,10 +42,16 @@ impl Scale {
 
     /// Reads `DLPIC_SCALE` from the environment, defaulting to `Scaled`.
     pub fn from_env() -> Self {
+        Self::from_env_or(Self::default())
+    }
+
+    /// Reads `DLPIC_SCALE` from the environment with a caller-chosen
+    /// default (examples default to `Smoke` so they finish in seconds).
+    pub fn from_env_or(default: Self) -> Self {
         std::env::var("DLPIC_SCALE")
             .ok()
             .and_then(|s| Self::parse(&s))
-            .unwrap_or_default()
+            .unwrap_or(default)
     }
 
     /// Display name.
@@ -71,8 +77,16 @@ impl Scale {
         let input = self.phase_spec().cells();
         let output = dlpic_pic::constants::PAPER_NCELLS;
         match self {
-            Self::Smoke => ArchSpec::Mlp { input, hidden: vec![32, 32], output },
-            Self::Scaled => ArchSpec::Mlp { input, hidden: vec![256, 256, 256], output },
+            Self::Smoke => ArchSpec::Mlp {
+                input,
+                hidden: vec![32, 32],
+                output,
+            },
+            Self::Scaled => ArchSpec::Mlp {
+                input,
+                hidden: vec![256, 256, 256],
+                output,
+            },
             Self::Paper => ArchSpec::paper_mlp(input, output),
         }
     }
@@ -107,9 +121,24 @@ impl Scale {
         let input = self.phase_spec().cells();
         let output = dlpic_pic::constants::PAPER_NCELLS;
         match self {
-            Self::Smoke => ArchSpec::ResMlp { input, width: 32, blocks: 2, output },
-            Self::Scaled => ArchSpec::ResMlp { input, width: 256, blocks: 3, output },
-            Self::Paper => ArchSpec::ResMlp { input, width: 1024, blocks: 3, output },
+            Self::Smoke => ArchSpec::ResMlp {
+                input,
+                width: 32,
+                blocks: 2,
+                output,
+            },
+            Self::Scaled => ArchSpec::ResMlp {
+                input,
+                width: 256,
+                blocks: 3,
+                output,
+            },
+            Self::Paper => ArchSpec::ResMlp {
+                input,
+                width: 1024,
+                blocks: 3,
+                output,
+            },
         }
     }
 

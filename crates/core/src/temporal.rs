@@ -37,11 +37,7 @@ pub struct TemporalTrace {
 
 /// Runs a traditional simulation and records every step's histogram and
 /// field in order.
-pub fn harvest_trace(
-    cfg: PicConfig,
-    spec: &PhaseGridSpec,
-    binning: BinningShape,
-) -> TemporalTrace {
+pub fn harvest_trace(cfg: PicConfig, spec: &PhaseGridSpec, binning: BinningShape) -> TemporalTrace {
     let grid = cfg.grid.clone();
     let n_steps = cfg.n_steps;
     let ncells = grid.ncells();
@@ -69,10 +65,7 @@ pub fn harvest_trace(
 ///
 /// # Panics
 /// Panics for `window == 0` or traces with inconsistent geometry.
-pub fn windowed_pairs(
-    traces: &[TemporalTrace],
-    window: usize,
-) -> (Vec<f32>, Vec<f32>, usize) {
+pub fn windowed_pairs(traces: &[TemporalTrace], window: usize) -> (Vec<f32>, Vec<f32>, usize) {
     assert!(window > 0, "window must be at least 1");
     assert!(!traces.is_empty(), "no traces");
     let cells = traces[0].cells;
@@ -268,7 +261,11 @@ mod tests {
     #[should_panic(expected = "window must be at least 1")]
     fn zero_window_rejected() {
         let spec = PhaseGridSpec::smoke();
-        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![4], output: 64 };
+        let arch = ArchSpec::Mlp {
+            input: spec.cells(),
+            hidden: vec![4],
+            output: 64,
+        };
         let _ = TemporalDlSolver::new(
             arch.build(0),
             spec,

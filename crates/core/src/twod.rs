@@ -50,12 +50,7 @@ pub enum DensityBinning {
 ///
 /// # Panics
 /// Panics if `out` length differs from the grid node count.
-pub fn bin_density(
-    particles: &Particles2D,
-    grid: &Grid2D,
-    shape: DensityBinning,
-    out: &mut [f32],
-) {
+pub fn bin_density(particles: &Particles2D, grid: &Grid2D, shape: DensityBinning, out: &mut [f32]) {
     assert_eq!(out.len(), grid.nodes(), "density buffer size mismatch");
     out.fill(0.0);
     let (nx, ny) = (grid.nx(), grid.ny());
@@ -107,11 +102,7 @@ pub struct Sample2D {
 /// Runs a traditional 2-D PIC simulation and harvests one sample every
 /// `stride` steps (stride 1 = every step), mirroring the paper's 1-D
 /// harvesting procedure.
-pub fn harvest_2d(
-    cfg: Pic2DConfig,
-    binning: DensityBinning,
-    stride: usize,
-) -> Vec<Sample2D> {
+pub fn harvest_2d(cfg: Pic2DConfig, binning: DensityBinning, stride: usize) -> Vec<Sample2D> {
     assert!(stride > 0, "stride must be positive");
     let n_steps = cfg.n_steps;
     let grid = cfg.grid.clone();
@@ -163,7 +154,11 @@ pub fn build_dataset_2d(samples: &[Sample2D]) -> (Dataset, NormStats) {
 /// `2·nodes` field values, with the same ReLU-hidden / linear-output
 /// structure as the paper's 1-D MLP.
 pub fn arch_2d(grid: &Grid2D, hidden: Vec<usize>) -> ArchSpec {
-    ArchSpec::Mlp { input: grid.nodes(), hidden, output: 2 * grid.nodes() }
+    ArchSpec::Mlp {
+        input: grid.nodes(),
+        hidden,
+        output: 2 * grid.nodes(),
+    }
 }
 
 /// Configuration for [`train_2d_solver`].
@@ -215,8 +210,8 @@ pub fn train_2d_solver(
     };
     let history = train(&mut net, &Mse, &mut opt, &dataset, None, &tc);
     let reference_mass: f32 = samples[0].hist.iter().sum();
-    let solver = Dl2DFieldSolver::new(net, binning, norm, "dl-2d-mlp")
-        .with_reference_mass(reference_mass);
+    let solver =
+        Dl2DFieldSolver::new(net, binning, norm, "dl-2d-mlp").with_reference_mass(reference_mass);
     (solver, history)
 }
 
@@ -240,7 +235,14 @@ impl Dl2DFieldSolver {
         norm: NormStats,
         name: &'static str,
     ) -> Self {
-        Self { net, binning, norm, name, reference_mass: 0.0, scratch: Vec::new() }
+        Self {
+            net,
+            binning,
+            norm,
+            name,
+            reference_mass: 0.0,
+            scratch: Vec::new(),
+        }
     }
 
     /// Sets the training histograms' total mass; inference histograms are
@@ -255,6 +257,21 @@ impl Dl2DFieldSolver {
         &self.net
     }
 
+    /// Mutable access (parameter serialization and benchmark reuse).
+    pub fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// The training-input normalization statistics.
+    pub fn norm(&self) -> NormStats {
+        self.norm
+    }
+
+    /// The training histograms' total mass (0 = unknown).
+    pub fn reference_mass(&self) -> f32 {
+        self.reference_mass
+    }
+
     /// Runs one inference from an already-normalized histogram; returns
     /// the stacked `[Ex | Ey]` prediction.
     pub fn predict_from_histogram(&mut self, histogram: &[f32]) -> Vec<f32> {
@@ -264,13 +281,7 @@ impl Dl2DFieldSolver {
 }
 
 impl FieldSolver2D for Dl2DFieldSolver {
-    fn solve(
-        &mut self,
-        particles: &Particles2D,
-        grid: &Grid2D,
-        ex: &mut [f64],
-        ey: &mut [f64],
-    ) {
+    fn solve(&mut self, particles: &Particles2D, grid: &Grid2D, ex: &mut [f64], ey: &mut [f64]) {
         let nodes = grid.nodes();
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.resize(nodes, 0.0);
@@ -310,8 +321,8 @@ impl FieldSolver2D for Dl2DFieldSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlpic_pic2d::init2d::TwoStream2DInit;
     use dlpic_pic::shape::Shape;
+    use dlpic_pic2d::init2d::TwoStream2DInit;
 
     fn tiny_grid() -> Grid2D {
         Grid2D::new(8, 8, 2.0532, 2.0532)
@@ -367,8 +378,16 @@ mod tests {
     #[test]
     fn dataset_shapes_and_normalization() {
         let samples = vec![
-            Sample2D { hist: vec![0.0, 4.0], ex: vec![1.0, -1.0], ey: vec![0.5, 0.0] },
-            Sample2D { hist: vec![2.0, 2.0], ex: vec![0.0, 0.0], ey: vec![0.0, 0.5] },
+            Sample2D {
+                hist: vec![0.0, 4.0],
+                ex: vec![1.0, -1.0],
+                ey: vec![0.5, 0.0],
+            },
+            Sample2D {
+                hist: vec![2.0, 2.0],
+                ex: vec![0.0, 0.0],
+                ey: vec![0.0, 0.5],
+            },
         ];
         let (ds, norm) = build_dataset_2d(&samples);
         assert_eq!(ds.len(), 2);

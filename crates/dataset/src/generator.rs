@@ -35,16 +35,18 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A generator with the paper's PIC settings for the given sweep.
     pub fn new(sweep: SweepSpec, phase_spec: PhaseGridSpec) -> Self {
-        Self { sweep, phase_spec, binning: BinningShape::Ngp, ppc: 1000, verbose: false }
+        Self {
+            sweep,
+            phase_spec,
+            binning: BinningShape::Ngp,
+            ppc: 1000,
+            verbose: false,
+        }
     }
 }
 
 /// Runs one harvest simulation and returns its samples.
-fn harvest_run(
-    cfg: &GeneratorConfig,
-    combo_idx: usize,
-    experiment: usize,
-) -> PhaseDataset {
+fn harvest_run(cfg: &GeneratorConfig, combo_idx: usize, experiment: usize) -> PhaseDataset {
     let combo = cfg.sweep.combos[combo_idx];
     let seed = cfg.sweep.run_seed(combo_idx, experiment);
     let pic_cfg = reduced_config(combo.v0, combo.vth, cfg.ppc, cfg.sweep.steps, seed);
@@ -54,7 +56,13 @@ fn harvest_run(
     let mut out = PhaseDataset::new(cfg.phase_spec, cfg.binning, e_cells);
     let mut hist = vec![0.0f32; cfg.phase_spec.cells()];
     for _ in 0..cfg.sweep.steps {
-        bin_phase_space(sim.particles(), sim.grid(), &cfg.phase_spec, cfg.binning, &mut hist);
+        bin_phase_space(
+            sim.particles(),
+            sim.grid(),
+            &cfg.phase_spec,
+            cfg.binning,
+            &mut hist,
+        );
         out.push(&hist, sim.efield());
         sim.step();
     }
@@ -164,6 +172,10 @@ mod tests {
         let cfg = tiny_cfg(4);
         let ds = generate(&cfg);
         // Runs are [combo0/exp0 (4), combo0/exp1 (4), combo1/exp0, ...].
-        assert_ne!(ds.input_row(0), ds.input_row(4), "seeds did not differentiate runs");
+        assert_ne!(
+            ds.input_row(0),
+            ds.input_row(4),
+            "seeds did not differentiate runs"
+        );
     }
 }

@@ -25,7 +25,14 @@ impl PhaseDataset {
     /// Creates an empty dataset.
     pub fn new(spec: PhaseGridSpec, binning: BinningShape, e_cells: usize) -> Self {
         assert!(e_cells > 0, "field grid must have cells");
-        Self { spec, binning, e_cells, inputs: Vec::new(), targets: Vec::new(), n: 0 }
+        Self {
+            spec,
+            binning,
+            e_cells,
+            inputs: Vec::new(),
+            targets: Vec::new(),
+            n: 0,
+        }
     }
 
     /// Appends one sample.
@@ -33,7 +40,11 @@ impl PhaseDataset {
     /// # Panics
     /// Panics if slice widths disagree with the dataset geometry.
     pub fn push(&mut self, histogram: &[f32], efield: &[f64]) {
-        assert_eq!(histogram.len(), self.spec.cells(), "histogram width mismatch");
+        assert_eq!(
+            histogram.len(),
+            self.spec.cells(),
+            "histogram width mismatch"
+        );
         assert_eq!(efield.len(), self.e_cells, "e-field width mismatch");
         self.inputs.extend_from_slice(histogram);
         self.targets.extend(efield.iter().map(|&v| v as f32));

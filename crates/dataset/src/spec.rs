@@ -60,7 +60,12 @@ impl SweepSpec {
                 combos.push(SweepCombo { v0, vth });
             }
         }
-        Self { combos, experiments_per_combo: experiments, steps, base_seed: seed }
+        Self {
+            combos,
+            experiments_per_combo: experiments,
+            steps,
+            base_seed: seed,
+        }
     }
 
     /// The paper's full training sweep: 20 combos × 10 experiments × 200
@@ -165,7 +170,10 @@ mod tests {
         let mut seeds = std::collections::HashSet::new();
         for c in 0..s.combos.len() {
             for e in 0..s.experiments_per_combo {
-                assert!(seeds.insert(s.run_seed(c, e)), "duplicate seed for ({c}, {e})");
+                assert!(
+                    seeds.insert(s.run_seed(c, e)),
+                    "duplicate seed for ({c}, {e})"
+                );
             }
         }
     }

@@ -28,7 +28,11 @@ impl SplitSizes {
         assert!(n >= 3, "cannot split fewer than 3 samples");
         let val = (n / 40).max(1);
         let test = (n / 40).max(1);
-        Self { train: n - val - test, val, test }
+        Self {
+            train: n - val - test,
+            val,
+            test,
+        }
     }
 
     /// Total samples consumed.
@@ -47,8 +51,14 @@ pub fn shuffle_split(
     sizes: SplitSizes,
     seed: u64,
 ) -> (PhaseDataset, PhaseDataset, PhaseDataset) {
-    assert!(sizes.total() <= ds.len(), "split {}+{}+{} exceeds dataset {}",
-        sizes.train, sizes.val, sizes.test, ds.len());
+    assert!(
+        sizes.total() <= ds.len(),
+        "split {}+{}+{} exceeds dataset {}",
+        sizes.train,
+        sizes.val,
+        sizes.test,
+        ds.len()
+    );
     let n = ds.len();
     let mut perm: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -78,7 +88,14 @@ mod tests {
     #[test]
     fn paper_proportions_of_forty_thousand() {
         let s = SplitSizes::paper_proportions(40_000);
-        assert_eq!(s, SplitSizes { train: 38_000, val: 1_000, test: 1_000 });
+        assert_eq!(
+            s,
+            SplitSizes {
+                train: 38_000,
+                val: 1_000,
+                test: 1_000
+            }
+        );
     }
 
     #[test]
@@ -131,6 +148,14 @@ mod tests {
     #[should_panic(expected = "exceeds dataset")]
     fn oversized_split_rejected() {
         let ds = numbered_dataset(5);
-        let _ = shuffle_split(&ds, SplitSizes { train: 4, val: 1, test: 1 }, 0);
+        let _ = shuffle_split(
+            &ds,
+            SplitSizes {
+                train: 4,
+                val: 1,
+                test: 1,
+            },
+            0,
+        );
     }
 }

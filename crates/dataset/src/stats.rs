@@ -54,11 +54,18 @@ pub fn summary(ds: &PhaseDataset) -> String {
     let s = compute(ds);
     let mut out = String::new();
     let _ = writeln!(out, "samples        : {}", s.n);
-    let _ = writeln!(out, "phase grid     : {}x{} over v in [{}, {}]",
-        ds.spec.nx, ds.spec.nv, ds.spec.vmin, ds.spec.vmax);
+    let _ = writeln!(
+        out,
+        "phase grid     : {}x{} over v in [{}, {}]",
+        ds.spec.nx, ds.spec.nv, ds.spec.vmin, ds.spec.vmax
+    );
     let _ = writeln!(out, "binning        : {:?}", ds.binning);
     let _ = writeln!(out, "input range    : [{}, {}]", s.input_min, s.input_max);
-    let _ = writeln!(out, "max |E|        : {:.4} (paper reference ~0.1)", s.max_abs_field);
+    let _ = writeln!(
+        out,
+        "max |E|        : {:.4} (paper reference ~0.1)",
+        s.max_abs_field
+    );
     let _ = writeln!(out, "mean |E|       : {:.6}", s.mean_abs_field);
     let _ = writeln!(out, "all finite     : {}", s.all_finite);
     out

@@ -47,8 +47,7 @@ impl From<std::io::Error> for StoreError {
 
 /// Serializes a dataset.
 pub fn encode(ds: &PhaseDataset) -> Vec<u8> {
-    let mut buf =
-        Vec::with_capacity(64 + 4 * (ds.inputs().len() + ds.targets().len()));
+    let mut buf = Vec::with_capacity(64 + 4 * (ds.inputs().len() + ds.targets().len()));
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(ds.spec.nx as u32);
@@ -128,7 +127,10 @@ pub fn decode(bytes: &[u8]) -> Result<PhaseDataset, StoreError> {
     }
     for i in 0..n {
         hist.copy_from_slice(&all_inputs[i * cells..(i + 1) * cells]);
-        for (f, &t) in field.iter_mut().zip(&all_targets[i * e_cells..(i + 1) * e_cells]) {
+        for (f, &t) in field
+            .iter_mut()
+            .zip(&all_targets[i * e_cells..(i + 1) * e_cells])
+        {
             *f = t as f64;
         }
         ds.push(&hist, &field);

@@ -39,7 +39,13 @@ pub struct VlasovDatasetConfig {
 impl VlasovDatasetConfig {
     /// Defaults matched to the PIC harvest conventions.
     pub fn new(sweep: SweepSpec, phase_spec: PhaseGridSpec, total_mass: f64) -> Self {
-        Self { sweep, phase_spec, total_mass, refine: (2, 8), dt: 0.05 }
+        Self {
+            sweep,
+            phase_spec,
+            total_mass,
+            refine: (2, 8),
+            dt: 0.05,
+        }
     }
 }
 
@@ -167,7 +173,10 @@ mod tests {
         assert_eq!(ds.e_cells, 64);
         for i in 0..ds.len() {
             let mass: f64 = ds.input_row(i).iter().map(|&h| h as f64).sum();
-            assert!((mass - 64_000.0).abs() / 64_000.0 < 1e-3, "sample {i} mass {mass}");
+            assert!(
+                (mass - 64_000.0).abs() / 64_000.0 < 1e-3,
+                "sample {i} mass {mass}"
+            );
         }
     }
 

@@ -74,7 +74,10 @@ impl Fabric {
         assert!(from < self.n_ranks, "bad sender {from}");
         assert!(to < self.n_ranks, "bad receiver {to}");
         if from != to {
-            let delta = CommStats { messages: 1, bytes: 8 * payload.len() as u64 };
+            let delta = CommStats {
+                messages: 1,
+                bytes: 8 * payload.len() as u64,
+            };
             self.total.merge(delta);
             match self.phases.iter_mut().find(|(p, _)| *p == phase) {
                 Some((_, stats)) => stats.merge(delta),
@@ -172,8 +175,20 @@ mod tests {
         f.send(0, 1, "halo", vec![0.0; 2]);
         f.send(1, 0, "migrate", vec![0.0; 4]);
         f.send(0, 1, "halo", vec![0.0; 2]);
-        assert_eq!(f.phase_stats("halo"), CommStats { messages: 2, bytes: 32 });
-        assert_eq!(f.phase_stats("migrate"), CommStats { messages: 1, bytes: 32 });
+        assert_eq!(
+            f.phase_stats("halo"),
+            CommStats {
+                messages: 2,
+                bytes: 32
+            }
+        );
+        assert_eq!(
+            f.phase_stats("migrate"),
+            CommStats {
+                messages: 1,
+                bytes: 32
+            }
+        );
         assert_eq!(f.phase_stats("nope"), CommStats::default());
         assert_eq!(f.phases().count(), 2);
     }

@@ -47,7 +47,11 @@ pub fn deposit_local(
     shape: Shape,
     rho_ext: &mut [f64],
 ) {
-    assert_eq!(rho_ext.len(), ext_len(topo), "extended buffer length mismatch");
+    assert_eq!(
+        rho_ext.len(),
+        ext_len(topo),
+        "extended buffer length mismatch"
+    );
     rho_ext.fill(0.0);
     let inv_dx = 1.0 / grid.dx();
     let q_over_dx = particles.charge() * inv_dx;
@@ -85,12 +89,7 @@ pub fn send_halo_right(rank: usize, topo: &Topology, fabric: &mut Fabric, rho_ex
 ///
 /// # Panics
 /// Panics if the message is missing (driver bug).
-pub fn recv_halo_from_left(
-    rank: usize,
-    topo: &Topology,
-    fabric: &mut Fabric,
-    rho_ext: &mut [f64],
-) {
+pub fn recv_halo_from_left(rank: usize, topo: &Topology, fabric: &mut Fabric, rho_ext: &mut [f64]) {
     let msg = fabric
         .recv(rank, topo.left(rank))
         .expect("missing right-halo message from left neighbour");
@@ -102,7 +101,12 @@ pub fn recv_halo_from_left(
 
 /// Round B send: ships this rank's left halo to its left neighbour.
 pub fn send_halo_left(rank: usize, topo: &Topology, fabric: &mut Fabric, rho_ext: &[f64]) {
-    fabric.send(rank, topo.left(rank), "deposit-halo", rho_ext[..HALO].to_vec());
+    fabric.send(
+        rank,
+        topo.left(rank),
+        "deposit-halo",
+        rho_ext[..HALO].to_vec(),
+    );
 }
 
 /// Round B receive: adds the right neighbour's left-halo contribution onto
@@ -152,12 +156,7 @@ mod tests {
 
     /// Splits positions by owner and runs the full local-deposit + halo
     /// pipeline; returns the assembled global density.
-    fn distributed_density(
-        xs: &[f64],
-        grid: &Grid1D,
-        topo: &Topology,
-        shape: Shape,
-    ) -> Vec<f64> {
+    fn distributed_density(xs: &[f64], grid: &Grid1D, topo: &Topology, shape: Shape) -> Vec<f64> {
         let mut fabric = Fabric::new(topo.n_ranks());
         let w = grid.length() / xs.len() as f64;
         let mut buffers: Vec<Vec<f64>> = Vec::new();
@@ -185,9 +184,7 @@ mod tests {
 
     fn scrambled_positions(n: usize, length: f64) -> Vec<f64> {
         (0..n)
-            .map(|i| {
-                (i.wrapping_mul(2654435761) % 100_000) as f64 / 100_000.0 * length
-            })
+            .map(|i| (i.wrapping_mul(2654435761) % 100_000) as f64 / 100_000.0 * length)
             .collect()
     }
 
@@ -196,8 +193,7 @@ mod tests {
         let grid = Grid1D::new(64, 2.0532);
         let xs = scrambled_positions(4096, grid.length());
         let w = grid.length() / xs.len() as f64;
-        let reference_particles =
-            Particles::new(xs.clone(), vec![0.0; xs.len()], -w, w);
+        let reference_particles = Particles::new(xs.clone(), vec![0.0; xs.len()], -w, w);
         for shape in [Shape::Ngp, Shape::Cic, Shape::Tsc] {
             let mut reference = grid.zeros();
             deposit_charge(&reference_particles, &grid, shape, &mut reference);

@@ -56,14 +56,13 @@ pub fn send_leavers(
 /// appends the arriving particles. Returns the number received.
 ///
 /// Call after *all* ranks have run [`send_leavers`] for the step.
-pub fn recv_arrivals(
-    rank: usize,
-    particles: &mut Particles,
-    fabric: &mut Fabric,
-) -> usize {
+pub fn recv_arrivals(rank: usize, particles: &mut Particles, fabric: &mut Fabric) -> usize {
     let mut received = 0;
     while let Some((_from, payload)) = fabric.recv_any(rank) {
-        assert!(payload.len() % 2 == 0, "migration payload must be (x, v) pairs");
+        assert!(
+            payload.len() % 2 == 0,
+            "migration payload must be (x, v) pairs"
+        );
         for pair in payload.chunks_exact(2) {
             particles.x.push(pair[0]);
             particles.v.push(pair[1]);
@@ -89,10 +88,7 @@ mod tests {
         let dx = grid.dx();
         // Rank 0 owns cells [0, 16): one stayer, one bound for rank 1,
         // one that wrapped around to the last rank's slab.
-        let mut p0 = local(
-            vec![5.0 * dx, 20.0 * dx, 62.0 * dx],
-            vec![1.0, 2.0, 3.0],
-        );
+        let mut p0 = local(vec![5.0 * dx, 20.0 * dx, 62.0 * dx], vec![1.0, 2.0, 3.0]);
         let moved = send_leavers(0, &mut p0, &grid, &topo, &mut fabric);
         assert_eq!(moved, 2);
         assert_eq!(p0.len(), 1);
@@ -128,8 +124,7 @@ mod tests {
             .map(|i| (i as f64 + 0.5) / 500.0 * grid.length())
             .collect();
         let vs: Vec<f64> = (0..500).map(|i| i as f64).collect();
-        let mut holders: Vec<Particles> =
-            (0..8).map(|_| local(vec![], vec![])).collect();
+        let mut holders: Vec<Particles> = (0..8).map(|_| local(vec![], vec![])).collect();
         holders[3] = local(xs.clone(), vs.clone());
 
         for rank in topo.ranks() {

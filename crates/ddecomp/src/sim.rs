@@ -12,6 +12,7 @@ use crate::halo::{ext_len, HALO};
 use crate::migrate::{recv_arrivals, send_leavers};
 use crate::strategy::DistFieldStrategy;
 use crate::topology::Topology;
+use dlpic_analytics::dft;
 use dlpic_pic::diagnostics::EnergyReport;
 use dlpic_pic::grid::Grid1D;
 use dlpic_pic::history::History;
@@ -19,7 +20,6 @@ use dlpic_pic::init::TwoStreamInit;
 use dlpic_pic::mover::{half_step_back, push_positions, push_velocities};
 use dlpic_pic::particles::Particles;
 use dlpic_pic::shape::Shape;
-use dlpic_analytics::dft;
 
 /// Per-rank simulation state.
 pub struct RankState {
@@ -67,7 +67,11 @@ pub fn gather_local(
     e_part: &mut [f64],
 ) {
     assert_eq!(e_ext.len(), ext_len(topo), "extended field length mismatch");
-    assert_eq!(e_part.len(), particles.len(), "per-particle buffer mismatch");
+    assert_eq!(
+        e_part.len(),
+        particles.len(),
+        "per-particle buffer mismatch"
+    );
     let inv_dx = 1.0 / grid.dx();
     let start = topo.slab_start(rank) as i64;
     let support = shape.support();
@@ -156,9 +160,7 @@ impl DistSimulation {
             .into_iter()
             .zip(vs)
             .enumerate()
-            .map(|(rank, (x, v))| {
-                RankState::new(rank, Particles::new(x, v, q, m), &topo)
-            })
+            .map(|(rank, (x, v))| RankState::new(rank, Particles::new(x, v, q, m), &topo))
             .collect();
 
         let mut sim = Self {
@@ -175,7 +177,8 @@ impl DistSimulation {
         };
 
         // E⁰ and the v⁰ → v^{-1/2} stagger.
-        sim.strategy.solve(&mut sim.states, &sim.cfg.grid, &sim.topo, &mut sim.fabric);
+        sim.strategy
+            .solve(&mut sim.states, &sim.cfg.grid, &sim.topo, &mut sim.fabric);
         for state in sim.states.iter_mut() {
             state.e_part.resize(state.particles.len(), 0.0);
             gather_local(
@@ -228,7 +231,11 @@ impl DistSimulation {
 
         self.history.push(
             self.time,
-            EnergyReport { kinetic, field: fe, momentum },
+            EnergyReport {
+                kinetic,
+                field: fe,
+                momentum,
+            },
             &amps,
         );
 
@@ -250,7 +257,8 @@ impl DistSimulation {
         }
 
         // Field solve for E^{n+1}.
-        self.strategy.solve(&mut self.states, &grid, &self.topo, &mut self.fabric);
+        self.strategy
+            .solve(&mut self.states, &grid, &self.topo, &mut self.fabric);
 
         self.time += dt;
         self.steps_done += 1;
@@ -261,9 +269,24 @@ impl DistSimulation {
         for _ in 0..self.cfg.n_steps {
             self.step();
         }
+        self.finish();
+    }
+
+    /// Appends the final diagnostics snapshot at the current time.
+    /// External step-by-step drivers (the engine facade) call this once at
+    /// the end to reproduce the `n + 1`-sample convention of [`Self::run`].
+    pub fn finish(&mut self) {
         self.assemble_diag_field();
-        let kinetic: f64 = self.states.iter().map(|s| s.particles.kinetic_energy()).sum();
-        let momentum: f64 = self.states.iter().map(|s| s.particles.total_momentum()).sum();
+        let kinetic: f64 = self
+            .states
+            .iter()
+            .map(|s| s.particles.kinetic_energy())
+            .sum();
+        let momentum: f64 = self
+            .states
+            .iter()
+            .map(|s| s.particles.total_momentum())
+            .sum();
         let fe = dlpic_pic::efield::field_energy(&self.cfg.grid, &self.e_diag);
         let amps: Vec<f64> = self
             .cfg
@@ -271,7 +294,15 @@ impl DistSimulation {
             .iter()
             .map(|&m| dft::mode_amplitude(&self.e_diag, m))
             .collect();
-        self.history.push(self.time, EnergyReport { kinetic, field: fe, momentum }, &amps);
+        self.history.push(
+            self.time,
+            EnergyReport {
+                kinetic,
+                field: fe,
+                momentum,
+            },
+            &amps,
+        );
     }
 
     /// Reassembles the global E from the owned slab centers (diagnostics
@@ -280,8 +311,7 @@ impl DistSimulation {
         let cpr = self.topo.cells_per_rank();
         for state in &self.states {
             let start = self.topo.slab_start(state.rank);
-            self.e_diag[start..start + cpr]
-                .copy_from_slice(&state.e_ext[HALO..HALO + cpr]);
+            self.e_diag[start..start + cpr].copy_from_slice(&state.e_ext[HALO..HALO + cpr]);
         }
     }
 
@@ -309,6 +339,19 @@ impl DistSimulation {
     /// Particles currently held per rank.
     pub fn particles_per_rank(&self) -> Vec<usize> {
         self.states.iter().map(|s| s.particles.len()).collect()
+    }
+
+    /// The global `(x, v)` phase space concatenated across ranks, in rank
+    /// order (diagnostics; the engine facade's final snapshot).
+    pub fn phase_space(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.total_particles();
+        let mut x = Vec::with_capacity(n);
+        let mut v = Vec::with_capacity(n);
+        for state in &self.states {
+            x.extend_from_slice(&state.particles.x);
+            v.extend_from_slice(&state.particles.v);
+        }
+        (x, v)
     }
 
     /// Total particle count (conserved across migration).
@@ -362,10 +405,8 @@ mod tests {
 
     #[test]
     fn run_produces_n_plus_one_samples() {
-        let mut sim = DistSimulation::new(
-            config(4, 10),
-            Box::new(GatherScatter::new(Shape::Cic, 1.0)),
-        );
+        let mut sim =
+            DistSimulation::new(config(4, 10), Box::new(GatherScatter::new(Shape::Cic, 1.0)));
         sim.run();
         assert_eq!(sim.history().len(), 11);
         assert_eq!(sim.steps_done(), 10);
@@ -374,10 +415,8 @@ mod tests {
 
     #[test]
     fn particle_count_is_conserved_through_migration() {
-        let mut sim = DistSimulation::new(
-            config(8, 30),
-            Box::new(GatherScatter::new(Shape::Cic, 1.0)),
-        );
+        let mut sim =
+            DistSimulation::new(config(8, 30), Box::new(GatherScatter::new(Shape::Cic, 1.0)));
         sim.run();
         assert_eq!(sim.total_particles(), 8_000);
         assert!(sim.migrated_total() > 0, "beams must cross slabs");
@@ -385,10 +424,8 @@ mod tests {
 
     #[test]
     fn momentum_conserved_with_matched_shapes() {
-        let mut sim = DistSimulation::new(
-            config(4, 25),
-            Box::new(GatherScatter::new(Shape::Cic, 1.0)),
-        );
+        let mut sim =
+            DistSimulation::new(config(4, 25), Box::new(GatherScatter::new(Shape::Cic, 1.0)));
         sim.run();
         for (i, p) in sim.history().momentum.iter().enumerate() {
             assert!(p.abs() < 1e-9, "step {i}: momentum {p}");

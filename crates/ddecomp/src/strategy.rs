@@ -177,7 +177,11 @@ impl ReplicatedDl {
     /// replica of its network (the in-process emulation evaluates the one
     /// copy once per rank).
     pub fn new(solver: DlFieldSolver) -> Self {
-        Self { solver, hist_global: Vec::new(), e_global: Vec::new() }
+        Self {
+            solver,
+            hist_global: Vec::new(),
+            e_global: Vec::new(),
+        }
     }
 
     /// The wrapped DL solver.
@@ -243,11 +247,8 @@ impl DistFieldStrategy for ReplicatedDl {
         for state in states.iter_mut() {
             let global = fabric.recv(state.rank, 0).expect("missing broadcast");
             let hist: Vec<f32> = global.iter().map(|&v| v as f32).collect();
-            self.solver.solve_from_raw_histogram(
-                &hist,
-                total_mass as f32,
-                &mut self.e_global,
-            );
+            self.solver
+                .solve_from_raw_histogram(&hist, total_mass as f32, &mut self.e_global);
             let start = topo.slab_start(state.rank) as i64;
             for i in 0..cpr + 2 * HALO {
                 let j = grid.wrap_index(start - HALO as i64 + i as i64);
@@ -271,7 +272,11 @@ mod tests {
 
     fn tiny_dl_solver() -> DlFieldSolver {
         let spec = PhaseGridSpec::smoke();
-        let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![8], output: 64 };
+        let arch = ArchSpec::Mlp {
+            input: spec.cells(),
+            hidden: vec![8],
+            output: 64,
+        };
         DlFieldSolver::new(
             arch.build(0),
             spec,
@@ -291,12 +296,7 @@ mod tests {
                 let xs: Vec<f64> = (0..per_rank)
                     .map(|i| start + (i as f64 + 0.5) / per_rank as f64 * width)
                     .collect();
-                let p = dlpic_pic::particles::Particles::new(
-                    xs,
-                    vec![0.0; per_rank],
-                    -w,
-                    w,
-                );
+                let p = dlpic_pic::particles::Particles::new(xs, vec![0.0; per_rank], -w, w);
                 RankState::new(rank, p, topo)
             })
             .collect()
@@ -328,9 +328,7 @@ mod tests {
             for state in &states {
                 let start = topo.slab_start(state.rank);
                 for k in 0..topo.cells_per_rank() {
-                    assert!(
-                        (state.e_ext[HALO + k] - reference_e[start + k]).abs() < 1e-12
-                    );
+                    assert!((state.e_ext[HALO + k] - reference_e[start + k]).abs() < 1e-12);
                 }
             }
         }
@@ -375,10 +373,7 @@ mod tests {
                 None => reference = Some(strat.e_global().to_vec()),
                 Some(r) => {
                     for (j, (a, b)) in strat.e_global().iter().zip(r).enumerate() {
-                        assert!(
-                            (a - b).abs() < 1e-6,
-                            "R={n_ranks} node {j}: {a} vs {b}"
-                        );
+                        assert!((a - b).abs() < 1e-6, "R={n_ranks} node {j}: {a} vs {b}");
                     }
                 }
             }
@@ -394,14 +389,12 @@ mod tests {
 
             let mut fabric_gs = Fabric::new(n_ranks);
             let mut states = make_states(&grid, &topo, 512 / n_ranks);
-            GatherScatter::new(Shape::Cic, 1.0)
-                .solve(&mut states, &grid, &topo, &mut fabric_gs);
+            GatherScatter::new(Shape::Cic, 1.0).solve(&mut states, &grid, &topo, &mut fabric_gs);
             let gs_bytes = fabric_gs.stats().bytes;
 
             let mut fabric_dl = Fabric::new(n_ranks);
             let mut states = make_states(&grid, &topo, 512 / n_ranks);
-            ReplicatedDl::new(tiny_dl_solver())
-                .solve(&mut states, &grid, &topo, &mut fabric_dl);
+            ReplicatedDl::new(tiny_dl_solver()).solve(&mut states, &grid, &topo, &mut fabric_dl);
             let dl_bytes = fabric_dl.stats().bytes;
 
             // With the smoke 16×16 histogram the DL all-reduce is bigger

@@ -73,7 +73,11 @@ impl Dataset {
     /// Panics if the sizes exceed the sample count.
     pub fn split(&self, sizes: &[usize]) -> Vec<Dataset> {
         let total: usize = sizes.iter().sum();
-        assert!(total <= self.len(), "split sizes {total} exceed dataset {}", self.len());
+        assert!(
+            total <= self.len(),
+            "split sizes {total} exceed dataset {}",
+            self.len()
+        );
         let mut out = Vec::with_capacity(sizes.len());
         let mut start = 0;
         for &s in sizes {

@@ -72,7 +72,10 @@ pub fn check_gradients(
             e_idx += stride;
         }
     }
-    GradCheckReport { max_rel_error: max_rel, checked }
+    GradCheckReport {
+        max_rel_error: max_rel,
+        checked,
+    }
 }
 
 /// Adds `delta` to parameter `elem` of the `tensor_idx`-th parameter slice.
@@ -113,7 +116,11 @@ mod tests {
         // in the loss difference (too small); 3e-3 sits between. A genuine
         // backward bug shows up as O(1) relative error, far above 5%.
         let report = check_gradients(&mut net, &Mse, &x, &y, 3e-3, 1);
-        assert!(report.max_rel_error < 5e-2, "max rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 5e-2,
+            "max rel err {}",
+            report.max_rel_error
+        );
         assert_eq!(report.checked, (6 * 10 + 10) + (10 * 3 + 3));
     }
 
@@ -128,7 +135,11 @@ mod tests {
         let x = Tensor::new(pseudo(2 * 16, 11), &[2, 1, 4, 4]);
         let y = Tensor::new(pseudo(2 * 2, 13), &[2, 2]);
         let report = check_gradients(&mut net, &Mse, &x, &y, 1e-2, 1);
-        assert!(report.max_rel_error < 3e-2, "max rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 3e-2,
+            "max rel err {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -141,7 +152,11 @@ mod tests {
         let x = Tensor::new(pseudo(3 * 4, 31), &[3, 4]);
         let y = Tensor::new(pseudo(3 * 2, 37), &[3, 2]);
         let report = check_gradients(&mut net, &Mse, &x, &y, 1e-2, 1);
-        assert!(report.max_rel_error < 3e-2, "max rel err {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 3e-2,
+            "max rel err {}",
+            report.max_rel_error
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ mod tests {
         let expect = 2.0 / fan_in as f32;
         // SE of the mean ≈ σ/√n ≈ 2.8e-4; allow 5 SE.
         assert!(mean.abs() < 1.5e-3, "mean {mean}");
-        assert!((var - expect).abs() / expect < 0.05, "var {var} vs {expect}");
+        assert!(
+            (var - expect).abs() / expect < 0.05,
+            "var {var} vs {expect}"
+        );
     }
 
     #[test]

@@ -126,8 +126,16 @@ impl Conv2d {
 
     fn dims(&self, input: &Tensor) -> (usize, usize, usize) {
         let shape = input.shape();
-        assert_eq!(shape.len(), 4, "conv2d expects [batch, ch, h, w], got {shape:?}");
-        assert_eq!(shape[1], self.in_ch, "conv2d expected {} channels, got {}", self.in_ch, shape[1]);
+        assert_eq!(
+            shape.len(),
+            4,
+            "conv2d expects [batch, ch, h, w], got {shape:?}"
+        );
+        assert_eq!(
+            shape[1], self.in_ch,
+            "conv2d expected {} channels, got {}",
+            self.in_ch, shape[1]
+        );
         (shape[0], shape[2], shape[3])
     }
 }
@@ -159,11 +167,18 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.take().expect("backward before forward(training)");
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward before forward(training)");
         let (batch, h, w) = self.dims(&input);
         let hw = h * w;
         let ckk = self.in_ch * self.k * self.k;
-        assert_eq!(grad_out.shape(), &[batch, self.out_ch, h, w], "grad_out shape");
+        assert_eq!(
+            grad_out.shape(),
+            &[batch, self.out_ch, h, w],
+            "grad_out shape"
+        );
 
         let mut grad_in = Tensor::zeros(input.shape());
         self.cols.resize(ckk * hw, 0.0);
@@ -187,8 +202,7 @@ impl Layer for Conv2d {
             }
             // dcols = Wᵀ·dY, then scatter back to the input gradient.
             matmul_tn(&self.w, dy, &mut dcols, ckk, self.out_ch, hw);
-            let dsample =
-                &mut grad_in.data_mut()[bi * self.in_ch * hw..(bi + 1) * self.in_ch * hw];
+            let dsample = &mut grad_in.data_mut()[bi * self.in_ch * hw..(bi + 1) * self.in_ch * hw];
             self.col2im_add(&dcols, h, w, dsample);
         }
         self.cols = cols;
@@ -261,7 +275,9 @@ mod tests {
     }
 
     fn pseudo(len: usize, seed: u64) -> Vec<f32> {
-        (0..len).map(|i| (((i as u64 + seed) * 2654435761 % 997) as f32 / 498.5) - 1.0).collect()
+        (0..len)
+            .map(|i| (((i as u64 + seed) * 2654435761 % 997) as f32 / 498.5) - 1.0)
+            .collect()
     }
 
     #[test]
@@ -364,7 +380,10 @@ mod tests {
 
         let loss = |c: &mut Conv2d| -> f64 {
             let out = c.forward(&x, false);
-            out.data().iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+            out.data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum()
         };
         let eps = 1e-3;
         conv.w[4] += eps;

@@ -20,7 +20,10 @@ pub struct Dense {
 impl Dense {
     /// Creates a dense layer with the given initialization and seed.
     pub fn new(in_features: usize, out_features: usize, init: Init, seed: u64) -> Self {
-        assert!(in_features > 0 && out_features > 0, "degenerate dense layer");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "degenerate dense layer"
+        );
         let mut w = vec![0.0f32; in_features * out_features];
         init.fill(&mut w, in_features, out_features, seed);
         Self {
@@ -66,7 +69,14 @@ impl Layer for Dense {
             input.shape()
         );
         let mut out = Tensor::zeros(&[batch, self.out_features]);
-        matmul_nn(input.data(), &self.w, out.data_mut(), batch, self.in_features, self.out_features);
+        matmul_nn(
+            input.data(),
+            &self.w,
+            out.data_mut(),
+            batch,
+            self.in_features,
+            self.out_features,
+        );
         add_bias(out.data_mut(), &self.b, batch, self.out_features);
         if training {
             self.cached_input = Some(input.clone());
@@ -75,13 +85,27 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward before forward(training)");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward(training)");
         let batch = input.batch();
-        assert_eq!(grad_out.shape(), &[batch, self.out_features], "grad_out shape");
+        assert_eq!(
+            grad_out.shape(),
+            &[batch, self.out_features],
+            "grad_out shape"
+        );
 
         // dW += Xᵀ·dY (accumulate: add into a scratch then sum).
         let mut dw_step = vec![0.0f32; self.w.len()];
-        matmul_tn(input.data(), grad_out.data(), &mut dw_step, self.in_features, batch, self.out_features);
+        matmul_tn(
+            input.data(),
+            grad_out.data(),
+            &mut dw_step,
+            self.in_features,
+            batch,
+            self.out_features,
+        );
         for (d, s) in self.dw.iter_mut().zip(&dw_step) {
             *d += s;
         }
@@ -90,7 +114,14 @@ impl Layer for Dense {
 
         // dX = dY·Wᵀ.
         let mut grad_in = Tensor::zeros(&[batch, self.in_features]);
-        matmul_nt(grad_out.data(), &self.w, grad_in.data_mut(), batch, self.out_features, self.in_features);
+        matmul_nt(
+            grad_out.data(),
+            &self.w,
+            grad_in.data_mut(),
+            batch,
+            self.out_features,
+            self.in_features,
+        );
         grad_in
     }
 

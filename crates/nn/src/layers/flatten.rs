@@ -28,7 +28,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(!self.input_shape.is_empty(), "backward before forward(training)");
+        assert!(
+            !self.input_shape.is_empty(),
+            "backward before forward(training)"
+        );
         grad_out.clone().reshape(&self.input_shape)
     }
 

@@ -22,9 +22,16 @@ impl MaxPool2 {
 impl Layer for MaxPool2 {
     fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
         let shape = input.shape();
-        assert_eq!(shape.len(), 4, "maxpool expects [batch, ch, h, w], got {shape:?}");
+        assert_eq!(
+            shape.len(),
+            4,
+            "maxpool expects [batch, ch, h, w], got {shape:?}"
+        );
         let (batch, ch, h, w) = (shape[0], shape[1], shape[2], shape[3]);
-        assert!(h % 2 == 0 && w % 2 == 0, "maxpool needs even spatial dims, got {h}x{w}");
+        assert!(
+            h % 2 == 0 && w % 2 == 0,
+            "maxpool needs even spatial dims, got {h}x{w}"
+        );
         let (oh, ow) = (h / 2, w / 2);
         let mut out = Tensor::zeros(&[batch, ch, oh, ow]);
         if training {
@@ -60,7 +67,11 @@ impl Layer for MaxPool2 {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.argmax.len(), "backward before forward(training)");
+        assert_eq!(
+            grad_out.len(),
+            self.argmax.len(),
+            "backward before forward(training)"
+        );
         let mut grad_in = Tensor::zeros(&self.input_shape);
         let gi = grad_in.data_mut();
         for (&g, &src) in grad_out.data().iter().zip(&self.argmax) {

@@ -27,7 +27,11 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward(training)");
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "backward before forward(training)"
+        );
         let data = grad_out
             .data()
             .iter()

@@ -19,7 +19,10 @@ pub struct ResidualDense {
 impl ResidualDense {
     /// Creates a residual block of the given width.
     pub fn new(width: usize, init: Init, seed: u64) -> Self {
-        Self { inner: Dense::new(width, width, init, seed), mask: Vec::new() }
+        Self {
+            inner: Dense::new(width, width, init, seed),
+            mask: Vec::new(),
+        }
     }
 }
 
@@ -35,7 +38,11 @@ impl Layer for ResidualDense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward(training)");
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "backward before forward(training)"
+        );
         // Through the ReLU.
         let masked = Tensor::new(
             grad_out

@@ -40,7 +40,9 @@ pub fn matmul_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         }
     };
     if 2 * m * k * n >= PAR_FLOPS && rayon::current_num_threads() > 1 {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_job(i, row));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row_job(i, row));
     } else {
         for (i, row) in c.chunks_mut(n).enumerate() {
             row_job(i, row);
@@ -78,7 +80,9 @@ pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     };
     if 2 * m * k * n >= PAR_FLOPS && rayon::current_num_threads() > 1 {
         // Block rows so each worker scans A/B once per block.
-        let block = (m / rayon::current_num_threads().max(1)).max(8).min(m.max(1));
+        let block = (m / rayon::current_num_threads().max(1))
+            .max(8)
+            .min(m.max(1));
         c.par_chunks_mut(block * n)
             .enumerate()
             .for_each(|(bi, cb)| block_job(bi * block, cb));
@@ -110,7 +114,9 @@ pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         }
     };
     if 2 * m * k * n >= PAR_FLOPS && rayon::current_num_threads() > 1 {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_job(i, row));
+        c.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| row_job(i, row));
     } else {
         for (i, row) in c.chunks_mut(n).enumerate() {
             row_job(i, row);
@@ -169,7 +175,10 @@ mod tests {
     fn assert_close(a: &[f32], b: &[f32], tol: f32) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elem {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "elem {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -231,8 +240,12 @@ mod tests {
     fn big_enough_to_trigger_parallel_path() {
         // 128×128×128 ≈ 4 MFLOPs > threshold; verify against the oracle.
         let m = 128;
-        let a: Vec<f32> = (0..m * m).map(|i| ((i * 7 % 13) as f32 - 6.0) / 13.0).collect();
-        let b: Vec<f32> = (0..m * m).map(|i| ((i * 11 % 17) as f32 - 8.0) / 17.0).collect();
+        let a: Vec<f32> = (0..m * m)
+            .map(|i| ((i * 7 % 13) as f32 - 6.0) / 13.0)
+            .collect();
+        let b: Vec<f32> = (0..m * m)
+            .map(|i| ((i * 11 % 17) as f32 - 8.0) / 17.0)
+            .collect();
         let mut c = vec![0.0; m * m];
         matmul_nn(&a, &b, &mut c, m, m, m);
         let oracle = matmul_naive(&a, &b, m, m, m);

@@ -74,7 +74,11 @@ mod tests {
             let mut scratch = Tensor::zeros(&[1, 3]);
             let plus = Mse.loss_and_grad(&pp, &t, &mut scratch);
             let fd = (plus - base) / eps;
-            assert!((fd - g.data()[i]).abs() < 1e-2, "elem {i}: fd {fd} vs {}", g.data()[i]);
+            assert!(
+                (fd - g.data()[i]).abs() < 1e-2,
+                "elem {i}: fd {fd} vs {}",
+                g.data()[i]
+            );
         }
     }
 }

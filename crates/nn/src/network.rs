@@ -99,7 +99,12 @@ impl Sequential {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (i, layer) in self.layers.iter().enumerate() {
-            let _ = writeln!(out, "{i:>3}  {:<16} {:>10} params", layer.name(), layer.param_count());
+            let _ = writeln!(
+                out,
+                "{i:>3}  {:<16} {:>10} params",
+                layer.name(),
+                layer.param_count()
+            );
         }
         let _ = writeln!(out, "     total {:>21} params", self.param_count());
         out

@@ -22,7 +22,14 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the standard β/ε defaults.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
     }
 
     /// The paper's configuration: `lr = 1e-4`.
@@ -50,8 +57,11 @@ impl Optimizer for Adam {
             }
             let (m, v) = &mut moments[idx];
             debug_assert_eq!(m.len(), p.len(), "parameter layout changed between steps");
-            for (((pv, &gv), mv), vv) in
-                p.iter_mut().zip(g.iter()).zip(m.iter_mut()).zip(v.iter_mut())
+            for (((pv, &gv), mv), vv) in p
+                .iter_mut()
+                .zip(g.iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
             {
                 *mv = b1 * *mv + (1.0 - b1) * gv;
                 *vv = b2 * *vv + (1.0 - b2) * gv * gv;
@@ -113,7 +123,10 @@ mod tests {
         };
         let adam_loss = run(true);
         let sgd_loss = run(false);
-        assert!(adam_loss < sgd_loss * 0.5, "adam {adam_loss} vs sgd {sgd_loss}");
+        assert!(
+            adam_loss < sgd_loss * 0.5,
+            "adam {adam_loss} vs sgd {sgd_loss}"
+        );
     }
 
     #[test]

@@ -96,10 +96,14 @@ pub fn params_from_bytes(net: &mut Sequential, bytes: &[u8]) -> Result<(), Seria
     let mut expected: Vec<usize> = Vec::new();
     net.visit_params(&mut |p, _| expected.push(p.len()));
     if expected.len() != tensors.len() {
-        return Err(SerializeError::Corrupt("tensor count does not match architecture"));
+        return Err(SerializeError::Corrupt(
+            "tensor count does not match architecture",
+        ));
     }
     if expected.iter().zip(&tensors).any(|(&e, t)| e != t.len()) {
-        return Err(SerializeError::Corrupt("tensor size does not match architecture"));
+        return Err(SerializeError::Corrupt(
+            "tensor size does not match architecture",
+        ));
     }
 
     let mut it = tensors.into_iter();
@@ -143,7 +147,10 @@ mod tests {
         let mut net = make_net(1);
         let mut blob = params_to_bytes(&mut net);
         blob[0] = b'X';
-        assert_eq!(params_from_bytes(&mut net, &blob), Err(SerializeError::BadMagic));
+        assert_eq!(
+            params_from_bytes(&mut net, &blob),
+            Err(SerializeError::BadMagic)
+        );
     }
 
     #[test]

@@ -21,18 +21,32 @@ impl Tensor {
     /// Panics if the element count does not match the shape product.
     pub fn new(data: Vec<f32>, shape: &[usize]) -> Self {
         let expect: usize = shape.iter().product();
-        assert_eq!(data.len(), expect, "data length {} != shape product {expect}", data.len());
-        Self { data, shape: shape.to_vec() }
+        assert_eq!(
+            data.len(),
+            expect,
+            "data length {} != shape product {expect}",
+            data.len()
+        );
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Zero-filled tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Constant-filled tensor.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// The shape.
@@ -109,7 +123,10 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Self {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// In-place element-wise `self += other`.

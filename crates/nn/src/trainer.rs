@@ -22,7 +22,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 64, shuffle_seed: 0, log_every: 0 }
+        Self {
+            epochs: 10,
+            batch_size: 64,
+            shuffle_seed: 0,
+            log_every: 0,
+        }
     }
 }
 
@@ -45,10 +50,13 @@ impl TrainHistory {
 
     /// Best (lowest) validation MAE seen.
     pub fn best_val_mae(&self) -> Option<f64> {
-        self.val_mae.iter().copied().fold(None, |best, v| match best {
-            None => Some(v),
-            Some(b) => Some(b.min(v)),
-        })
+        self.val_mae
+            .iter()
+            .copied()
+            .fold(None, |best, v| match best {
+                None => Some(v),
+                Some(b) => Some(b.min(v)),
+            })
     }
 }
 
@@ -133,11 +141,19 @@ mod tests {
             .push(Relu::new())
             .push(Dense::new(8, 1, Init::HeNormal, 2));
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 30, batch_size: 32, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            ..Default::default()
+        };
         let hist = train(&mut net, &Mse, &mut opt, &data, None, &cfg);
         assert_eq!(hist.train_loss.len(), 30);
-        assert!(hist.final_loss().unwrap() < hist.train_loss[0] * 0.1,
-            "{} -> {}", hist.train_loss[0], hist.final_loss().unwrap());
+        assert!(
+            hist.final_loss().unwrap() < hist.train_loss[0] * 0.1,
+            "{} -> {}",
+            hist.train_loss[0],
+            hist.final_loss().unwrap()
+        );
         assert!(hist.seconds > 0.0);
     }
 
@@ -147,7 +163,11 @@ mod tests {
         let parts = data.split(&[256, 44]);
         let mut net = Sequential::new().push(Dense::new(2, 1, Init::HeNormal, 3));
         let mut opt = Adam::new(0.02);
-        let cfg = TrainConfig { epochs: 20, batch_size: 32, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 32,
+            ..Default::default()
+        };
         let hist = train(&mut net, &Mse, &mut opt, &parts[0], Some(&parts[1]), &cfg);
         assert_eq!(hist.val_mae.len(), 20);
         assert!(hist.best_val_mae().unwrap() < hist.val_mae[0]);
@@ -159,7 +179,12 @@ mod tests {
         let run = || {
             let mut net = Sequential::new().push(Dense::new(2, 1, Init::GlorotUniform, 9));
             let mut opt = Adam::new(0.01);
-            let cfg = TrainConfig { epochs: 5, batch_size: 16, shuffle_seed: 77, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 5,
+                batch_size: 16,
+                shuffle_seed: 77,
+                ..Default::default()
+            };
             train(&mut net, &Mse, &mut opt, &data, None, &cfg).train_loss
         };
         assert_eq!(run(), run());
@@ -171,6 +196,13 @@ mod tests {
         let empty = Dataset::new(Tensor::zeros(&[0, 2]), Tensor::zeros(&[0, 1]));
         let mut net = Sequential::new().push(Dense::new(2, 1, Init::Zeros, 0));
         let mut opt = Adam::new(0.01);
-        let _ = train(&mut net, &Mse, &mut opt, &empty, None, &TrainConfig::default());
+        let _ = train(
+            &mut net,
+            &Mse,
+            &mut opt,
+            &empty,
+            None,
+            &TrainConfig::default(),
+        );
     }
 }

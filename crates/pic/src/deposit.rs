@@ -113,7 +113,12 @@ mod tests {
             let mut rho = grid.zeros();
             deposit_charge(&p, &grid, shape, &mut rho);
             assert!((rho[3] - p.charge() / grid.dx()).abs() < 1e-15, "{shape:?}");
-            let off: f64 = rho.iter().enumerate().filter(|(j, _)| *j != 3).map(|(_, r)| r.abs()).sum();
+            let off: f64 = rho
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != 3)
+                .map(|(_, r)| r.abs())
+                .sum();
             assert!(off < 1e-15, "{shape:?} leaked charge {off}");
         }
     }
@@ -146,7 +151,9 @@ mod tests {
         let grid = Grid1D::paper();
         let n = 64_000;
         // Exactly uniform particle positions.
-        let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64 * grid.length()).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (i as f64 + 0.5) / n as f64 * grid.length())
+            .collect();
         let p = electrons_at(xs, &grid);
         let mut rho = grid.zeros();
         deposit_charge(&p, &grid, Shape::Cic, &mut rho);

@@ -47,7 +47,11 @@ mod tests {
         #[allow(clippy::needless_range_loop)]
         for j in 0..n {
             let expect = k * (k * grid.node_position(j)).sin() * attenuation;
-            assert!((e[j] - expect).abs() < 1e-10, "node {j}: {} vs {expect}", e[j]);
+            assert!(
+                (e[j] - expect).abs() < 1e-10,
+                "node {j}: {} vs {expect}",
+                e[j]
+            );
         }
     }
 

@@ -26,7 +26,11 @@ pub fn gather_field(
     e_part: &mut [f64],
 ) {
     assert_eq!(e.len(), grid.ncells(), "field length mismatch");
-    assert_eq!(e_part.len(), particles.len(), "per-particle buffer mismatch");
+    assert_eq!(
+        e_part.len(),
+        particles.len(),
+        "per-particle buffer mismatch"
+    );
     let inv_dx = 1.0 / grid.dx();
     let n = grid.ncells();
 

@@ -21,8 +21,15 @@ impl Grid1D {
     /// Panics for zero cells or a non-positive length.
     pub fn new(ncells: usize, length: f64) -> Self {
         assert!(ncells > 0, "grid needs at least one cell");
-        assert!(length.is_finite() && length > 0.0, "invalid box length {length}");
-        Self { ncells, length, dx: length / ncells as f64 }
+        assert!(
+            length.is_finite() && length > 0.0,
+            "invalid box length {length}"
+        );
+        Self {
+            ncells,
+            length,
+            dx: length / ncells as f64,
+        }
     }
 
     /// The paper's grid: 64 cells over `L = 2π/3.06`.

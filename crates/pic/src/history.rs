@@ -26,7 +26,11 @@ impl History {
     /// Creates a history tracking the given field modes.
     pub fn new(tracked_modes: Vec<usize>) -> Self {
         let slots = tracked_modes.len();
-        Self { tracked_modes, mode_amps: vec![Vec::new(); slots], ..Self::default() }
+        Self {
+            tracked_modes,
+            mode_amps: vec![Vec::new(); slots],
+            ..Self::default()
+        }
     }
 
     /// Appends one step's diagnostics.
@@ -34,7 +38,11 @@ impl History {
     /// # Panics
     /// Panics if `amps` length differs from the number of tracked modes.
     pub fn push(&mut self, t: f64, report: EnergyReport, amps: &[f64]) {
-        assert_eq!(amps.len(), self.tracked_modes.len(), "mode amplitude count mismatch");
+        assert_eq!(
+            amps.len(),
+            self.tracked_modes.len(),
+            "mode amplitude count mismatch"
+        );
         self.times.push(t);
         self.kinetic.push(report.kinetic);
         self.field.push(report.field);
@@ -81,7 +89,11 @@ mod tests {
     use super::*;
 
     fn report(k: f64, f: f64, p: f64) -> EnergyReport {
-        EnergyReport { kinetic: k, field: f, momentum: p }
+        EnergyReport {
+            kinetic: k,
+            field: f,
+            momentum: p,
+        }
     }
 
     #[test]

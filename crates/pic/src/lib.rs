@@ -49,7 +49,7 @@ pub mod solver;
 
 pub use grid::Grid1D;
 pub use history::History;
-pub use init::{Loading, TwoStreamInit};
+pub use init::{BeamSpec, Loading, MultiBeamInit, TwoStreamInit};
 pub use particles::Particles;
 pub use poisson::{FdPoisson, PoissonSolver, SpectralPoisson};
 pub use shape::Shape;

@@ -119,7 +119,8 @@ impl PoissonSolver for SpectralPoisson {
         );
 
         self.spectrum.clear();
-        self.spectrum.extend(rho.iter().map(|&r| Complex64::from_real(r)));
+        self.spectrum
+            .extend(rho.iter().map(|&r| Complex64::from_real(r)));
         dft::fft_in_place(&mut self.spectrum);
 
         // Divide by k² mode by mode; k=0 (the mean) is gauged away.
@@ -127,7 +128,11 @@ impl PoissonSolver for SpectralPoisson {
         let two_pi_over_l = 2.0 * std::f64::consts::PI / grid.length();
         for m in 1..n {
             // Signed mode number: m > n/2 represents negative frequencies.
-            let mode = if m <= n / 2 { m as f64 } else { m as f64 - n as f64 };
+            let mode = if m <= n / 2 {
+                m as f64
+            } else {
+                m as f64 - n as f64
+            };
             let k = two_pi_over_l * mode;
             self.spectrum[m] = self.spectrum[m] / (k * k);
         }
@@ -169,8 +174,12 @@ mod tests {
     fn cosine_rho(grid: &Grid1D, mode: usize, amp: f64) -> (Vec<f64>, Vec<f64>) {
         let k = grid.mode_wavenumber(mode);
         let n = grid.ncells();
-        let rho: Vec<f64> = (0..n).map(|j| amp * (k * grid.node_position(j)).cos()).collect();
-        let phi: Vec<f64> = (0..n).map(|j| amp * (k * grid.node_position(j)).cos() / (k * k)).collect();
+        let rho: Vec<f64> = (0..n)
+            .map(|j| amp * (k * grid.node_position(j)).cos())
+            .collect();
+        let phi: Vec<f64> = (0..n)
+            .map(|j| amp * (k * grid.node_position(j)).cos() / (k * k))
+            .collect();
         (rho, phi)
     }
 
@@ -206,7 +215,9 @@ mod tests {
     #[test]
     fn fd_residual_is_machine_small_for_random_rho() {
         let grid = Grid1D::new(64, 2.0532);
-        let rho: Vec<f64> = (0..64).map(|j| ((j * 37 % 19) as f64 - 9.0) / 10.0).collect();
+        let rho: Vec<f64> = (0..64)
+            .map(|j| ((j * 37 % 19) as f64 - 9.0) / 10.0)
+            .collect();
         let mut phi = grid.zeros();
         FdPoisson::new().solve(&grid, &rho, &mut phi);
         assert!(fd_residual(&grid, &rho, &phi) < 1e-9);
@@ -230,8 +241,10 @@ mod tests {
         // neutralizing background exactly cancels it.
         let grid = Grid1D::paper();
         let rho = vec![0.7; 64];
-        for solver in [&mut FdPoisson::new() as &mut dyn PoissonSolver,
-                       &mut SpectralPoisson::new() as &mut dyn PoissonSolver] {
+        for solver in [
+            &mut FdPoisson::new() as &mut dyn PoissonSolver,
+            &mut SpectralPoisson::new() as &mut dyn PoissonSolver,
+        ] {
             let mut phi = vec![1.0; 64];
             solver.solve(&grid, &rho, &mut phi);
             for p in &phi {

@@ -40,7 +40,10 @@ pub fn reduced_config(v0: f64, vth: f64, ppc: usize, n_steps: usize, seed: u64) 
 
 /// A fully assembled traditional-PIC simulation at paper scale.
 pub fn paper_simulation(v0: f64, vth: f64, seed: u64) -> Simulation {
-    Simulation::new(paper_config(v0, vth, seed), Box::new(TraditionalSolver::paper_default()))
+    Simulation::new(
+        paper_config(v0, vth, seed),
+        Box::new(TraditionalSolver::paper_default()),
+    )
 }
 
 /// The validation run of the paper's Figs. 4–5: `v0 = 0.2`, `vth = 0.025`.

@@ -48,12 +48,18 @@ impl Shape {
         match self {
             Shape::Ngp => {
                 let j = (xdx + 0.5).floor() as i64;
-                Assignment { leftmost: j, w: [1.0, 0.0, 0.0] }
+                Assignment {
+                    leftmost: j,
+                    w: [1.0, 0.0, 0.0],
+                }
             }
             Shape::Cic => {
                 let j = xdx.floor();
                 let f = xdx - j;
-                Assignment { leftmost: j as i64, w: [1.0 - f, f, 0.0] }
+                Assignment {
+                    leftmost: j as i64,
+                    w: [1.0 - f, f, 0.0],
+                }
             }
             Shape::Tsc => {
                 let j = (xdx + 0.5).floor();

@@ -66,6 +66,18 @@ impl Simulation {
     /// field solve and sets up the leap-frog stagger.
     pub fn new(cfg: PicConfig, solver: Box<dyn FieldSolver>) -> Self {
         let particles = cfg.init.build(&cfg.grid);
+        Self::from_particles(cfg, particles, solver)
+    }
+
+    /// Initializes from an already-built particle load — the
+    /// bring-your-own-loading entry point used by `dlpic_repro::engine` for
+    /// species (e.g. bump-on-tail) that [`TwoStreamInit`] cannot express.
+    /// `cfg.init` is kept for the record but not consulted.
+    pub fn from_particles(
+        cfg: PicConfig,
+        particles: Particles,
+        solver: Box<dyn FieldSolver>,
+    ) -> Self {
         let mut sim = Self {
             e: cfg.grid.zeros(),
             e_part: vec![0.0; particles.len()],
@@ -79,7 +91,13 @@ impl Simulation {
         // E⁰ from the initial particle state.
         sim.solver.solve(&sim.particles, &sim.cfg.grid, &mut sim.e);
         // v⁰ → v^{-1/2}.
-        gather_field(&sim.particles, &sim.cfg.grid, sim.cfg.gather_shape, &sim.e, &mut sim.e_part);
+        gather_field(
+            &sim.particles,
+            &sim.cfg.grid,
+            sim.cfg.gather_shape,
+            &sim.e,
+            &mut sim.e_part,
+        );
         half_step_back(&mut sim.particles, &sim.e_part, sim.cfg.dt);
         sim
     }
@@ -91,7 +109,13 @@ impl Simulation {
         let dt = self.cfg.dt;
 
         // Gather Eⁿ at particle positions.
-        gather_field(&self.particles, grid, self.cfg.gather_shape, &self.e, &mut self.e_part);
+        gather_field(
+            &self.particles,
+            grid,
+            self.cfg.gather_shape,
+            &self.e,
+            &mut self.e_part,
+        );
 
         // Diagnostics tied to tⁿ: field energy and mode amplitudes of Eⁿ.
         let fe = field_energy(grid, &self.e);
@@ -108,7 +132,11 @@ impl Simulation {
 
         self.history.push(
             self.time,
-            EnergyReport { kinetic: ke, field: fe, momentum },
+            EnergyReport {
+                kinetic: ke,
+                field: fe,
+                momentum,
+            },
             &amps,
         );
 
@@ -126,7 +154,15 @@ impl Simulation {
         for _ in 0..self.cfg.n_steps {
             self.step();
         }
-        // Final snapshot (instantaneous kinetic energy).
+        self.finish();
+    }
+
+    /// Appends the final diagnostics snapshot (instantaneous kinetic
+    /// energy) at the current time. [`Self::run`] calls this after its
+    /// steps; external drivers that call [`Self::step`] themselves (the
+    /// engine facade, benchmarks) call it once at the end to reproduce the
+    /// `n + 1`-sample convention.
+    pub fn finish(&mut self) {
         let report = instantaneous_report(&self.particles, &self.cfg.grid, &self.e);
         let amps: Vec<f64> = self
             .cfg

@@ -53,7 +53,13 @@ impl TraditionalSolver {
             PoissonKind::FiniteDifference => Box::new(FdPoisson::new()),
             PoissonKind::Spectral => Box::new(SpectralPoisson::new()),
         };
-        Self { shape, poisson, background, rho: Vec::new(), phi: Vec::new() }
+        Self {
+            shape,
+            poisson,
+            background,
+            rho: Vec::new(),
+            phi: Vec::new(),
+        }
     }
 
     /// The paper's defaults: CIC deposition, FD Poisson, unit ion
@@ -145,8 +151,9 @@ mod tests {
     fn uniform_plasma_has_no_field() {
         let grid = Grid1D::paper();
         let n_p = 64_000;
-        let xs: Vec<f64> =
-            (0..n_p).map(|i| (i as f64 + 0.5) / n_p as f64 * grid.length()).collect();
+        let xs: Vec<f64> = (0..n_p)
+            .map(|i| (i as f64 + 0.5) / n_p as f64 * grid.length())
+            .collect();
         let p = Particles::electrons_normalized(xs, vec![0.0; n_p], grid.length());
         for kind in [PoissonKind::FiniteDifference, PoissonKind::Spectral] {
             let mut solver = TraditionalSolver::new(Shape::Cic, kind, 1.0);
@@ -164,7 +171,9 @@ mod tests {
         // equispaced load cancels the background exactly under CIC.
         let n = 6_400;
         let p = Particles::electrons_normalized(
-            (0..n).map(|i| (i as f64 + 0.5) / n as f64 * grid.length()).collect(),
+            (0..n)
+                .map(|i| (i as f64 + 0.5) / n as f64 * grid.length())
+                .collect(),
             vec![0.0; n],
             grid.length(),
         );
@@ -195,8 +204,7 @@ mod tests {
         let mut e_sp = grid.zeros();
         TraditionalSolver::new(Shape::Cic, PoissonKind::FiniteDifference, 1.0)
             .solve(&p, &grid, &mut e_fd);
-        TraditionalSolver::new(Shape::Cic, PoissonKind::Spectral, 1.0)
-            .solve(&p, &grid, &mut e_sp);
+        TraditionalSolver::new(Shape::Cic, PoissonKind::Spectral, 1.0).solve(&p, &grid, &mut e_sp);
         let scale = e_sp.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         for (a, b) in e_fd.iter().zip(&e_sp) {
             assert!((a - b).abs() < 0.01 * scale + 1e-12);

@@ -14,12 +14,7 @@ use dlpic_pic::shape::Shape;
 ///
 /// # Panics
 /// Panics if `rho` length differs from the grid node count.
-pub fn deposit_charge(
-    particles: &Particles2D,
-    grid: &Grid2D,
-    shape: Shape,
-    rho: &mut [f64],
-) {
+pub fn deposit_charge(particles: &Particles2D, grid: &Grid2D, shape: Shape, rho: &mut [f64]) {
     assert_eq!(rho.len(), grid.nodes(), "rho length mismatch");
     let inv_area = 1.0 / grid.cell_area();
     let q_over_area = particles.charge() * inv_area;
@@ -125,13 +120,7 @@ mod tests {
             }
         }
         let n = xs.len();
-        let p = Particles2D::electrons_normalized(
-            xs,
-            ys,
-            vec![0.0; n],
-            vec![0.0; n],
-            grid.area(),
-        );
+        let p = Particles2D::electrons_normalized(xs, ys, vec![0.0; n], vec![0.0; n], grid.area());
         let mut rho = grid.zeros();
         deposit_charge(&p, &grid, Shape::Cic, &mut rho);
         add_uniform_background(&mut rho, 1.0);

@@ -48,12 +48,7 @@ pub fn instantaneous_report(
 ///
 /// # Panics
 /// Panics if the field length mismatches the grid.
-pub fn field_mode_amplitude(
-    field: &[f64],
-    grid: &Grid2D,
-    mx: usize,
-    my: usize,
-) -> f64 {
+pub fn field_mode_amplitude(field: &[f64], grid: &Grid2D, mx: usize, my: usize) -> f64 {
     assert_eq!(field.len(), grid.nodes(), "field length mismatch");
     dft2::mode_amplitude2(field, grid.nx(), grid.ny(), mx, my)
 }

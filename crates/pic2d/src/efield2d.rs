@@ -93,8 +93,7 @@ mod tests {
         let mut phi = grid.zeros();
         for iy in 0..grid.ny() {
             for ix in 0..grid.nx() {
-                phi[grid.index(ix, iy)] =
-                    (grid.mode_wavenumber_x(1) * ix as f64 * grid.dx()).sin();
+                phi[grid.index(ix, iy)] = (grid.mode_wavenumber_x(1) * ix as f64 * grid.dx()).sin();
             }
         }
         let mut ex = grid.zeros();
@@ -118,8 +117,6 @@ mod tests {
         let grid = Grid2D::new(8, 8, 2.0, 2.0);
         let a = vec![0.3; grid.nodes()];
         let b = vec![0.0; grid.nodes()];
-        assert!(
-            (field_energy(&grid, &a, &b) - field_energy(&grid, &b, &a)).abs() < 1e-15
-        );
+        assert!((field_energy(&grid, &a, &b) - field_energy(&grid, &b, &a)).abs() < 1e-15);
     }
 }

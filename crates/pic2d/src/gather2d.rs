@@ -105,8 +105,7 @@ mod tests {
             for ix in 0..grid.nx() {
                 // Avoid the periodic seam by keeping the test particle
                 // away from the boundary.
-                ex[grid.index(ix, iy)] =
-                    a * ix as f64 * grid.dx() + b * iy as f64 * grid.dy();
+                ex[grid.index(ix, iy)] = a * ix as f64 * grid.dx() + b * iy as f64 * grid.dy();
             }
         }
         let ey = grid.zeros();

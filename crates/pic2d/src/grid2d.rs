@@ -24,10 +24,20 @@ impl Grid2D {
     /// # Panics
     /// Panics for zero cells or non-positive lengths.
     pub fn new(nx: usize, ny: usize, lx: f64, ly: f64) -> Self {
-        assert!(nx > 0 && ny > 0, "grid needs at least one cell per dimension");
+        assert!(
+            nx > 0 && ny > 0,
+            "grid needs at least one cell per dimension"
+        );
         assert!(lx.is_finite() && lx > 0.0, "invalid box length lx = {lx}");
         assert!(ly.is_finite() && ly > 0.0, "invalid box length ly = {ly}");
-        Self { nx, ny, lx, ly, dx: lx / nx as f64, dy: ly / ny as f64 }
+        Self {
+            nx,
+            ny,
+            lx,
+            ly,
+            dx: lx / nx as f64,
+            dy: ly / ny as f64,
+        }
     }
 
     /// The default extension grid: 32×32 cells over the paper's box length

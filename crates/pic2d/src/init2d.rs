@@ -41,12 +41,24 @@ pub struct TwoStream2DInit {
 impl TwoStream2DInit {
     /// Random loading.
     pub fn random(v0: f64, vth: f64, n_particles: usize, seed: u64) -> Self {
-        Self { v0, vth, n_particles, loading: Loading2D::Random, seed }
+        Self {
+            v0,
+            vth,
+            n_particles,
+            loading: Loading2D::Random,
+            seed,
+        }
     }
 
     /// Quiet start with a seeded mode-1 perturbation along `x`.
     pub fn quiet(v0: f64, vth: f64, n_particles: usize, amplitude: f64, seed: u64) -> Self {
-        Self { v0, vth, n_particles, loading: Loading2D::Quiet { mode: 1, amplitude }, seed }
+        Self {
+            v0,
+            vth,
+            n_particles,
+            loading: Loading2D::Quiet { mode: 1, amplitude },
+            seed,
+        }
     }
 
     /// Builds the particle buffer on the given grid.
@@ -88,10 +100,8 @@ impl TwoStream2DInit {
                         let (ci, ri) = (i % cols, i / cols);
                         // Offset the second beam half a spacing in both
                         // axes to avoid perfect cancellation artifacts.
-                        let x0 = (ci as f64 + 0.25 + 0.5 * b as f64) / cols as f64
-                            * grid.lx();
-                        let y0 = (ri as f64 + 0.25 + 0.5 * b as f64) / rows as f64
-                            * grid.ly();
+                        let x0 = (ci as f64 + 0.25 + 0.5 * b as f64) / cols as f64 * grid.lx();
+                        let y0 = (ri as f64 + 0.25 + 0.5 * b as f64) / rows as f64 * grid.ly();
                         let xp = if mode > 0 && amplitude != 0.0 {
                             grid.wrap_x(x0 + amplitude * grid.lx() * (k * x0).sin())
                         } else {
@@ -132,8 +142,7 @@ fn gaussian(rng: &mut StdRng) -> f64 {
         let u1: f64 = rng.gen();
         if u1 > f64::MIN_POSITIVE {
             let u2: f64 = rng.gen();
-            return (-2.0 * u1.ln()).sqrt()
-                * (2.0 * std::f64::consts::PI * u2).cos();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         }
     }
 }
@@ -153,9 +162,13 @@ mod tests {
     #[test]
     fn beams_balance_momentum() {
         let grid = Grid2D::default_square();
-        for loading in
-            [Loading2D::Random, Loading2D::Quiet { mode: 1, amplitude: 1e-3 }]
-        {
+        for loading in [
+            Loading2D::Random,
+            Loading2D::Quiet {
+                mode: 1,
+                amplitude: 1e-3,
+            },
+        ] {
             let init = TwoStream2DInit {
                 v0: 0.2,
                 vth: 0.0,
@@ -194,12 +207,18 @@ mod tests {
         let grid = Grid2D::default_square();
         let vth = 0.05;
         let p = TwoStream2DInit::random(0.0, vth, 20_000, 11).build(&grid);
-        let var_x: f64 =
-            p.vx.iter().map(|v| v * v).sum::<f64>() / p.len() as f64;
-        let var_y: f64 =
-            p.vy.iter().map(|v| v * v).sum::<f64>() / p.len() as f64;
-        assert!((var_x.sqrt() - vth).abs() < 0.1 * vth, "σx = {}", var_x.sqrt());
-        assert!((var_y.sqrt() - vth).abs() < 0.1 * vth, "σy = {}", var_y.sqrt());
+        let var_x: f64 = p.vx.iter().map(|v| v * v).sum::<f64>() / p.len() as f64;
+        let var_y: f64 = p.vy.iter().map(|v| v * v).sum::<f64>() / p.len() as f64;
+        assert!(
+            (var_x.sqrt() - vth).abs() < 0.1 * vth,
+            "σx = {}",
+            var_x.sqrt()
+        );
+        assert!(
+            (var_y.sqrt() - vth).abs() < 0.1 * vth,
+            "σy = {}",
+            var_y.sqrt()
+        );
     }
 
     #[test]

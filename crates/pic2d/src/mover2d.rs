@@ -37,8 +37,7 @@ pub fn push_velocities(
         v_old * v_new
     };
 
-    let ke_sum: f64 = if particles.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1
-    {
+    let ke_sum: f64 = if particles.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
         let kx: f64 = particles
             .vx
             .par_iter_mut()
@@ -104,12 +103,7 @@ pub fn push_positions(particles: &mut Particles2D, grid: &Grid2D, dt: f64) {
 ///
 /// # Panics
 /// Panics if the per-particle field slices mismatch the particle count.
-pub fn half_step_back(
-    particles: &mut Particles2D,
-    ex_part: &[f64],
-    ey_part: &[f64],
-    dt: f64,
-) {
+pub fn half_step_back(particles: &mut Particles2D, ex_part: &[f64], ey_part: &[f64], dt: f64) {
     assert_eq!(ex_part.len(), particles.len(), "ex_part length mismatch");
     assert_eq!(ey_part.len(), particles.len(), "ey_part length mismatch");
     let qm_half_dt = particles.charge_over_mass() * 0.5 * dt;

@@ -37,7 +37,14 @@ impl Particles2D {
         assert_eq!(x.len(), vx.len(), "x/vx length mismatch");
         assert_eq!(x.len(), vy.len(), "x/vy length mismatch");
         assert!(mass > 0.0, "mass must be positive");
-        Self { x, y, vx, vy, charge, mass }
+        Self {
+            x,
+            y,
+            vx,
+            vy,
+            charge,
+            mass,
+        }
     }
 
     /// Electron macro-particles normalized to `ω_p = 1` in a box of area

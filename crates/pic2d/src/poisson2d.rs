@@ -14,8 +14,8 @@
 
 use crate::grid2d::Grid2D;
 use dlpic_analytics::complex::Complex64;
-use dlpic_analytics::dft2::{fft2_in_place, ifft2_in_place};
 use dlpic_analytics::dft::is_power_of_two;
+use dlpic_analytics::dft2::{fft2_in_place, ifft2_in_place};
 
 /// Common interface of the 2-D Poisson backends.
 pub trait Poisson2DSolver: Send {
@@ -61,7 +61,8 @@ impl Poisson2DSolver for SpectralPoisson2D {
         );
 
         self.scratch.clear();
-        self.scratch.extend(rho.iter().map(|&r| Complex64::new(r, 0.0)));
+        self.scratch
+            .extend(rho.iter().map(|&r| Complex64::new(r, 0.0)));
         fft2_in_place(&mut self.scratch, nx, ny);
 
         // ∇²Φ = −ρ ⇒ Φ̂ = ρ̂ / |k|²; the mean (k = 0) mode is gauged away.
@@ -93,7 +94,11 @@ impl Poisson2DSolver for SpectralPoisson2D {
 /// Signed physical wavenumber of FFT bin `m` (bins above `n/2` are
 /// negative frequencies).
 fn signed_wavenumber(m: usize, n: usize, length: f64) -> f64 {
-    let m_signed = if m <= n / 2 { m as f64 } else { m as f64 - n as f64 };
+    let m_signed = if m <= n / 2 {
+        m as f64
+    } else {
+        m as f64 - n as f64
+    };
     2.0 * std::f64::consts::PI * m_signed / length
 }
 
@@ -113,7 +118,11 @@ pub struct SorPoisson2D {
 
 impl Default for SorPoisson2D {
     fn default() -> Self {
-        Self { tolerance: 1e-10, max_iters: 20_000, omega: None }
+        Self {
+            tolerance: 1e-10,
+            max_iters: 20_000,
+            omega: None,
+        }
     }
 }
 
@@ -192,8 +201,7 @@ impl Poisson2DSolver for SorPoisson2D {
                 for ix in 0..nx {
                     let left = grid.wrap_ix(ix as i64 - 1);
                     let right = grid.wrap_ix(ix as i64 + 1);
-                    let lap = (phi[row + left] - 2.0 * phi[row + ix] + phi[row + right])
-                        / dx2
+                    let lap = (phi[row + left] - 2.0 * phi[row + ix] + phi[row + right]) / dx2
                         + (phi[down + ix] - 2.0 * phi[row + ix] + phi[up + ix]) / dy2;
                     let res = lap + (rho[row + ix] - mean_rho);
                     max_res = max_res.max(res.abs());
@@ -276,8 +284,8 @@ mod tests {
                 let d = grid.index(ix, grid.wrap_iy(iy as i64 - 1));
                 let u = grid.index(ix, grid.wrap_iy(iy as i64 + 1));
                 let c = grid.index(ix, iy);
-                let lap = (phi[l] - 2.0 * phi[c] + phi[r]) / dx2
-                    + (phi[d] - 2.0 * phi[c] + phi[u]) / dy2;
+                let lap =
+                    (phi[l] - 2.0 * phi[c] + phi[r]) / dx2 + (phi[d] - 2.0 * phi[c] + phi[u]) / dy2;
                 assert!(
                     (lap + rho[c]).abs() < 1e-7,
                     "node ({ix},{iy}): residual {}",

@@ -61,12 +61,20 @@ impl History2D {
     /// Creates an empty history tracking the given modes.
     pub fn new(tracked_modes: Vec<(usize, usize)>) -> Self {
         let mode_amps = vec![Vec::new(); tracked_modes.len()];
-        Self { tracked_modes, mode_amps, ..Default::default() }
+        Self {
+            tracked_modes,
+            mode_amps,
+            ..Default::default()
+        }
     }
 
     /// Appends one sample.
     pub fn push(&mut self, t: f64, report: EnergyReport2D, amps: &[f64]) {
-        assert_eq!(amps.len(), self.tracked_modes.len(), "amplitude count mismatch");
+        assert_eq!(
+            amps.len(),
+            self.tracked_modes.len(),
+            "amplitude count mismatch"
+        );
         self.times.push(t);
         self.kinetic.push(report.kinetic);
         self.field.push(report.field);
@@ -128,7 +136,8 @@ impl Simulation2D {
             steps_done: 0,
             cfg,
         };
-        sim.solver.solve(&sim.particles, &sim.cfg.grid, &mut sim.ex, &mut sim.ey);
+        sim.solver
+            .solve(&sim.particles, &sim.cfg.grid, &mut sim.ex, &mut sim.ey);
         gather_field(
             &sim.particles,
             &sim.cfg.grid,
@@ -171,12 +180,18 @@ impl Simulation2D {
 
         self.history.push(
             self.time,
-            EnergyReport2D { kinetic: ke, field: fe, momentum_x: px, momentum_y: py },
+            EnergyReport2D {
+                kinetic: ke,
+                field: fe,
+                momentum_x: px,
+                momentum_y: py,
+            },
             &amps,
         );
 
         push_positions(&mut self.particles, grid, dt);
-        self.solver.solve(&self.particles, grid, &mut self.ex, &mut self.ey);
+        self.solver
+            .solve(&self.particles, grid, &mut self.ex, &mut self.ey);
 
         self.time += dt;
         self.steps_done += 1;
@@ -187,8 +202,14 @@ impl Simulation2D {
         for _ in 0..self.cfg.n_steps {
             self.step();
         }
-        let report =
-            instantaneous_report(&self.particles, &self.cfg.grid, &self.ex, &self.ey);
+        self.finish();
+    }
+
+    /// Appends the final diagnostics snapshot at the current time.
+    /// External step-by-step drivers (the engine facade) call this once at
+    /// the end to reproduce the `n + 1`-sample convention of [`Self::run`].
+    pub fn finish(&mut self) {
+        let report = instantaneous_report(&self.particles, &self.cfg.grid, &self.ex, &self.ey);
         let amps: Vec<f64> = self
             .cfg
             .tracked_modes

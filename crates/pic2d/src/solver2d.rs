@@ -11,13 +11,7 @@ use dlpic_pic::shape::Shape;
 /// Computes the node electric field from the 2-D particle state.
 pub trait FieldSolver2D: Send {
     /// Fills `ex`/`ey` (length = grid nodes) from the particle state.
-    fn solve(
-        &mut self,
-        particles: &Particles2D,
-        grid: &Grid2D,
-        ex: &mut [f64],
-        ey: &mut [f64],
-    );
+    fn solve(&mut self, particles: &Particles2D, grid: &Grid2D, ex: &mut [f64], ey: &mut [f64]);
 
     /// Human-readable name for logs/benchmarks.
     fn name(&self) -> &'static str;
@@ -69,13 +63,7 @@ impl TraditionalSolver2D {
 }
 
 impl FieldSolver2D for TraditionalSolver2D {
-    fn solve(
-        &mut self,
-        particles: &Particles2D,
-        grid: &Grid2D,
-        ex: &mut [f64],
-        ey: &mut [f64],
-    ) {
+    fn solve(&mut self, particles: &Particles2D, grid: &Grid2D, ex: &mut [f64], ey: &mut [f64]) {
         let n = grid.nodes();
         assert_eq!(ex.len(), n, "ex length mismatch");
         assert_eq!(ey.len(), n, "ey length mismatch");
@@ -118,13 +106,7 @@ mod tests {
             }
         }
         let n = xs.len();
-        let p = Particles2D::electrons_normalized(
-            xs,
-            ys,
-            vec![0.0; n],
-            vec![0.0; n],
-            grid.area(),
-        );
+        let p = Particles2D::electrons_normalized(xs, ys, vec![0.0; n], vec![0.0; n], grid.area());
         let mut solver = TraditionalSolver2D::default_config();
         let mut ex = grid.zeros();
         let mut ey = grid.zeros();
@@ -154,13 +136,7 @@ mod tests {
             }
         }
         let n = xs.len();
-        let p = Particles2D::electrons_normalized(
-            xs,
-            ys,
-            vec![0.0; n],
-            vec![0.0; n],
-            grid.area(),
-        );
+        let p = Particles2D::electrons_normalized(xs, ys, vec![0.0; n], vec![0.0; n], grid.area());
         for kind in [Poisson2DKind::Spectral, Poisson2DKind::Sor] {
             let mut solver = TraditionalSolver2D::new(Shape::Cic, kind, 1.0);
             let mut ex = grid.zeros();
@@ -187,13 +163,7 @@ mod tests {
                 ys.push((j as f64 + 0.5) / per_axis as f64 * grid.ly());
             }
         }
-        let p = Particles2D::electrons_normalized(
-            xs,
-            ys,
-            vec![0.0; n],
-            vec![0.0; n],
-            grid.area(),
-        );
+        let p = Particles2D::electrons_normalized(xs, ys, vec![0.0; n], vec![0.0; n], grid.area());
         let mut solver = TraditionalSolver2D::default_config();
         let mut ex = grid.zeros();
         let mut ey = grid.zeros();
@@ -219,13 +189,7 @@ mod tests {
             }
         }
         let n = xs.len();
-        let p = Particles2D::electrons_normalized(
-            xs,
-            ys,
-            vec![0.0; n],
-            vec![0.0; n],
-            grid.area(),
-        );
+        let p = Particles2D::electrons_normalized(xs, ys, vec![0.0; n], vec![0.0; n], grid.area());
         let mut ex_s = grid.zeros();
         let mut ey_s = grid.zeros();
         let mut ex_f = grid.zeros();

@@ -1,0 +1,254 @@
+//! Offline stand-in for `criterion`: the same macro/builder surface, a
+//! simple median-of-samples wall-clock harness underneath.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset its benches call: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`measurement_time`/`warm_up_time`, and
+//! [`Bencher::iter`]/[`Bencher::iter_batched`]. Results print as
+//! `name ... median ± spread` per benchmark. No statistics beyond the
+//! median and min/max spread are computed.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the computation behind
+/// it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (accepted, not acted on: the shim
+/// always re-runs setup per measurement batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Setup re-done for every single call.
+    PerIteration,
+}
+
+/// Measurement marker types.
+pub mod measurement {
+    /// Wall-clock time (the only measurement the shim supports).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    /// Collected per-sample mean ns/iter.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; records ns per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and calibrate iterations per sample.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.warm_up || calls == 0 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+        let budget = self.measurement.as_secs_f64() / self.samples as f64;
+        let iters = ((budget / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results
+                .push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up: one call.
+        black_box(routine(setup()));
+        let samples = self.samples.min(16);
+        self.results.clear();
+        for _ in 0..samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.results.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.results.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        self.results.sort_by(|a, b| a.total_cmp(b));
+        let median = self.results[self.results.len() / 2];
+        let lo = self.results.first().copied().unwrap_or(median);
+        let hi = self.results.last().copied().unwrap_or(median);
+        println!(
+            "{name:<50} {:>12} [{} .. {}]",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Group of related benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    parent: &'a Criterion,
+    name: String,
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if !self.parent.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.samples,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing deferred).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour the substring filter `cargo bench -- <filter>` passes.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Self {
+            filter,
+            samples: 10,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        if !self.matches(&name) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.samples,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&name);
+        self
+    }
+
+    /// Opens a named group with its own tuning.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: self.samples,
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

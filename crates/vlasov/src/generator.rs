@@ -40,7 +40,12 @@ impl VlasovHarvest {
     /// A harvest matching the paper's run length: sample every step for
     /// `samples` steps.
     pub fn new(config: VlasovConfig, samples: usize, total_mass: f64) -> Self {
-        Self { config, stride: 1, samples, total_mass }
+        Self {
+            config,
+            stride: 1,
+            samples,
+            total_mass,
+        }
     }
 
     /// Runs the solver and collects samples.
@@ -54,10 +59,16 @@ impl VlasovHarvest {
         let scale = self.total_mass / self.config.grid.length() * cell_phase_volume;
         let mut out = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
-            let histogram: Vec<f32> =
-                solver.distribution().iter().map(|&f| (f * scale) as f32).collect();
+            let histogram: Vec<f32> = solver
+                .distribution()
+                .iter()
+                .map(|&f| (f * scale) as f32)
+                .collect();
             debug_assert_eq!(histogram.len(), nx * nv);
-            out.push(VlasovSample { histogram, efield: solver.efield().to_vec() });
+            out.push(VlasovSample {
+                histogram,
+                efield: solver.efield().to_vec(),
+            });
             for _ in 0..self.stride {
                 solver.step();
             }

@@ -61,7 +61,10 @@ impl VlasovSolver {
     /// background).
     pub fn new(cfg: VlasovConfig) -> Self {
         assert!(cfg.nv >= 8, "need a resolved velocity grid");
-        assert!(cfg.vmax > cfg.v0 + 4.0 * cfg.vth, "velocity window clips the beams");
+        assert!(
+            cfg.vmax > cfg.v0 + 4.0 * cfg.vth,
+            "velocity window clips the beams"
+        );
         let nx = cfg.grid.ncells();
         let nv = cfg.nv;
         let dv = 2.0 * cfg.vmax / nv as f64;
@@ -139,8 +142,8 @@ impl VlasovSolver {
         acc * self.dv() * self.cfg.grid.dx()
     }
 
-    /// Kinetic + field energy.
-    pub fn total_energy(&self) -> f64 {
+    /// Kinetic energy `½ ∫∫ v²·f dv dx`.
+    pub fn kinetic_energy(&self) -> f64 {
         let nx = self.cfg.grid.ncells();
         let mut kinetic = 0.0;
         for iv in 0..self.cfg.nv {
@@ -148,9 +151,17 @@ impl VlasovSolver {
             let row_sum: f64 = self.f[iv * nx..(iv + 1) * nx].iter().sum();
             kinetic += 0.5 * v * v * row_sum;
         }
-        kinetic *= self.dv() * self.cfg.grid.dx();
-        let field = 0.5 * self.cfg.grid.dx() * self.e.iter().map(|e| e * e).sum::<f64>();
-        kinetic + field
+        kinetic * self.dv() * self.cfg.grid.dx()
+    }
+
+    /// Electrostatic field energy `½ ∫ E² dx`.
+    pub fn field_energy(&self) -> f64 {
+        0.5 * self.cfg.grid.dx() * self.e.iter().map(|e| e * e).sum::<f64>()
+    }
+
+    /// Kinetic + field energy.
+    pub fn total_energy(&self) -> f64 {
+        self.kinetic_energy() + self.field_energy()
     }
 
     /// Amplitude of field mode `m` (the `E1` diagnostic).
@@ -254,7 +265,6 @@ impl VlasovSolver {
     }
 }
 
-
 /// Weights of 4-point (cubic) Lagrange interpolation at fraction
 /// `s ∈ [0, 1)` between the middle two of four equispaced nodes
 /// `{-1, 0, 1, 2}`. Exact for cubics; far less diffusive than linear —
@@ -308,7 +318,12 @@ mod tests {
         s.run(100);
         // Linear-interp advection conserves mass up to v-window leakage,
         // which is negligible while f is far from the boundary.
-        assert!((s.mass() - m0).abs() / m0 < 1e-6, "mass drift {} -> {}", m0, s.mass());
+        assert!(
+            (s.mass() - m0).abs() / m0 < 1e-6,
+            "mass drift {} -> {}",
+            m0,
+            s.mass()
+        );
     }
 
     #[test]
@@ -348,8 +363,8 @@ mod tests {
             amps.push(s.field_mode(1));
             s.step();
         }
-        let fit = fit_growth_rate(&times, &amps, GrowthFitOptions::default())
-            .expect("growth detected");
+        let fit =
+            fit_growth_rate(&times, &amps, GrowthFitOptions::default()).expect("growth detected");
         let rel = (fit.gamma - theory).abs() / theory;
         assert!(
             rel < 0.1,
@@ -357,7 +372,11 @@ mod tests {
             fit.gamma,
             rel * 100.0
         );
-        assert!(fit.r2 > 0.99, "noise-free run should fit cleanly: r² = {}", fit.r2);
+        assert!(
+            fit.r2 > 0.99,
+            "noise-free run should fit cleanly: r² = {}",
+            fit.r2
+        );
     }
 
     #[test]

@@ -14,15 +14,19 @@ use dlpic_repro::core::phase_space::PhaseGridSpec;
 use dlpic_repro::dataset::generator::{generate, GeneratorConfig};
 use dlpic_repro::dataset::spec::{SweepCombo, SweepSpec};
 use dlpic_repro::dataset::{stats, store};
+use dlpic_repro::engine::EngineError;
 
-fn main() {
+fn main() -> Result<(), EngineError> {
     println!("== dataset generation (paper Fig. 3 / §IV.A.1) ==\n");
 
     // A miniature sweep: two configurations, one run each.
     let sweep = SweepSpec {
         combos: vec![
             SweepCombo { v0: 0.2, vth: 0.0 },
-            SweepCombo { v0: 0.1, vth: 0.005 },
+            SweepCombo {
+                v0: 0.1,
+                vth: 0.005,
+            },
         ],
         experiments_per_combo: 1,
         steps: 120,
@@ -39,7 +43,10 @@ fn main() {
     println!("{}", stats::summary(&ds));
 
     // Show the two-stream run early (straight beams) and late (vortex).
-    for (label, idx) in [("t = 0 (two cold beams)", 0usize), ("t = 22 (vortex forming)", 110)] {
+    for (label, idx) in [
+        ("t = 0 (two cold beams)", 0usize),
+        ("t = 22 (vortex forming)", 110),
+    ] {
         println!("sample {idx} — {label}:");
         println!("{}", heatmap(ds.input_row(idx), spec.nx, spec.nv, ""));
         let e = ds.target_row(idx);
@@ -47,17 +54,22 @@ fn main() {
         println!("  target E field: max |E| = {peak:.4}\n");
     }
 
-    // Binary persistence round trip.
-    std::fs::create_dir_all("out").expect("create out/");
+    // Binary persistence round trip. Store failures surface as typed
+    // `EngineError::Store` values instead of panics.
+    std::fs::create_dir_all("out")?;
     let path = "out/example-dataset.dlds";
-    store::save(&ds, path).expect("save dataset");
-    let loaded = store::load(path).expect("load dataset");
+    store::save(&ds, path)?;
+    let loaded = store::load(path)?;
     assert_eq!(loaded.len(), ds.len());
     assert_eq!(loaded.inputs(), ds.inputs());
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-    println!("store round trip OK: {path} ({:.1} MiB)", bytes as f64 / (1024.0 * 1024.0));
+    println!(
+        "store round trip OK: {path} ({:.1} MiB)",
+        bytes as f64 / (1024.0 * 1024.0)
+    );
     println!(
         "(the paper's full dataset: 40,000 samples — `SweepSpec::paper_training()` — was 5.2 GB \
          as PNG/text; this packed format holds it in ~680 MB)"
     );
+    Ok(())
 }

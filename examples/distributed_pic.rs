@@ -1,28 +1,67 @@
 //! Domain-decomposed PIC: the paper §VII's distributed-memory claim, live.
 //!
-//! Runs the same two-stream simulation split over 4 ranks twice — once
-//! with the traditional gather/scatter field solve, once with the
-//! replicated-DL strategy — and prints the measured per-step communication
-//! volume of each, next to proof that the physics is unchanged.
+//! The registry's `two_stream` scenario runs on `Backend::Ddecomp` — same
+//! spec as every other backend, with communication volume and migration
+//! counts reported as summary extras. A second section compares the
+//! traditional gather/scatter field solve against the replicated-DL
+//! strategy on the lower-level `ddecomp` API (the strategy comparison is
+//! that crate's specialty).
 //!
 //! ```sh
 //! cargo run --release --example distributed_pic
 //! ```
 
 use dlpic_repro::analytics::dispersion::TwoStreamDispersion;
-use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
-use dlpic_repro::core::builder::ArchSpec;
-use dlpic_repro::core::field_solver::DlFieldSolver;
-use dlpic_repro::core::normalize::NormStats;
-use dlpic_repro::core::phase_space::{BinningShape, PhaseGridSpec};
+use dlpic_repro::core::Scale;
 use dlpic_repro::ddecomp::sim::{DistConfig, DistSimulation};
 use dlpic_repro::ddecomp::strategy::{GatherScatter, ReplicatedDl};
+use dlpic_repro::engine::{self, Backend, EngineError, LoadingSpec};
 use dlpic_repro::pic::grid::Grid1D;
 use dlpic_repro::pic::init::TwoStreamInit;
 use dlpic_repro::pic::shape::Shape;
 
-fn config() -> DistConfig {
-    DistConfig {
+fn main() -> Result<(), EngineError> {
+    println!("== Distributed PIC: 64k particles over 4 ranks, 200 steps ==\n");
+
+    // 1. Through the facade: one more backend for the same scenario.
+    let mut spec = engine::scenario("two_stream", Scale::Scaled)?;
+    spec.loading = LoadingSpec::Quiet {
+        mode: 1,
+        amplitude: 1e-3,
+    };
+    spec.seed = 42;
+    let summary = engine::run(&spec, Backend::Ddecomp { n_ranks: 4 })?;
+
+    let theory = TwoStreamDispersion::new(0.2).growth_rate(dlpic_repro::pic::constants::PAPER_K1);
+    println!("physics across 4 ranks (gather/scatter), via the engine:");
+    match summary.growth_rate(1) {
+        Ok(fit) => println!(
+            "  growth rate γ = {:.4} vs theory {:.4} ({:+.1}%)",
+            fit.gamma,
+            theory,
+            100.0 * (fit.gamma - theory) / theory
+        ),
+        Err(e) => println!("  growth fit: {e}"),
+    }
+    println!(
+        "  momentum drift = {:.2e} (conserved across rank boundaries)",
+        summary.momentum_drift()
+    );
+    println!(
+        "  particles migrated: {} over the run",
+        summary.extra("migrated_particles").unwrap_or(0.0) as u64
+    );
+    println!(
+        "  fabric traffic    : {} messages, {} bytes\n",
+        summary.extra("comm_messages").unwrap_or(0.0) as u64,
+        summary.extra("comm_bytes").unwrap_or(0.0) as u64
+    );
+
+    // 2. Strategy comparison on the ddecomp crate directly: the engine's
+    //    Ddecomp backend is the traditional gather/scatter; the
+    //    replicated-DL strategy exists to show the paper's communication
+    //    argument, so measure both side by side.
+    let config = || DistConfig {
         grid: Grid1D::paper(),
         init: TwoStreamInit::quiet(0.2, 0.0, 64_000, 1e-3, 42),
         dt: 0.2,
@@ -30,46 +69,25 @@ fn config() -> DistConfig {
         gather_shape: Shape::Cic,
         n_ranks: 4,
         tracked_modes: vec![1],
-    }
-}
-
-fn main() {
-    println!("== Distributed PIC: 64k particles over 4 ranks, 200 steps ==\n");
-
-    // Strategy 1: traditional gather/scatter.
+    };
     let start = std::time::Instant::now();
     let mut gs = DistSimulation::new(config(), Box::new(GatherScatter::new(Shape::Cic, 1.0)));
     gs.run();
     let gs_time = start.elapsed();
 
-    // Strategy 2: replicated DL. A quick model trained on one traditional
-    // run keeps the DL trajectories physical so the migration columns are
-    // comparable (the perf_dist binary runs the full trained pipeline).
-    println!("training a quick DL field solver on one traditional run...");
-    let dl_solver = quick_train();
+    println!("training a quick DL field solver for the replicated strategy...");
+    let bundle = engine::dl::quick_train_1d(Scale::Smoke, 7);
+    let dl_solver = bundle.into_solver()?;
     let start = std::time::Instant::now();
     let mut dl = DistSimulation::new(config(), Box::new(ReplicatedDl::new(dl_solver)));
     dl.run();
     let dl_time = start.elapsed();
 
-    // Physics check on the traditional strategy: distribution must not
-    // change the answer.
-    let theory = TwoStreamDispersion::new(0.2).growth_rate(3.06);
-    let h = gs.history();
-    let fit = fit_growth_rate(&h.times, &h.mode_amps[0], GrowthFitOptions::default())
-        .expect("growth detected");
-    println!("physics across 4 ranks (gather/scatter):");
-    println!("  growth rate γ = {:.4} vs theory {:.4} ({:+.1}%)", fit.gamma, theory,
-        100.0 * (fit.gamma - theory) / theory);
-    println!("  momentum drift = {:.2e} (conserved across rank boundaries)",
-        h.momentum.iter().fold(0.0f64, |m, p| m.max(p.abs())));
-    println!("  particles migrated: {} over the run\n", gs.migrated_total());
-
-    // Communication accounting.
-    for (name, sim, time) in
-        [("gather-scatter", &gs, gs_time), ("replicated-dl", &dl, dl_time)]
-    {
-        println!("{name} ({time:.2?} wall, all ranks serial):");
+    for (name, sim, time) in [
+        ("gather-scatter", &gs, gs_time),
+        ("replicated-dl", &dl, dl_time),
+    ] {
+        println!("\n{name} ({time:.2?} wall, all ranks serial):");
         for (phase, stats) in sim.comm_phases() {
             println!(
                 "  {phase:<14} {:>10} msgs  {:>12} bytes",
@@ -77,63 +95,16 @@ fn main() {
             );
         }
         let total = sim.comm_stats();
-        println!("  {:<14} {:>10} msgs  {:>12} bytes\n", "TOTAL", total.messages, total.bytes);
+        println!(
+            "  {:<14} {:>10} msgs  {:>12} bytes",
+            "TOTAL", total.messages, total.bytes
+        );
     }
 
     println!(
-        "the DL strategy's only field-solve traffic is the {}-bin histogram\n\
+        "\nthe DL strategy's only field-solve traffic is the fixed-size histogram\n\
          all-reduce — no charge gather, no field scatter, no deposition halos —\n\
-         and it is independent of particle count and grid size (paper §VII).",
-        PhaseGridSpec::smoke().cells()
+         independent of particle count and grid size (paper §VII)."
     );
-}
-
-/// Harvests (phase-space histogram, E) pairs from one traditional 1-D run
-/// and trains a small MLP — enough fidelity that the DL-PIC trajectories
-/// (and hence the migration traffic) stay physical.
-fn quick_train() -> DlFieldSolver {
-    use dlpic_repro::nn::data::Dataset;
-    use dlpic_repro::nn::loss::Mse;
-    use dlpic_repro::nn::optimizer::Adam;
-    use dlpic_repro::nn::tensor::Tensor;
-    use dlpic_repro::nn::trainer::{train, TrainConfig};
-    use dlpic_repro::core::phase_space::bin_phase_space;
-    use dlpic_repro::pic::simulation::{PicConfig, Simulation};
-    use dlpic_repro::pic::solver::TraditionalSolver;
-
-    let spec = PhaseGridSpec::smoke();
-    let grid = Grid1D::paper();
-    let cfg = PicConfig {
-        grid: grid.clone(),
-        init: TwoStreamInit::quiet(0.2, 0.0, 16_000, 1e-3, 7),
-        dt: 0.2,
-        n_steps: 200,
-        gather_shape: Shape::Cic,
-        tracked_modes: vec![],
-    };
-    let mut sim = Simulation::new(cfg, Box::new(TraditionalSolver::paper_default()));
-    let mut inputs: Vec<f32> = Vec::new();
-    let mut targets: Vec<f32> = Vec::new();
-    let mut hist = vec![0.0f32; spec.cells()];
-    let mut n_samples = 0;
-    for _ in 0..200 {
-        sim.step();
-        bin_phase_space(sim.particles(), &grid, &spec, BinningShape::Ngp, &mut hist);
-        inputs.extend_from_slice(&hist);
-        targets.extend(sim.efield().iter().map(|&v| v as f32));
-        n_samples += 1;
-    }
-    let norm = NormStats::from_data(&inputs);
-    norm.apply(&mut inputs);
-    let ds = Dataset::new(
-        Tensor::new(inputs, &[n_samples, spec.cells()]),
-        Tensor::new(targets, &[n_samples, 64]),
-    );
-    let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![128], output: 64 };
-    let mut net = arch.build(1);
-    let mut opt = Adam::new(1e-3);
-    let tc = TrainConfig { epochs: 40, batch_size: 32, shuffle_seed: 1, log_every: 0 };
-    train(&mut net, &Mse, &mut opt, &ds, None, &tc);
-    DlFieldSolver::new(net, spec, BinningShape::Ngp, norm, arch.input_kind(), "dl-mlp")
-        .with_reference_mass(16_000.0)
+    Ok(())
 }

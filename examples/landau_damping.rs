@@ -1,67 +1,58 @@
-//! Landau damping — the second classic kinetic benchmark, run on the
-//! Vlasov–Poisson substrate (the paper §VII's noise-free-training-data
-//! route) with a traditional PIC cross-check.
+//! Landau damping — the second classic kinetic benchmark, via the
+//! registry's `landau_damping` scenario on the continuum Vlasov backend.
 //!
-//! Setting the two-stream initial condition's drift to zero leaves a
-//! single Maxwellian with a density perturbation, `f ∝ G(v)·(1+ε·cos kx)`
-//! — exactly the Landau setup. With `k·λ_D = 0.5` (i.e. `vth = 0.5/k`),
-//! linear theory gives the textbook root `ω ≈ 1.4156`, `γ ≈ −0.1533`:
-//! the field oscillates at the Langmuir frequency while its envelope
-//! decays by collisionless phase mixing — physics that no fluid model
-//! captures and a good stress of the kinetic substrate's velocity-space
-//! resolution.
+//! The scenario is a single Maxwellian with `k·λ_D = 0.5` and a quiet
+//! mode-1 density perturbation. Linear theory gives the textbook root
+//! `ω ≈ 1.4156`, `γ ≈ −0.1533`: the field oscillates at the Langmuir
+//! frequency while its envelope decays by collisionless phase mixing —
+//! physics no fluid model captures. The same spec runs on the PIC
+//! backends too (`Backend::Traditional1D`), where the damping drowns in
+//! shot noise — which is exactly the paper §VII's argument for Vlasov
+//! training data.
 //!
 //! ```sh
 //! cargo run --release --example landau_damping
 //! ```
 
-use dlpic_repro::pic::grid::Grid1D;
-use dlpic_repro::vlasov::solver::{VlasovConfig, VlasovSolver};
+use dlpic_repro::core::Scale;
+use dlpic_repro::engine::{self, Backend, EngineError};
 
 /// Textbook least-damped root of the electrostatic dispersion relation at
 /// `k·λ_D = 0.5` (e.g. Chen, *Introduction to Plasma Physics*): ω ± iγ.
 const OMEGA_THEORY: f64 = 1.4156;
 const GAMMA_THEORY: f64 = -0.1533;
 
-fn main() {
-    println!("== Landau damping at k·λ_D = 0.5 (Vlasov–Poisson substrate) ==\n");
+fn main() -> Result<(), EngineError> {
+    println!("== Landau damping at k·λ_D = 0.5 (Vlasov backend) ==\n");
 
-    let grid = Grid1D::paper(); // k1 = 3.06
-    let k = grid.mode_wavenumber(1);
-    let vth = 0.5 / k;
-    println!("box k₁ = {k:.3}, Maxwellian vth = {vth:.4} (k·λ_D = 0.5)");
-
-    let cfg = VlasovConfig {
-        grid,
-        nv: 512,
-        vmax: 6.0 * vth,
-        dt: 0.025,
-        v0: 0.0, // zero drift → single Maxwellian
-        vth,
-        perturbation: 1e-3,
-    };
-    let mut solver = VlasovSolver::new(cfg);
-
-    // Record E1(t) for ~5 damping times.
-    let n_steps = 1400;
-    let mut times = Vec::with_capacity(n_steps);
-    let mut e1 = Vec::with_capacity(n_steps);
-    let start = std::time::Instant::now();
-    for _ in 0..n_steps {
-        times.push(solver.time());
-        e1.push(solver.field_mode(1));
-        solver.step();
-    }
+    // The registry entry at scaled size: dt = 0.1, 350 steps (t = 35,
+    // ~5 damping times), 64×256 phase grid.
+    let spec = engine::scenario("landau_damping", Scale::Scaled)?;
     println!(
-        "ran {n_steps} Vlasov steps (64×512 phase grid) in {:.2?}\n",
+        "spec: Maxwellian vth = {:.4}, quiet mode-1 seed, dt = {}, {} steps",
+        match spec.species {
+            engine::SpeciesSpec::Maxwellian { vth } => vth,
+            _ => unreachable!(),
+        },
+        spec.dt,
+        spec.n_steps
+    );
+
+    let start = std::time::Instant::now();
+    let summary = engine::run(&spec, Backend::Vlasov)?;
+    println!(
+        "ran {} Vlasov steps in {:.2?}\n",
+        summary.steps,
         start.elapsed()
     );
 
     // The envelope: local maxima of |E1|(t). |E| peaks twice per wave
     // period, so ω = π / (peak spacing); γ is the slope of ln(peaks).
-    let peaks: Vec<(f64, f64)> = (1..e1.len() - 1)
-        .filter(|&i| e1[i] > e1[i - 1] && e1[i] >= e1[i + 1] && e1[i] > 1e-12)
-        .map(|i| (times[i], e1[i]))
+    let e1 = summary.history.mode_series(1).expect("mode 1 tracked");
+    let (times, amps) = (&e1.times, &e1.values);
+    let peaks: Vec<(f64, f64)> = (1..amps.len() - 1)
+        .filter(|&i| amps[i] > amps[i - 1] && amps[i] >= amps[i + 1] && amps[i] > 1e-12)
+        .map(|i| (times[i], amps[i]))
         .collect();
     assert!(peaks.len() >= 6, "too few envelope peaks: {}", peaks.len());
 
@@ -80,8 +71,7 @@ fn main() {
         sty += t * y;
     }
     let gamma = (n * sty - st * sy) / (n * stt - st * st);
-    let mean_spacing =
-        (used.last().unwrap().0 - used[0].0) / (used.len() as f64 - 1.0);
+    let mean_spacing = (used.last().unwrap().0 - used[0].0) / (used.len() as f64 - 1.0);
     let omega = std::f64::consts::PI / mean_spacing;
 
     println!("measured from the E1 envelope ({} peaks):", used.len());
@@ -94,23 +84,12 @@ fn main() {
         100.0 * (omega - OMEGA_THEORY) / OMEGA_THEORY
     );
 
-    // Conservation of the continuum solver over the damped phase.
-    let mass_drift = {
-        let cfg2 = VlasovConfig {
-            grid: Grid1D::paper(),
-            nv: 512,
-            vmax: 6.0 * vth,
-            dt: 0.025,
-            v0: 0.0,
-            vth,
-            perturbation: 1e-3,
-        };
-        let mut s = VlasovSolver::new(cfg2);
-        let m0 = s.mass();
-        s.run(200);
-        (s.mass() - m0).abs() / m0
-    };
-    println!("Vlasov mass drift over 200 steps: {mass_drift:.2e}");
+    println!("conservation over the damped phase:");
+    println!(
+        "  energy variation : {:.3}%",
+        summary.energy_variation() * 100.0
+    );
+    println!("  momentum drift   : {:.2e}", summary.momentum_drift());
 
     let gamma_ok = (gamma - GAMMA_THEORY).abs() / GAMMA_THEORY.abs() < 0.15;
     let omega_ok = (omega - OMEGA_THEORY).abs() / OMEGA_THEORY < 0.05;
@@ -122,4 +101,5 @@ fn main() {
             "CHECK — outside expected bands"
         }
     );
+    Ok(())
 }

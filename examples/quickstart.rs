@@ -1,66 +1,119 @@
-//! Quickstart: run the paper's baseline experiment in under a minute.
+//! Quickstart: any registry scenario, any backend, one API.
 //!
-//! Simulates the two-stream instability with the traditional PIC method at
-//! full paper scale (64 cells, 64 000 electrons, Δt = 0.2, t ≤ 40), then
-//! checks the three headline physics facts of the paper's §V:
-//!
-//! 1. the most unstable mode grows at the linear-theory rate γ ≈ 0.354,
-//! 2. total energy varies by only a couple of percent,
-//! 3. total momentum is conserved to rounding noise.
+//! Runs a named scenario from the engine registry on a traditional solver
+//! and on the DL solver — the *only* difference between the two runs is
+//! the [`Backend`] value, exactly the drop-in-replacement design of the
+//! paper's Fig. 2 — then compares growth rate and conservation from the
+//! unified [`RunSummary`].
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart                    # two_stream, smoke
+//! cargo run --release --example quickstart -- landau_damping  # any registry name
+//! DLPIC_SCALE=scaled cargo run --release --example quickstart # bigger physics
 //! ```
 
 use dlpic_repro::analytics::dispersion::TwoStreamDispersion;
-use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
 use dlpic_repro::analytics::plot::{line_plot, PlotOptions};
-use dlpic_repro::analytics::stats;
-use dlpic_repro::pic::presets;
+use dlpic_repro::core::Scale;
+use dlpic_repro::engine::{self, Backend, Engine, EngineError, RunSummary, SpeciesSpec};
 
-fn main() {
-    println!("== DL-PIC reproduction: quickstart (traditional PIC baseline) ==\n");
-
-    // The validation configuration of the paper's Figs. 4-5.
-    let (v0, vth) = (0.2, 0.025);
-    println!("two-stream instability: v0 = ±{v0}, vth = {vth}, 64 cells, 64k electrons");
-
-    let start = std::time::Instant::now();
-    let mut sim = presets::validation_simulation(20210705);
-    sim.run();
-    println!("ran {} steps to t = {} in {:.2?}\n", sim.steps_done(), sim.time(), start.elapsed());
-
-    // 1. Growth rate vs linear theory.
-    let theory = TwoStreamDispersion::new(v0).mode_growth_rate(1, sim.grid().length());
-    let e1 = sim.history().mode_series(1).expect("mode 1 tracked");
-    let fit = fit_growth_rate(&e1.times, &e1.values, GrowthFitOptions::default())
-        .expect("growth phase detected");
-    println!("growth rate of mode 1:");
-    println!("  linear theory : γ = {theory:.4}");
+fn report(summary: &RunSummary, theory: Option<f64>) {
+    println!("--- {} on {} ---", summary.scenario, summary.backend);
     println!(
-        "  measured      : γ = {:.4}  (r² = {:.4}, window t = {:.1}..{:.1})",
-        fit.gamma, fit.r2, fit.t_start, fit.t_end
+        "  {} steps to t = {:.1} in {:.2}s",
+        summary.steps, summary.t_end, summary.wall_seconds
     );
-    println!("  relative error: {:.1}%\n", (fit.gamma - theory).abs() / theory * 100.0);
-
-    // 2-3. Conservation.
-    let h = sim.history();
-    let energy_var = stats::relative_variation(&h.total);
-    let momentum_drift = stats::max_drift(&h.momentum);
-    println!("conservation over the run:");
-    println!("  total energy variation : {:.2}% (paper: ~2%)", energy_var * 100.0);
-    println!("  total momentum drift   : {momentum_drift:.2e} (paper: ~0 for traditional PIC)\n");
-
-    // E1(t) amplitude plot (the paper's Fig. 4 bottom, traditional curve).
     println!(
-        "{}",
-        line_plot(
-            &[('*', &e1)],
-            &PlotOptions::titled(format!("E1 amplitude, v0 = {v0}, vth = {vth} (log scale)"))
-                .log_y(true),
-        )
+        "  energy variation : {:.2}%",
+        summary.energy_variation() * 100.0
+    );
+    println!("  momentum drift   : {:.2e}", summary.momentum_drift());
+    match summary.growth_rate(1) {
+        Ok(fit) => {
+            print!(
+                "  E1 growth rate   : γ = {:.4} (r² = {:.3})",
+                fit.gamma, fit.r2
+            );
+            if let Some(th) = theory {
+                print!("  [theory {th:.4}, {:+.1}%]", (fit.gamma - th) / th * 100.0);
+            }
+            println!();
+        }
+        // A stable scenario (cold_beam, thermal_noise) has no growth
+        // phase; the typed error says so instead of panicking.
+        Err(EngineError::Fit(reason)) => println!("  E1 growth rate   : none ({reason})"),
+        Err(other) => println!("  E1 growth rate   : error: {other}"),
+    }
+    println!();
+}
+
+fn main() -> Result<(), EngineError> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "two_stream".into());
+    let scale = Scale::from_env_or(Scale::Smoke);
+    println!(
+        "== dlpic quickstart: `{name}` at {} scale ==\n",
+        scale.name()
     );
 
-    let ok = (fit.gamma - theory).abs() / theory < 0.2 && energy_var < 0.05;
-    println!("verdict: {}", if ok { "PASS — matches the paper's baseline" } else { "CHECK — outside expected bands" });
+    let mut spec = engine::scenario(&name, scale)?;
+    // Specs are plain data: extend the smoke-sized run so the instability
+    // has time to develop its exponential phase.
+    spec.n_steps = spec.n_steps.max(150);
+    println!("scenario spec (JSON, reusable with ScenarioSpec::from_json):");
+    println!("{}\n", spec.to_json());
+
+    // Linear theory reference for the two-stream family, on the spec's own
+    // box length.
+    let length = match spec.domain {
+        dlpic_repro::engine::DomainSpec::OneD { length, .. } => length,
+        dlpic_repro::engine::DomainSpec::TwoD { lx, .. } => lx,
+    };
+    let theory = match spec.species {
+        SpeciesSpec::TwoStream { v0, vth: _ } if v0 > 0.0 => {
+            Some(TwoStreamDispersion::new(v0).mode_growth_rate(1, length))
+        }
+        _ => None,
+    };
+
+    // 1. The traditional backend.
+    let trad = engine::run(&spec, Backend::Traditional1D)?;
+    report(&trad, theory);
+
+    // 2. The DL backend: same spec, one enum value changed. A quick
+    //    smoke-scale model is trained on the spot (seconds); bring a
+    //    bundle from `train_field_solver` for the full-fidelity version.
+    println!(
+        "training a quick DL field solver at {} scale...",
+        scale.name()
+    );
+    let bundle = engine::dl::quick_train_1d(scale, 0xD1);
+    let mut eng = Engine::new().with_model_1d(bundle);
+    let dl = eng.run(&spec, Backend::Dl1D)?;
+    report(&dl, theory);
+
+    // Side-by-side E1 histories.
+    if let (Some(mut a), Some(mut b)) = (trad.history.mode_series(1), dl.history.mode_series(1)) {
+        a.name = format!("E1 {}", trad.backend);
+        b.name = format!("E1 {}", dl.backend);
+        println!(
+            "{}",
+            line_plot(
+                &[('*', &a), ('o', &b)],
+                &PlotOptions::titled("E1 amplitude, traditional vs DL (log)").log_y(true),
+            )
+        );
+    }
+
+    let ok = trad.all_finite() && dl.all_finite();
+    println!(
+        "verdict: {}",
+        if ok {
+            "PASS — both backends ran the scenario"
+        } else {
+            "CHECK"
+        }
+    );
+    Ok(())
 }

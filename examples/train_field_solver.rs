@@ -1,5 +1,6 @@
 //! Train a DL electric-field solver from scratch — the paper's offline
-//! training phase (Fig. 2 left, Fig. 3).
+//! training phase (Fig. 2 left, Fig. 3) — then verify it through the
+//! engine facade.
 //!
 //! Walks the full pipeline on the public API:
 //!
@@ -9,7 +10,8 @@
 //! 3. train the paper's MLP with Adam and MSE;
 //! 4. evaluate MAE / max error on Test Set I (seen parameters) and
 //!    Test Set II (unseen parameters) — the paper's Table I;
-//! 5. save a self-describing model bundle for the other examples.
+//! 5. save a self-describing model bundle, then run the registry's
+//!    `two_stream` scenario on `Backend::Dl1D` with it.
 //!
 //! Defaults to the fast `smoke` scale; set `DLPIC_SCALE=scaled` for the
 //! real (minutes-long) configuration.
@@ -24,17 +26,18 @@ use dlpic_repro::dataset::generator::{generate, GeneratorConfig};
 use dlpic_repro::dataset::spec::SweepSpec;
 use dlpic_repro::dataset::split::{shuffle_split, SplitSizes};
 use dlpic_repro::dataset::stats;
+use dlpic_repro::engine::{self, Backend, Engine, EngineError};
 use dlpic_repro::nn::metrics::evaluate;
 use dlpic_repro::nn::trainer::{train, TrainConfig};
 use dlpic_repro::nn::{Adam, Mse};
 
-fn main() {
+fn main() -> Result<(), EngineError> {
     // Default to smoke so the example finishes in seconds.
-    let scale = std::env::var("DLPIC_SCALE")
-        .ok()
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Smoke);
-    println!("== training a DL field solver [{} scale] ==\n", scale.name());
+    let scale = Scale::from_env_or(Scale::Smoke);
+    println!(
+        "== training a DL field solver [{} scale] ==\n",
+        scale.name()
+    );
 
     // 1. Harvest training data from traditional PIC runs.
     let sweep = SweepSpec::training_for(scale);
@@ -63,7 +66,11 @@ fn main() {
     // 3. Train the paper's MLP.
     let arch = scale.mlp_arch();
     let mut net = arch.build(42);
-    println!("architecture ({} parameters):\n{}", net.param_count(), net.summary());
+    println!(
+        "architecture ({} parameters):\n{}",
+        net.param_count(),
+        net.summary()
+    );
     let kind = arch.input_kind();
     let mut opt = Adam::new(scale.learning_rate());
     let cfg = TrainConfig {
@@ -94,13 +101,27 @@ fn main() {
     println!("Test Set II (unseen params): MAE {mae2:.5}  max {max2:.5}");
     println!("(paper, full scale: MLP MAE 0.0019 / 0.0015, max |E| ~ 0.1)");
 
-    // 5. Persist for the other examples.
+    // 5. Persist, then verify through the engine: the bundle drops into
+    //    the registry's two_stream scenario as `Backend::Dl1D`.
     let reference_mass: f32 = full.input_row(0).iter().sum();
-    let bundle = ModelBundle::from_network(&mut net, arch, scale.phase_spec(), BinningShape::Ngp, norm)
-        .with_reference_mass(reference_mass);
-    std::fs::create_dir_all("out/models").expect("create out/models");
+    let bundle =
+        ModelBundle::from_network(&mut net, arch, scale.phase_spec(), BinningShape::Ngp, norm)
+            .with_reference_mass(reference_mass);
+    std::fs::create_dir_all("out/models")?;
     let path = format!("out/models/example-mlp-{}.dlpb", scale.name());
-    bundle.save(&path).expect("save bundle");
+    bundle.save(&path)?;
     println!("\nsaved model bundle to {path}");
+
+    let mut spec = engine::scenario("two_stream", scale)?;
+    spec.n_steps = spec.n_steps.max(100);
+    let mut eng = Engine::new().with_model_1d(bundle);
+    let summary = eng.run(&spec, Backend::Dl1D)?;
+    println!(
+        "verification run on Backend::Dl1D: {} steps, ΔE = {:.2}%, all finite: {}",
+        summary.steps,
+        summary.energy_variation() * 100.0,
+        summary.all_finite()
+    );
     println!("next: cargo run --release --example two_stream");
+    Ok(())
 }

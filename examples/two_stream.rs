@@ -1,98 +1,75 @@
 //! Traditional vs DL-based PIC on the two-stream instability — the
-//! paper's headline validation (Figs. 4–5) as a runnable example.
+//! paper's headline validation (Figs. 4–5), on the engine facade.
 //!
-//! Loads the model bundle written by `train_field_solver` (falling back to
-//! training a quick one), then runs both methods from *identical* initial
-//! conditions and compares growth rate, phase space and conservation.
+//! Both methods run the *same* [`ScenarioSpec`] from the registry; only
+//! the [`Backend`] value differs. The DL model comes from the bundle
+//! written by `train_field_solver` when available, else a quick one is
+//! trained on the spot.
 //!
 //! ```sh
-//! cargo run --release --example train_field_solver   # once
+//! cargo run --release --example train_field_solver   # once (optional)
 //! cargo run --release --example two_stream
 //! ```
 
 use dlpic_repro::analytics::dispersion::TwoStreamDispersion;
-use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
 use dlpic_repro::analytics::plot::{line_plot, scatter_density, PlotOptions};
-use dlpic_repro::analytics::stats;
 use dlpic_repro::core::{ModelBundle, Scale};
-use dlpic_repro::pic::presets::reduced_config;
-use dlpic_repro::pic::simulation::Simulation;
-use dlpic_repro::pic::solver::TraditionalSolver;
+use dlpic_repro::engine::{self, Backend, Engine, EngineError};
 
-/// Loads the example bundle, preferring the scaled one if present.
+/// Loads a cached example bundle, else trains a quick smoke-scale one.
 fn load_bundle() -> ModelBundle {
-    for name in ["out/models/example-mlp-scaled.dlpb", "out/models/mlp-scaled.dlpb",
-                 "out/models/example-mlp-smoke.dlpb", "out/models/mlp-smoke.dlpb"] {
+    for name in [
+        "out/models/example-mlp-scaled.dlpb",
+        "out/models/mlp-scaled.dlpb",
+        "out/models/example-mlp-smoke.dlpb",
+        "out/models/mlp-smoke.dlpb",
+    ] {
         if let Ok(b) = ModelBundle::load(name) {
             println!("using model {name}");
             return b;
         }
     }
-    println!("no cached model found; run `--example train_field_solver` first.");
-    println!("training a quick smoke-scale model now...\n");
-    // Minimal inline training so the example always works stand-alone.
-    let scale = Scale::Smoke;
-    let data = {
-        use dlpic_repro::dataset::generator::{generate, GeneratorConfig};
-        use dlpic_repro::dataset::spec::SweepSpec;
-        let mut cfg = GeneratorConfig::new(SweepSpec::training_for(scale), scale.phase_spec());
-        cfg.ppc = scale.dataset_ppc();
-        generate(&cfg)
-    };
-    let norm = data.input_norm_stats();
-    let arch = scale.mlp_arch();
-    let mut net = arch.build(1);
-    let mut opt = dlpic_repro::nn::Adam::new(scale.learning_rate());
-    let cfg = dlpic_repro::nn::TrainConfig { epochs: 12, batch_size: 64, shuffle_seed: 3, log_every: 0 };
-    let kind = arch.input_kind();
-    dlpic_repro::nn::train(
-        &mut net,
-        &dlpic_repro::nn::Mse,
-        &mut opt,
-        &data.to_nn_dataset(&norm, kind),
-        None,
-        &cfg,
-    );
-    let reference_mass: f32 = data.input_row(0).iter().sum();
-    ModelBundle::from_network(
-        &mut net,
-        arch,
-        scale.phase_spec(),
-        dlpic_repro::core::BinningShape::Ngp,
-        norm,
-    )
-    .with_reference_mass(reference_mass)
+    println!("no cached model found; training a quick smoke-scale one...");
+    engine::dl::quick_train_1d(Scale::Smoke, 1)
 }
 
-fn main() {
-    let (v0, vth) = (0.2, 0.025);
+fn main() -> Result<(), EngineError> {
     println!("== two-stream instability: traditional vs DL-based PIC ==\n");
-    let bundle = load_bundle();
-    let dl_solver = bundle.into_solver().expect("bundle -> solver");
 
-    // Identical initial conditions; 500 particles/cell keeps the example
-    // under a few seconds while staying physical.
-    let seed = 7;
-    let (ppc, steps) = (500, 200);
-    let mut trad = Simulation::new(
-        reduced_config(v0, vth, ppc, steps, seed),
-        Box::new(TraditionalSolver::paper_default()),
-    );
-    let mut dl = Simulation::new(reduced_config(v0, vth, ppc, steps, seed), Box::new(dl_solver));
-    trad.run();
-    dl.run();
+    // The registry scenario, sized up for a physical comparison: 500
+    // particles/cell keeps the example under a few seconds.
+    let mut spec = engine::scenario("two_stream", Scale::Smoke)?;
+    spec.ppc = 500;
+    spec.n_steps = 200;
+    spec.seed = 7;
 
-    // Phase space at t = 40.
-    let l = trad.grid().length();
-    let (tx, tv) = trad.phase_space();
-    println!("{}", scatter_density(tx, tv, (0.0, l), (-0.4, 0.4), 64, 14, "Traditional PIC (t = 40)"));
-    let (dx, dv) = dl.phase_space();
-    println!("{}", scatter_density(dx, dv, (0.0, l), (-0.4, 0.4), 64, 14, "DL-based PIC (t = 40)"));
+    let mut eng = Engine::new().with_model_1d(load_bundle());
+    let trad = eng.run(&spec, Backend::Traditional1D)?;
+    let dl = eng.run(&spec, Backend::Dl1D)?;
 
-    // E1 growth.
-    let mut e1t = trad.history().mode_series(1).unwrap();
+    // Phase space at t = 40 (the paper's Fig. 4 top panels).
+    let l = dlpic_repro::pic::constants::paper_box_length();
+    for summary in [&trad, &dl] {
+        if let Some(ps) = &summary.phase_space {
+            println!(
+                "{}",
+                scatter_density(
+                    &ps.x,
+                    &ps.v,
+                    (0.0, l),
+                    (-0.4, 0.4),
+                    64,
+                    14,
+                    &format!("{} (t = 40)", summary.backend),
+                )
+            );
+        }
+    }
+
+    // E1 growth (Fig. 4 bottom).
+    let mut e1t = trad.history.mode_series(1).expect("mode 1 tracked");
     e1t.name = "traditional".into();
-    let mut e1d = dl.history().mode_series(1).unwrap();
+    let mut e1d = dl.history.mode_series(1).expect("mode 1 tracked");
     e1d.name = "dl-based".into();
     println!(
         "{}",
@@ -102,29 +79,31 @@ fn main() {
         )
     );
 
-    let gamma = TwoStreamDispersion::new(v0).mode_growth_rate(1, l);
+    let gamma = TwoStreamDispersion::new(0.2).mode_growth_rate(1, l);
     println!("growth rates (theory γ = {gamma:.4}):");
-    for (name, s) in [("traditional", &e1t), ("dl-based", &e1d)] {
-        match fit_growth_rate(&s.times, &s.values, GrowthFitOptions::default()) {
-            Some(f) => println!(
-                "  {name:<12}: γ = {:.4} ({:+.1}% vs theory)",
+    for summary in [&trad, &dl] {
+        match summary.growth_rate(1) {
+            Ok(f) => println!(
+                "  {:<14}: γ = {:.4} ({:+.1}% vs theory)",
+                summary.backend,
                 f.gamma,
                 (f.gamma - gamma) / gamma * 100.0
             ),
-            None => println!("  {name:<12}: no growth phase found"),
+            Err(e) => println!("  {:<14}: no growth fit ({e})", summary.backend),
         }
     }
 
     println!("\nconservation:");
     println!(
         "  energy variation : traditional {:.2}%, dl-based {:.2}%",
-        stats::relative_variation(&trad.history().total) * 100.0,
-        stats::relative_variation(&dl.history().total) * 100.0
+        trad.energy_variation() * 100.0,
+        dl.energy_variation() * 100.0
     );
     println!(
         "  momentum drift   : traditional {:.2e}, dl-based {:.2e}",
-        stats::max_drift(&trad.history().momentum),
-        stats::max_drift(&dl.history().momentum)
+        trad.momentum_drift(),
+        dl.momentum_drift()
     );
     println!("\n(the paper's full-scale version of this comparison: `cargo run -p dlpic-bench --release --bin fig4`)");
+    Ok(())
 }

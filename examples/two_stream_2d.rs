@@ -1,109 +1,88 @@
-//! The 2-D extension in action: the two-stream instability in a 2-D box
-//! (paper §VII's "two-dimensional systems" future-work item).
+//! The 2-D extension in action: the registry's `two_stream_2d` scenario
+//! (paper §VII's "two-dimensional systems" future-work item) on the
+//! engine facade.
 //!
 //! Two counter-streaming electron beams along `x`, uniform in `y`: the
-//! `(kx, ky) = (1, 0)` mode must grow at the 1-D linear-theory rate while
-//! every transverse mode stays at noise level — the cleanest way to
-//! validate a 2-D PIC against closed-form theory.
+//! `(kx, ky) = (1, 0)` mode must grow at the 1-D linear-theory rate — the
+//! cleanest way to validate a 2-D PIC against closed-form theory. (The
+//! transverse-quiescence check — nothing grows in `ky` — lives in the
+//! `pic2d_physics` integration tests.)
 //!
 //! ```sh
 //! cargo run --release --example two_stream_2d
 //! ```
 
 use dlpic_repro::analytics::dispersion::TwoStreamDispersion;
-use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
 use dlpic_repro::analytics::plot::{line_plot, PlotOptions};
-use dlpic_repro::analytics::series::TimeSeries;
-use dlpic_repro::analytics::stats;
-use dlpic_repro::pic::shape::Shape;
-use dlpic_repro::pic2d::grid2d::Grid2D;
-use dlpic_repro::pic2d::init2d::TwoStream2DInit;
-use dlpic_repro::pic2d::simulation2d::{Pic2DConfig, Simulation2D};
-use dlpic_repro::pic2d::solver2d::TraditionalSolver2D;
+use dlpic_repro::core::Scale;
+use dlpic_repro::engine::{self, Backend, EngineError, LoadingSpec};
 
-fn main() {
+fn main() -> Result<(), EngineError> {
     println!("== 2-D extension: two-stream instability in a 2-D box ==\n");
 
-    let (v0, vth) = (0.2, 0.0);
-    let grid = Grid2D::new(32, 32, 2.0532, 2.0532);
-    let n_particles = 131_072; // 128 per cell
+    let mut spec = engine::scenario("two_stream_2d", Scale::Scaled)?;
+    spec.ppc = 128; // 131 072 electrons on the 32×32 grid
+    spec.n_steps = 200;
+    spec.loading = LoadingSpec::Quiet {
+        mode: 1,
+        amplitude: 1e-4,
+    };
+    spec.seed = 20210705;
     println!(
-        "grid {}x{} over {:.4}x{:.4}, {n_particles} electrons, v0 = ±{v0}",
-        grid.nx(),
-        grid.ny(),
-        grid.lx(),
-        grid.ly()
+        "domain {:?}, {} electrons, backend {}",
+        spec.domain,
+        spec.n_particles(),
+        Backend::Traditional2D
     );
 
-    let cfg = Pic2DConfig {
-        grid,
-        init: TwoStream2DInit::quiet(v0, vth, n_particles, 1e-4, 20210705),
-        dt: 0.2,
-        n_steps: 200,
-        gather_shape: Shape::Cic,
-        tracked_modes: vec![(1, 0), (2, 0), (0, 1)],
-    };
     let start = std::time::Instant::now();
-    let mut sim = Simulation2D::new(cfg, Box::new(TraditionalSolver2D::default_config()));
-    sim.run();
+    let summary = engine::run(&spec, Backend::Traditional2D)?;
     println!(
         "ran {} steps to t = {} in {:.2?}\n",
-        sim.steps_done(),
-        sim.time(),
+        summary.steps,
+        summary.t_end,
         start.elapsed()
     );
 
-    // Growth of the streaming mode vs 1-D theory.
-    let theory = TwoStreamDispersion::new(v0).growth_rate(3.06);
-    let h = sim.history();
-    let series = |mode: (usize, usize), name: &str| -> TimeSeries {
-        let (t, a) = h.mode_series(mode).expect("mode tracked");
-        TimeSeries::from_data(name, t.to_vec(), a.to_vec())
-    };
-    let streaming = series((1, 0), "E(1,0)");
-    let transverse = series((0, 1), "E(0,1)");
+    // Growth of the streaming mode vs 1-D theory. In 2-D the engine maps
+    // tracked mode m to the (m, 0) mode of Ex — the 1-D physics family.
+    let theory = TwoStreamDispersion::new(0.2).growth_rate(dlpic_repro::pic::constants::PAPER_K1);
+    let streaming = summary.history.mode_series(1).expect("mode (1,0) tracked");
+    let second = summary.history.mode_series(2).expect("mode (2,0) tracked");
 
-    let fit = fit_growth_rate(&streaming.times, &streaming.values, GrowthFitOptions::default())
-        .expect("growth phase detected");
-    println!("streaming mode (1, 0):");
-    println!("  1-D linear theory : γ = {theory:.4}");
-    println!(
-        "  measured (2-D)    : γ = {:.4}  (r² = {:.4})",
-        fit.gamma, fit.r2
-    );
-    println!(
-        "  relative error    : {:.1}%\n",
-        (fit.gamma - theory).abs() / theory * 100.0
-    );
-
-    let max_transverse = transverse.values.iter().cloned().fold(0.0f64, f64::max);
-    let max_streaming = streaming.values.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "transverse mode (0, 1): peak {max_transverse:.2e} \
-         ({:.1}% of streaming peak — stays at noise level)\n",
-        100.0 * max_transverse / max_streaming
-    );
-
-    println!(
-        "{}",
-        line_plot(
-            &[('*', &streaming), ('.', &transverse)],
-            &PlotOptions::titled("2-D two-stream: streaming vs transverse mode (log)")
-                .log_y(true),
-        )
-    );
-
-    let energy_var = stats::relative_variation(&h.total);
-    println!("total-energy variation: {:.2}%", 100.0 * energy_var);
-    let ok = (fit.gamma - theory).abs() / theory < 0.2
-        && max_transverse < 0.05 * max_streaming
-        && energy_var < 0.05;
-    println!(
-        "verdict: {}",
-        if ok {
-            "PASS — 2-D extension carries the 1-D physics"
-        } else {
-            "CHECK — outside expected bands"
+    match summary.growth_rate(1) {
+        Ok(fit) => {
+            println!("streaming mode (1, 0):");
+            println!("  1-D linear theory : γ = {theory:.4}");
+            println!(
+                "  measured (2-D)    : γ = {:.4}  (r² = {:.4})",
+                fit.gamma, fit.r2
+            );
+            println!(
+                "  relative error    : {:.1}%\n",
+                (fit.gamma - theory).abs() / theory * 100.0
+            );
+            let energy_var = summary.energy_variation();
+            println!(
+                "{}",
+                line_plot(
+                    &[('*', &streaming), ('.', &second)],
+                    &PlotOptions::titled("2-D two-stream: (1,0) and (2,0) modes (log)").log_y(true),
+                )
+            );
+            println!("total-energy variation: {:.2}%", 100.0 * energy_var);
+            println!("momentum drift (x)    : {:.2e}", summary.momentum_drift());
+            let ok = (fit.gamma - theory).abs() / theory < 0.2 && energy_var < 0.05;
+            println!(
+                "\nverdict: {}",
+                if ok {
+                    "PASS — 2-D PIC reproduces the 1-D dispersion"
+                } else {
+                    "CHECK — outside expected bands"
+                }
+            );
         }
-    );
+        Err(e) => println!("no growth fit: {e}"),
+    }
+    Ok(())
 }

@@ -1,82 +1,85 @@
-//! The two-stream instability on the continuum Vlasov–Poisson solver —
-//! the paper's §VII "Vlasov codes … not affected by the PIC numerical
-//! noise" improvement path, demonstrated.
+//! PIC vs Vlasov on the *same* scenario spec — the engine facade's
+//! party trick, and the paper §VII's "Vlasov codes … not affected by the
+//! PIC numerical noise" improvement path, demonstrated.
 //!
-//! Runs the same physical configuration as the PIC quickstart and shows
-//! what noise-free dynamics buy: a growth-rate measurement within a few
-//! percent of linear theory with a near-perfect exponential fit, and a
-//! clean phase-space picture with no shot noise.
+//! One `two_stream` spec runs on `Backend::Traditional1D` (noisy,
+//! particle-based) and on `Backend::Vlasov` (noise-free continuum). The
+//! continuum growth-rate fit lands within a few percent of linear theory
+//! with a near-perfect r²; the PIC fit carries the shot-noise penalty.
 //!
 //! ```sh
 //! cargo run --release --example vlasov_two_stream
 //! ```
 
 use dlpic_repro::analytics::dispersion::TwoStreamDispersion;
-use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
-use dlpic_repro::analytics::plot::{heatmap, line_plot, PlotOptions};
-use dlpic_repro::analytics::series::TimeSeries;
-use dlpic_repro::vlasov::{VlasovConfig, VlasovSolver};
+use dlpic_repro::analytics::plot::{line_plot, PlotOptions};
+use dlpic_repro::core::Scale;
+use dlpic_repro::engine::{self, Backend, EngineError, LoadingSpec, SpeciesSpec};
 
-fn main() {
-    let (v0, vth) = (0.2, 0.02);
-    println!("== Vlasov-Poisson two-stream instability: v0 = ±{v0}, vth = {vth} ==\n");
+fn main() -> Result<(), EngineError> {
+    println!("== two-stream instability: PIC vs continuum Vlasov, one spec ==\n");
 
-    let mut solver = VlasovSolver::new(VlasovConfig::two_stream(v0, vth));
-    let theory =
-        TwoStreamDispersion::new(v0).mode_growth_rate(1, solver.config().grid.length());
+    // The registry scenario, warmed up for the continuum solver (which
+    // needs a smooth f) and stepped finely enough to resolve the growth.
+    let mut spec = engine::scenario("two_stream", Scale::Scaled)?;
+    spec.species = SpeciesSpec::TwoStream { v0: 0.2, vth: 0.02 };
+    spec.loading = LoadingSpec::Quiet {
+        mode: 1,
+        amplitude: 1.6e-4,
+    }; // ε ≈ 1e-3
+    spec.dt = 0.05;
+    spec.n_steps = 800; // t = 40
+    spec.ppc = 250;
+
+    let theory = TwoStreamDispersion::new(0.2)
+        .mode_growth_rate(1, dlpic_repro::pic::constants::paper_box_length());
 
     let start = std::time::Instant::now();
-    let mut e1 = TimeSeries::new("E1 (vlasov)");
-    let steps = 800; // t = 40 at dt = 0.05
-    for _ in 0..steps {
-        e1.push(solver.time(), solver.field_mode(1));
-        solver.step();
-    }
+    let vlasov = engine::run(&spec, Backend::Vlasov)?;
+    let t_vlasov = start.elapsed();
+    let start = std::time::Instant::now();
+    let pic = engine::run(&spec, Backend::Traditional1D)?;
+    let t_pic = start.elapsed();
     println!(
-        "ran {} steps ({}x{} phase grid) to t = {:.0} in {:.2?}\n",
-        steps,
-        solver.config().grid.ncells(),
-        solver.config().nv,
-        solver.time(),
-        start.elapsed()
+        "ran both: vlasov {t_vlasov:.2?}, traditional PIC {t_pic:.2?} (same spec, two Backend values)\n"
     );
 
+    let mut e1v = vlasov.history.mode_series(1).expect("mode 1");
+    e1v.name = "vlasov".into();
+    let mut e1p = pic.history.mode_series(1).expect("mode 1");
+    e1p.name = "traditional".into();
     println!(
         "{}",
         line_plot(
-            &[('*', &e1)],
-            &PlotOptions::titled("E1 amplitude, Vlasov-Poisson (log scale)").log_y(true),
+            &[('*', &e1v), ('o', &e1p)],
+            &PlotOptions::titled("E1 amplitude: continuum vs particles (log)").log_y(true),
         )
     );
 
-    let fit = fit_growth_rate(&e1.times, &e1.values, GrowthFitOptions::default())
-        .expect("growth phase detected");
-    println!("growth rate:");
-    println!("  linear theory : γ = {theory:.4}");
-    println!(
-        "  Vlasov        : γ = {:.4}  ({:+.2}% vs theory, r² = {:.5})",
-        fit.gamma,
-        (fit.gamma - theory) / theory * 100.0,
-        fit.r2
-    );
-    println!("  (compare the PIC quickstart: ~10% off with r² ≈ 0.99 — shot noise)\n");
-
-    // Phase space at the end of the run: the trapping vortex, noise-free.
-    // Downsample the 256 velocity rows to 32 for the terminal.
-    let nx = solver.config().grid.ncells();
-    let nv = solver.config().nv;
-    let rows = 32;
-    let mut small = vec![0.0f32; rows * nx];
-    for (iv, f) in solver.distribution().chunks(nx).enumerate() {
-        let r = iv * rows / nv;
-        for (j, &v) in f.iter().enumerate() {
-            small[r * nx + j] += v as f32;
+    println!("growth rate of mode 1 (linear theory γ = {theory:.4}):");
+    for summary in [&vlasov, &pic] {
+        match summary.growth_rate(1) {
+            Ok(f) => println!(
+                "  {:<14}: γ = {:.4}  ({:+.2}% vs theory, r² = {:.5})",
+                summary.backend,
+                f.gamma,
+                (f.gamma - theory) / theory * 100.0,
+                f.r2
+            ),
+            Err(e) => println!("  {:<14}: no fit ({e})", summary.backend),
         }
     }
-    println!("{}", heatmap(&small, nx, rows, "f(x, v) at t = 40 (noise-free vortex)"));
 
-    println!("conservation over the run:");
-    println!("  mass     : {:.6} (box length = {:.6})", solver.mass(), solver.config().grid.length());
-    println!("  momentum : {:.2e}", solver.momentum());
-    println!("  energy   : {:.5}", solver.total_energy());
+    println!("\nconservation:");
+    for summary in [&vlasov, &pic] {
+        println!(
+            "  {:<14}: ΔE = {:.4}%, momentum drift {:.2e}",
+            summary.backend,
+            summary.energy_variation() * 100.0,
+            summary.momentum_drift()
+        );
+    }
+    println!("\n(distribution-level access — f(x, v) heatmaps, custom moments — stays");
+    println!(" available on the lower-level `dlpic_repro::vlasov::VlasovSolver`.)");
+    Ok(())
 }

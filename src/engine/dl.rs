@@ -1,0 +1,190 @@
+//! DL model plumbing for the engine's `Dl1D`/`Dl2D` backends.
+//!
+//! Three ways to get a model into an [`Engine`](super::Engine):
+//!
+//! 1. **Bring a trained bundle** — `engine.with_model_1d(bundle)` with a
+//!    [`ModelBundle`] from `dlpic-bench` or [`quick_train_1d`].
+//! 2. **Quick-train here** — [`quick_train_1d`]/[`quick_train_2d`] run the
+//!    full harvest→train pipeline at the spec's scale (seconds at
+//!    `Scale::Smoke`).
+//! 3. **Untrained fallback** — with no model configured, the engine builds
+//!    an untrained network of the scale's architecture. The produced
+//!    fields are physically meaningless (finite, near-zero) but every
+//!    plumbing path is exercised; runs report the solver name
+//!    `dl-*-untrained` so nobody mistakes them for physics.
+
+use super::error::EngineError;
+use super::spec::ScenarioSpec;
+use crate::core::normalize::NormStats;
+use crate::core::phase_space::BinningShape;
+use crate::core::presets::Scale;
+use crate::core::twod::{
+    arch_2d, harvest_2d, train_2d_solver, DensityBinning, Dl2DFieldSolver, Train2DConfig,
+};
+use crate::core::{DlFieldSolver, ModelBundle};
+use crate::nn::serialize::{params_from_bytes, params_to_bytes};
+use crate::pic2d::{Grid2D, Pic2DConfig};
+
+/// A persisted-in-memory 2-D DL model (the 2-D analogue of
+/// [`ModelBundle`]): enough to rebuild a [`Dl2DFieldSolver`] any number of
+/// times.
+#[derive(Debug, Clone)]
+pub struct Dl2DModel {
+    /// Hidden-layer widths of the MLP.
+    pub hidden: Vec<usize>,
+    /// Serialized network parameters.
+    pub params: Vec<u8>,
+    /// Density-binning order used in training.
+    pub binning: DensityBinning,
+    /// Training-input normalization statistics.
+    pub norm: NormStats,
+    /// Total mass of the training histograms (0 disables rescaling).
+    pub reference_mass: f32,
+}
+
+impl Dl2DModel {
+    /// Rebuilds the solver for the given grid. Fails if the grid's node
+    /// count mismatches the trained parameter shapes.
+    pub fn into_solver(&self, grid: &Grid2D) -> Result<Dl2DFieldSolver, EngineError> {
+        let arch = arch_2d(grid, self.hidden.clone());
+        let mut net = arch.build(0);
+        params_from_bytes(&mut net, &self.params).map_err(|_| EngineError::InvalidSpec {
+            scenario: String::new(),
+            what: format!(
+                "2-D model parameters do not fit a {}×{} grid",
+                grid.nx(),
+                grid.ny()
+            ),
+        })?;
+        Ok(
+            Dl2DFieldSolver::new(net, self.binning, self.norm, "dl-2d-mlp")
+                .with_reference_mass(self.reference_mass),
+        )
+    }
+}
+
+/// Hidden widths of the default 2-D architecture at each scale.
+pub fn hidden_2d(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![32, 32],
+        Scale::Scaled => vec![256, 256],
+        Scale::Paper => vec![512, 512],
+    }
+}
+
+/// An untrained 1-D DL solver with the scale's MLP architecture. The
+/// network output width is the paper's 64 cells, so the scenario domain
+/// must match (checked by the engine before building).
+pub fn untrained_1d(scale: Scale) -> DlFieldSolver {
+    let arch = scale.mlp_arch();
+    DlFieldSolver::new(
+        arch.build(0xD15E),
+        scale.phase_spec(),
+        BinningShape::Ngp,
+        NormStats::identity(),
+        arch.input_kind(),
+        "dl-mlp-untrained",
+    )
+}
+
+/// An untrained 2-D DL solver sized for the grid.
+pub fn untrained_2d(scale: Scale, grid: &Grid2D) -> Dl2DFieldSolver {
+    let arch = arch_2d(grid, hidden_2d(scale));
+    Dl2DFieldSolver::new(
+        arch.build(0xD15E),
+        DensityBinning::Ngp,
+        NormStats::identity(),
+        "dl-2d-mlp-untrained",
+    )
+}
+
+/// Output width (field cells) of a 1-D bundle's network.
+pub fn bundle_output_cells(bundle: &ModelBundle) -> usize {
+    bundle.arch.output_len()
+}
+
+/// Trains a 1-D MLP field solver from scratch at the given scale — the
+/// full paper pipeline (traditional-PIC harvest → shuffle/split →
+/// Adam/MSE training) with the scale's sweep and architecture. Seconds at
+/// `Scale::Smoke`; see `dlpic-bench` for cached, full-size training.
+pub fn quick_train_1d(scale: Scale, seed: u64) -> ModelBundle {
+    use crate::dataset::generator::{generate, GeneratorConfig};
+    use crate::dataset::spec::SweepSpec;
+    use crate::nn::optimizer::Adam;
+    use crate::nn::trainer::{train, TrainConfig};
+
+    let mut cfg = GeneratorConfig::new(SweepSpec::training_for(scale), scale.phase_spec());
+    cfg.ppc = scale.dataset_ppc();
+    let data = generate(&cfg);
+    let norm = data.input_norm_stats();
+    let arch = scale.mlp_arch();
+    let kind = arch.input_kind();
+    let mut net = arch.build(seed);
+    let mut opt = Adam::new(scale.learning_rate());
+    let tc = TrainConfig {
+        epochs: scale.mlp_epochs(),
+        batch_size: 64,
+        shuffle_seed: seed,
+        log_every: 0,
+    };
+    train(
+        &mut net,
+        &crate::nn::Mse,
+        &mut opt,
+        &data.to_nn_dataset(&norm, kind),
+        None,
+        &tc,
+    );
+    let reference_mass: f32 = data.input_row(0).iter().sum();
+    ModelBundle::from_network(&mut net, arch, data.spec, data.binning, norm)
+        .with_reference_mass(reference_mass)
+}
+
+/// Trains a 2-D DL field solver by harvesting a traditional 2-D run of the
+/// given scenario, then fitting the scale's MLP.
+pub fn quick_train_2d(spec: &ScenarioSpec, seed: u64) -> Result<Dl2DModel, EngineError> {
+    let grid = match spec.dim() {
+        super::spec::Dim::TwoD => spec.grid_2d(),
+        super::spec::Dim::OneD => {
+            return Err(EngineError::InvalidSpec {
+                scenario: spec.name.clone(),
+                what: "quick_train_2d needs a 2-D scenario".into(),
+            })
+        }
+    };
+    let init = spec.init_2d().ok_or_else(|| EngineError::InvalidSpec {
+        scenario: spec.name.clone(),
+        what: "2-D training harvest needs a symmetric two-beam species".into(),
+    })?;
+    let cfg = Pic2DConfig {
+        grid: grid.clone(),
+        init,
+        dt: spec.dt,
+        n_steps: spec.n_steps,
+        gather_shape: crate::pic::Shape::Cic,
+        tracked_modes: vec![],
+    };
+    let binning = DensityBinning::Ngp;
+    let samples = harvest_2d(cfg, binning, 1);
+    let tc = Train2DConfig {
+        hidden: hidden_2d(spec.scale),
+        learning_rate: spec.scale.learning_rate().max(1e-3),
+        epochs: match spec.scale {
+            Scale::Smoke => 10,
+            Scale::Scaled => 40,
+            Scale::Paper => 80,
+        },
+        batch_size: 32,
+        seed,
+    };
+    let (mut solver, _history) = train_2d_solver(&grid, &samples, binning, &tc);
+    let reference_mass: f32 = samples.first().map(|s| s.hist.iter().sum()).unwrap_or(0.0);
+    let params = params_to_bytes(solver.network_mut());
+    Ok(Dl2DModel {
+        hidden: hidden_2d(spec.scale),
+        params,
+        binning,
+        norm: solver.norm(),
+        reference_mass,
+    })
+}

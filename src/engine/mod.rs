@@ -1,0 +1,53 @@
+//! # The engine facade: one Scenario/Backend/Observer API for every solver
+//!
+//! The paper's central design point is that the DL field solver is a
+//! *drop-in replacement* inside an otherwise unchanged PIC cycle. This
+//! module makes that a first-class API instead of a per-crate convention:
+//!
+//! * [`ScenarioSpec`] — a declarative, dimension-tagged, JSON-serializable
+//!   description of the physics (domain, species, loading, scale, dt,
+//!   steps, tracked modes) with validation. The [`registry`] ships the
+//!   classic experiments pre-configured (`two_stream`, `two_stream_2d`,
+//!   `landau_damping`, `cold_beam`, `bump_on_tail`, `thermal_noise`).
+//! * [`Backend`] — which solver runs it: `Traditional1D`, `Dl1D`,
+//!   `Traditional2D`, `Dl2D`, `Vlasov` or `Ddecomp`. Any compatible
+//!   pairing is one enum value away.
+//! * [`Observer`] + [`RunSummary`]/[`EnergyHistory`] — one diagnostics
+//!   shape for all backends, adapting `pic::History`, `pic2d::History2D`
+//!   and the Vlasov/distributed diagnostics, directly consumable by
+//!   [`crate::analytics`].
+//!
+//! ```no_run
+//! use dlpic_repro::engine::{self, Backend};
+//! use dlpic_repro::core::Scale;
+//!
+//! // The paper's validation run on the traditional method…
+//! let trad = engine::run_scenario("two_stream", Scale::Scaled, Backend::Traditional1D)?;
+//! // …and on the DL method: change one value.
+//! let dl = engine::run_scenario("two_stream", Scale::Scaled, Backend::Dl1D)?;
+//! println!("ΔE: {:.2}% vs {:.2}%", trad.energy_variation() * 100.0,
+//!          dl.energy_variation() * 100.0);
+//! # Ok::<(), dlpic_repro::engine::EngineError>(())
+//! ```
+//!
+//! The old per-crate entry points (`pic::PicConfig`, `pic2d::Pic2DConfig`,
+//! `vlasov::VlasovConfig`, `ddecomp::DistConfig`) remain available but are
+//! implementation detail; new code should target this module. See the
+//! README for a migration table.
+
+pub mod backend;
+pub mod dl;
+pub mod error;
+pub mod json;
+pub mod observer;
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use backend::{compatible_backends, Backend};
+pub use dl::Dl2DModel;
+pub use error::EngineError;
+pub use observer::{EnergyHistory, Observer, PhaseSpace, ProgressPrinter, RunSummary, Sample};
+pub use registry::{all_scenarios, scenario, SCENARIO_NAMES};
+pub use runner::{run, run_scenario, Engine, Numerics1D};
+pub use spec::{Dim, DomainSpec, LoadingSpec, ScenarioSpec, SpeciesSpec};

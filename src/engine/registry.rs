@@ -1,0 +1,211 @@
+//! The named scenario registry: every classic experiment of this
+//! reproduction as a ready-made [`ScenarioSpec`], sized by [`Scale`].
+//!
+//! | name            | physics                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `two_stream`    | the paper's validation run (Figs. 4–5)             |
+//! | `two_stream_2d` | the §VII two-dimensional extension                 |
+//! | `landau_damping`| collisionless damping at `k·λ_D = 0.5`             |
+//! | `cold_beam`     | the linearly *stable* cold-beam stress (Fig. 6)    |
+//! | `bump_on_tail`  | gentle-bump beam–plasma instability                |
+//! | `thermal_noise` | quiescent Maxwellian: fluctuation floor, no growth |
+//!
+//! All entries reuse the paper's standard domains
+//! ([`DomainSpec::paper_1d`], [`DomainSpec::default_2d`]) and the
+//! `pic`/`pic2d` loading machinery underneath.
+
+use super::error::EngineError;
+use super::spec::{DomainSpec, LoadingSpec, ScenarioSpec, SpeciesSpec};
+use crate::core::presets::Scale;
+use crate::pic::constants;
+
+/// Names this registry serves, in canonical order.
+pub const SCENARIO_NAMES: [&str; 6] = [
+    "two_stream",
+    "two_stream_2d",
+    "landau_damping",
+    "cold_beam",
+    "bump_on_tail",
+    "thermal_noise",
+];
+
+/// Particles-per-cell / step-count sizing per scale for 1-D entries.
+fn size_1d(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Smoke => (60, 30),
+        Scale::Scaled => (500, constants::PAPER_NSTEPS),
+        Scale::Paper => (constants::PAPER_PARTICLES_PER_CELL, constants::PAPER_NSTEPS),
+    }
+}
+
+/// Particles-per-cell / step-count sizing per scale for 2-D entries.
+fn size_2d(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Smoke => (16, 25),
+        Scale::Scaled => (64, 150),
+        Scale::Paper => (128, 200),
+    }
+}
+
+/// Builds the named scenario at the given scale.
+pub fn scenario(name: &str, scale: Scale) -> Result<ScenarioSpec, EngineError> {
+    let (ppc, n_steps) = size_1d(scale);
+    let spec = match name {
+        "two_stream" => ScenarioSpec {
+            name: name.into(),
+            domain: DomainSpec::paper_1d(),
+            species: SpeciesSpec::TwoStream {
+                v0: constants::PAPER_VALIDATION_V0,
+                vth: constants::PAPER_VALIDATION_VTH,
+            },
+            loading: LoadingSpec::Random,
+            scale,
+            ppc,
+            dt: constants::PAPER_DT,
+            n_steps,
+            seed: 20210705,
+            tracked_modes: vec![1, 2, 3],
+        },
+        "two_stream_2d" => {
+            let (ppc2, steps2) = size_2d(scale);
+            ScenarioSpec {
+                name: name.into(),
+                domain: DomainSpec::default_2d(),
+                species: SpeciesSpec::TwoStream { v0: 0.2, vth: 0.0 },
+                loading: LoadingSpec::Quiet {
+                    mode: 1,
+                    amplitude: 1e-3,
+                },
+                scale,
+                ppc: ppc2,
+                dt: constants::PAPER_DT,
+                n_steps: steps2,
+                seed: 11,
+                tracked_modes: vec![1, 2],
+            }
+        }
+        "landau_damping" => {
+            // k·λ_D = 0.5 at the box's fundamental: vth = 0.5/k₁.
+            let vth = 0.5 / constants::PAPER_K1;
+            ScenarioSpec {
+                name: name.into(),
+                domain: DomainSpec::paper_1d(),
+                species: SpeciesSpec::Maxwellian { vth },
+                loading: LoadingSpec::Quiet {
+                    mode: 1,
+                    amplitude: 1e-3,
+                },
+                scale,
+                ppc,
+                // Resolve the ω ≈ 1.4 Langmuir oscillation.
+                dt: 0.1,
+                n_steps: match scale {
+                    Scale::Smoke => 40,
+                    Scale::Scaled => 350,
+                    Scale::Paper => 700,
+                },
+                seed: 42,
+                tracked_modes: vec![1, 2],
+            }
+        }
+        "cold_beam" => ScenarioSpec {
+            name: name.into(),
+            domain: DomainSpec::paper_1d(),
+            species: SpeciesSpec::TwoStream {
+                v0: constants::PAPER_COLD_BEAM_V0,
+                vth: 0.0,
+            },
+            loading: LoadingSpec::Random,
+            scale,
+            ppc,
+            dt: constants::PAPER_DT,
+            n_steps,
+            seed: 13,
+            tracked_modes: vec![1, 2, 3],
+        },
+        "bump_on_tail" => ScenarioSpec {
+            name: name.into(),
+            domain: DomainSpec::paper_1d(),
+            // Gentle bump: 10% of the density drifting at 3× the resonant
+            // spread of the bulk — unstable to waves resonant with the
+            // beam's leading edge.
+            species: SpeciesSpec::BumpOnTail {
+                bulk_vth: 0.05,
+                beam_v: 0.3,
+                beam_vth: 0.02,
+                beam_fraction: 0.1,
+            },
+            loading: LoadingSpec::Random,
+            scale,
+            ppc,
+            dt: constants::PAPER_DT,
+            n_steps,
+            seed: 17,
+            tracked_modes: vec![1, 2, 3],
+        },
+        "thermal_noise" => ScenarioSpec {
+            name: name.into(),
+            domain: DomainSpec::paper_1d(),
+            species: SpeciesSpec::Maxwellian { vth: 0.05 },
+            loading: LoadingSpec::Random,
+            scale,
+            ppc,
+            dt: constants::PAPER_DT,
+            n_steps,
+            seed: 23,
+            tracked_modes: vec![1],
+        },
+        other => {
+            return Err(EngineError::UnknownScenario {
+                name: other.to_string(),
+                known: SCENARIO_NAMES.to_vec(),
+            })
+        }
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Every registry scenario at the given scale.
+pub fn all_scenarios(scale: Scale) -> Vec<ScenarioSpec> {
+    SCENARIO_NAMES
+        .iter()
+        .map(|name| scenario(name, scale).expect("registry entries validate"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_validates_at_every_scale() {
+        for scale in [Scale::Smoke, Scale::Scaled, Scale::Paper] {
+            for name in SCENARIO_NAMES {
+                let spec = scenario(name, scale).unwrap();
+                assert_eq!(spec.name, name);
+                assert_eq!(spec.scale, scale);
+            }
+            assert_eq!(all_scenarios(scale).len(), SCENARIO_NAMES.len());
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_registry() {
+        match scenario("warp_drive", Scale::Smoke) {
+            Err(EngineError::UnknownScenario { name, known }) => {
+                assert_eq!(name, "warp_drive");
+                assert_eq!(known.len(), SCENARIO_NAMES.len());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_scale_two_stream_matches_the_paper() {
+        let spec = scenario("two_stream", Scale::Paper).unwrap();
+        assert_eq!(spec.n_particles(), 64_000);
+        assert_eq!(spec.n_steps, 200);
+        assert!((spec.dt - 0.2).abs() < 1e-15);
+    }
+}

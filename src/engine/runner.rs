@@ -1,0 +1,471 @@
+//! The [`Engine`]: validates a scenario×backend pairing, builds the
+//! matching solver stack, drives the run step by step, and streams unified
+//! diagnostics to observers.
+//!
+//! Every backend follows the same protocol: build → step `n_steps` times →
+//! final snapshot, emitting one [`Sample`] per recorded diagnostics row
+//! (so a run yields `n_steps + 1` samples, matching the solver crates'
+//! long-standing convention).
+
+use super::backend::Backend;
+use super::dl::{self, Dl2DModel};
+use super::error::EngineError;
+use super::observer::{EnergyHistory, Observer, PhaseSpace, RunSummary, Sample};
+use super::spec::{LoadingSpec, ScenarioSpec};
+use crate::core::presets::Scale;
+use crate::core::ModelBundle;
+use crate::ddecomp::sim::{DistConfig, DistSimulation};
+use crate::ddecomp::strategy::GatherScatter;
+use crate::pic::simulation::{PicConfig, Simulation};
+use crate::pic::solver::{FieldSolver, PoissonKind, TraditionalSolver};
+use crate::pic::{Shape, TwoStreamInit};
+use crate::pic2d::simulation2d::Pic2DConfig;
+use crate::pic2d::solver2d::FieldSolver2D;
+use crate::pic2d::{Simulation2D, TraditionalSolver2D};
+use crate::vlasov::{VlasovConfig, VlasovSolver};
+
+/// Numerical options of the 1-D particle backends that the paper's figure
+/// experiments vary; the scenario spec stays purely physical. Defaults
+/// match `TraditionalSolver::paper_default()`: CIC deposit and gather,
+/// finite-difference Poisson.
+#[derive(Debug, Clone, Copy)]
+pub struct Numerics1D {
+    /// Shape used to gather E to the particles (shared by all backends).
+    pub gather_shape: Shape,
+    /// Deposition shape of the traditional solver (keep equal to
+    /// `gather_shape` for momentum conservation).
+    pub deposit_shape: Shape,
+    /// Poisson backend of the traditional solver.
+    pub poisson: PoissonKind,
+}
+
+impl Default for Numerics1D {
+    fn default() -> Self {
+        Self {
+            gather_shape: Shape::Cic,
+            deposit_shape: Shape::Cic,
+            poisson: PoissonKind::FiniteDifference,
+        }
+    }
+}
+
+impl Numerics1D {
+    /// The paper §II "basic NGP scheme" — the traditional baseline of the
+    /// figure experiments, which exhibits the cold-beam instability most
+    /// clearly.
+    pub fn basic_ngp() -> Self {
+        Self {
+            gather_shape: Shape::Ngp,
+            deposit_shape: Shape::Ngp,
+            poisson: PoissonKind::FiniteDifference,
+        }
+    }
+}
+
+/// The facade entry point: holds optional DL models and observers, and
+/// runs any compatible scenario×backend pairing.
+#[derive(Default)]
+pub struct Engine {
+    model_1d: Option<ModelBundle>,
+    model_2d: Option<Dl2DModel>,
+    numerics_1d: Numerics1D,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl Engine {
+    /// An engine with no models and no observers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses this trained 1-D bundle for `Backend::Dl1D` runs.
+    pub fn with_model_1d(mut self, bundle: ModelBundle) -> Self {
+        self.model_1d = Some(bundle);
+        self
+    }
+
+    /// Uses this trained 2-D model for `Backend::Dl2D` runs.
+    pub fn with_model_2d(mut self, model: Dl2DModel) -> Self {
+        self.model_2d = Some(model);
+        self
+    }
+
+    /// Overrides the 1-D numerical options (gather/deposit shapes, Poisson
+    /// backend).
+    pub fn with_numerics_1d(mut self, numerics: Numerics1D) -> Self {
+        self.numerics_1d = numerics;
+        self
+    }
+
+    /// Registers a run monitor.
+    pub fn with_observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// True when a trained 1-D model is configured.
+    pub fn has_model_1d(&self) -> bool {
+        self.model_1d.is_some()
+    }
+
+    /// Runs a registry scenario by name.
+    pub fn run_named(
+        &mut self,
+        name: &str,
+        scale: Scale,
+        backend: Backend,
+    ) -> Result<RunSummary, EngineError> {
+        let spec = super::registry::scenario(name, scale)?;
+        self.run(&spec, backend)
+    }
+
+    /// Runs a scenario on a backend: validate, build, step, summarize.
+    pub fn run(
+        &mut self,
+        spec: &ScenarioSpec,
+        backend: Backend,
+    ) -> Result<RunSummary, EngineError> {
+        spec.validate()?;
+        backend.supports(spec)?;
+        for obs in &mut self.observers {
+            obs.on_start(spec, &backend);
+        }
+        let start = std::time::Instant::now();
+        let numerics = self.numerics_1d;
+        // Solvers are built before the observer borrow below.
+        let solver_1d = match backend {
+            Backend::Traditional1D | Backend::Dl1D => Some(self.build_1d_solver(spec, backend)?),
+            _ => None,
+        };
+        let solver_2d = match backend {
+            Backend::Traditional2D | Backend::Dl2D => Some(self.build_2d_solver(spec, backend)?),
+            _ => None,
+        };
+        let mut history = EnergyHistory::new(spec.tracked_modes.clone());
+        let mut extras: Vec<(String, f64)> = Vec::new();
+        let phase_space;
+        {
+            // Each driver pushes every recorded row through this one sink.
+            let observers = &mut self.observers;
+            let mut emit = |sample: Sample| {
+                history.push(&sample);
+                for obs in observers.iter_mut() {
+                    obs.on_sample(&sample);
+                }
+            };
+            phase_space = match backend {
+                Backend::Traditional1D | Backend::Dl1D => drive_1d(
+                    spec,
+                    solver_1d.expect("built above"),
+                    numerics.gather_shape,
+                    &mut emit,
+                )?,
+                Backend::Traditional2D | Backend::Dl2D => {
+                    drive_2d(spec, solver_2d.expect("built above"), &mut emit)?
+                }
+                Backend::Vlasov => {
+                    drive_vlasov(spec, &mut emit);
+                    None
+                }
+                Backend::Ddecomp { n_ranks } => {
+                    drive_ddecomp(spec, n_ranks, numerics, &mut emit, &mut extras)?
+                }
+            };
+        }
+        let summary = RunSummary {
+            scenario: spec.name.clone(),
+            backend: backend.to_string(),
+            dim: spec.dim(),
+            steps: spec.n_steps,
+            t_end: history.times.last().copied().unwrap_or(0.0),
+            history,
+            phase_space,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            extras,
+        };
+        for obs in &mut self.observers {
+            obs.on_finish(&summary);
+        }
+        Ok(summary)
+    }
+
+    fn build_1d_solver(
+        &self,
+        spec: &ScenarioSpec,
+        backend: Backend,
+    ) -> Result<Box<dyn FieldSolver>, EngineError> {
+        let n = &self.numerics_1d;
+        match backend {
+            Backend::Traditional1D => Ok(Box::new(TraditionalSolver::new(
+                n.deposit_shape,
+                n.poisson,
+                1.0,
+            ))),
+            Backend::Dl1D => {
+                let ncells = spec.domain.cells();
+                let output = match &self.model_1d {
+                    Some(bundle) => dl::bundle_output_cells(bundle),
+                    None => spec.scale.mlp_arch().output_len(),
+                };
+                if output != ncells {
+                    return Err(EngineError::Incompatible {
+                        scenario: spec.name.clone(),
+                        backend: backend.name(),
+                        why: format!(
+                            "DL solver predicts {output} cells but the domain has {ncells}"
+                        ),
+                    });
+                }
+                match &self.model_1d {
+                    Some(bundle) => Ok(Box::new(bundle.clone().into_solver()?)),
+                    None => Ok(Box::new(dl::untrained_1d(spec.scale))),
+                }
+            }
+            _ => unreachable!("1-D solver for non-1-D backend"),
+        }
+    }
+
+    fn build_2d_solver(
+        &self,
+        spec: &ScenarioSpec,
+        backend: Backend,
+    ) -> Result<Box<dyn FieldSolver2D>, EngineError> {
+        match backend {
+            Backend::Traditional2D => Ok(Box::new(TraditionalSolver2D::default_config())),
+            Backend::Dl2D => match &self.model_2d {
+                Some(model) => Ok(Box::new(model.into_solver(&spec.grid_2d())?)),
+                None => Ok(Box::new(dl::untrained_2d(spec.scale, &spec.grid_2d()))),
+            },
+            _ => unreachable!("2-D solver for non-2-D backend"),
+        }
+    }
+}
+
+/// Builds and steps a 1-D PIC run, emitting each history row as it lands.
+fn drive_1d(
+    spec: &ScenarioSpec,
+    solver: Box<dyn FieldSolver>,
+    gather_shape: Shape,
+    emit: &mut impl FnMut(Sample),
+) -> Result<Option<PhaseSpace>, EngineError> {
+    let grid = spec.grid_1d();
+    let particles = match spec.two_stream_init() {
+        Some(init) => init.build(&grid),
+        None => spec.multi_beam_init().build(&grid),
+    };
+    // `PicConfig.init` is a record, not the load: `from_particles` below
+    // receives the actual particle buffer (which for bump-on-tail has no
+    // TwoStreamInit spelling).
+    let cfg = PicConfig {
+        grid,
+        init: placeholder_init(spec),
+        dt: spec.dt,
+        n_steps: spec.n_steps,
+        gather_shape,
+        tracked_modes: spec.tracked_modes.clone(),
+    };
+    let mut sim = Simulation::from_particles(cfg, particles, solver);
+    for _ in 0..spec.n_steps {
+        sim.step();
+        emit(last_row_1d(sim.history()));
+    }
+    sim.finish();
+    emit(last_row_1d(sim.history()));
+    let (x, v) = sim.phase_space();
+    Ok(Some(PhaseSpace {
+        x: x.to_vec(),
+        v: v.to_vec(),
+    }))
+}
+
+/// A `TwoStreamInit` standing in for loads `PicConfig` cannot express.
+fn placeholder_init(spec: &ScenarioSpec) -> TwoStreamInit {
+    let (v0, vth) = spec.species.as_two_stream().unwrap_or((0.0, 0.0));
+    TwoStreamInit {
+        v0,
+        vth,
+        n_particles: spec.n_particles(),
+        loading: crate::pic::Loading::Random,
+        seed: spec.seed,
+    }
+}
+
+fn last_row_1d(h: &crate::pic::History) -> Sample {
+    let i = h.len() - 1;
+    Sample {
+        step: i,
+        time: h.times[i],
+        kinetic: h.kinetic[i],
+        field: h.field[i],
+        momentum: h.momentum[i],
+        mode_amps: h.mode_amps.iter().map(|s| s[i]).collect(),
+    }
+}
+
+/// Builds and steps a 2-D PIC run. Tracked mode `m` maps to the `(m, 0)`
+/// mode of `Ex` — the mode family carrying the 1-D physics.
+fn drive_2d(
+    spec: &ScenarioSpec,
+    solver: Box<dyn FieldSolver2D>,
+    emit: &mut impl FnMut(Sample),
+) -> Result<Option<PhaseSpace>, EngineError> {
+    let init = spec.init_2d().expect("compatibility checked");
+    let cfg = Pic2DConfig {
+        grid: spec.grid_2d(),
+        init,
+        dt: spec.dt,
+        n_steps: spec.n_steps,
+        gather_shape: Shape::Cic,
+        tracked_modes: spec.tracked_modes.iter().map(|&m| (m, 0)).collect(),
+    };
+    let mut sim = Simulation2D::new(cfg, solver);
+    for _ in 0..spec.n_steps {
+        sim.step();
+        emit(last_row_2d(sim.history()));
+    }
+    sim.finish();
+    emit(last_row_2d(sim.history()));
+    let p = sim.particles();
+    Ok(Some(PhaseSpace {
+        x: p.x.clone(),
+        v: p.vx.clone(),
+    }))
+}
+
+fn last_row_2d(h: &crate::pic2d::simulation2d::History2D) -> Sample {
+    let i = h.len() - 1;
+    Sample {
+        step: i,
+        time: h.times[i],
+        kinetic: h.kinetic[i],
+        field: h.field[i],
+        momentum: h.momentum_x[i],
+        mode_amps: h.mode_amps.iter().map(|s| s[i]).collect(),
+    }
+}
+
+/// Smallest thermal spread the continuum backend accepts: below this the
+/// velocity grid cannot resolve the Maxwellian and the solver would have
+/// to silently alter the spec's physics. `Backend::Vlasov::supports`
+/// enforces it.
+pub(crate) const VLASOV_MIN_VTH: f64 = 0.01;
+
+/// Velocity-space resolution of the continuum backend per scale.
+fn vlasov_nv(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 64,
+        Scale::Scaled => 256,
+        Scale::Paper => 512,
+    }
+}
+
+/// Builds and steps a Vlasov–Poisson run. Diagnostics are recorded at the
+/// *start* of each step plus a final snapshot, matching the PIC sampling
+/// convention.
+fn drive_vlasov(spec: &ScenarioSpec, emit: &mut impl FnMut(Sample)) {
+    // `Backend::Vlasov::supports` has already rejected vth below
+    // VLASOV_MIN_VTH and quiet loadings on modes other than 1, so the
+    // spec's physics runs unmodified.
+    let (v0, vth) = spec.species.as_two_stream().expect("compatibility checked");
+    // A quiet PIC loading displaces by ξ = A·L·sin(kx), i.e. a relative
+    // density perturbation ε = A·L·k = 2π·A on mode 1, which is the mode
+    // the continuum solver seeds.
+    let perturbation = match spec.loading {
+        LoadingSpec::Quiet { mode: 1, amplitude } => {
+            (2.0 * std::f64::consts::PI * amplitude).abs().max(1e-9)
+        }
+        _ => 1e-3,
+    };
+    let cfg = VlasovConfig {
+        grid: spec.grid_1d(),
+        nv: vlasov_nv(spec.scale),
+        vmax: (v0 + 6.0 * vth).max(0.8),
+        dt: spec.dt,
+        v0,
+        vth,
+        perturbation,
+    };
+    let mut solver = VlasovSolver::new(cfg);
+    let mut record = |step: usize, solver: &VlasovSolver| {
+        emit(Sample {
+            step,
+            time: solver.time(),
+            kinetic: solver.kinetic_energy(),
+            field: solver.field_energy(),
+            momentum: solver.momentum(),
+            mode_amps: spec
+                .tracked_modes
+                .iter()
+                .map(|&m| solver.field_mode(m))
+                .collect(),
+        });
+    };
+    for step in 0..spec.n_steps {
+        record(step, &solver);
+        solver.step();
+    }
+    record(spec.n_steps, &solver);
+}
+
+/// Builds and steps a distributed 1-D run, reporting communication volume
+/// and migration counts as summary extras.
+fn drive_ddecomp(
+    spec: &ScenarioSpec,
+    n_ranks: usize,
+    numerics: Numerics1D,
+    emit: &mut impl FnMut(Sample),
+    extras: &mut Vec<(String, f64)>,
+) -> Result<Option<PhaseSpace>, EngineError> {
+    // The distributed gather/scatter strategy solves Poisson with the
+    // finite-difference backend only; honouring part of a numerics
+    // override while ignoring the rest would produce apples-to-oranges
+    // comparisons, so reject instead.
+    if numerics.poisson != PoissonKind::FiniteDifference {
+        return Err(EngineError::Incompatible {
+            scenario: spec.name.clone(),
+            backend: "ddecomp",
+            why: format!(
+                "the distributed solve supports only finite-difference Poisson (asked for {:?})",
+                numerics.poisson
+            ),
+        });
+    }
+    let init = spec.two_stream_init().expect("compatibility checked");
+    let cfg = DistConfig {
+        grid: spec.grid_1d(),
+        init,
+        dt: spec.dt,
+        n_steps: spec.n_steps,
+        gather_shape: numerics.gather_shape,
+        n_ranks,
+        tracked_modes: spec.tracked_modes.clone(),
+    };
+    let mut sim = DistSimulation::new(
+        cfg,
+        Box::new(GatherScatter::new(numerics.deposit_shape, 1.0)),
+    );
+    for _ in 0..spec.n_steps {
+        sim.step();
+        emit(last_row_1d(sim.history()));
+    }
+    sim.finish();
+    emit(last_row_1d(sim.history()));
+    let stats = sim.comm_stats();
+    extras.push(("ranks".into(), n_ranks as f64));
+    extras.push(("migrated_particles".into(), sim.migrated_total() as f64));
+    extras.push(("comm_messages".into(), stats.messages as f64));
+    extras.push(("comm_bytes".into(), stats.bytes as f64));
+    let (x, v) = sim.phase_space();
+    Ok(Some(PhaseSpace { x, v }))
+}
+
+/// One-shot convenience: runs `spec` on `backend` with no observers and no
+/// trained models (DL backends fall back to untrained networks).
+pub fn run(spec: &ScenarioSpec, backend: Backend) -> Result<RunSummary, EngineError> {
+    Engine::new().run(spec, backend)
+}
+
+/// One-shot convenience: runs a registry scenario by name.
+pub fn run_scenario(name: &str, scale: Scale, backend: Backend) -> Result<RunSummary, EngineError> {
+    Engine::new().run_named(name, scale, backend)
+}

@@ -1,11 +1,38 @@
 //! # dlpic-repro
 //!
-//! Umbrella crate for the reproduction of Aguilar & Markidis, *"A Deep
-//! Learning-Based Particle-in-Cell Method for Plasma Simulations"*
-//! (IEEE CLUSTER 2021).
+//! Reproduction of Aguilar & Markidis, *"A Deep Learning-Based
+//! Particle-in-Cell Method for Plasma Simulations"* (IEEE CLUSTER 2021),
+//! behind one unified API.
 //!
-//! This crate re-exports the workspace members under one roof so examples
-//! and downstream users can depend on a single crate:
+//! ## Start here: the [`engine`]
+//!
+//! The [`engine`] module is the front door. It expresses the paper's
+//! drop-in-replacement design as an API: a declarative, serializable
+//! [`engine::ScenarioSpec`] describes the *physics*, an
+//! [`engine::Backend`] picks the *solver* (traditional or DL, 1-D or 2-D,
+//! continuum Vlasov, or distributed), and every pairing reports through
+//! the same [`engine::RunSummary`]/[`engine::EnergyHistory`] diagnostics:
+//!
+//! ```no_run
+//! use dlpic_repro::engine::{self, Backend};
+//! use dlpic_repro::core::Scale;
+//!
+//! let summary = engine::run_scenario("two_stream", Scale::Smoke,
+//!                                    Backend::Traditional1D)?;
+//! let gamma = summary.growth_rate(1)?.gamma;   // fitted E1 growth rate
+//! # Ok::<(), dlpic_repro::engine::EngineError>(())
+//! ```
+//!
+//! Swap `Backend::Traditional1D` for `Backend::Dl1D` and nothing else
+//! changes — exactly the grey-box swap of the paper's Fig. 2. The named
+//! scenario registry ships `two_stream`, `two_stream_2d`,
+//! `landau_damping`, `cold_beam`, `bump_on_tail` and `thermal_noise`; see
+//! `examples/quickstart.rs` for the five-minute tour.
+//!
+//! ## The solver crates underneath
+//!
+//! The engine drives the workspace members, re-exported here for direct
+//! (lower-level) use:
 //!
 //! * [`pic`] — the traditional explicit electrostatic 1-D PIC method.
 //! * [`pic2d`] — the 2-D electrostatic PIC (paper §VII's
@@ -22,10 +49,14 @@
 //!   accounting (paper §VII's distributed-memory discussion, made
 //!   measurable).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
-//! the full system inventory.
+//! Their per-crate config structs (`pic::PicConfig`, `pic2d::Pic2DConfig`,
+//! `vlasov::VlasovConfig`, `ddecomp::sim::DistConfig`) are implementation
+//! detail behind [`engine::ScenarioSpec`]; the README carries the
+//! migration table.
 
 #![warn(missing_docs)]
+
+pub mod engine;
 
 pub use dlpic_analytics as analytics;
 pub use dlpic_core as core;

@@ -52,7 +52,10 @@ fn total_energy_bounded_through_saturation() {
     // macroscopic fraction of the total.
     let fe_peak = sim.history().field.iter().copied().fold(f64::MIN, f64::max);
     let te0 = sim.history().total[0];
-    assert!(fe_peak / te0 > 0.02, "no field-energy growth: {fe_peak} / {te0}");
+    assert!(
+        fe_peak / te0 > 0.02,
+        "no field-energy growth: {fe_peak} / {te0}"
+    );
 }
 
 #[test]
@@ -83,7 +86,10 @@ fn quiescent_uniform_plasma_stays_quiescent() {
     );
     sim.run();
     let variation = stats::relative_variation(&sim.history().total);
-    assert!(variation < 0.05, "thermal plasma energy variation {variation}");
+    assert!(
+        variation < 0.05,
+        "thermal plasma energy variation {variation}"
+    );
     let e1 = sim.history().mode_series(1).unwrap();
     let peak = e1.values.iter().copied().fold(f64::MIN, f64::max);
     let floor = e1.values[..10].iter().copied().fold(f64::MIN, f64::max);

@@ -29,8 +29,11 @@ fn generated_dataset_is_clean_and_complete() {
     let s = stats::compute(&ds);
     assert!(s.all_finite, "non-finite values in dataset");
     assert!(s.input_min >= 0.0, "negative histogram count");
-    assert!(s.max_abs_field > 0.0 && s.max_abs_field < 1.0,
-        "field scale implausible: {}", s.max_abs_field);
+    assert!(
+        s.max_abs_field > 0.0 && s.max_abs_field < 1.0,
+        "field scale implausible: {}",
+        s.max_abs_field
+    );
 
     // Histogram mass = particle count for every sample.
     let expected_mass = (50 * 64) as f32;

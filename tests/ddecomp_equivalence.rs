@@ -39,7 +39,11 @@ fn single_process_reference(n_steps: usize) -> Simulation {
     };
     Simulation::new(
         cfg,
-        Box::new(TraditionalSolver::new(Shape::Cic, PoissonKind::FiniteDifference, 1.0)),
+        Box::new(TraditionalSolver::new(
+            Shape::Cic,
+            PoissonKind::FiniteDifference,
+            1.0,
+        )),
     )
 }
 
@@ -105,7 +109,11 @@ fn distributed_run_reproduces_growth_at_full_length() {
 
 fn tiny_dl_solver() -> DlFieldSolver {
     let spec = PhaseGridSpec::smoke();
-    let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![8], output: 64 };
+    let arch = ArchSpec::Mlp {
+        input: spec.cells(),
+        hidden: vec![8],
+        output: 64,
+    };
     DlFieldSolver::new(
         arch.build(0),
         spec,
@@ -123,8 +131,7 @@ fn dl_strategy_traffic_is_particle_count_independent() {
     let field_bytes = |n_particles: usize| -> u64 {
         let mut cfg = dist_config(4, 10);
         cfg.init = TwoStreamInit::quiet(0.2, 0.0, n_particles, 1e-3, 5);
-        let mut dist =
-            DistSimulation::new(cfg, Box::new(ReplicatedDl::new(tiny_dl_solver())));
+        let mut dist = DistSimulation::new(cfg, Box::new(ReplicatedDl::new(tiny_dl_solver())));
         dist.run();
         let phases = dist.comm_phases();
         phases
@@ -149,8 +156,7 @@ fn traditional_strategy_traffic_scales_with_grid() {
             n_ranks: 4,
             tracked_modes: vec![],
         };
-        let mut dist =
-            DistSimulation::new(cfg, Box::new(GatherScatter::new(Shape::Cic, 1.0)));
+        let mut dist = DistSimulation::new(cfg, Box::new(GatherScatter::new(Shape::Cic, 1.0)));
         dist.run();
         dist.comm_phases()
             .iter()

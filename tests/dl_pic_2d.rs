@@ -5,9 +5,7 @@
 
 use dlpic_repro::analytics::dispersion::TwoStreamDispersion;
 use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
-use dlpic_repro::core::twod::{
-    harvest_2d, train_2d_solver, DensityBinning, Train2DConfig,
-};
+use dlpic_repro::core::twod::{harvest_2d, train_2d_solver, DensityBinning, Train2DConfig};
 use dlpic_repro::pic::shape::Shape;
 use dlpic_repro::pic2d::grid2d::Grid2D;
 use dlpic_repro::pic2d::init2d::TwoStream2DInit;
@@ -58,7 +56,10 @@ fn trained_2d_solver_reproduces_two_stream_growth() {
     let mut dl = Simulation2D::new(config(0.2, 0.0, 160, 99), Box::new(solver));
     dl.run();
     let h = dl.history();
-    assert!(h.total.iter().all(|e| e.is_finite()), "energy stayed finite");
+    assert!(
+        h.total.iter().all(|e| e.is_finite()),
+        "energy stayed finite"
+    );
 
     let theory = TwoStreamDispersion::new(0.2).growth_rate(3.06);
     let (times, amps) = h.mode_series((1, 0)).unwrap();

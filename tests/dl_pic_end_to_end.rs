@@ -23,9 +23,21 @@ fn train_smoke_bundle() -> ModelBundle {
     let arch = scale.mlp_arch();
     let mut net = arch.build(11);
     let mut opt = Adam::new(scale.learning_rate());
-    let tc = TrainConfig { epochs: 25, batch_size: 64, shuffle_seed: 2, log_every: 0 };
+    let tc = TrainConfig {
+        epochs: 25,
+        batch_size: 64,
+        shuffle_seed: 2,
+        log_every: 0,
+    };
     let kind = arch.input_kind();
-    train(&mut net, &Mse, &mut opt, &data.to_nn_dataset(&norm, kind), None, &tc);
+    train(
+        &mut net,
+        &Mse,
+        &mut opt,
+        &data.to_nn_dataset(&norm, kind),
+        None,
+        &tc,
+    );
     let reference_mass: f32 = data.input_row(0).iter().sum();
     ModelBundle::from_network(&mut net, arch, scale.phase_spec(), BinningShape::Ngp, norm)
         .with_reference_mass(reference_mass)
@@ -41,7 +53,10 @@ fn dl_pic_runs_stably_and_tracks_the_instability() {
 
     let seed = 77;
     let (ppc, steps) = (200, 150);
-    let mut dl = Simulation::new(reduced_config(0.2, 0.01, ppc, steps, seed), Box::new(dl_solver));
+    let mut dl = Simulation::new(
+        reduced_config(0.2, 0.01, ppc, steps, seed),
+        Box::new(dl_solver),
+    );
     let mut trad = Simulation::new(
         reduced_config(0.2, 0.01, ppc, steps, seed),
         Box::new(TraditionalSolver::paper_default()),
@@ -51,10 +66,16 @@ fn dl_pic_runs_stably_and_tracks_the_instability() {
 
     // 1. Stability: everything finite, particles in the box, velocities
     //    physically bounded (a broken solver slingshots particles).
-    assert!(dl.efield().iter().all(|v| v.is_finite()), "non-finite field");
+    assert!(
+        dl.efield().iter().all(|v| v.is_finite()),
+        "non-finite field"
+    );
     let (x, v) = dl.phase_space();
     let l = dl.grid().length();
-    assert!(x.iter().all(|&xi| (0.0..l).contains(&xi)), "particle escaped");
+    assert!(
+        x.iter().all(|&xi| (0.0..l).contains(&xi)),
+        "particle escaped"
+    );
     let vmax = v.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     assert!(vmax < 2.0, "runaway velocities: {vmax}");
 
@@ -75,9 +96,16 @@ fn dl_pic_runs_stably_and_tracks_the_instability() {
     //    E1 grows well above its floor in both.
     for (name, sim) in [("traditional", &trad), ("dl", &dl)] {
         let e1 = sim.history().mode_series(1).unwrap();
-        let floor = e1.values[..5].iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+        let floor = e1.values[..5]
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+            .max(1e-9);
         let peak = e1.values.iter().copied().fold(f64::MIN, f64::max);
-        assert!(peak > 3.0 * floor, "{name}: no growth (floor {floor}, peak {peak})");
+        assert!(
+            peak > 3.0 * floor,
+            "{name}: no growth (floor {floor}, peak {peak})"
+        );
     }
 }
 

@@ -5,9 +5,7 @@
 use dlpic_repro::core::builder::ArchSpec;
 use dlpic_repro::core::bundle::{BundleError, ModelBundle};
 use dlpic_repro::core::normalize::NormStats;
-use dlpic_repro::core::phase_space::{
-    bin_phase_space, BinningShape, PhaseGridSpec,
-};
+use dlpic_repro::core::phase_space::{bin_phase_space, BinningShape, PhaseGridSpec};
 use dlpic_repro::dataset::store;
 use dlpic_repro::pic::grid::Grid1D;
 use dlpic_repro::pic::particles::Particles;
@@ -17,7 +15,11 @@ use dlpic_repro::pic::particles::Particles;
 // ---------------------------------------------------------------------
 
 fn valid_bundle_bytes() -> Vec<u8> {
-    let arch = ArchSpec::Mlp { input: 16, hidden: vec![4], output: 64 };
+    let arch = ArchSpec::Mlp {
+        input: 16,
+        hidden: vec![4],
+        output: 64,
+    };
     let mut net = arch.build(0);
     let bundle = ModelBundle::from_network(
         &mut net,
@@ -47,7 +49,10 @@ fn bundle_rejects_every_truncation_point() {
     // silently short model.
     for cut in 0..bytes.len() {
         let result = ModelBundle::decode(&bytes[..cut]);
-        assert!(result.is_err(), "prefix of {cut} bytes decoded successfully");
+        assert!(
+            result.is_err(),
+            "prefix of {cut} bytes decoded successfully"
+        );
     }
 }
 
@@ -132,7 +137,10 @@ fn binning_clamps_outliers_and_conserves_counts() {
         let mut hist = vec![0.0f32; spec.cells()];
         bin_phase_space(&p, &grid, &spec, shape, &mut hist);
         let total: f32 = hist.iter().sum();
-        assert!((total - 4.0).abs() < 1e-5, "{shape:?}: lost particles ({total})");
+        assert!(
+            (total - 4.0).abs() < 1e-5,
+            "{shape:?}: lost particles ({total})"
+        );
         assert!(hist.iter().all(|v| v.is_finite()));
     }
 }
@@ -146,7 +154,11 @@ fn solver_with_nan_weights_propagates_not_panics() {
     use dlpic_repro::pic::solver::FieldSolver;
 
     let spec = PhaseGridSpec::smoke();
-    let arch = ArchSpec::Mlp { input: spec.cells(), hidden: vec![4], output: 64 };
+    let arch = ArchSpec::Mlp {
+        input: spec.cells(),
+        hidden: vec![4],
+        output: 64,
+    };
     let mut net = arch.build(0);
     net.visit_params(&mut |params, _grads| {
         if let Some(first) = params.first_mut() {
@@ -165,7 +177,10 @@ fn solver_with_nan_weights_propagates_not_panics() {
     let p = TwoStreamInit::random(0.2, 0.0, 1_000, 0).build(&grid);
     let mut e = grid.zeros();
     FieldSolver::solve(&mut solver, &p, &grid, &mut e);
-    assert!(e.iter().any(|v| v.is_nan()), "poison must be visible downstream");
+    assert!(
+        e.iter().any(|v| v.is_nan()),
+        "poison must be visible downstream"
+    );
 }
 
 // ---------------------------------------------------------------------

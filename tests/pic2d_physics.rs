@@ -35,8 +35,8 @@ fn two_stream_growth_rate_matches_1d_linear_theory() {
     assert!((theory - 0.3536).abs() < 1e-3, "theory sanity");
 
     let (times, amps) = sim.history().mode_series((1, 0)).expect("mode tracked");
-    let fit = fit_growth_rate(times, amps, GrowthFitOptions::default())
-        .expect("growth phase detected");
+    let fit =
+        fit_growth_rate(times, amps, GrowthFitOptions::default()).expect("growth phase detected");
     let rel_err = (fit.gamma - theory).abs() / theory;
     assert!(
         rel_err < 0.2,
@@ -86,8 +86,16 @@ fn energy_bounded_and_momentum_conserved_through_saturation() {
     let p_scale = 65_536.0 * sim.particles().mass() * 0.2;
     let (px0, py0) = (h.momentum_x[0], h.momentum_y[0]);
     for (px, py) in h.momentum_x.iter().zip(&h.momentum_y) {
-        assert!((px - px0).abs() < 1e-8 * p_scale.max(1.0), "Δpx = {}", px - px0);
-        assert!((py - py0).abs() < 1e-8 * p_scale.max(1.0), "Δpy = {}", py - py0);
+        assert!(
+            (px - px0).abs() < 1e-8 * p_scale.max(1.0),
+            "Δpx = {}",
+            px - px0
+        );
+        assert!(
+            (py - py0).abs() < 1e-8 * p_scale.max(1.0),
+            "Δpy = {}",
+            py - py0
+        );
     }
 }
 
@@ -99,7 +107,10 @@ fn stable_beams_do_not_grow() {
     sim.run();
     let (_, amps) = sim.history().mode_series((1, 0)).unwrap();
     let start = amps[..10].iter().cloned().fold(0.0f64, f64::max);
-    let end = amps[amps.len() - 10..].iter().cloned().fold(0.0f64, f64::max);
+    let end = amps[amps.len() - 10..]
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
     // CIC + spectral solve keeps the numerical cold-beam heating small at
     // this resolution; physical growth would be ×e⁷ over this window.
     assert!(

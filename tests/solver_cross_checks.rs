@@ -112,7 +112,10 @@ fn langmuir_oscillation_frequency_is_unity() {
             v0: 0.0,
             vth: 0.0,
             n_particles: n,
-            loading: dlpic_repro::pic::Loading::Quiet { mode: 1, amplitude: 1e-3 },
+            loading: dlpic_repro::pic::Loading::Quiet {
+                mode: 1,
+                amplitude: 1e-3,
+            },
             seed: 0,
         },
         dt: 0.05,

@@ -49,8 +49,8 @@ fn both_solvers_measure_the_same_growth_rate() {
     );
     pic.run();
     let e1 = pic.history().mode_series(1).unwrap();
-    let pfit = fit_growth_rate(&e1.times, &e1.values, GrowthFitOptions::default())
-        .expect("pic growth");
+    let pfit =
+        fit_growth_rate(&e1.times, &e1.values, GrowthFitOptions::default()).expect("pic growth");
 
     // Each within 20% of theory, and within 15% of each other.
     for (name, fit) in [("vlasov", &vfit), ("pic", &pfit)] {
@@ -86,7 +86,10 @@ fn both_solvers_agree_the_cold_beam_case_is_stable() {
     let e1 = pic.history().mode_series(1).unwrap();
     let floor = e1.values[..10].iter().copied().fold(f64::MIN, f64::max);
     let peak = e1.values.iter().copied().fold(f64::MIN, f64::max);
-    assert!(peak < 20.0 * floor, "pic cold beams grew: {floor} -> {peak}");
+    assert!(
+        peak < 20.0 * floor,
+        "pic cold beams grew: {floor} -> {peak}"
+    );
 }
 
 #[test]
@@ -96,8 +99,16 @@ fn vlasov_conserves_what_pic_conserves() {
     let p0 = s.momentum();
     let e0 = s.total_energy();
     s.run(400); // through saturation
-    assert!((s.mass() - m0).abs() / m0 < 1e-4, "mass: {m0} -> {}", s.mass());
-    assert!((s.momentum() - p0).abs() < 1e-6, "momentum: {p0} -> {}", s.momentum());
+    assert!(
+        (s.mass() - m0).abs() / m0 < 1e-4,
+        "mass: {m0} -> {}",
+        s.mass()
+    );
+    assert!(
+        (s.momentum() - p0).abs() < 1e-6,
+        "momentum: {p0} -> {}",
+        s.momentum()
+    );
     // Semi-Lagrangian advection is slightly diffusive; energy drifts by a
     // few percent through saturation, like the PIC does.
     let rel = (s.total_energy() - e0).abs() / e0;
