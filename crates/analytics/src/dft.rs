@@ -135,11 +135,40 @@ pub fn mode_amplitudes(signal: &[f64]) -> Vec<f64> {
     amps
 }
 
-/// Amplitude of a single mode `k` of a real signal (see [`mode_amplitudes`]).
+/// Single DFT bin `X_k = Σ_j x_j·exp(-2πi·kj/N)` of a real signal,
+/// computed with the Goertzel recurrence — O(N), allocation-free. This is
+/// the per-step hot path of the mode-amplitude diagnostics: a tracked
+/// mode costs one pass over the signal instead of a full transform.
+pub fn single_mode_dft(signal: &[f64], k: usize) -> Complex64 {
+    let n = signal.len();
+    assert!(n > 0, "empty signal");
+    let omega = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+    let (sin_w, cos_w) = omega.sin_cos();
+    let coeff = 2.0 * cos_w;
+    let mut s_prev = 0.0f64;
+    let mut s_prev2 = 0.0f64;
+    for &x in signal {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    // X_k = e^{iω}·s_{N−1} − s_{N−2} (ω·N is a full turn, so the phase
+    // reference lands back on sample 0).
+    Complex64::new(s_prev * cos_w - s_prev2, s_prev * sin_w)
+}
+
+/// Amplitude of a single mode `k` of a real signal (see [`mode_amplitudes`])
+/// via the O(N) Goertzel projection — no transform, no allocation.
 pub fn mode_amplitude(signal: &[f64], k: usize) -> f64 {
     let n = signal.len();
     assert!(k <= n / 2, "mode {k} out of range for signal of length {n}");
-    mode_amplitudes(signal)[k]
+    let bin = single_mode_dft(signal, k);
+    let factor = if k == 0 || (n.is_multiple_of(2) && k == n / 2) {
+        1.0
+    } else {
+        2.0
+    };
+    factor * bin.abs() / n as f64
 }
 
 /// Total spectral power `Σ|X_k|²` — used for Parseval checks and for the
@@ -244,8 +273,33 @@ mod tests {
         }
     }
 
+    #[test]
+    fn goertzel_matches_naive_dft_bins() {
+        // Awkward (non-power-of-two) length: the worst case for the old
+        // path, exact single-bin agreement expected from Goertzel.
+        let signal: Vec<f64> = (0..37).map(|j| (j as f64 * 0.83).sin() - 0.2).collect();
+        let input: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_real(x)).collect();
+        let oracle = dft_naive(&input);
+        for (k, want) in oracle.iter().enumerate().take(signal.len() / 2 + 1) {
+            let bin = single_mode_dft(&signal, k);
+            assert!((bin - *want).abs() < 1e-9, "bin {k}: {bin:?} vs {want:?}");
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn goertzel_amplitude_matches_full_spectrum(
+            signal in proptest::collection::vec(-2.0f64..2.0, 1..96),
+        ) {
+            let amps = mode_amplitudes(&signal);
+            for (k, &a) in amps.iter().enumerate() {
+                let single = mode_amplitude(&signal, k);
+                prop_assert!((single - a).abs() < 1e-9,
+                    "mode {k}: {single} vs {a}");
+            }
+        }
 
         #[test]
         fn fft_matches_naive_dft(signal in proptest::collection::vec(-1.0f64..1.0, 64)) {

@@ -14,12 +14,25 @@ use crate::dft::{fft_in_place, ifft_in_place, is_power_of_two};
 /// Panics when `data.len() != nx * ny` or either dimension is not a power
 /// of two.
 pub fn fft2_in_place(data: &mut [Complex64], nx: usize, ny: usize) {
+    let mut col = Vec::new();
+    fft2_in_place_scratch(data, nx, ny, &mut col);
+}
+
+/// [`fft2_in_place`] with a caller-owned column scratch (grown to `ny` on
+/// first use) so repeated transforms perform no allocation — the per-step
+/// path of the 2-D spectral Poisson solver.
+pub fn fft2_in_place_scratch(
+    data: &mut [Complex64],
+    nx: usize,
+    ny: usize,
+    col: &mut Vec<Complex64>,
+) {
     check_dims(data.len(), nx, ny);
     // Rows are contiguous.
     for row in data.chunks_exact_mut(nx) {
         fft_in_place(row);
     }
-    transform_columns(data, nx, ny, fft_in_place);
+    transform_columns(data, nx, ny, fft_in_place, col);
 }
 
 /// In-place inverse 2-D FFT (normalized so that `ifft2(fft2(a)) == a`).
@@ -27,11 +40,23 @@ pub fn fft2_in_place(data: &mut [Complex64], nx: usize, ny: usize) {
 /// # Panics
 /// Panics on dimension mismatch or non-power-of-two sizes.
 pub fn ifft2_in_place(data: &mut [Complex64], nx: usize, ny: usize) {
+    let mut col = Vec::new();
+    ifft2_in_place_scratch(data, nx, ny, &mut col);
+}
+
+/// [`ifft2_in_place`] with a caller-owned column scratch (see
+/// [`fft2_in_place_scratch`]).
+pub fn ifft2_in_place_scratch(
+    data: &mut [Complex64],
+    nx: usize,
+    ny: usize,
+    col: &mut Vec<Complex64>,
+) {
     check_dims(data.len(), nx, ny);
     for row in data.chunks_exact_mut(nx) {
         ifft_in_place(row);
     }
-    transform_columns(data, nx, ny, ifft_in_place);
+    transform_columns(data, nx, ny, ifft_in_place, col);
 }
 
 /// Forward 2-D DFT of a real row-major array.
@@ -52,9 +77,8 @@ pub fn rdft2(signal: &[f64], nx: usize, ny: usize) -> Vec<Complex64> {
 pub fn mode_amplitude2(signal: &[f64], nx: usize, ny: usize, mx: usize, my: usize) -> f64 {
     assert!(mx < nx, "mx {mx} out of range for nx {nx}");
     assert!(my < ny, "my {my} out of range for ny {ny}");
-    let spec = rdft2(signal, nx, ny);
     let norm = (nx * ny) as f64;
-    let coeff = spec[my * nx + mx].abs() / norm;
+    let coeff = single_mode_dft2(signal, nx, ny, mx, my).abs() / norm;
     // The conjugate of mode (mx,my) of a real signal sits at
     // (nx-mx, ny-my); when the mode is its own conjugate (mean or a
     // Nyquist pairing) the coefficient is already the full amplitude.
@@ -66,20 +90,49 @@ pub fn mode_amplitude2(signal: &[f64], nx: usize, ny: usize, mx: usize, my: usiz
     }
 }
 
+/// Single 2-D DFT bin `F[my·nx + mx] = Σ_y Σ_x f·exp(-2πi(mx·x/nx + my·y/ny))`
+/// of a real row-major array — O(nx·ny), allocation-free. Each row is
+/// reduced with the 1-D Goertzel projection, then the per-row bins are
+/// combined with the y-phase. This is what the per-step 2-D mode
+/// diagnostics use instead of a full transform.
+///
+/// # Panics
+/// Panics when `signal.len() != nx * ny` (any sizes are accepted — no
+/// power-of-two requirement).
+pub fn single_mode_dft2(signal: &[f64], nx: usize, ny: usize, mx: usize, my: usize) -> Complex64 {
+    assert_eq!(signal.len(), nx * ny, "array length != {nx}×{ny}");
+    let omega_y = 2.0 * std::f64::consts::PI * my as f64 / ny as f64;
+    let mut acc = Complex64::ZERO;
+    for (iy, row) in signal.chunks_exact(nx).enumerate() {
+        let row_bin = crate::dft::single_mode_dft(row, mx);
+        let (sin_y, cos_y) = (omega_y * iy as f64).sin_cos();
+        acc += row_bin * Complex64::new(cos_y, -sin_y);
+    }
+    acc
+}
+
 fn check_dims(len: usize, nx: usize, ny: usize) {
     assert_eq!(len, nx * ny, "array length {len} != {nx}×{ny}");
     assert!(is_power_of_two(nx), "nx = {nx} must be a power of two");
     assert!(is_power_of_two(ny), "ny = {ny} must be a power of two");
 }
 
-/// Applies a 1-D in-place transform to every column via a scratch buffer.
-fn transform_columns(data: &mut [Complex64], nx: usize, ny: usize, f: fn(&mut [Complex64])) {
-    let mut col = vec![Complex64::ZERO; ny];
+/// Applies a 1-D in-place transform to every column via the caller's
+/// scratch buffer (resized to `ny`; no allocation once warm).
+fn transform_columns(
+    data: &mut [Complex64],
+    nx: usize,
+    ny: usize,
+    f: fn(&mut [Complex64]),
+    col: &mut Vec<Complex64>,
+) {
+    col.clear();
+    col.resize(ny, Complex64::ZERO);
     for ix in 0..nx {
         for iy in 0..ny {
             col[iy] = data[iy * nx + ix];
         }
-        f(&mut col);
+        f(col);
         for iy in 0..ny {
             data[iy * nx + ix] = col[iy];
         }
@@ -168,6 +221,44 @@ mod tests {
     fn non_power_of_two_rejected() {
         let mut data = vec![Complex64::ZERO; 12];
         fft2_in_place(&mut data, 3, 4);
+    }
+
+    #[test]
+    fn single_bin_matches_full_transform() {
+        let (nx, ny) = (16, 8);
+        let signal: Vec<f64> = (0..nx * ny)
+            .map(|i| ((i * 53 + 17) % 97) as f64 / 97.0 - 0.5)
+            .collect();
+        let spec = rdft2(&signal, nx, ny);
+        for my in 0..ny {
+            for mx in 0..nx {
+                let bin = single_mode_dft2(&signal, nx, ny, mx, my);
+                let full = spec[my * nx + mx];
+                assert!(
+                    (bin - full).abs() < 1e-9,
+                    "({mx},{my}): {bin:?} vs {full:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_bin_works_on_non_power_of_two_grids() {
+        // The projection has no power-of-two requirement, unlike the FFT.
+        let (nx, ny) = (12, 6);
+        let signal: Vec<f64> = (0..nx * ny).map(|i| (i as f64 * 0.7).cos()).collect();
+        let input: Vec<Complex64> = signal.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        // Oracle: naive 2-D DFT assembled from row DFTs.
+        let (mx, my) = (5, 2);
+        let mut oracle = Complex64::ZERO;
+        for iy in 0..ny {
+            let row = &input[iy * nx..(iy + 1) * nx];
+            let row_dft = crate::dft::dft_naive(row);
+            let ang = -2.0 * PI * (my * iy) as f64 / ny as f64;
+            oracle += row_dft[mx] * Complex64::from_polar(1.0, ang);
+        }
+        let bin = single_mode_dft2(&signal, nx, ny, mx, my);
+        assert!((bin - oracle).abs() < 1e-9, "{bin:?} vs {oracle:?}");
     }
 
     proptest! {

@@ -14,7 +14,7 @@
 use crate::builder::InputKind;
 use crate::normalize::NormStats;
 use crate::phase_space::{bin_phase_space, BinningShape, PhaseGridSpec};
-use dlpic_nn::network::Sequential;
+use dlpic_nn::network::{PredictWorkspace, Sequential};
 use dlpic_nn::tensor::Tensor;
 use dlpic_pic::grid::Grid1D;
 use dlpic_pic::particles::Particles;
@@ -30,6 +30,8 @@ pub struct DlFieldSolver {
     name: &'static str,
     reference_mass: f32,
     scratch: Vec<f32>,
+    input: Tensor,
+    workspace: PredictWorkspace,
 }
 
 impl DlFieldSolver {
@@ -56,6 +58,8 @@ impl DlFieldSolver {
             name,
             reference_mass: 0.0,
             scratch,
+            input: Tensor::zeros(&[0]),
+            workspace: PredictWorkspace::new(),
         }
     }
 
@@ -109,28 +113,16 @@ impl DlFieldSolver {
             self.spec.cells(),
             "histogram size mismatch"
         );
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.extend_from_slice(histogram);
+        self.scratch.clear();
+        self.scratch.extend_from_slice(histogram);
         if self.reference_mass > 0.0 && (total_mass - self.reference_mass).abs() > 0.5 {
             let factor = self.reference_mass / total_mass;
-            for v in scratch.iter_mut() {
+            for v in self.scratch.iter_mut() {
                 *v *= factor;
             }
         }
-        self.norm.apply(&mut scratch);
-        let pred = self.predict_from_histogram(&scratch);
-        self.scratch = scratch;
-        assert_eq!(
-            pred.len(),
-            e.len(),
-            "network output width {} does not match grid cells {}",
-            pred.len(),
-            e.len()
-        );
-        for (dst, &src) in e.iter_mut().zip(&pred) {
-            *dst = src as f64;
-        }
+        self.norm.apply(&mut self.scratch);
+        self.infer_scratch_into(e);
     }
 
     /// Runs one inference from an already-binned, already-normalized
@@ -142,35 +134,35 @@ impl DlFieldSolver {
             self.spec.cells(),
             "histogram size mismatch"
         );
-        let input = match self.input_kind {
-            InputKind::Flat => Tensor::new(histogram.to_vec(), &[1, self.spec.cells()]),
-            InputKind::Image => {
-                Tensor::new(histogram.to_vec(), &[1, 1, self.spec.nv, self.spec.nx])
-            }
-        };
-        self.net.predict(&input).into_data()
+        self.stage_input(histogram);
+        self.net
+            .predict_into(&self.input, &mut self.workspace)
+            .data()
+            .to_vec()
     }
-}
 
-impl FieldSolver for DlFieldSolver {
-    fn solve(&mut self, particles: &Particles, grid: &Grid1D, e: &mut [f64]) {
-        // 1-2. Bin, rescale to the training mass, and normalize.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        bin_phase_space(particles, grid, &self.spec, self.binning, &mut scratch);
-        if self.reference_mass > 0.0 {
-            let mass = particles.len() as f32;
-            if (mass - self.reference_mass).abs() > 0.5 {
-                let factor = self.reference_mass / mass;
-                for v in scratch.iter_mut() {
-                    *v *= factor;
-                }
-            }
+    /// Copies a prepared histogram into the reusable input tensor with
+    /// the architecture's shape.
+    fn stage_input(&mut self, data: &[f32]) {
+        match self.input_kind {
+            InputKind::Flat => self.input.resize_in_place(&[1, self.spec.cells()]),
+            InputKind::Image => self
+                .input
+                .resize_in_place(&[1, 1, self.spec.nv, self.spec.nx]),
         }
-        self.norm.apply(&mut scratch);
-        // 3. Inference.
-        let pred = self.predict_from_histogram(&scratch);
+        self.input.data_mut().copy_from_slice(data);
+    }
+
+    /// One inference from the prepared `self.scratch` straight into the
+    /// grid field — reusable input/activation buffers, so the per-step
+    /// path performs no heap allocation once warm (for MLP stacks; see
+    /// `Layer::infer_into`).
+    fn infer_scratch_into(&mut self, e: &mut [f64]) {
+        // `take` sidesteps the scratch-vs-input borrow without copying.
+        let scratch = std::mem::take(&mut self.scratch);
+        self.stage_input(&scratch);
         self.scratch = scratch;
-        // 4. Write the field.
+        let pred = self.net.predict_into(&self.input, &mut self.workspace);
         assert_eq!(
             pred.len(),
             e.len(),
@@ -178,9 +170,29 @@ impl FieldSolver for DlFieldSolver {
             pred.len(),
             e.len()
         );
-        for (dst, &src) in e.iter_mut().zip(&pred) {
+        for (dst, &src) in e.iter_mut().zip(pred.data()) {
             *dst = src as f64;
         }
+    }
+}
+
+impl FieldSolver for DlFieldSolver {
+    fn solve(&mut self, particles: &Particles, grid: &Grid1D, e: &mut [f64]) {
+        // 1-2. Bin, rescale to the training mass, and normalize.
+        bin_phase_space(particles, grid, &self.spec, self.binning, &mut self.scratch);
+        if self.reference_mass > 0.0 {
+            let mass = particles.len() as f32;
+            if (mass - self.reference_mass).abs() > 0.5 {
+                let factor = self.reference_mass / mass;
+                for v in self.scratch.iter_mut() {
+                    *v *= factor;
+                }
+            }
+        }
+        self.norm.apply(&mut self.scratch);
+        // 3-4. Inference straight into the grid field (allocation-free
+        // once the reusable buffers are warm).
+        self.infer_scratch_into(e);
     }
 
     fn name(&self) -> &'static str {

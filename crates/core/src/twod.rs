@@ -24,7 +24,7 @@ use crate::builder::ArchSpec;
 use crate::normalize::NormStats;
 use dlpic_nn::data::Dataset;
 use dlpic_nn::loss::Mse;
-use dlpic_nn::network::Sequential;
+use dlpic_nn::network::{PredictWorkspace, Sequential};
 use dlpic_nn::optimizer::adam::Adam;
 use dlpic_nn::tensor::Tensor;
 use dlpic_nn::trainer::{train, TrainConfig, TrainHistory};
@@ -224,6 +224,8 @@ pub struct Dl2DFieldSolver {
     name: &'static str,
     reference_mass: f32,
     scratch: Vec<f32>,
+    input: Tensor,
+    workspace: PredictWorkspace,
 }
 
 impl Dl2DFieldSolver {
@@ -242,6 +244,8 @@ impl Dl2DFieldSolver {
             name,
             reference_mass: 0.0,
             scratch: Vec::new(),
+            input: Tensor::zeros(&[0]),
+            workspace: PredictWorkspace::new(),
         }
     }
 
@@ -275,29 +279,22 @@ impl Dl2DFieldSolver {
     /// Runs one inference from an already-normalized histogram; returns
     /// the stacked `[Ex | Ey]` prediction.
     pub fn predict_from_histogram(&mut self, histogram: &[f32]) -> Vec<f32> {
-        let input = Tensor::new(histogram.to_vec(), &[1, histogram.len()]);
-        self.net.predict(&input).into_data()
+        self.input.resize_in_place(&[1, histogram.len()]);
+        self.input.data_mut().copy_from_slice(histogram);
+        self.net
+            .predict_into(&self.input, &mut self.workspace)
+            .data()
+            .to_vec()
     }
-}
 
-impl FieldSolver2D for Dl2DFieldSolver {
-    fn solve(&mut self, particles: &Particles2D, grid: &Grid2D, ex: &mut [f64], ey: &mut [f64]) {
-        let nodes = grid.nodes();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.resize(nodes, 0.0);
-        bin_density(particles, grid, self.binning, &mut scratch);
-        if self.reference_mass > 0.0 {
-            let mass = particles.len() as f32;
-            if (mass - self.reference_mass).abs() > 0.5 {
-                let factor = self.reference_mass / mass;
-                for v in scratch.iter_mut() {
-                    *v *= factor;
-                }
-            }
-        }
-        self.norm.apply(&mut scratch);
-        let pred = self.predict_from_histogram(&scratch);
-        self.scratch = scratch;
+    /// One inference from the prepared `self.scratch` straight into the
+    /// split field components — reusable input/activation buffers, so
+    /// the per-step path performs no heap allocation once warm.
+    fn infer_scratch_into(&mut self, ex: &mut [f64], ey: &mut [f64]) {
+        let nodes = ex.len();
+        self.input.resize_in_place(&[1, self.scratch.len()]);
+        self.input.data_mut().copy_from_slice(&self.scratch);
+        let pred = self.net.predict_into(&self.input, &mut self.workspace);
         assert_eq!(
             pred.len(),
             2 * nodes,
@@ -305,12 +302,32 @@ impl FieldSolver2D for Dl2DFieldSolver {
             pred.len(),
             2 * nodes
         );
-        for (dst, &src) in ex.iter_mut().zip(&pred[..nodes]) {
+        for (dst, &src) in ex.iter_mut().zip(&pred.data()[..nodes]) {
             *dst = src as f64;
         }
-        for (dst, &src) in ey.iter_mut().zip(&pred[nodes..]) {
+        for (dst, &src) in ey.iter_mut().zip(&pred.data()[nodes..]) {
             *dst = src as f64;
         }
+    }
+}
+
+impl FieldSolver2D for Dl2DFieldSolver {
+    fn solve(&mut self, particles: &Particles2D, grid: &Grid2D, ex: &mut [f64], ey: &mut [f64]) {
+        let nodes = grid.nodes();
+        self.scratch.clear();
+        self.scratch.resize(nodes, 0.0);
+        bin_density(particles, grid, self.binning, &mut self.scratch);
+        if self.reference_mass > 0.0 {
+            let mass = particles.len() as f32;
+            if (mass - self.reference_mass).abs() > 0.5 {
+                let factor = self.reference_mass / mass;
+                for v in self.scratch.iter_mut() {
+                    *v *= factor;
+                }
+            }
+        }
+        self.norm.apply(&mut self.scratch);
+        self.infer_scratch_into(ex, ey);
     }
 
     fn name(&self) -> &'static str {

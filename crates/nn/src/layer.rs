@@ -19,6 +19,16 @@ pub trait Layer: Send {
     /// input gradient. Must be preceded by a `forward(.., true)`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Inference into a caller-owned output tensor, retaining no
+    /// activation cache. Implementations resize `out` in place and reuse
+    /// its buffer, so repeated calls perform no heap allocation once the
+    /// buffer is warm — the per-step path of the DL field solvers. The
+    /// default falls back to the allocating [`Layer::forward`]; layers on
+    /// the inference hot path (dense, relu, flatten) override it.
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        *out = self.forward(input, false);
+    }
+
     /// Visits each (parameter, gradient) pair in a stable order. Layers
     /// without parameters do nothing (default).
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}

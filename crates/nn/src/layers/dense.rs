@@ -84,6 +84,27 @@ impl Layer for Dense {
         out
     }
 
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        let batch = input.batch();
+        assert_eq!(
+            input.row_len(),
+            self.in_features,
+            "dense expected {} features, got {:?}",
+            self.in_features,
+            input.shape()
+        );
+        out.resize_in_place(&[batch, self.out_features]);
+        matmul_nn(
+            input.data(),
+            &self.w,
+            out.data_mut(),
+            batch,
+            self.in_features,
+            self.out_features,
+        );
+        add_bias(out.data_mut(), &self.b, batch, self.out_features);
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self
             .cached_input

@@ -27,6 +27,11 @@ impl Layer for Flatten {
         input.clone().reshape(&[batch, features])
     }
 
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        out.resize_in_place(&[input.batch(), input.row_len()]);
+        out.data_mut().copy_from_slice(input.data());
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(
             !self.input_shape.is_empty(),

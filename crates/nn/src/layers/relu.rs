@@ -26,6 +26,13 @@ impl Layer for Relu {
         input.map(|v| v.max(0.0))
     }
 
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        out.resize_in_place(input.shape());
+        for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = v.max(0.0);
+        }
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(
             grad_out.len(),

@@ -41,7 +41,7 @@ pub use init::Init;
 pub use layer::Layer;
 pub use layers::{Conv2d, Dense, Flatten, MaxPool2, Relu, ResidualDense};
 pub use loss::{Loss, Mse};
-pub use network::Sequential;
+pub use network::{PredictWorkspace, Sequential};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use tensor::Tensor;
 pub use trainer::{train, TrainConfig, TrainHistory};

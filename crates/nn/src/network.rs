@@ -11,6 +11,33 @@ pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
 
+/// Reusable ping-pong activation buffers for
+/// [`Sequential::predict_into`]: once warm, repeated inference performs
+/// no heap allocation (for layer stacks whose members implement
+/// [`Layer::infer_into`]; others fall back to the allocating path but
+/// still reuse the workspace slots).
+pub struct PredictWorkspace {
+    a: Tensor,
+    b: Tensor,
+}
+
+impl Default for PredictWorkspace {
+    fn default() -> Self {
+        Self {
+            a: Tensor::zeros(&[0]),
+            b: Tensor::zeros(&[0]),
+        }
+    }
+}
+
+impl PredictWorkspace {
+    /// An empty workspace; buffers grow to the network's widest
+    /// activation on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl Sequential {
     /// Creates an empty network.
     pub fn new() -> Self {
@@ -56,6 +83,39 @@ impl Sequential {
     /// Inference without caching.
     pub fn predict(&mut self, input: &Tensor) -> Tensor {
         self.forward(input, false)
+    }
+
+    /// Inference into the reusable `workspace`, returning a reference to
+    /// the output activation. Layers alternate between the workspace's
+    /// two buffers, so a warm workspace makes repeated inference
+    /// allocation-free — the per-step path of the DL field solvers.
+    pub fn predict_into<'w>(
+        &mut self,
+        input: &Tensor,
+        workspace: &'w mut PredictWorkspace,
+    ) -> &'w Tensor {
+        if self.layers.is_empty() {
+            workspace.a.resize_in_place(input.shape());
+            workspace.a.data_mut().copy_from_slice(input.data());
+            return &workspace.a;
+        }
+        let mut out_is_a = true;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (src, dst) = if out_is_a {
+                (&workspace.b, &mut workspace.a)
+            } else {
+                (&workspace.a, &mut workspace.b)
+            };
+            let src = if i == 0 { input } else { src };
+            layer.infer_into(src, dst);
+            out_is_a = !out_is_a;
+        }
+        // The last layer wrote the buffer `out_is_a` now points away from.
+        if out_is_a {
+            &workspace.b
+        } else {
+            &workspace.a
+        }
     }
 
     /// Backward pass from the output gradient; accumulates parameter
@@ -153,6 +213,32 @@ mod tests {
         }
         let last = net.compute_gradients(&loss, &x, &y);
         assert!(last < first * 0.05, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        let mut net = tiny_net();
+        let mut ws = PredictWorkspace::new();
+        for trial in 0..3 {
+            let x = Tensor::new(
+                (0..6).map(|i| (i + trial) as f32 * 0.3 - 0.8).collect(),
+                &[3, 2],
+            );
+            let expect = net.predict(&x);
+            let got = net.predict_into(&x, &mut ws);
+            assert_eq!(got.shape(), expect.shape());
+            assert_eq!(got.data(), expect.data());
+        }
+    }
+
+    #[test]
+    fn predict_into_on_empty_network_copies_input() {
+        let mut net = Sequential::new();
+        let mut ws = PredictWorkspace::new();
+        let x = Tensor::new(vec![1.0, -2.0], &[1, 2]);
+        let y = net.predict_into(&x, &mut ws);
+        assert_eq!(y.data(), x.data());
+        assert_eq!(y.shape(), x.shape());
     }
 
     #[test]

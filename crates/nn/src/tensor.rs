@@ -110,6 +110,17 @@ impl Tensor {
         &self.data[i * w..(i + 1) * w]
     }
 
+    /// Reshapes this tensor in place to `shape`, resizing the backing
+    /// buffer as needed (new elements are zero) while keeping its
+    /// allocation when the capacity suffices — the warm-up-once primitive
+    /// behind allocation-free inference.
+    pub fn resize_in_place(&mut self, shape: &[usize]) {
+        let len = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(len, 0.0);
+    }
+
     /// Returns a tensor with the same data and a new shape.
     ///
     /// # Panics

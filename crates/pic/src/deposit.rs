@@ -10,62 +10,130 @@ use crate::particles::Particles;
 use crate::shape::Shape;
 use rayon::prelude::*;
 
-/// Minimum particle count before the parallel path is worth spawning.
-const PAR_THRESHOLD: usize = 1 << 15;
+/// Minimum particle count before the parallel deposition path is worth
+/// spawning (shared with the 2-D crate's deposition).
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Reusable per-worker partial grids for the parallel deposition path.
+///
+/// The old fold/reduce idiom built two fresh `vec![0.0; ncells]`
+/// identities on every call; a caller that owns a `DepositScratch` (the
+/// traditional field solver keeps one per run) re-zeroes the same
+/// buffers instead, so repeated deposits allocate only until the scratch
+/// has grown to the worker count.
+#[derive(Debug, Clone, Default)]
+pub struct DepositScratch {
+    partials: Vec<Vec<f64>>,
+}
+
+impl DepositScratch {
+    /// An empty scratch; buffers grow on first parallel deposit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `workers` zeroed partial grids of `ncells` nodes each.
+    fn prepare(&mut self, workers: usize, ncells: usize) -> &mut [Vec<f64>] {
+        self.partials.resize(workers, Vec::new());
+        for p in &mut self.partials {
+            p.clear();
+            p.resize(ncells, 0.0);
+        }
+        &mut self.partials
+    }
+}
 
 /// Deposits particle charge density onto grid nodes: `ρ_j += Σ_p q·W/dx`.
 ///
 /// `rho` is *accumulated into* (callers zero it or pre-fill with the ion
-/// background).
+/// background). Allocates fresh partial grids when the parallel path
+/// fires; stepping loops use [`deposit_charge_with_scratch`] to reuse a
+/// caller-owned scratch instead.
 ///
 /// # Panics
 /// Panics if `rho` length differs from the grid node count.
 pub fn deposit_charge(particles: &Particles, grid: &Grid1D, shape: Shape, rho: &mut [f64]) {
+    let mut scratch = DepositScratch::new();
+    deposit_charge_with_scratch(particles, grid, shape, rho, &mut scratch);
+}
+
+/// [`deposit_charge`] with a caller-owned [`DepositScratch`]: the
+/// parallel path scatters into the scratch's reused per-worker partial
+/// grids and reduces them into `rho`, performing no allocation once the
+/// scratch is warm. The sequential path ignores the scratch entirely.
+///
+/// # Panics
+/// Panics if `rho` length differs from the grid node count.
+pub fn deposit_charge_with_scratch(
+    particles: &Particles,
+    grid: &Grid1D,
+    shape: Shape,
+    rho: &mut [f64],
+    scratch: &mut DepositScratch,
+) {
     assert_eq!(rho.len(), grid.ncells(), "rho length mismatch");
     let scale = particles.charge() / grid.dx();
     if particles.len() >= PAR_THRESHOLD && rayon::current_num_threads() > 1 {
-        let partial = particles
-            .x
-            .par_chunks(PAR_THRESHOLD / 2)
-            .fold(
-                || vec![0.0f64; grid.ncells()],
-                |mut acc, chunk| {
-                    scatter_chunk(chunk, grid, shape, scale, &mut acc);
-                    acc
-                },
-            )
-            .reduce(
-                || vec![0.0f64; grid.ncells()],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(&b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
-        for (r, p) in rho.iter_mut().zip(&partial) {
-            *r += p;
-        }
+        scatter_reduce_parallel(particles.len(), rho, scratch, |range, partial| {
+            scatter_chunk(&particles.x[range], grid, shape, scale, partial)
+        });
     } else {
         scatter_chunk(&particles.x, grid, shape, scale, rho);
     }
 }
 
-/// Sequential scatter of one chunk of positions.
+/// The parallel scatter-reduce scaffolding shared by the 1-D and 2-D
+/// depositions: splits `0..len` into one contiguous range per rayon
+/// worker, runs `scatter` on each range into a reused zeroed partial
+/// grid from `scratch`, then reduces the partials into `rho`. The caller
+/// chooses *what* a range scatters (1-D positions, 2-D position pairs)
+/// through the closure.
+pub fn scatter_reduce_parallel(
+    len: usize,
+    rho: &mut [f64],
+    scratch: &mut DepositScratch,
+    scatter: impl Fn(std::ops::Range<usize>, &mut [f64]) + Sync,
+) {
+    let workers = rayon::current_num_threads();
+    let chunk = len.div_ceil(workers);
+    let partials = scratch.prepare(workers, rho.len());
+    partials
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(w, partial)| {
+            let start = (w * chunk).min(len);
+            let end = ((w + 1) * chunk).min(len);
+            if start < end {
+                scatter(start..end, partial);
+            }
+        });
+    for partial in partials.iter() {
+        for (r, p) in rho.iter_mut().zip(partial) {
+            *r += p;
+        }
+    }
+}
+
+/// Sequential scatter of one chunk of positions. Node indices are wrapped
+/// with the compare-and-fold of [`crate::fused::wrap_cell`] — the same
+/// values `Grid1D::wrap_index` produces, without the per-particle integer
+/// division.
 fn scatter_chunk(xs: &[f64], grid: &Grid1D, shape: Shape, scale: f64, rho: &mut [f64]) {
+    use crate::fused::wrap_cell;
     let inv_dx = 1.0 / grid.dx();
     let n = grid.ncells();
+    let ni = n as i64;
     match shape {
         Shape::Ngp => {
             for &x in xs {
                 let a = shape.assign(x * inv_dx);
-                rho[grid.wrap_index(a.leftmost)] += scale;
+                rho[wrap_cell(a.leftmost, ni)] += scale;
             }
         }
         Shape::Cic => {
             for &x in xs {
                 let a = shape.assign(x * inv_dx);
-                let j = grid.wrap_index(a.leftmost);
+                let j = wrap_cell(a.leftmost, ni);
                 let j1 = if j + 1 == n { 0 } else { j + 1 };
                 rho[j] += scale * a.w[0];
                 rho[j1] += scale * a.w[1];
@@ -75,7 +143,7 @@ fn scatter_chunk(xs: &[f64], grid: &Grid1D, shape: Shape, scale: f64, rho: &mut 
             for &x in xs {
                 let a = shape.assign(x * inv_dx);
                 for (o, w) in a.w.iter().enumerate() {
-                    rho[grid.wrap_index(a.leftmost + o as i64)] += scale * w;
+                    rho[wrap_cell(a.leftmost + o as i64, ni)] += scale * w;
                 }
             }
         }
@@ -144,6 +212,26 @@ mod tests {
         let q_dx = p.charge() / grid.dx();
         assert!((rho[7] - 0.5 * q_dx).abs() < 1e-15);
         assert!((rho[0] - 0.5 * q_dx).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_deposit() {
+        let grid = Grid1D::new(16, 2.0532);
+        let xs: Vec<f64> = (0..40_000)
+            .map(|i| (i as f64 * 0.618_033_988_749_894_9).fract() * grid.length())
+            .collect();
+        let p = electrons_at(xs, &grid);
+        let mut scratch = DepositScratch::new();
+        for shape in [Shape::Ngp, Shape::Cic, Shape::Tsc] {
+            let mut plain = grid.zeros();
+            let mut with_scratch = grid.zeros();
+            deposit_charge(&p, &grid, shape, &mut plain);
+            // Twice through the same scratch: re-zeroing must be complete.
+            deposit_charge_with_scratch(&p, &grid, shape, &mut with_scratch, &mut scratch);
+            with_scratch.iter_mut().for_each(|r| *r = 0.0);
+            deposit_charge_with_scratch(&p, &grid, shape, &mut with_scratch, &mut scratch);
+            assert_eq!(plain, with_scratch, "{shape:?}");
+        }
     }
 
     #[test]

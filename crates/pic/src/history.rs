@@ -33,6 +33,19 @@ impl History {
         }
     }
 
+    /// Reserves capacity for `additional` further samples in every series,
+    /// so a sized run records without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.kinetic.reserve(additional);
+        self.field.reserve(additional);
+        self.total.reserve(additional);
+        self.momentum.reserve(additional);
+        for slot in &mut self.mode_amps {
+            slot.reserve(additional);
+        }
+    }
+
     /// Appends one step's diagnostics.
     ///
     /// # Panics

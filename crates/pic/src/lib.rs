@@ -35,6 +35,7 @@ pub mod constants;
 pub mod deposit;
 pub mod diagnostics;
 pub mod efield;
+pub mod fused;
 pub mod gather;
 pub mod grid;
 pub mod history;
@@ -47,6 +48,7 @@ pub mod shape;
 pub mod simulation;
 pub mod solver;
 
+pub use fused::{fused_gather_push_move, StepMoments};
 pub use grid::Grid1D;
 pub use history::History;
 pub use init::{BeamSpec, Loading, MultiBeamInit, TwoStreamInit};

@@ -21,11 +21,12 @@
 
 use crate::diagnostics::{field_mode_amplitude, instantaneous_report, EnergyReport};
 use crate::efield::field_energy;
+use crate::fused::fused_gather_push_move;
 use crate::gather::gather_field;
 use crate::grid::Grid1D;
 use crate::history::History;
 use crate::init::TwoStreamInit;
-use crate::mover::{half_step_back, push_positions, push_velocities};
+use crate::mover::half_step_back;
 use crate::particles::Particles;
 use crate::shape::Shape;
 use crate::solver::FieldSolver;
@@ -55,8 +56,8 @@ pub struct Simulation {
     particles: Particles,
     solver: Box<dyn FieldSolver>,
     e: Vec<f64>,
-    e_part: Vec<f64>,
     history: History,
+    amps_scratch: Vec<f64>,
     time: f64,
     steps_done: usize,
 }
@@ -78,10 +79,14 @@ impl Simulation {
         particles: Particles,
         solver: Box<dyn FieldSolver>,
     ) -> Self {
+        let mut history = History::new(cfg.tracked_modes.clone());
+        // One sample per step plus the final snapshot: reserving up front
+        // keeps the per-step path free of reallocation.
+        history.reserve(cfg.n_steps + 1);
         let mut sim = Self {
             e: cfg.grid.zeros(),
-            e_part: vec![0.0; particles.len()],
-            history: History::new(cfg.tracked_modes.clone()),
+            history,
+            amps_scratch: Vec::with_capacity(cfg.tracked_modes.len()),
             particles,
             solver,
             time: 0.0,
@@ -90,15 +95,17 @@ impl Simulation {
         };
         // E⁰ from the initial particle state.
         sim.solver.solve(&sim.particles, &sim.cfg.grid, &mut sim.e);
-        // v⁰ → v^{-1/2}.
+        // v⁰ → v^{-1/2}. The per-particle buffer lives only for this
+        // set-up gather; the stepping loop is fused and needs none.
+        let mut e_part = vec![0.0; sim.particles.len()];
         gather_field(
             &sim.particles,
             &sim.cfg.grid,
             sim.cfg.gather_shape,
             &sim.e,
-            &mut sim.e_part,
+            &mut e_part,
         );
-        half_step_back(&mut sim.particles, &sim.e_part, sim.cfg.dt);
+        half_step_back(&mut sim.particles, &e_part, sim.cfg.dt);
         sim
     }
 
@@ -108,40 +115,38 @@ impl Simulation {
         let grid = &self.cfg.grid;
         let dt = self.cfg.dt;
 
-        // Gather Eⁿ at particle positions.
-        gather_field(
-            &self.particles,
+        // Diagnostics tied to tⁿ: field energy and mode amplitudes of Eⁿ.
+        let fe = field_energy(grid, &self.e);
+        self.amps_scratch.clear();
+        self.amps_scratch.extend(
+            self.cfg
+                .tracked_modes
+                .iter()
+                .map(|&m| field_mode_amplitude(&self.e, m)),
+        );
+
+        // Fused gather → velocity push → position push: one pass over the
+        // particles, arithmetically identical to the unfused pipeline
+        // (gather_field + push_velocities + push_positions).
+        let moments = fused_gather_push_move(
+            &mut self.particles,
             grid,
             self.cfg.gather_shape,
             &self.e,
-            &mut self.e_part,
+            dt,
         );
-
-        // Diagnostics tied to tⁿ: field energy and mode amplitudes of Eⁿ.
-        let fe = field_energy(grid, &self.e);
-        let amps: Vec<f64> = self
-            .cfg
-            .tracked_modes
-            .iter()
-            .map(|&m| field_mode_amplitude(&self.e, m))
-            .collect();
-
-        // Velocity push (returns time-centred kinetic energy at tⁿ).
-        let ke = push_velocities(&mut self.particles, &self.e_part, dt);
-        let momentum = self.particles.total_momentum();
 
         self.history.push(
             self.time,
             EnergyReport {
-                kinetic: ke,
+                kinetic: moments.centred_kinetic,
                 field: fe,
-                momentum,
+                momentum: moments.momentum,
             },
-            &amps,
+            &self.amps_scratch,
         );
 
-        // Position push and the next field solve.
-        push_positions(&mut self.particles, grid, dt);
+        // The next field solve from the pushed positions.
         self.solver.solve(&self.particles, grid, &mut self.e);
 
         self.time += dt;
@@ -164,13 +169,14 @@ impl Simulation {
     /// `n + 1`-sample convention.
     pub fn finish(&mut self) {
         let report = instantaneous_report(&self.particles, &self.cfg.grid, &self.e);
-        let amps: Vec<f64> = self
-            .cfg
-            .tracked_modes
-            .iter()
-            .map(|&m| field_mode_amplitude(&self.e, m))
-            .collect();
-        self.history.push(self.time, report, &amps);
+        self.amps_scratch.clear();
+        self.amps_scratch.extend(
+            self.cfg
+                .tracked_modes
+                .iter()
+                .map(|&m| field_mode_amplitude(&self.e, m)),
+        );
+        self.history.push(self.time, report, &self.amps_scratch);
     }
 
     /// Current simulation time.

@@ -38,6 +38,7 @@ pub mod constants2d;
 pub mod deposit2d;
 pub mod diagnostics2d;
 pub mod efield2d;
+pub mod fused2d;
 pub mod gather2d;
 pub mod grid2d;
 pub mod init2d;
@@ -47,6 +48,7 @@ pub mod poisson2d;
 pub mod simulation2d;
 pub mod solver2d;
 
+pub use fused2d::{fused_gather_push_move, StepMoments2D};
 pub use grid2d::Grid2D;
 pub use init2d::TwoStream2DInit;
 pub use particles2d::Particles2D;

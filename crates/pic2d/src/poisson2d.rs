@@ -15,7 +15,7 @@
 use crate::grid2d::Grid2D;
 use dlpic_analytics::complex::Complex64;
 use dlpic_analytics::dft::is_power_of_two;
-use dlpic_analytics::dft2::{fft2_in_place, ifft2_in_place};
+use dlpic_analytics::dft2::{fft2_in_place_scratch, ifft2_in_place_scratch};
 
 /// Common interface of the 2-D Poisson backends.
 pub trait Poisson2DSolver: Send {
@@ -41,6 +41,7 @@ pub enum Poisson2DKind {
 #[derive(Debug, Default)]
 pub struct SpectralPoisson2D {
     scratch: Vec<Complex64>,
+    col: Vec<Complex64>,
 }
 
 impl SpectralPoisson2D {
@@ -63,7 +64,7 @@ impl Poisson2DSolver for SpectralPoisson2D {
         self.scratch.clear();
         self.scratch
             .extend(rho.iter().map(|&r| Complex64::new(r, 0.0)));
-        fft2_in_place(&mut self.scratch, nx, ny);
+        fft2_in_place_scratch(&mut self.scratch, nx, ny, &mut self.col);
 
         // ∇²Φ = −ρ ⇒ Φ̂ = ρ̂ / |k|²; the mean (k = 0) mode is gauged away.
         for my in 0..ny {
@@ -80,7 +81,7 @@ impl Poisson2DSolver for SpectralPoisson2D {
             }
         }
 
-        ifft2_in_place(&mut self.scratch, nx, ny);
+        ifft2_in_place_scratch(&mut self.scratch, nx, ny, &mut self.col);
         for (out, c) in phi.iter_mut().zip(&self.scratch) {
             *out = c.re;
         }

@@ -10,10 +10,11 @@
 
 use crate::diagnostics2d::{field_mode_amplitude, instantaneous_report, EnergyReport2D};
 use crate::efield2d::field_energy;
+use crate::fused2d::fused_gather_push_move;
 use crate::gather2d::gather_field;
 use crate::grid2d::Grid2D;
 use crate::init2d::TwoStream2DInit;
-use crate::mover2d::{half_step_back, push_positions, push_velocities};
+use crate::mover2d::half_step_back;
 use crate::particles2d::Particles2D;
 use crate::solver2d::FieldSolver2D;
 use dlpic_pic::shape::Shape;
@@ -86,6 +87,20 @@ impl History2D {
         }
     }
 
+    /// Reserves capacity for `additional` further samples in every
+    /// series, so a sized run records without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.times.reserve(additional);
+        self.kinetic.reserve(additional);
+        self.field.reserve(additional);
+        self.total.reserve(additional);
+        self.momentum_x.reserve(additional);
+        self.momentum_y.reserve(additional);
+        for series in &mut self.mode_amps {
+            series.reserve(additional);
+        }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.times.len()
@@ -111,9 +126,8 @@ pub struct Simulation2D {
     solver: Box<dyn FieldSolver2D>,
     ex: Vec<f64>,
     ey: Vec<f64>,
-    ex_part: Vec<f64>,
-    ey_part: Vec<f64>,
     history: History2D,
+    amps_scratch: Vec<f64>,
     time: f64,
     steps_done: usize,
 }
@@ -124,12 +138,15 @@ impl Simulation2D {
     pub fn new(cfg: Pic2DConfig, solver: Box<dyn FieldSolver2D>) -> Self {
         let particles = cfg.init.build(&cfg.grid);
         let n_part = particles.len();
+        let mut history = History2D::new(cfg.tracked_modes.clone());
+        // One sample per step plus the final snapshot: reserving up front
+        // keeps the per-step path free of reallocation.
+        history.reserve(cfg.n_steps + 1);
         let mut sim = Self {
             ex: cfg.grid.zeros(),
             ey: cfg.grid.zeros(),
-            ex_part: vec![0.0; n_part],
-            ey_part: vec![0.0; n_part],
-            history: History2D::new(cfg.tracked_modes.clone()),
+            history,
+            amps_scratch: Vec::with_capacity(cfg.tracked_modes.len()),
             particles,
             solver,
             time: 0.0,
@@ -138,16 +155,20 @@ impl Simulation2D {
         };
         sim.solver
             .solve(&sim.particles, &sim.cfg.grid, &mut sim.ex, &mut sim.ey);
+        // The per-particle buffers live only for this set-up gather; the
+        // stepping loop is fused and needs none.
+        let mut ex_part = vec![0.0; n_part];
+        let mut ey_part = vec![0.0; n_part];
         gather_field(
             &sim.particles,
             &sim.cfg.grid,
             sim.cfg.gather_shape,
             &sim.ex,
             &sim.ey,
-            &mut sim.ex_part,
-            &mut sim.ey_part,
+            &mut ex_part,
+            &mut ey_part,
         );
-        half_step_back(&mut sim.particles, &sim.ex_part, &sim.ey_part, sim.cfg.dt);
+        half_step_back(&mut sim.particles, &ex_part, &ey_part, sim.cfg.dt);
         sim
     }
 
@@ -157,39 +178,37 @@ impl Simulation2D {
         let grid = &self.cfg.grid;
         let dt = self.cfg.dt;
 
-        gather_field(
-            &self.particles,
+        let fe = field_energy(grid, &self.ex, &self.ey);
+        self.amps_scratch.clear();
+        self.amps_scratch.extend(
+            self.cfg
+                .tracked_modes
+                .iter()
+                .map(|&(mx, my)| field_mode_amplitude(&self.ex, grid, mx, my)),
+        );
+
+        // Fused gather → velocity push → position push: one pass over the
+        // particles, trajectories identical to the unfused pipeline.
+        let moments = fused_gather_push_move(
+            &mut self.particles,
             grid,
             self.cfg.gather_shape,
             &self.ex,
             &self.ey,
-            &mut self.ex_part,
-            &mut self.ey_part,
+            dt,
         );
-
-        let fe = field_energy(grid, &self.ex, &self.ey);
-        let amps: Vec<f64> = self
-            .cfg
-            .tracked_modes
-            .iter()
-            .map(|&(mx, my)| field_mode_amplitude(&self.ex, grid, mx, my))
-            .collect();
-
-        let ke = push_velocities(&mut self.particles, &self.ex_part, &self.ey_part, dt);
-        let (px, py) = self.particles.total_momentum();
 
         self.history.push(
             self.time,
             EnergyReport2D {
-                kinetic: ke,
+                kinetic: moments.centred_kinetic,
                 field: fe,
-                momentum_x: px,
-                momentum_y: py,
+                momentum_x: moments.momentum_x,
+                momentum_y: moments.momentum_y,
             },
-            &amps,
+            &self.amps_scratch,
         );
 
-        push_positions(&mut self.particles, grid, dt);
         self.solver
             .solve(&self.particles, grid, &mut self.ex, &mut self.ey);
 
@@ -210,13 +229,14 @@ impl Simulation2D {
     /// the end to reproduce the `n + 1`-sample convention of [`Self::run`].
     pub fn finish(&mut self) {
         let report = instantaneous_report(&self.particles, &self.cfg.grid, &self.ex, &self.ey);
-        let amps: Vec<f64> = self
-            .cfg
-            .tracked_modes
-            .iter()
-            .map(|&(mx, my)| field_mode_amplitude(&self.ex, &self.cfg.grid, mx, my))
-            .collect();
-        self.history.push(self.time, report, &amps);
+        self.amps_scratch.clear();
+        self.amps_scratch.extend(
+            self.cfg
+                .tracked_modes
+                .iter()
+                .map(|&(mx, my)| field_mode_amplitude(&self.ex, &self.cfg.grid, mx, my)),
+        );
+        self.history.push(self.time, report, &self.amps_scratch);
     }
 
     /// Current simulation time.
