@@ -54,6 +54,7 @@ fn harvest_run(cfg: &GeneratorConfig, combo_idx: usize, experiment: usize) -> Ph
     let mut sim = Simulation::new(pic_cfg, Box::new(TraditionalSolver::paper_default()));
 
     let mut out = PhaseDataset::new(cfg.phase_spec, cfg.binning, e_cells);
+    out.reserve(cfg.sweep.steps);
     let mut hist = vec![0.0f32; cfg.phase_spec.cells()];
     for _ in 0..cfg.sweep.steps {
         bin_phase_space(

@@ -35,6 +35,13 @@ impl PhaseDataset {
         }
     }
 
+    /// Pre-reserves room for `n` more samples (the generators know their
+    /// harvest length up front; this keeps the push loop re-growth-free).
+    pub fn reserve(&mut self, n: usize) {
+        self.inputs.reserve(n * self.spec.cells());
+        self.targets.reserve(n * self.e_cells);
+    }
+
     /// Appends one sample.
     ///
     /// # Panics

@@ -39,13 +39,24 @@ impl Dataset {
     /// Returns a new dataset with rows permuted by a seeded Fisher–Yates
     /// shuffle.
     pub fn shuffled(&self, seed: u64) -> Self {
-        let n = self.len();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        for i in (1..n).rev() {
-            perm.swap(i, rng.gen_range(0..=i));
-        }
+        let mut perm = Vec::new();
+        shuffle_permutation(&mut perm, self.len(), seed);
         self.select(&perm)
+    }
+
+    /// Gathers the given rows into caller-owned batch tensors (resized in
+    /// place) — the allocation-free counterpart of
+    /// [`Dataset::batch`]: once `x`/`y` are warm, no heap allocation
+    /// happens. Gathering `shuffle_permutation`'s output in consecutive
+    /// chunks reproduces `self.shuffled(seed)` batching exactly.
+    pub fn gather_into(&self, indices: &[usize], x: &mut Tensor, y: &mut Tensor) {
+        let (xw, yw) = (self.x.row_len(), self.y.row_len());
+        x.resize_like(&self.x, indices.len());
+        y.resize_like(&self.y, indices.len());
+        for (r, &i) in indices.iter().enumerate() {
+            x.data_mut()[r * xw..(r + 1) * xw].copy_from_slice(self.x.row(i));
+            y.data_mut()[r * yw..(r + 1) * yw].copy_from_slice(self.y.row(i));
+        }
     }
 
     /// Builds a dataset from the given row indices (in order).
@@ -109,6 +120,18 @@ impl Dataset {
             start = end;
         }
         out
+    }
+}
+
+/// Fills `perm` (resized in place) with the seeded Fisher–Yates
+/// permutation of `0..n` that [`Dataset::shuffled`] applies — shared so
+/// the trainer can shuffle indices without copying the dataset.
+pub fn shuffle_permutation(perm: &mut Vec<usize>, n: usize, seed: u64) {
+    perm.clear();
+    perm.extend(0..n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
     }
 }
 
@@ -191,5 +214,27 @@ mod tests {
     #[should_panic(expected = "exceed dataset")]
     fn oversized_split_rejected() {
         let _ = seq_dataset(3).split(&[2, 2]);
+    }
+
+    #[test]
+    fn gathered_permutation_batches_match_shuffled_copy_batches() {
+        // The trainer's allocation-free path (shuffle a permutation,
+        // gather batches) must reproduce the historical path (copy the
+        // whole dataset shuffled, slice batches) bit for bit.
+        let d = seq_dataset(23);
+        let seed = 99;
+        let shuffled = d.shuffled(seed);
+        let mut perm = Vec::new();
+        shuffle_permutation(&mut perm, d.len(), seed);
+        let mut bx = Tensor::zeros(&[0]);
+        let mut by = Tensor::zeros(&[0]);
+        for (start, size) in d.batch_ranges(7) {
+            let (ex, ey) = shuffled.batch(start, size);
+            d.gather_into(&perm[start..start + size], &mut bx, &mut by);
+            assert_eq!(bx.shape(), ex.shape());
+            assert_eq!(bx.data(), ex.data());
+            assert_eq!(by.shape(), ey.shape());
+            assert_eq!(by.data(), ey.data());
+        }
     }
 }

@@ -29,6 +29,25 @@ pub trait Layer: Send {
         *out = self.forward(input, false);
     }
 
+    /// Training-time forward into a caller-owned output tensor: same
+    /// contract as `forward(.., true)` (the activation cache is
+    /// retained), but the output buffer is resized in place and reused,
+    /// so repeated calls perform no heap allocation once warm — the
+    /// per-batch path of `nn::trainer`. The default falls back to the
+    /// allocating [`Layer::forward`]; every built-in layer overrides it.
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        *out = self.forward(input, true);
+    }
+
+    /// Backpropagation into a caller-owned gradient tensor: same
+    /// contract as [`Layer::backward`] (parameter gradients accumulate
+    /// internally) with the input-gradient buffer resized in place and
+    /// reused. The default falls back to the allocating
+    /// [`Layer::backward`]; every built-in layer overrides it.
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        *grad_in = self.backward(grad_out);
+    }
+
     /// Visits each (parameter, gradient) pair in a stable order. Layers
     /// without parameters do nothing (default).
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -42,5 +61,15 @@ pub trait Layer: Send {
     /// Total trainable parameter count (default 0).
     fn param_count(&self) -> usize {
         0
+    }
+}
+
+/// Stores `input` in a layer's activation-cache slot, reusing the slot's
+/// existing allocation when warm (the training loop runs the same batch
+/// shape for thousands of steps — only the first step allocates).
+pub(crate) fn cache_input(slot: &mut Option<Tensor>, input: &Tensor) {
+    match slot {
+        Some(t) => t.copy_from(input),
+        None => *slot = Some(input.clone()),
     }
 }

@@ -1,13 +1,28 @@
-//! 2-D convolution (stride 1, "same" zero padding) via im2col + GEMM.
+//! 2-D convolution (stride 1, "same" zero padding) via implicit im2col on
+//! the blocked GEMM micro-kernels.
 //!
 //! The paper's CNN (§IV.A) stacks two blocks of
 //! `[conv, conv, maxpool]` before the fully connected head. Kernel size and
 //! channel counts are not stated in the paper; the `dlpic-core` builders
 //! use 3×3 kernels (recorded as an inferred choice in DESIGN.md).
+//!
+//! Instead of packing an explicit `[C·K·K, H·W]` column matrix per sample
+//! (9× the input's memory traffic for a 3×3 kernel, twice per training
+//! step), each sample is copied once into a zero-padded `[C, H+2p, W+2p]`
+//! scratch plane and the GEMM micro-kernels ([`crate::linalg::conv_gemm`])
+//! read the patch columns directly out of it through per-row base
+//! offsets — every load is contiguous and in-bounds, so there are no
+//! wrap/pad branches in the hot loop. The backward pass reuses the same
+//! kernels: `dX` is a same-padded convolution of `dY` with the
+//! flipped-and-transposed weights (no `col2im` scatter at all), and `dW`
+//! is the patch correlation [`crate::linalg::conv_dw_accum`]. A direct
+//! 6-deep loop (`conv_naive`, plus its backward counterpart) remains in
+//! the test module as the oracle, mirroring the fused-kernel pattern of
+//! the particle pipeline.
 
 use crate::init::Init;
-use crate::layer::Layer;
-use crate::linalg::{matmul_nn, matmul_nt, matmul_tn};
+use crate::layer::{cache_input, Layer};
+use crate::linalg::{conv_dw_accum, conv_gemm};
 use crate::tensor::Tensor;
 
 /// A same-padded stride-1 2-D convolution on `[batch, channels, h, w]`
@@ -21,8 +36,18 @@ pub struct Conv2d {
     dw: Vec<f32>,
     db: Vec<f32>,
     cached_input: Option<Tensor>,
-    // Scratch buffers reused across calls.
-    cols: Vec<f32>,
+    // Scratch reused across calls (warm after the first batch):
+    /// zero-padded input sample `[in_ch, h+2p, w+2p]`,
+    pad_in: Vec<f32>,
+    /// zero-padded output-gradient sample `[out_ch, h+2p, w+2p]`,
+    pad_gy: Vec<f32>,
+    /// flipped-and-transposed weights `[in_ch, out_ch·k·k]` for `dX`,
+    wt: Vec<f32>,
+    /// patch-row base offsets into `pad_in` / `pad_gy`,
+    boff_in: Vec<usize>,
+    boff_gy: Vec<usize>,
+    /// image size the scratch is currently built for.
+    ready_hw: (usize, usize),
 }
 
 impl Conv2d {
@@ -47,7 +72,12 @@ impl Conv2d {
             dw: vec![0.0; out_ch * in_ch * k * k],
             db: vec![0.0; out_ch],
             cached_input: None,
-            cols: Vec::new(),
+            pad_in: Vec::new(),
+            pad_gy: Vec::new(),
+            wt: Vec::new(),
+            boff_in: Vec::new(),
+            boff_gy: Vec::new(),
+            ready_hw: (0, 0),
         }
     }
 
@@ -56,72 +86,23 @@ impl Conv2d {
         self.k
     }
 
-    /// Unpacks one sample `[C, H, W]` into the column matrix
-    /// `[C·K·K, H·W]` with zero padding.
-    fn im2col(&self, sample: &[f32], h: usize, w: usize, cols: &mut [f32]) {
-        let k = self.k;
-        let pad = k / 2;
-        let hw = h * w;
-        debug_assert_eq!(cols.len(), self.in_ch * k * k * hw);
-        cols.fill(0.0);
-        for c in 0..self.in_ch {
-            let plane = &sample[c * hw..(c + 1) * hw];
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row = ((c * k + ky) * k + kx) * hw;
-                    // Valid input-row window for this kernel offset.
-                    for oy in 0..h {
-                        let iy = oy as isize + ky as isize - pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        // ix = ox + kx - pad must lie in [0, w).
-                        let ox_lo = pad.saturating_sub(kx);
-                        let ox_hi = (w + pad).saturating_sub(kx).min(w);
-                        if ox_lo >= ox_hi {
-                            continue;
-                        }
-                        let src_lo = ox_lo + kx - pad;
-                        let dst = &mut cols[row + oy * w + ox_lo..row + oy * w + ox_hi];
-                        let src = &plane[iy * w + src_lo..iy * w + src_lo + (ox_hi - ox_lo)];
-                        dst.copy_from_slice(src);
-                    }
-                }
-            }
+    /// (Re)builds the padded scratch planes and offset tables for an
+    /// `h × w` image. No-op while the image size is unchanged — the
+    /// padded borders stay zero because only the interior is rewritten
+    /// per sample.
+    fn prepare(&mut self, h: usize, w: usize) {
+        if self.ready_hw == (h, w) {
+            return;
         }
-    }
-
-    /// Scatter-adds a column-matrix gradient back to a `[C, H, W]` sample
-    /// gradient (the adjoint of [`Self::im2col`]).
-    fn col2im_add(&self, dcols: &[f32], h: usize, w: usize, dsample: &mut [f32]) {
-        let k = self.k;
-        let pad = k / 2;
-        let hw = h * w;
-        for c in 0..self.in_ch {
-            let plane = &mut dsample[c * hw..(c + 1) * hw];
-            for ky in 0..k {
-                for kx in 0..k {
-                    let row = ((c * k + ky) * k + kx) * hw;
-                    for oy in 0..h {
-                        let iy = oy as isize + ky as isize - pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        let ox_lo = pad.saturating_sub(kx);
-                        let ox_hi = (w + pad).saturating_sub(kx).min(w);
-                        if ox_lo >= ox_hi {
-                            continue;
-                        }
-                        let src_lo = ox_lo + kx - pad;
-                        for (o, ox) in (ox_lo..ox_hi).enumerate() {
-                            plane[iy * w + src_lo + o] += dcols[row + oy * w + ox];
-                        }
-                    }
-                }
-            }
-        }
+        let p = self.k / 2;
+        let (ph, pw) = (h + 2 * p, w + 2 * p);
+        self.pad_in.clear();
+        self.pad_in.resize(self.in_ch * ph * pw, 0.0);
+        self.pad_gy.clear();
+        self.pad_gy.resize(self.out_ch * ph * pw, 0.0);
+        self.boff_in = patch_offsets(self.in_ch, self.k, ph, pw);
+        self.boff_gy = patch_offsets(self.out_ch, self.k, ph, pw);
+        self.ready_hw = (h, w);
     }
 
     fn dims(&self, input: &Tensor) -> (usize, usize, usize) {
@@ -138,76 +119,175 @@ impl Conv2d {
         );
         (shape[0], shape[2], shape[3])
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+    /// Shared forward: writes into `out` (resized in place), optionally
+    /// retaining the activation cache.
+    fn forward_core(&mut self, input: &Tensor, out: &mut Tensor, training: bool) {
         let (batch, h, w) = self.dims(input);
+        self.prepare(h, w);
         let hw = h * w;
         let ckk = self.in_ch * self.k * self.k;
-        let mut out = Tensor::zeros(&[batch, self.out_ch, h, w]);
-        self.cols.resize(ckk * hw, 0.0);
-        let mut cols = std::mem::take(&mut self.cols);
+        let (p, pw) = (self.k / 2, w + 2 * (self.k / 2));
+        out.resize_in_place(&[batch, self.out_ch, h, w]);
         for bi in 0..batch {
-            let sample = input.row(bi);
-            self.im2col(sample, h, w, &mut cols);
+            pad_sample(&mut self.pad_in, input.row(bi), self.in_ch, h, w, p);
             let out_b = &mut out.data_mut()[bi * self.out_ch * hw..(bi + 1) * self.out_ch * hw];
-            matmul_nn(&self.w, &cols, out_b, self.out_ch, ckk, hw);
-            for (o, bias) in self.b.iter().enumerate() {
-                for v in &mut out_b[o * hw..(o + 1) * hw] {
-                    *v += bias;
-                }
-            }
+            conv_gemm(
+                &self.w,
+                &self.pad_in,
+                &self.boff_in,
+                out_b,
+                self.out_ch,
+                ckk,
+                h,
+                w,
+                pw,
+                Some(&self.b),
+            );
         }
-        self.cols = cols;
         if training {
-            self.cached_input = Some(input.clone());
+            cache_input(&mut self.cached_input, input);
         }
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Shared backward: accumulates `dW`/`db`, writes the input gradient
+    /// into `grad_in` (resized in place).
+    fn backward_core(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         let input = self
             .cached_input
             .take()
             .expect("backward before forward(training)");
         let (batch, h, w) = self.dims(&input);
         let hw = h * w;
-        let ckk = self.in_ch * self.k * self.k;
+        let kk = self.k * self.k;
+        let ckk = self.in_ch * kk;
         assert_eq!(
             grad_out.shape(),
             &[batch, self.out_ch, h, w],
             "grad_out shape"
         );
+        self.prepare(h, w);
+        let (p, pw) = (self.k / 2, w + 2 * (self.k / 2));
 
-        let mut grad_in = Tensor::zeros(input.shape());
-        self.cols.resize(ckk * hw, 0.0);
-        let mut cols = std::mem::take(&mut self.cols);
-        let mut dw_step = vec![0.0f32; self.w.len()];
-        let mut dcols = vec![0.0f32; ckk * hw];
-
-        for bi in 0..batch {
-            let sample = input.row(bi);
-            let dy = &grad_out.data()[bi * self.out_ch * hw..(bi + 1) * self.out_ch * hw];
-
-            // dW += dY·colsᵀ.
-            self.im2col(sample, h, w, &mut cols);
-            matmul_nt(dy, &cols, &mut dw_step, self.out_ch, hw, ckk);
-            for (d, s) in self.dw.iter_mut().zip(&dw_step) {
-                *d += s;
-            }
-            // db += per-channel sums of dY.
-            for o in 0..self.out_ch {
-                self.db[o] += dy[o * hw..(o + 1) * hw].iter().sum::<f32>();
-            }
-            // dcols = Wᵀ·dY, then scatter back to the input gradient.
-            matmul_tn(&self.w, dy, &mut dcols, ckk, self.out_ch, hw);
-            let dsample = &mut grad_in.data_mut()[bi * self.in_ch * hw..(bi + 1) * self.in_ch * hw];
-            self.col2im_add(&dcols, h, w, dsample);
+        // dX is a same-padded convolution of dY with the flipped and
+        // channel-transposed kernel: wt[c][o·k² + ky·k + kx] =
+        // w[o][c][k-1-ky][k-1-kx]. The loop below writes every element,
+        // so the buffer only needs sizing, not zeroing.
+        if self.wt.len() != self.in_ch * self.out_ch * kk {
+            self.wt.resize(self.in_ch * self.out_ch * kk, 0.0);
         }
-        self.cols = cols;
+        for c in 0..self.in_ch {
+            for o in 0..self.out_ch {
+                for t in 0..kk {
+                    self.wt[(c * self.out_ch + o) * kk + t] =
+                        self.w[(o * self.in_ch + c) * kk + (kk - 1 - t)];
+                }
+            }
+        }
+
+        grad_in.resize_in_place(input.shape());
+        for bi in 0..batch {
+            let dy = &grad_out.data()[bi * self.out_ch * hw..(bi + 1) * self.out_ch * hw];
+            // dW += dY ⋆ padded(X);  db += per-channel sums of dY.
+            pad_sample(&mut self.pad_in, input.row(bi), self.in_ch, h, w, p);
+            conv_dw_accum(
+                dy,
+                &self.pad_in,
+                &self.boff_in,
+                &mut self.dw,
+                self.out_ch,
+                ckk,
+                h,
+                w,
+                pw,
+            );
+            for (o, db) in self.db.iter_mut().enumerate() {
+                *db += dy[o * hw..(o + 1) * hw].iter().sum::<f32>();
+            }
+            // dX = conv(padded(dY), wt).
+            pad_sample(&mut self.pad_gy, dy, self.out_ch, h, w, p);
+            let ds = &mut grad_in.data_mut()[bi * self.in_ch * hw..(bi + 1) * self.in_ch * hw];
+            conv_gemm(
+                &self.wt,
+                &self.pad_gy,
+                &self.boff_gy,
+                ds,
+                self.in_ch,
+                self.out_ch * kk,
+                h,
+                w,
+                pw,
+                None,
+            );
+        }
         self.cached_input = Some(input);
+    }
+}
+
+/// Copies a `[ch, h, w]` sample into the interior of a zero-padded
+/// `[ch, h+2p, w+2p]` buffer (whose borders are already zero). Rows are
+/// copied in fixed 16-element chunks plus a scalar tail: the rows are
+/// short (one image line), so `memcpy`'s per-call overhead would
+/// dominate a `copy_from_slice` per row.
+fn pad_sample(dst: &mut [f32], sample: &[f32], ch: usize, h: usize, w: usize, p: usize) {
+    let (ph, pw) = (h + 2 * p, w + 2 * p);
+    debug_assert_eq!(dst.len(), ch * ph * pw);
+    debug_assert_eq!(sample.len(), ch * h * w);
+    let main_w = w - w % 16;
+    for c in 0..ch {
+        for y in 0..h {
+            let at = (c * ph + y + p) * pw + p;
+            let src = &sample[(c * h + y) * w..(c * h + y + 1) * w];
+            let mut j = 0;
+            while j < main_w {
+                let chunk: &[f32; 16] = src[j..j + 16].try_into().unwrap();
+                dst[at + j..at + j + 16].copy_from_slice(chunk);
+                j += 16;
+            }
+            if j < w {
+                dst[at + j..at + w].copy_from_slice(&src[j..]);
+            }
+        }
+    }
+}
+
+/// Base offsets of the virtual patch rows: entry `(c·k + ky)·k + kx`
+/// points at `pad[c][ky][kx]` of a `[ch, ph, pw]` padded buffer.
+fn patch_offsets(ch: usize, k: usize, ph: usize, pw: usize) -> Vec<usize> {
+    let mut boff = Vec::with_capacity(ch * k * k);
+    for c in 0..ch {
+        for ky in 0..k {
+            for kx in 0..k {
+                boff.push((c * ph + ky) * pw + kx);
+            }
+        }
+    }
+    boff
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_core(input, &mut out, training);
+        out
+    }
+
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.forward_core(input, out, false);
+    }
+
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.forward_core(input, out, true);
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[0]);
+        self.backward_core(grad_out, &mut grad_in);
         grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        self.backward_core(grad_out, grad_in);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -233,7 +313,7 @@ impl Layer for Conv2d {
 mod tests {
     use super::*;
 
-    /// Reference direct convolution for the oracle tests.
+    /// Reference direct convolution — the 6-deep-loop oracle.
     // The eight arguments are the convolution geometry; a struct would
     // only rename the same numbers in the hot loop.
     #[allow(clippy::too_many_arguments)]
@@ -272,6 +352,49 @@ mod tests {
             }
         }
         out
+    }
+
+    /// Reference direct backward — accumulates (dw, db, dx) with the same
+    /// 6-deep loops, the backward oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_naive_backward(
+        input: &[f32],
+        w: &[f32],
+        dy: &[f32],
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        h: usize,
+        wid: usize,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let pad = k as isize / 2;
+        let hw = h * wid;
+        let mut dw = vec![0.0f32; out_ch * in_ch * k * k];
+        let mut db = vec![0.0f32; out_ch];
+        let mut dx = vec![0.0f32; in_ch * hw];
+        for o in 0..out_ch {
+            for oy in 0..h {
+                for ox in 0..wid {
+                    let g = dy[o * hw + oy * wid + ox];
+                    db[o] += g;
+                    for c in 0..in_ch {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy as isize + ky as isize - pad;
+                                let ix = ox as isize + kx as isize - pad;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= wid as isize {
+                                    continue;
+                                }
+                                let at = c * hw + iy as usize * wid + ix as usize;
+                                dw[((o * in_ch + c) * k + ky) * k + kx] += g * input[at];
+                                dx[at] += g * w[((o * in_ch + c) * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (dw, db, dx)
     }
 
     fn pseudo(len: usize, seed: u64) -> Vec<f32> {
@@ -324,6 +447,73 @@ mod tests {
     }
 
     #[test]
+    fn forward_matches_naive_conv_on_awkward_shapes() {
+        // Shapes straddling every tile boundary: widths below one tile,
+        // 17/33 columns, odd heights, channel counts off the 8-row tile.
+        for &(in_ch, out_ch, k, h, w) in &[
+            (1usize, 8usize, 3usize, 32usize, 32usize),
+            (2, 3, 3, 7, 17),
+            (3, 9, 5, 5, 33),
+            (4, 16, 3, 16, 16),
+            (1, 2, 3, 1, 1),
+            (2, 5, 5, 3, 40),
+        ] {
+            let mut conv = Conv2d::new(in_ch, out_ch, k, Init::Zeros, 0);
+            let wlen = out_ch * in_ch * k * k;
+            conv.w.copy_from_slice(&pseudo(wlen, 7 + wlen as u64));
+            conv.b.copy_from_slice(&pseudo(out_ch, 31));
+            let x_data = pseudo(in_ch * h * w, 43);
+            let x = Tensor::new(x_data.clone(), &[1, in_ch, h, w]);
+            let y = conv.forward(&x, false);
+            let oracle = conv_naive(&x_data, &conv.w, &conv.b, in_ch, out_ch, k, h, w);
+            for (i, (a, b)) in y.data().iter().zip(&oracle).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{in_ch}->{out_ch} k{k} {h}x{w} elem {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_naive_backward_on_awkward_shapes() {
+        for &(in_ch, out_ch, k, h, w) in &[
+            (1usize, 8usize, 3usize, 32usize, 32usize),
+            (2, 3, 3, 7, 17),
+            (3, 5, 5, 5, 33),
+            (4, 16, 3, 16, 16),
+            (2, 2, 3, 4, 9),
+        ] {
+            let mut conv = Conv2d::new(in_ch, out_ch, k, Init::Zeros, 0);
+            let wlen = out_ch * in_ch * k * k;
+            conv.w.copy_from_slice(&pseudo(wlen, 3 + wlen as u64));
+            let x_data = pseudo(in_ch * h * w, 47);
+            let dy_data = pseudo(out_ch * h * w, 53);
+            let x = Tensor::new(x_data.clone(), &[1, in_ch, h, w]);
+            let _ = conv.forward(&x, true);
+            let gx = conv.backward(&Tensor::new(dy_data.clone(), &[1, out_ch, h, w]));
+            let (dw_o, db_o, dx_o) =
+                conv_naive_backward(&x_data, &conv.w, &dy_data, in_ch, out_ch, k, h, w);
+            let scale = |v: f32| 1.0 + v.abs();
+            for (i, (a, b)) in conv.dw.iter().zip(&dw_o).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-3 * scale(*b),
+                    "dW {in_ch}->{out_ch} k{k} {h}x{w} elem {i}: {a} vs {b}"
+                );
+            }
+            for (i, (a, b)) in conv.db.iter().zip(&db_o).enumerate() {
+                assert!((a - b).abs() < 1e-3 * scale(*b), "db elem {i}: {a} vs {b}");
+            }
+            for (i, (a, b)) in gx.data().iter().zip(&dx_o).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-3 * scale(*b),
+                    "dX {in_ch}->{out_ch} k{k} {h}x{w} elem {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batch_samples_are_independent() {
         let mut conv = Conv2d::new(1, 2, 3, Init::HeNormal, 5);
         let a = pseudo(9, 1);
@@ -337,6 +527,21 @@ mod tests {
         }
         for (i, v) in yb.data().iter().enumerate() {
             assert!((yab.data()[ya.len() + i] - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn image_size_change_between_calls_is_handled() {
+        // The padded scratch must rebuild when the image size changes,
+        // including a change that keeps the padded byte count equal.
+        let mut conv = Conv2d::new(1, 1, 3, Init::Zeros, 0);
+        conv.w[4] = 1.0; // identity kernel
+        for &(h, w) in &[(4usize, 4usize), (6, 2), (2, 6), (4, 4)] {
+            let x = Tensor::new(pseudo(h * w, (h * 31 + w) as u64), &[1, 1, h, w]);
+            let y = conv.forward(&x, false);
+            for (a, b) in y.data().iter().zip(x.data()) {
+                assert!((a - b).abs() < 1e-6, "{h}x{w}");
+            }
         }
     }
 
@@ -396,6 +601,52 @@ mod tests {
             (analytic - numeric).abs() / numeric.abs().max(1e-3) < 5e-2,
             "dW: analytic {analytic} vs numeric {numeric}"
         );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_calls() {
+        let (in_ch, out_ch, k, h, w) = (2, 4, 3, 8, 8);
+        let make = || {
+            let mut c = Conv2d::new(in_ch, out_ch, k, Init::HeNormal, 9);
+            c.b.copy_from_slice(&pseudo(out_ch, 61));
+            c
+        };
+        let x = Tensor::new(pseudo(3 * in_ch * h * w, 67), &[3, in_ch, h, w]);
+        let gy = Tensor::new(pseudo(3 * out_ch * h * w, 71), &[3, out_ch, h, w]);
+
+        let mut a = make();
+        let ya = a.forward(&x, true);
+        let gxa = a.backward(&gy);
+
+        let mut b = make();
+        let mut yb = Tensor::zeros(&[0]);
+        let mut gxb = Tensor::zeros(&[0]);
+        // Run twice so the second pass reuses warm buffers (gradients
+        // accumulate across the two backwards).
+        for _ in 0..2 {
+            b.train_forward_into(&x, &mut yb);
+            b.backward_into(&gy, &mut gxb);
+        }
+        assert_eq!(ya.shape(), yb.shape());
+        assert_eq!(ya.data(), yb.data());
+        assert_eq!(gxa.shape(), gxb.shape());
+        assert_eq!(gxa.data(), gxb.data());
+        // One allocating backward vs two accumulating ones: dW doubles.
+        let mut dwa = Vec::new();
+        a.visit_params(&mut |p, g| {
+            if p.len() > out_ch {
+                dwa = g.to_vec();
+            }
+        });
+        let mut dwb = Vec::new();
+        b.visit_params(&mut |p, g| {
+            if p.len() > out_ch {
+                dwb = g.to_vec();
+            }
+        });
+        for (x2, x1) in dwb.iter().zip(&dwa) {
+            assert!((x2 - 2.0 * x1).abs() < 1e-3 * (1.0 + x1.abs()));
+        }
     }
 
     #[test]

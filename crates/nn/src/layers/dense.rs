@@ -1,7 +1,7 @@
 //! Fully connected layer: `Y = X·W + b`.
 
 use crate::init::Init;
-use crate::layer::Layer;
+use crate::layer::{cache_input, Layer};
 use crate::linalg::{add_bias, col_sums_into, matmul_nn, matmul_nt, matmul_tn};
 use crate::tensor::Tensor;
 
@@ -15,6 +15,8 @@ pub struct Dense {
     dw: Vec<f32>,
     db: Vec<f32>,
     cached_input: Option<Tensor>,
+    // Per-step weight-gradient staging buffer, reused across calls.
+    dw_step: Vec<f32>,
 }
 
 impl Dense {
@@ -34,6 +36,7 @@ impl Dense {
             dw: vec![0.0; in_features * out_features],
             db: vec![0.0; out_features],
             cached_input: None,
+            dw_step: Vec::new(),
         }
     }
 
@@ -58,33 +61,9 @@ impl Dense {
     }
 }
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
-        let batch = input.batch();
-        assert_eq!(
-            input.row_len(),
-            self.in_features,
-            "dense expected {} features, got {:?}",
-            self.in_features,
-            input.shape()
-        );
-        let mut out = Tensor::zeros(&[batch, self.out_features]);
-        matmul_nn(
-            input.data(),
-            &self.w,
-            out.data_mut(),
-            batch,
-            self.in_features,
-            self.out_features,
-        );
-        add_bias(out.data_mut(), &self.b, batch, self.out_features);
-        if training {
-            self.cached_input = Some(input.clone());
-        }
-        out
-    }
-
-    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+impl Dense {
+    /// Shared forward: `out = X·W + b`, resized in place.
+    fn forward_core(&mut self, input: &Tensor, out: &mut Tensor) {
         let batch = input.batch();
         assert_eq!(
             input.row_len(),
@@ -105,7 +84,9 @@ impl Layer for Dense {
         add_bias(out.data_mut(), &self.b, batch, self.out_features);
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Shared backward: accumulates `dW`/`db`, writes `dX` into
+    /// `grad_in` (resized in place).
+    fn backward_core(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         let input = self
             .cached_input
             .as_ref()
@@ -117,24 +98,28 @@ impl Layer for Dense {
             "grad_out shape"
         );
 
-        // dW += Xᵀ·dY (accumulate: add into a scratch then sum).
-        let mut dw_step = vec![0.0f32; self.w.len()];
+        // dW += Xᵀ·dY (accumulate: stage into the reusable scratch, then
+        // sum). matmul_tn overwrites every element, so the scratch only
+        // needs sizing, not zeroing.
+        if self.dw_step.len() != self.w.len() {
+            self.dw_step.resize(self.w.len(), 0.0);
+        }
         matmul_tn(
             input.data(),
             grad_out.data(),
-            &mut dw_step,
+            &mut self.dw_step,
             self.in_features,
             batch,
             self.out_features,
         );
-        for (d, s) in self.dw.iter_mut().zip(&dw_step) {
+        for (d, s) in self.dw.iter_mut().zip(&self.dw_step) {
             *d += s;
         }
         // db += column sums of dY.
         col_sums_into(grad_out.data(), &mut self.db, batch, self.out_features);
 
         // dX = dY·Wᵀ.
-        let mut grad_in = Tensor::zeros(&[batch, self.in_features]);
+        grad_in.resize_in_place(&[batch, self.in_features]);
         matmul_nt(
             grad_out.data(),
             &self.w,
@@ -143,7 +128,36 @@ impl Layer for Dense {
             self.out_features,
             self.in_features,
         );
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_core(input, &mut out);
+        if training {
+            cache_input(&mut self.cached_input, input);
+        }
+        out
+    }
+
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.forward_core(input, out);
+    }
+
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.forward_core(input, out);
+        cache_input(&mut self.cached_input, input);
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[0]);
+        self.backward_core(grad_out, &mut grad_in);
         grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        self.backward_core(grad_out, grad_in);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {

@@ -32,12 +32,27 @@ impl Layer for Flatten {
         out.data_mut().copy_from_slice(input.data());
     }
 
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.input_shape.clear();
+        self.input_shape.extend_from_slice(input.shape());
+        self.infer_into(input, out);
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert!(
             !self.input_shape.is_empty(),
             "backward before forward(training)"
         );
         grad_out.clone().reshape(&self.input_shape)
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(
+            !self.input_shape.is_empty(),
+            "backward before forward(training)"
+        );
+        grad_in.resize_in_place(&self.input_shape);
+        grad_in.data_mut().copy_from_slice(grad_out.data());
     }
 
     fn name(&self) -> &'static str {

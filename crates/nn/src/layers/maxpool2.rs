@@ -19,8 +19,10 @@ impl MaxPool2 {
     }
 }
 
-impl Layer for MaxPool2 {
-    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+impl MaxPool2 {
+    /// Shared forward: writes the pooled output into `out` (resized in
+    /// place), recording argmax indices when `training`.
+    fn forward_core(&mut self, input: &Tensor, out: &mut Tensor, training: bool) {
         let shape = input.shape();
         assert_eq!(
             shape.len(),
@@ -33,11 +35,12 @@ impl Layer for MaxPool2 {
             "maxpool needs even spatial dims, got {h}x{w}"
         );
         let (oh, ow) = (h / 2, w / 2);
-        let mut out = Tensor::zeros(&[batch, ch, oh, ow]);
+        out.resize_in_place(&[batch, ch, oh, ow]);
         if training {
             self.argmax.clear();
             self.argmax.resize(out.len(), 0);
-            self.input_shape = shape.to_vec();
+            self.input_shape.clear();
+            self.input_shape.extend_from_slice(shape);
         }
         let data = input.data();
         let out_data = out.data_mut();
@@ -63,21 +66,42 @@ impl Layer for MaxPool2 {
                 }
             }
         }
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_core(input, &mut out, training);
         out
     }
 
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.forward_core(input, out, false);
+    }
+
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.forward_core(input, out, true);
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         assert_eq!(
             grad_out.len(),
             self.argmax.len(),
             "backward before forward(training)"
         );
-        let mut grad_in = Tensor::zeros(&self.input_shape);
+        grad_in.resize_in_place(&self.input_shape);
         let gi = grad_in.data_mut();
+        gi.fill(0.0);
         for (&g, &src) in grad_out.data().iter().zip(&self.argmax) {
             gi[src] += g;
         }
-        grad_in
     }
 
     fn name(&self) -> &'static str {

@@ -33,19 +33,33 @@ impl Layer for Relu {
         }
     }
 
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.mask.clear();
+        self.mask.extend(input.data().iter().map(|&v| v > 0.0));
+        self.infer_into(input, out);
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         assert_eq!(
             grad_out.len(),
             self.mask.len(),
             "backward before forward(training)"
         );
-        let data = grad_out
-            .data()
-            .iter()
+        grad_in.resize_in_place(grad_out.shape());
+        for ((gi, &g), &m) in grad_in
+            .data_mut()
+            .iter_mut()
+            .zip(grad_out.data())
             .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::new(data, grad_out.shape())
+        {
+            *gi = if m { g } else { 0.0 };
+        }
     }
 
     fn name(&self) -> &'static str {

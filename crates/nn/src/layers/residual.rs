@@ -14,6 +14,9 @@ use crate::tensor::Tensor;
 pub struct ResidualDense {
     inner: Dense,
     mask: Vec<bool>,
+    // Reusable scratch for the dense-branch activation (forward) and the
+    // ReLU-masked gradient (backward).
+    scratch: Tensor,
 }
 
 impl ResidualDense {
@@ -22,6 +25,7 @@ impl ResidualDense {
         Self {
             inner: Dense::new(width, width, init, seed),
             mask: Vec::new(),
+            scratch: Tensor::zeros(&[0]),
         }
     }
 }
@@ -37,26 +41,49 @@ impl Layer for ResidualDense {
         y.map(|v| v.max(0.0))
     }
 
+    fn infer_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.inner.infer_into(input, out);
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = (*o + x).max(0.0);
+        }
+    }
+
+    fn train_forward_into(&mut self, input: &Tensor, out: &mut Tensor) {
+        self.inner.train_forward_into(input, out);
+        self.mask.clear();
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            let pre = *o + x;
+            self.mask.push(pre > 0.0);
+            *o = pre.max(0.0);
+        }
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[0]);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         assert_eq!(
             grad_out.len(),
             self.mask.len(),
             "backward before forward(training)"
         );
         // Through the ReLU.
-        let masked = Tensor::new(
-            grad_out
-                .data()
-                .iter()
-                .zip(&self.mask)
-                .map(|(&g, &m)| if m { g } else { 0.0 })
-                .collect(),
-            grad_out.shape(),
-        );
+        self.scratch.resize_in_place(grad_out.shape());
+        for ((s, &g), &m) in self
+            .scratch
+            .data_mut()
+            .iter_mut()
+            .zip(grad_out.data())
+            .zip(&self.mask)
+        {
+            *s = if m { g } else { 0.0 };
+        }
         // Through the dense branch, plus the skip connection.
-        let mut grad_in = self.inner.backward(&masked);
-        grad_in.add_assign(&masked);
-        grad_in
+        self.inner.backward_into(&self.scratch, grad_in);
+        grad_in.add_assign(&self.scratch);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {

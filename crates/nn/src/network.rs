@@ -38,6 +38,48 @@ impl PredictWorkspace {
     }
 }
 
+/// Reusable buffers for [`Sequential::compute_gradients_into`]: two
+/// ping-pong activation slots for the forward pass and a third slot so
+/// the backward pass can ping-pong the gradient without touching the
+/// loss input. Once warm, a full forward + loss + backward step performs
+/// no heap allocation (layers cache activations in their own reused
+/// buffers).
+pub struct TrainWorkspace {
+    bufs: [Tensor; 3],
+}
+
+impl Default for TrainWorkspace {
+    fn default() -> Self {
+        Self {
+            bufs: [
+                Tensor::zeros(&[0]),
+                Tensor::zeros(&[0]),
+                Tensor::zeros(&[0]),
+            ],
+        }
+    }
+}
+
+impl TrainWorkspace {
+    /// An empty workspace; buffers grow to the network's widest
+    /// activation on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Disjoint (read, write) access to two of the workspace slots.
+fn two_slots(bufs: &mut [Tensor; 3], src: usize, dst: usize) -> (&Tensor, &mut Tensor) {
+    assert_ne!(src, dst);
+    if src < dst {
+        let (lo, hi) = bufs.split_at_mut(dst);
+        (&lo[src], &mut hi[0])
+    } else {
+        let (lo, hi) = bufs.split_at_mut(src);
+        (&hi[0], &mut lo[dst])
+    }
+}
+
 impl Sequential {
     /// Creates an empty network.
     pub fn new() -> Self {
@@ -130,13 +172,55 @@ impl Sequential {
 
     /// One training step's gradient computation: zeroes gradients, runs
     /// forward + loss + backward. Returns the loss value. The caller then
-    /// applies an optimizer step.
+    /// applies an optimizer step. Allocating convenience form of
+    /// [`Sequential::compute_gradients_into`].
     pub fn compute_gradients(&mut self, loss: &dyn Loss, x: &Tensor, y: &Tensor) -> f32 {
+        let mut ws = TrainWorkspace::new();
+        self.compute_gradients_into(loss, x, y, &mut ws)
+    }
+
+    /// One training step's gradient computation through the reusable
+    /// `workspace`: activations ping-pong between two workspace slots on
+    /// the way up, the gradient ping-pongs through the third on the way
+    /// down, so a warm workspace makes the whole step allocation-free —
+    /// the per-batch path of [`crate::trainer::train`]. Numerically
+    /// identical to [`Sequential::compute_gradients`].
+    pub fn compute_gradients_into(
+        &mut self,
+        loss: &dyn Loss,
+        x: &Tensor,
+        y: &Tensor,
+        workspace: &mut TrainWorkspace,
+    ) -> f32 {
         self.zero_grads();
-        let pred = self.forward(x, true);
-        let mut grad = Tensor::zeros(pred.shape());
-        let value = loss.loss_and_grad(&pred, y, &mut grad);
-        self.backward(&grad);
+        if self.layers.is_empty() {
+            // Degenerate network: prediction is the input itself.
+            workspace.bufs[0].copy_from(x);
+            let (pred, grad) = two_slots(&mut workspace.bufs, 0, 2);
+            grad.resize_in_place(pred.shape());
+            return loss.loss_and_grad(pred, y, grad);
+        }
+        // Forward: x → bufs[1] → bufs[0] → bufs[1] → …
+        let mut cur = 0;
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let nxt = 1 - cur;
+            let (src, dst) = two_slots(&mut workspace.bufs, cur, nxt);
+            layer.train_forward_into(if i == 0 { x } else { src }, dst);
+            cur = nxt;
+        }
+        // Loss gradient into the third slot.
+        let (pred, grad) = two_slots(&mut workspace.bufs, cur, 2);
+        grad.resize_in_place(pred.shape());
+        let value = loss.loss_and_grad(pred, y, grad);
+        // Backward: bufs[2] → the freed activation slot → bufs[2] → …
+        let free = 1 - cur;
+        let mut g = 2;
+        for layer in self.layers.iter_mut().rev() {
+            let dst = if g == 2 { free } else { 2 };
+            let (src, out) = two_slots(&mut workspace.bufs, g, dst);
+            layer.backward_into(src, out);
+            g = dst;
+        }
         value
     }
 

@@ -46,9 +46,13 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, net: &mut Sequential) {
         self.t += 1;
-        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
-        let bc1 = 1.0 - b1.powi(self.t as i32);
-        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        // Bias-correction scalars hoisted out of the per-element loop:
+        // lr·(m̂) / (√v̂ + ε) with m̂ = m/(1−β₁ᵗ), v̂ = v/(1−β₂ᵗ) becomes
+        // one fused step size and one reciprocal, leaving a single
+        // division per element.
+        let step_size = self.lr / (1.0 - b1.powi(self.t as i32));
+        let inv_bc2 = 1.0 / (1.0 - b2.powi(self.t as i32));
         let mut idx = 0;
         let moments = &mut self.moments;
         net.visit_params(&mut |p, g| {
@@ -65,9 +69,7 @@ impl Optimizer for Adam {
             {
                 *mv = b1 * *mv + (1.0 - b1) * gv;
                 *vv = b2 * *vv + (1.0 - b2) * gv * gv;
-                let m_hat = *mv / bc1;
-                let v_hat = *vv / bc2;
-                *pv -= lr * m_hat / (v_hat.sqrt() + eps);
+                *pv -= step_size * *mv / ((*vv * inv_bc2).sqrt() + eps);
             }
             idx += 1;
         });

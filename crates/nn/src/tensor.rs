@@ -121,6 +121,27 @@ impl Tensor {
         self.data.resize(len, 0.0);
     }
 
+    /// Resizes to `like`'s shape with a different leading dimension,
+    /// reusing the backing allocation when the capacity suffices. The
+    /// data content is unspecified afterwards (callers overwrite it).
+    pub fn resize_like(&mut self, like: &Tensor, rows: usize) {
+        assert!(!like.shape.is_empty(), "rank-0 tensor has no batch dim");
+        self.shape.clear();
+        self.shape.extend_from_slice(&like.shape);
+        self.shape[0] = rows;
+        self.data.resize(rows * like.row_len(), 0.0);
+    }
+
+    /// Copies `src`'s shape and data into this tensor, reusing the
+    /// backing allocation when the capacity suffices — the warm-cache
+    /// counterpart of `clone` used by the training hot path.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Returns a tensor with the same data and a new shape.
     ///
     /// # Panics

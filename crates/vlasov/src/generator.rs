@@ -48,8 +48,12 @@ impl VlasovHarvest {
         }
     }
 
-    /// Runs the solver and collects samples.
-    pub fn run(&self) -> Vec<VlasovSample> {
+    /// Runs the solver, invoking `sink(histogram, efield)` once per
+    /// sample with **borrowed** per-sample snapshot buffers that are
+    /// reused between samples — the allocation-free path the dataset
+    /// generators consume (a harvest used to allocate a fresh histogram
+    /// `Vec` and `efield.to_vec()` per sample).
+    pub fn run_with(&self, mut sink: impl FnMut(&[f32], &[f64])) {
         let mut solver = VlasovSolver::new(self.config.clone());
         let nx = self.config.grid.ncells();
         let nv = self.config.nv;
@@ -57,22 +61,28 @@ impl VlasovHarvest {
         // f integrates to L over the box; mass-per-histogram-count factor
         // turns the density into "macro-particles per phase cell".
         let scale = self.total_mass / self.config.grid.length() * cell_phase_volume;
-        let mut out = Vec::with_capacity(self.samples);
+        let mut histogram = vec![0.0f32; nx * nv];
         for _ in 0..self.samples {
-            let histogram: Vec<f32> = solver
-                .distribution()
-                .iter()
-                .map(|&f| (f * scale) as f32)
-                .collect();
-            debug_assert_eq!(histogram.len(), nx * nv);
-            out.push(VlasovSample {
-                histogram,
-                efield: solver.efield().to_vec(),
-            });
+            for (h, &f) in histogram.iter_mut().zip(solver.distribution()) {
+                *h = (f * scale) as f32;
+            }
+            sink(&histogram, solver.efield());
             for _ in 0..self.stride {
                 solver.step();
             }
         }
+    }
+
+    /// Runs the solver and collects owned samples (convenience wrapper
+    /// over [`VlasovHarvest::run_with`]).
+    pub fn run(&self) -> Vec<VlasovSample> {
+        let mut out = Vec::with_capacity(self.samples);
+        self.run_with(|histogram, efield| {
+            out.push(VlasovSample {
+                histogram: histogram.to_vec(),
+                efield: efield.to_vec(),
+            });
+        });
         out
     }
 }
