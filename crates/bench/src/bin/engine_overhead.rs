@@ -1,9 +1,20 @@
 //! Measures the engine facade's overhead against driving the solver
 //! crates directly, and records the baseline to `BENCH_engine.json`.
 //!
-//! The facade adds per-step work of one `Sample` allocation and observer
-//! dispatch on top of `Simulation::step` — this binary proves that is
-//! noise (<1%) at physics-relevant particle counts, in 1-D and 2-D.
+//! Two facade layers are measured, in 1-D and 2-D, at physics-relevant
+//! particle counts:
+//!
+//! * `engine::run` — the one-shot convenience (build + run + summary);
+//! * the incremental `Session` — per-step virtual dispatch through
+//!   `BackendSession::step`, one `Sample` allocation, history push and
+//!   observer fan-out per step, driven from the caller's loop.
+//!
+//! Both must be noise against the direct `Simulation::step` loop. With
+//! `--check` the binary gates the session dispatch overhead at <2%
+//! (override with `DLPIC_ENGINE_MAX_OVERHEAD`, in percent) and exits
+//! non-zero on failure — the CI perf-smoke job runs this form alongside
+//! the step/train throughput gates. Without `--check` it rewrites
+//! `BENCH_engine.json`.
 //!
 //! Run: `cargo run -p dlpic-bench --release --bin engine_overhead`
 
@@ -39,6 +50,32 @@ fn median_secs(mut run: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+/// Overhead of `facade` over `direct` in percent, from the median of
+/// per-rep time ratios measured in *interleaved pairs*. Independent
+/// medians taken seconds apart see ±5% machine drift on this container —
+/// far above a 2% gate — while the ratio within one back-to-back pair
+/// cancels the drift.
+fn paired_overhead_pct(mut direct: impl FnMut(), mut facade: impl FnMut()) -> f64 {
+    // More reps than the timing medians: the gate sits at 2% and the
+    // per-pair ratio still carries ~±0.7% noise.
+    const PAIR_REPS: usize = 11;
+    direct();
+    facade(); // warm-up
+    let mut ratios: Vec<f64> = (0..PAIR_REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            direct();
+            let d = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            facade();
+            let f = t1.elapsed().as_secs_f64();
+            f / d
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
 fn spec_1d() -> engine::ScenarioSpec {
     let mut spec = engine::scenario("two_stream", Scale::Smoke).expect("registry");
     spec.ppc = PPC_1D;
@@ -60,13 +97,14 @@ fn spec_2d() -> engine::ScenarioSpec {
 }
 
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     println!("== engine facade overhead vs direct crate drivers ==\n");
 
     // --- 1-D: engine vs pic::Simulation with the identical setup. ------
-    let direct_1d = median_secs(|| {
+    let mut run_direct_1d = || {
         let cfg = PicConfig {
             grid: Grid1D::paper(),
-            init: TwoStreamInit::random(0.2, 0.025, 64 * PPC_1D, 9),
+            init: Some(TwoStreamInit::random(0.2, 0.025, 64 * PPC_1D, 9)),
             dt: 0.2,
             n_steps: STEPS_1D,
             gather_shape: Shape::Cic,
@@ -75,15 +113,30 @@ fn main() {
         let mut sim = Simulation::new(cfg, Box::new(TraditionalSolver::paper_default()));
         sim.run();
         std::hint::black_box(sim.history().len());
-    });
+    };
     let spec = spec_1d();
-    let engine_1d = median_secs(|| {
+    let mut run_engine_1d = || {
         let summary = engine::run(&spec, Backend::Traditional1D).expect("run");
         std::hint::black_box(summary.history.len());
-    });
+    };
+    // The incremental primitive: per-step virtual dispatch + Sample
+    // emission, driven from the caller's own loop.
+    let mut run_session_1d = || {
+        let mut session = engine::start(&spec, Backend::Traditional1D).expect("start");
+        while !session.is_complete() {
+            std::hint::black_box(session.step().step);
+        }
+        let summary = session.finish();
+        std::hint::black_box(summary.history.len());
+    };
+    let direct_1d = median_secs(&mut run_direct_1d);
+    let engine_1d = median_secs(&mut run_engine_1d);
+    let session_1d = median_secs(&mut run_session_1d);
+    let oh_1d = paired_overhead_pct(&mut run_direct_1d, &mut run_engine_1d);
+    let oh_session_1d = paired_overhead_pct(&mut run_direct_1d, &mut run_session_1d);
 
     // --- 2-D: engine vs pic2d::Simulation2D. ---------------------------
-    let direct_2d = median_secs(|| {
+    let mut run_direct_2d = || {
         let grid = Grid2D::default_square();
         let n = grid.nx() * grid.ny() * PPC_2D;
         let cfg = Pic2DConfig {
@@ -97,16 +150,25 @@ fn main() {
         let mut sim = Simulation2D::new(cfg, Box::new(TraditionalSolver2D::default_config()));
         sim.run();
         std::hint::black_box(sim.history().len());
-    });
+    };
     let spec2 = spec_2d();
-    let engine_2d = median_secs(|| {
+    let mut run_engine_2d = || {
         let summary = engine::run(&spec2, Backend::Traditional2D).expect("run");
         std::hint::black_box(summary.history.len());
-    });
-
-    let pct = |direct: f64, facade: f64| (facade / direct - 1.0) * 100.0;
-    let oh_1d = pct(direct_1d, engine_1d);
-    let oh_2d = pct(direct_2d, engine_2d);
+    };
+    let mut run_session_2d = || {
+        let mut session = engine::start(&spec2, Backend::Traditional2D).expect("start");
+        while !session.is_complete() {
+            std::hint::black_box(session.step().step);
+        }
+        let summary = session.finish();
+        std::hint::black_box(summary.history.len());
+    };
+    let direct_2d = median_secs(&mut run_direct_2d);
+    let engine_2d = median_secs(&mut run_engine_2d);
+    let session_2d = median_secs(&mut run_session_2d);
+    let oh_2d = paired_overhead_pct(&mut run_direct_2d, &mut run_engine_2d);
+    let oh_session_2d = paired_overhead_pct(&mut run_direct_2d, &mut run_session_2d);
 
     println!(
         "1-D ({} particles, {STEPS_1D} steps, median of {REPS}):",
@@ -118,6 +180,10 @@ fn main() {
         engine_1d * 1e3
     );
     println!(
+        "  session step loop      : {:.2} ms  ({oh_session_1d:+.2}%)",
+        session_1d * 1e3
+    );
+    println!(
         "2-D ({} particles, {STEPS_2D} steps, median of {REPS}):",
         32 * 32 * PPC_2D
     );
@@ -126,26 +192,54 @@ fn main() {
         "  engine facade          : {:.2} ms  ({oh_2d:+.2}%)",
         engine_2d * 1e3
     );
+    println!(
+        "  session step loop      : {:.2} ms  ({oh_session_2d:+.2}%)",
+        session_2d * 1e3
+    );
+
+    if check {
+        // The CI gate: per-step session dispatch must stay under 2% of
+        // the direct solver loop (the engine::run path is the session
+        // path, so gating the session covers both).
+        let max_overhead: f64 = std::env::var("DLPIC_ENGINE_MAX_OVERHEAD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2.0);
+        let worst = oh_session_1d.max(oh_session_2d);
+        println!(
+            "\ngate: session dispatch overhead {worst:+.2}% (limit {max_overhead:.1}%, override with DLPIC_ENGINE_MAX_OVERHEAD)"
+        );
+        if worst > max_overhead {
+            println!("verdict: FAIL — session dispatch exceeds the gate");
+            std::process::exit(1);
+        }
+        println!("verdict: PASS");
+        return;
+    }
 
     let json = format!(
-        "{{\n  \"bench\": \"engine_overhead\",\n  \"reps\": {REPS},\n  \"oned\": {{\n    \"particles\": {},\n    \"steps\": {STEPS_1D},\n    \"direct_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"overhead_pct\": {:.3}\n  }},\n  \"twod\": {{\n    \"particles\": {},\n    \"steps\": {STEPS_2D},\n    \"direct_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"overhead_pct\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"engine_overhead\",\n  \"reps\": {REPS},\n  \"oned\": {{\n    \"particles\": {},\n    \"steps\": {STEPS_1D},\n    \"direct_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"overhead_pct\": {:.3},\n    \"session_ms\": {:.3},\n    \"session_overhead_pct\": {:.3}\n  }},\n  \"twod\": {{\n    \"particles\": {},\n    \"steps\": {STEPS_2D},\n    \"direct_ms\": {:.3},\n    \"engine_ms\": {:.3},\n    \"overhead_pct\": {:.3},\n    \"session_ms\": {:.3},\n    \"session_overhead_pct\": {:.3}\n  }}\n}}\n",
         64 * PPC_1D,
         direct_1d * 1e3,
         engine_1d * 1e3,
         oh_1d,
+        session_1d * 1e3,
+        oh_session_1d,
         32 * 32 * PPC_2D,
         direct_2d * 1e3,
         engine_2d * 1e3,
         oh_2d,
+        session_2d * 1e3,
+        oh_session_2d,
     );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json");
 
-    let pass = oh_1d < 1.0 && oh_2d < 1.0;
+    let pass = oh_1d < 2.0 && oh_2d < 2.0 && oh_session_1d < 2.0 && oh_session_2d < 2.0;
     println!(
         "verdict: {}",
         if pass {
-            "PASS — facade overhead under 1%"
+            "PASS — run facade and session dispatch both under 2%"
         } else {
             "CHECK"
         }

@@ -75,7 +75,7 @@ fn bench_1d(steps: usize, reps: usize) -> StepResult {
         .map(|_| {
             let cfg = PicConfig {
                 grid: Grid1D::paper(),
-                init: TwoStreamInit::random(0.2, 0.025, particles, 9),
+                init: Some(TwoStreamInit::random(0.2, 0.025, particles, 9)),
                 dt: 0.2,
                 n_steps: steps,
                 gather_shape: Shape::Cic,

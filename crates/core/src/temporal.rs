@@ -182,7 +182,7 @@ mod tests {
     fn small_cfg(n_steps: usize, seed: u64) -> PicConfig {
         PicConfig {
             grid: Grid1D::paper(),
-            init: TwoStreamInit::quiet(0.2, 0.0, 2_000, 1e-3, seed),
+            init: Some(TwoStreamInit::quiet(0.2, 0.0, 2_000, 1e-3, seed)),
             dt: 0.2,
             n_steps,
             gather_shape: Shape::Cic,

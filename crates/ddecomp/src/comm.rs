@@ -135,6 +135,14 @@ impl Fabric {
         self.total = CommStats::default();
         self.phases.clear();
     }
+
+    /// Replaces the aggregate counters with a checkpointed snapshot and
+    /// clears the per-phase breakdown (a restored run continues the totals
+    /// but cannot reconstruct which phases produced them).
+    pub fn restore_stats(&mut self, total: CommStats) {
+        self.total = total;
+        self.phases.clear();
+    }
 }
 
 #[cfg(test)]

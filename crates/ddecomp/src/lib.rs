@@ -47,6 +47,6 @@ pub mod strategy;
 pub mod topology;
 
 pub use comm::{CommStats, Fabric};
-pub use sim::{DistConfig, DistSimulation};
+pub use sim::{DistConfig, DistSimulation, DistState, RankStateSnapshot};
 pub use strategy::{DistFieldStrategy, GatherScatter, ReplicatedDl};
 pub use topology::Topology;

@@ -364,6 +364,11 @@ impl DistSimulation {
         &self.topo
     }
 
+    /// The global field grid.
+    pub fn grid(&self) -> &Grid1D {
+        &self.cfg.grid
+    }
+
     /// Steps performed so far.
     pub fn steps_done(&self) -> usize {
         self.steps_done
@@ -384,6 +389,100 @@ impl DistSimulation {
     pub fn strategy_name(&self) -> &'static str {
         self.strategy.name()
     }
+
+    /// Instantaneous kinetic energy summed across ranks.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.states
+            .iter()
+            .map(|s| s.particles.kinetic_energy())
+            .sum()
+    }
+
+    /// Instantaneous total momentum summed across ranks.
+    pub fn total_momentum(&self) -> f64 {
+        self.states
+            .iter()
+            .map(|s| s.particles.total_momentum())
+            .sum()
+    }
+
+    /// Snapshot of the mutable distributed state — per-rank particles and
+    /// field slabs plus clock, step counter, migration and traffic
+    /// totals — sufficient for [`Self::restore_state`] to continue a run
+    /// bit-identically.
+    pub fn export_state(&self) -> DistState {
+        DistState {
+            ranks: self
+                .states
+                .iter()
+                .map(|s| RankStateSnapshot {
+                    x: s.particles.x.clone(),
+                    v: s.particles.v.clone(),
+                    e_ext: s.e_ext.clone(),
+                })
+                .collect(),
+            time: self.time,
+            steps_done: self.steps_done,
+            migrated_total: self.migrated_total,
+            comm: self.fabric.stats(),
+        }
+    }
+
+    /// Overwrites the mutable state with a checkpointed snapshot (the
+    /// inverse of [`Self::export_state`]). Per-rank particle *order* is
+    /// preserved, so deposition sums re-associate identically and the
+    /// resumed trajectory is bit-identical to an uninterrupted run.
+    /// Traffic counters are restored as totals; the per-phase breakdown
+    /// restarts from the restore point.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's rank count or slab widths do not match
+    /// this simulation.
+    pub fn restore_state(&mut self, state: &DistState) {
+        assert_eq!(state.ranks.len(), self.states.len(), "rank count mismatch");
+        for (rank, snap) in self.states.iter_mut().zip(&state.ranks) {
+            assert_eq!(snap.x.len(), snap.v.len(), "x/v length mismatch");
+            assert_eq!(
+                snap.e_ext.len(),
+                rank.e_ext.len(),
+                "extended slab width mismatch"
+            );
+            let (q, m) = (rank.particles.charge(), rank.particles.mass());
+            rank.particles = Particles::new(snap.x.clone(), snap.v.clone(), q, m);
+            rank.e_ext.copy_from_slice(&snap.e_ext);
+        }
+        self.time = state.time;
+        self.steps_done = state.steps_done;
+        self.migrated_total = state.migrated_total;
+        self.fabric.restore_stats(state.comm);
+    }
+}
+
+/// One rank's share of a [`DistState`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankStateSnapshot {
+    /// Locally owned particle positions, in storage order.
+    pub x: Vec<f64>,
+    /// Locally owned particle velocities (staggered half-step level).
+    pub v: Vec<f64>,
+    /// The extended field slab (owned nodes + halo ghosts).
+    pub e_ext: Vec<f64>,
+}
+
+/// The mutable state of a [`DistSimulation`] at a step boundary, as
+/// exported by [`DistSimulation::export_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistState {
+    /// Per-rank particle and field state, in rank order.
+    pub ranks: Vec<RankStateSnapshot>,
+    /// Simulation clock.
+    pub time: f64,
+    /// Steps performed.
+    pub steps_done: usize,
+    /// Particles migrated across ranks so far.
+    pub migrated_total: u64,
+    /// Aggregate fabric traffic so far.
+    pub comm: CommStats,
 }
 
 #[cfg(test)]
@@ -430,6 +529,28 @@ mod tests {
         for (i, p) in sim.history().momentum.iter().enumerate() {
             assert!(p.abs() < 1e-9, "step {i}: momentum {p}");
         }
+    }
+
+    #[test]
+    fn export_restore_resumes_bit_identically() {
+        let strategy = || Box::new(GatherScatter::new(Shape::Cic, 1.0));
+        let mut straight = DistSimulation::new(config(4, 30), strategy());
+        for _ in 0..12 {
+            straight.step();
+        }
+        let snapshot = straight.export_state();
+        let mut resumed = DistSimulation::new(config(4, 30), strategy());
+        resumed.restore_state(&snapshot);
+        assert_eq!(resumed.steps_done(), 12);
+        assert_eq!(resumed.migrated_total(), straight.migrated_total());
+        assert_eq!(resumed.comm_stats(), straight.comm_stats());
+        for _ in 0..10 {
+            straight.step();
+            resumed.step();
+        }
+        assert_eq!(straight.phase_space(), resumed.phase_space());
+        assert_eq!(straight.comm_stats(), resumed.comm_stats());
+        assert_eq!(straight.migrated_total(), resumed.migrated_total());
     }
 
     #[test]

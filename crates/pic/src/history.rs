@@ -3,6 +3,25 @@
 use crate::diagnostics::EnergyReport;
 use dlpic_analytics::series::TimeSeries;
 
+/// One recorded diagnostics row in the shape shared by every solver
+/// family's history type (1-D, 2-D, distributed) — the common currency the
+/// engine facade's sessions consume, so per-backend adapters don't each
+/// re-spell the column-to-field mapping. The 2-D history reports its `x`
+/// momentum component here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRow {
+    /// Sample time.
+    pub time: f64,
+    /// Kinetic energy.
+    pub kinetic: f64,
+    /// Field energy.
+    pub field: f64,
+    /// Total momentum (the `x` component in 2-D).
+    pub momentum: f64,
+    /// Amplitudes of the tracked modes, in tracking order.
+    pub mode_amps: Vec<f64>,
+}
+
 /// Accumulated per-step diagnostics of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct History {
@@ -76,6 +95,19 @@ impl History {
         self.times.is_empty()
     }
 
+    /// The most recently recorded row in the cross-solver [`SampleRow`]
+    /// shape, or `None` before the first sample.
+    pub fn last_sample(&self) -> Option<SampleRow> {
+        let i = self.len().checked_sub(1)?;
+        Some(SampleRow {
+            time: self.times[i],
+            kinetic: self.kinetic[i],
+            field: self.field[i],
+            momentum: self.momentum[i],
+            mode_amps: self.mode_amps.iter().map(|s| s[i]).collect(),
+        })
+    }
+
     /// The amplitude history of grid mode `m`, if tracked.
     pub fn mode_series(&self, mode: usize) -> Option<TimeSeries> {
         let idx = self.tracked_modes.iter().position(|&m| m == mode)?;
@@ -121,6 +153,11 @@ mod tests {
         assert_eq!(e1.name, "E1");
         assert!(h.mode_series(3).is_none());
         assert_eq!(h.momentum_series("p").values, vec![0.0, -1e-3]);
+        let last = h.last_sample().unwrap();
+        assert_eq!(last.time, 0.2);
+        assert_eq!(last.kinetic, 0.9);
+        assert_eq!(last.mode_amps, vec![2e-4, 3e-5]);
+        assert!(History::new(vec![1]).last_sample().is_none());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod solver;
 
 pub use fused::{fused_gather_push_move, StepMoments};
 pub use grid::Grid1D;
-pub use history::History;
+pub use history::{History, SampleRow};
 pub use init::{BeamSpec, Loading, MultiBeamInit, TwoStreamInit};
 pub use particles::Particles;
 pub use poisson::{FdPoisson, PoissonSolver, SpectralPoisson};

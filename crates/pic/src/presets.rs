@@ -15,7 +15,7 @@ pub fn paper_config(v0: f64, vth: f64, seed: u64) -> PicConfig {
     let n_particles = constants::PAPER_NCELLS * constants::PAPER_PARTICLES_PER_CELL;
     PicConfig {
         grid,
-        init: TwoStreamInit::random(v0, vth, n_particles, seed),
+        init: Some(TwoStreamInit::random(v0, vth, n_particles, seed)),
         dt: constants::PAPER_DT,
         n_steps: constants::PAPER_NSTEPS,
         gather_shape: Shape::Cic,
@@ -30,7 +30,7 @@ pub fn reduced_config(v0: f64, vth: f64, ppc: usize, n_steps: usize, seed: u64) 
     let n = constants::PAPER_NCELLS * ppc.max(1);
     PicConfig {
         grid,
-        init: TwoStreamInit::random(v0, vth, n, seed),
+        init: Some(TwoStreamInit::random(v0, vth, n, seed)),
         dt: constants::PAPER_DT,
         n_steps,
         gather_shape: Shape::Cic,
@@ -68,7 +68,7 @@ mod tests {
     fn paper_config_matches_section_iii() {
         let cfg = paper_config(0.2, 0.025, 0);
         assert_eq!(cfg.grid.ncells(), 64);
-        assert_eq!(cfg.init.n_particles, 64_000);
+        assert_eq!(cfg.init.as_ref().unwrap().n_particles, 64_000);
         assert!((cfg.dt - 0.2).abs() < 1e-15);
         assert_eq!(cfg.n_steps, 200);
     }
@@ -76,7 +76,7 @@ mod tests {
     #[test]
     fn reduced_config_scales_particles() {
         let cfg = reduced_config(0.2, 0.0, 10, 20, 0);
-        assert_eq!(cfg.init.n_particles, 640);
+        assert_eq!(cfg.init.as_ref().unwrap().n_particles, 640);
         assert_eq!(cfg.n_steps, 20);
     }
 

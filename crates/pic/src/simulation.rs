@@ -36,8 +36,11 @@ use crate::solver::FieldSolver;
 pub struct PicConfig {
     /// The periodic field grid.
     pub grid: Grid1D,
-    /// Two-stream initial condition.
-    pub init: TwoStreamInit,
+    /// Two-stream initial condition. Required by [`Simulation::new`];
+    /// `None` for runs that bring their own particle load through
+    /// [`Simulation::from_particles`] (e.g. bump-on-tail, which
+    /// [`TwoStreamInit`] cannot express).
+    pub init: Option<TwoStreamInit>,
     /// Time step.
     pub dt: f64,
     /// Number of steps a [`Simulation::run`] performs.
@@ -65,15 +68,23 @@ pub struct Simulation {
 impl Simulation {
     /// Initializes the simulation: loads particles, performs the initial
     /// field solve and sets up the leap-frog stagger.
+    ///
+    /// # Panics
+    /// Panics if `cfg.init` is `None`; bring-your-own-load runs go through
+    /// [`Self::from_particles`].
     pub fn new(cfg: PicConfig, solver: Box<dyn FieldSolver>) -> Self {
-        let particles = cfg.init.build(&cfg.grid);
+        let particles = cfg
+            .init
+            .as_ref()
+            .expect("PicConfig.init is required by Simulation::new")
+            .build(&cfg.grid);
         Self::from_particles(cfg, particles, solver)
     }
 
     /// Initializes from an already-built particle load — the
     /// bring-your-own-loading entry point used by `dlpic_repro::engine` for
     /// species (e.g. bump-on-tail) that [`TwoStreamInit`] cannot express.
-    /// `cfg.init` is kept for the record but not consulted.
+    /// `cfg.init` is not consulted (and is typically `None`).
     pub fn from_particles(
         cfg: PicConfig,
         particles: Particles,
@@ -224,6 +235,28 @@ impl Simulation {
     pub fn phase_space(&self) -> (&[f64], &[f64]) {
         (&self.particles.x, &self.particles.v)
     }
+
+    /// Overwrites the mutable state with a checkpointed snapshot: particle
+    /// phase space (velocities at their staggered `v^{n−1/2}` level — no
+    /// leap-frog set-up is re-applied), grid field, clock and step
+    /// counter. The internal diagnostics history is *not* rewound; a
+    /// restored simulation records from the restore point onward, and
+    /// external drivers (the engine's sessions) keep the authoritative
+    /// pre-restore record.
+    ///
+    /// # Panics
+    /// Panics if the buffer lengths do not match the simulation's particle
+    /// count or grid.
+    pub fn restore_state(&mut self, x: &[f64], v: &[f64], e: &[f64], time: f64, steps_done: usize) {
+        assert_eq!(x.len(), self.particles.len(), "particle count mismatch");
+        assert_eq!(v.len(), self.particles.len(), "particle count mismatch");
+        assert_eq!(e.len(), self.e.len(), "grid size mismatch");
+        self.particles.x.copy_from_slice(x);
+        self.particles.v.copy_from_slice(v);
+        self.e.copy_from_slice(e);
+        self.time = time;
+        self.steps_done = steps_done;
+    }
 }
 
 /// Convenience: builds a two-stream config with the paper's grid and
@@ -231,7 +264,7 @@ impl Simulation {
 pub fn two_stream_config(init: TwoStreamInit, n_steps: usize) -> PicConfig {
     PicConfig {
         grid: Grid1D::paper(),
-        init,
+        init: Some(init),
         dt: crate::constants::PAPER_DT,
         n_steps,
         gather_shape: Shape::Cic,
@@ -332,6 +365,27 @@ mod tests {
         assert!(drift < 1e-10, "TSC momentum drift {drift}");
         let var = dlpic_analytics::stats::relative_variation(&sim.history().total);
         assert!(var < 0.05, "TSC energy variation {var}");
+    }
+
+    #[test]
+    fn restore_state_resumes_bit_identically() {
+        let mut straight = small_sim(0.2, 0.01, 20);
+        for _ in 0..8 {
+            straight.step();
+        }
+        let x = straight.phase_space().0.to_vec();
+        let v = straight.phase_space().1.to_vec();
+        let e = straight.efield().to_vec();
+        let mut resumed = small_sim(0.2, 0.01, 20);
+        resumed.restore_state(&x, &v, &e, straight.time(), straight.steps_done());
+        assert_eq!(resumed.steps_done(), 8);
+        for _ in 0..12 {
+            straight.step();
+            resumed.step();
+        }
+        assert_eq!(straight.phase_space(), resumed.phase_space());
+        assert_eq!(straight.efield(), resumed.efield());
+        assert_eq!(straight.time(), resumed.time());
     }
 
     #[test]

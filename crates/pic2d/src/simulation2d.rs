@@ -111,6 +111,20 @@ impl History2D {
         self.times.is_empty()
     }
 
+    /// The most recently recorded row in the cross-solver
+    /// [`SampleRow`](dlpic_pic::history::SampleRow) shape (momentum maps
+    /// to the `x` component), or `None` before the first sample.
+    pub fn last_sample(&self) -> Option<dlpic_pic::history::SampleRow> {
+        let i = self.len().checked_sub(1)?;
+        Some(dlpic_pic::history::SampleRow {
+            time: self.times[i],
+            kinetic: self.kinetic[i],
+            field: self.field[i],
+            momentum: self.momentum_x[i],
+            mode_amps: self.mode_amps.iter().map(|s| s[i]).collect(),
+        })
+    }
+
     /// Amplitude series of a tracked mode, if present.
     pub fn mode_series(&self, mode: (usize, usize)) -> Option<(&[f64], &[f64])> {
         let idx = self.tracked_modes.iter().position(|&m| m == mode)?;
@@ -277,6 +291,46 @@ impl Simulation2D {
     /// The injected field solver.
     pub fn solver(&self) -> &dyn FieldSolver2D {
         self.solver.as_ref()
+    }
+
+    /// Overwrites the mutable state with a checkpointed snapshot: particle
+    /// phase space (velocities at their staggered `v^{n−1/2}` level — no
+    /// leap-frog set-up is re-applied), both field components, clock and
+    /// step counter. The internal history is *not* rewound; external
+    /// drivers (the engine's sessions) keep the pre-restore record.
+    ///
+    /// # Panics
+    /// Panics if the buffer lengths do not match the simulation's particle
+    /// count or grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_state(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        vx: &[f64],
+        vy: &[f64],
+        ex: &[f64],
+        ey: &[f64],
+        time: f64,
+        steps_done: usize,
+    ) {
+        let n = self.particles.len();
+        assert!(
+            x.len() == n && y.len() == n && vx.len() == n && vy.len() == n,
+            "particle count mismatch"
+        );
+        assert!(
+            ex.len() == self.ex.len() && ey.len() == self.ey.len(),
+            "grid size mismatch"
+        );
+        self.particles.x.copy_from_slice(x);
+        self.particles.y.copy_from_slice(y);
+        self.particles.vx.copy_from_slice(vx);
+        self.particles.vy.copy_from_slice(vy);
+        self.ex.copy_from_slice(ex);
+        self.ey.copy_from_slice(ey);
+        self.time = time;
+        self.steps_done = steps_done;
     }
 }
 

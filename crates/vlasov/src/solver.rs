@@ -179,6 +179,20 @@ impl VlasovSolver {
         dft::mode_amplitude(&self.e, m)
     }
 
+    /// Overwrites the mutable state with a checkpointed snapshot of the
+    /// distribution function and clock, then re-solves the field (the
+    /// field is a pure function of `f`, so restoring `f` restores `E`
+    /// deterministically).
+    ///
+    /// # Panics
+    /// Panics if `f` does not match the solver's `nx·nv` phase grid.
+    pub fn restore_state(&mut self, f: &[f64], time: f64) {
+        assert_eq!(f.len(), self.f.len(), "phase-space grid mismatch");
+        self.f.copy_from_slice(f);
+        self.time = time;
+        self.field_solve();
+    }
+
     /// Charge density `ρ = 1 − ∫f dv` and the resulting field.
     fn field_solve(&mut self) {
         let nx = self.cfg.grid.ncells();
@@ -525,6 +539,23 @@ mod tests {
             let now = s.f[iv * nx + j];
             assert!((now - shifted).abs() < 1e-12, "row not rigidly shifted");
         }
+    }
+
+    #[test]
+    fn restore_state_resumes_bit_identically() {
+        let mut straight = VlasovSolver::new(small_cfg(0.2, 0.02));
+        straight.run(10);
+        let f = straight.distribution().to_vec();
+        let t = straight.time();
+        let mut resumed = VlasovSolver::new(small_cfg(0.2, 0.02));
+        resumed.run(3); // deliberately desynchronized before the restore
+        resumed.restore_state(&f, t);
+        assert_eq!(straight.efield(), resumed.efield());
+        straight.run(10);
+        resumed.run(10);
+        assert_eq!(straight.distribution(), resumed.distribution());
+        assert_eq!(straight.efield(), resumed.efield());
+        assert_eq!(straight.time(), resumed.time());
     }
 
     #[test]

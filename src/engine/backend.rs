@@ -53,6 +53,26 @@ impl Backend {
         }
     }
 
+    /// Parses a display spelling back into a backend — the inverse of
+    /// [`std::fmt::Display`] (`"traditional-1d"`, `"vlasov"`,
+    /// `"ddecomp[4]"`; the bare `"ddecomp"` means the default 4 ranks).
+    /// Session checkpoints persist backends in this form.
+    pub fn parse(text: &str) -> Option<Backend> {
+        match text {
+            "traditional-1d" => Some(Backend::Traditional1D),
+            "dl-1d" => Some(Backend::Dl1D),
+            "traditional-2d" => Some(Backend::Traditional2D),
+            "dl-2d" => Some(Backend::Dl2D),
+            "vlasov" => Some(Backend::Vlasov),
+            "ddecomp" => Some(Backend::Ddecomp { n_ranks: 4 }),
+            other => {
+                let inner = other.strip_prefix("ddecomp[")?.strip_suffix(']')?;
+                let n_ranks: usize = inner.parse().ok()?;
+                (n_ranks > 0).then_some(Backend::Ddecomp { n_ranks })
+            }
+        }
+    }
+
     /// True for the neural-network-backed field solvers.
     pub fn is_dl(&self) -> bool {
         matches!(self, Backend::Dl1D | Backend::Dl2D)
@@ -104,10 +124,10 @@ impl Backend {
                     // here (instead of silently clamping) keeps "same spec,
                     // same physics" true across backends.
                     let (_, vth) = spec.species.as_two_stream().expect("checked above");
-                    if vth < super::runner::VLASOV_MIN_VTH {
+                    if vth < super::session::VLASOV_MIN_VTH {
                         return incompatible(format!(
                             "the continuum solver needs vth >= {} for a smooth f (got {vth})",
-                            super::runner::VLASOV_MIN_VTH
+                            super::session::VLASOV_MIN_VTH
                         ));
                     }
                     // VlasovSolver seeds its density perturbation on grid
@@ -243,5 +263,19 @@ mod tests {
     fn display_names() {
         assert_eq!(Backend::Dl1D.to_string(), "dl-1d");
         assert_eq!(Backend::Ddecomp { n_ranks: 8 }.to_string(), "ddecomp[8]");
+    }
+
+    #[test]
+    fn parse_inverts_display() {
+        for backend in Backend::all() {
+            assert_eq!(Backend::parse(&backend.to_string()), Some(backend));
+        }
+        assert_eq!(
+            Backend::parse("ddecomp[16]"),
+            Some(Backend::Ddecomp { n_ranks: 16 })
+        );
+        for bad in ["", "dl", "ddecomp[]", "ddecomp[0]", "ddecomp[x]"] {
+            assert_eq!(Backend::parse(bad), None, "accepted {bad:?}");
+        }
     }
 }

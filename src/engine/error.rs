@@ -34,6 +34,12 @@ pub enum EngineError {
         /// Valid names, for the error message.
         known: Vec<&'static str>,
     },
+    /// A session checkpoint is malformed or does not fit the spec it
+    /// claims to continue.
+    Checkpoint {
+        /// What is wrong.
+        what: String,
+    },
     /// Spec (de)serialization failed.
     Json(JsonError),
     /// A growth-rate/line fit failed.
@@ -65,6 +71,7 @@ impl std::fmt::Display for EngineError {
             Self::UnknownScenario { name, known } => {
                 write!(f, "unknown scenario `{name}`; known: {}", known.join(", "))
             }
+            Self::Checkpoint { what } => write!(f, "checkpoint: {what}"),
             Self::Json(e) => write!(f, "scenario spec: {e}"),
             Self::Fit(e) => write!(f, "fit: {e}"),
             Self::Bundle(e) => write!(f, "model bundle: {e}"),

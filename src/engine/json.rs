@@ -181,6 +181,18 @@ impl Json {
         }
     }
 
+    /// Builds a number array from a slice of `f64` (state vectors in
+    /// checkpoints). Finite values round-trip exactly: the writer emits
+    /// the shortest decimal that parses back to the same bits.
+    pub fn num_arr(values: &[f64]) -> Json {
+        Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+    }
+
+    /// The array's items as `f64`s (inverse of [`Json::num_arr`]).
+    pub fn as_f64_vec(&self) -> Result<Vec<f64>, JsonError> {
+        self.as_arr()?.iter().map(|v| v.as_f64()).collect()
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Json::Null => "null",
@@ -204,7 +216,9 @@ fn write_num(out: &mut String, n: f64) {
     if !n.is_finite() {
         // JSON has no Inf/NaN; `null` is the least-bad spelling.
         out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+    } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) && !(n == 0.0 && n.is_sign_negative()) {
+        // Whole numbers print without the float suffix; negative zero is
+        // excluded so checkpointed state round-trips bit-exactly.
         let _ = write!(out, "{}", n as i64);
     } else {
         let _ = write!(out, "{n}");
@@ -433,6 +447,31 @@ mod tests {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
         assert!(Json::parse("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn f64_values_round_trip_bit_exactly() {
+        // Checkpoints rely on this: every finite f64 survives the text
+        // round-trip with identical bits (Display prints the shortest
+        // representation that parses back exactly).
+        let vals = [
+            0.1,
+            1.0 / 3.0,
+            -2.5e-17,
+            6.02e23,
+            f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            123_456_789.123_456_78,
+            -1e308,
+        ];
+        let doc = Json::num_arr(&vals);
+        for text in [doc.to_pretty(), doc.to_compact()] {
+            let parsed = Json::parse(&text).unwrap().as_f64_vec().unwrap();
+            for (a, b) in vals.iter().zip(&parsed) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} mutated in transit");
+            }
+        }
     }
 
     #[test]

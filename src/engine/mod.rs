@@ -16,6 +16,11 @@
 //!   shape for all backends, adapting `pic::History`, `pic2d::History2D`
 //!   and the Vlasov/distributed diagnostics, directly consumable by
 //!   [`crate::analytics`].
+//! * [`Session`] — the incremental primitive underneath
+//!   [`Engine::run`]: [`Engine::start`] hands back a steppable run that
+//!   can stop early ([`Session::run_until`]), checkpoint to JSON and
+//!   resume ([`Session::checkpoint`] / [`Engine::resume`]), or advance in
+//!   lockstep with other backends ([`compare::lockstep`]).
 //!
 //! ```no_run
 //! use dlpic_repro::engine::{self, Backend};
@@ -27,6 +32,13 @@
 //! let dl = engine::run_scenario("two_stream", Scale::Scaled, Backend::Dl1D)?;
 //! println!("ΔE: {:.2}% vs {:.2}%", trad.energy_variation() * 100.0,
 //!          dl.energy_variation() * 100.0);
+//!
+//! // Incrementally: step, watch, stop early, summarize.
+//! let spec = engine::scenario("two_stream", Scale::Scaled)?;
+//! let mut session = engine::start(&spec, Backend::Traditional1D)?;
+//! session.run_until(|sample| sample.field > 0.5 * sample.kinetic);
+//! let summary = session.finish();
+//! # let _ = summary;
 //! # Ok::<(), dlpic_repro::engine::EngineError>(())
 //! ```
 //!
@@ -36,18 +48,22 @@
 //! README for a migration table.
 
 pub mod backend;
+pub mod compare;
 pub mod dl;
 pub mod error;
 pub mod json;
 pub mod observer;
 pub mod registry;
 pub mod runner;
+pub mod session;
 pub mod spec;
 
 pub use backend::{compatible_backends, Backend};
+pub use compare::{lockstep, ComparisonReport, LockstepDiff};
 pub use dl::Dl2DModel;
 pub use error::EngineError;
 pub use observer::{EnergyHistory, Observer, PhaseSpace, ProgressPrinter, RunSummary, Sample};
-pub use registry::{all_scenarios, scenario, SCENARIO_NAMES};
-pub use runner::{run, run_scenario, Engine, Numerics1D};
+pub use registry::{all_scenarios, names, scenario, SCENARIO_NAMES};
+pub use runner::{run, run_scenario, start, Engine, Numerics1D};
+pub use session::{BackendSession, Checkpoint, Session};
 pub use spec::{Dim, DomainSpec, LoadingSpec, ScenarioSpec, SpeciesSpec};

@@ -5,6 +5,7 @@
 
 use super::backend::Backend;
 use super::error::EngineError;
+use super::json::{obj, Json};
 use super::spec::{Dim, ScenarioSpec};
 use crate::analytics::fit::{try_fit_growth_rate, GrowthFit, GrowthFitOptions};
 use crate::analytics::series::TimeSeries;
@@ -38,7 +39,7 @@ impl Sample {
 /// Per-run diagnostics history in one shape for all backends — the
 /// common denominator of `pic::History`, `pic2d::History2D` and the
 /// Vlasov/distributed diagnostics, directly consumable by `analytics`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyHistory {
     /// Sample times.
     pub times: Vec<f64>,
@@ -107,6 +108,68 @@ impl EnergyHistory {
     /// Momentum history as a named series.
     pub fn momentum_series(&self, name: impl Into<String>) -> TimeSeries {
         TimeSeries::from_data(name, self.times.clone(), self.momentum.clone())
+    }
+
+    /// The history as a [`Json`] value — session checkpoints persist the
+    /// already-recorded rows so a resumed run's summary is seamless.
+    pub fn to_json_value(&self) -> Json {
+        obj(vec![
+            ("times", Json::num_arr(&self.times)),
+            ("kinetic", Json::num_arr(&self.kinetic)),
+            ("field", Json::num_arr(&self.field)),
+            ("total", Json::num_arr(&self.total)),
+            ("momentum", Json::num_arr(&self.momentum)),
+            (
+                "tracked_modes",
+                Json::Arr(
+                    self.tracked_modes
+                        .iter()
+                        .map(|&m| Json::Num(m as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "mode_amps",
+                Json::Arr(self.mode_amps.iter().map(|s| Json::num_arr(s)).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a history from [`Self::to_json_value`]'s shape, checking
+    /// the series lengths agree.
+    pub fn from_json_value(doc: &Json) -> Result<Self, EngineError> {
+        let history = Self {
+            times: doc.field("times")?.as_f64_vec()?,
+            kinetic: doc.field("kinetic")?.as_f64_vec()?,
+            field: doc.field("field")?.as_f64_vec()?,
+            total: doc.field("total")?.as_f64_vec()?,
+            momentum: doc.field("momentum")?.as_f64_vec()?,
+            tracked_modes: doc
+                .field("tracked_modes")?
+                .as_arr()?
+                .iter()
+                .map(|m| m.as_usize())
+                .collect::<Result<Vec<_>, _>>()?,
+            mode_amps: doc
+                .field("mode_amps")?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_f64_vec())
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let n = history.times.len();
+        let consistent = history.kinetic.len() == n
+            && history.field.len() == n
+            && history.total.len() == n
+            && history.momentum.len() == n
+            && history.mode_amps.len() == history.tracked_modes.len()
+            && history.mode_amps.iter().all(|s| s.len() == n);
+        if !consistent {
+            return Err(EngineError::Checkpoint {
+                what: "history series lengths disagree".into(),
+            });
+        }
+        Ok(history)
     }
 }
 
@@ -279,6 +342,22 @@ mod tests {
         assert_eq!(e3.name, "E3");
         assert!(h.mode_series(2).is_none());
         assert_eq!(h.momentum_series("p").values, vec![-0.1, -0.1]);
+    }
+
+    #[test]
+    fn history_round_trips_through_json() {
+        let mut h = EnergyHistory::new(vec![1, 3]);
+        h.push(&sample(0, 0.0, &[1e-4, 2e-4]));
+        h.push(&sample(1, 0.2, &[3e-4, 4e-4]));
+        let doc = Json::parse(&h.to_json_value().to_pretty()).unwrap();
+        assert_eq!(EnergyHistory::from_json_value(&doc).unwrap(), h);
+        // Length mismatches are rejected, not silently accepted.
+        let mut bad = h.to_json_value();
+        if let Json::Obj(fields) = &mut bad {
+            fields.retain(|(k, _)| k != "kinetic");
+            fields.push(("kinetic".into(), Json::num_arr(&[1.0])));
+        }
+        assert!(EnergyHistory::from_json_value(&bad).is_err());
     }
 
     #[test]

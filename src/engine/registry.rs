@@ -29,6 +29,14 @@ pub const SCENARIO_NAMES: [&str; 6] = [
     "thermal_noise",
 ];
 
+/// The names this registry serves, as an enumerable slice — use this (or
+/// [`all_scenarios`]) to iterate the catalogue instead of guessing
+/// strings; [`EngineError::UnknownScenario`] carries the same list in its
+/// suggestions.
+pub fn names() -> &'static [&'static str] {
+    &SCENARIO_NAMES
+}
+
 /// Particles-per-cell / step-count sizing per scale for 1-D entries.
 fn size_1d(scale: Scale) -> (usize, usize) {
     match scale {
@@ -158,7 +166,7 @@ pub fn scenario(name: &str, scale: Scale) -> Result<ScenarioSpec, EngineError> {
         other => {
             return Err(EngineError::UnknownScenario {
                 name: other.to_string(),
-                known: SCENARIO_NAMES.to_vec(),
+                known: names().to_vec(),
             })
         }
     };
@@ -195,9 +203,17 @@ mod tests {
         match scenario("warp_drive", Scale::Smoke) {
             Err(EngineError::UnknownScenario { name, known }) => {
                 assert_eq!(name, "warp_drive");
-                assert_eq!(known.len(), SCENARIO_NAMES.len());
+                assert_eq!(known, names().to_vec());
             }
             other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_enumerates_every_entry() {
+        assert_eq!(names(), &SCENARIO_NAMES);
+        for name in names() {
+            assert!(scenario(name, Scale::Smoke).is_ok(), "{name} missing");
         }
     }
 

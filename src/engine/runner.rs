@@ -1,28 +1,29 @@
 //! The [`Engine`]: validates a scenario×backend pairing, builds the
-//! matching solver stack, drives the run step by step, and streams unified
-//! diagnostics to observers.
+//! matching solver stack and hands it out as an incremental
+//! [`Session`] — or drives one to completion via the [`Engine::run`]
+//! convenience.
 //!
 //! Every backend follows the same protocol: build → step `n_steps` times →
-//! final snapshot, emitting one [`Sample`] per recorded diagnostics row
-//! (so a run yields `n_steps + 1` samples, matching the solver crates'
-//! long-standing convention).
+//! final snapshot, emitting one [`Sample`](super::Sample) per recorded
+//! diagnostics row (so a full run yields `n_steps + 1` samples, matching
+//! the solver crates' long-standing convention). The per-backend stepping
+//! logic lives in [`super::session`]; this module owns configuration
+//! (models, numerics, observers) and solver construction.
 
 use super::backend::Backend;
 use super::dl::{self, Dl2DModel};
 use super::error::EngineError;
-use super::observer::{EnergyHistory, Observer, PhaseSpace, RunSummary, Sample};
-use super::spec::{LoadingSpec, ScenarioSpec};
+use super::observer::{Observer, RunSummary};
+use super::session::{
+    BackendSession, Checkpoint, DdecompSession, Pic1DSession, Pic2DSession, Session, VlasovSession,
+};
+use super::spec::ScenarioSpec;
 use crate::core::presets::Scale;
 use crate::core::ModelBundle;
-use crate::ddecomp::sim::{DistConfig, DistSimulation};
-use crate::ddecomp::strategy::GatherScatter;
-use crate::pic::simulation::{PicConfig, Simulation};
 use crate::pic::solver::{FieldSolver, PoissonKind, TraditionalSolver};
-use crate::pic::{Shape, TwoStreamInit};
-use crate::pic2d::simulation2d::Pic2DConfig;
+use crate::pic::Shape;
 use crate::pic2d::solver2d::FieldSolver2D;
-use crate::pic2d::{Simulation2D, TraditionalSolver2D};
-use crate::vlasov::{VlasovConfig, VlasovSolver};
+use crate::pic2d::TraditionalSolver2D;
 
 /// Numerical options of the 1-D particle backends that the paper's figure
 /// experiments vary; the scenario spec stays purely physical. Defaults
@@ -62,8 +63,9 @@ impl Numerics1D {
     }
 }
 
-/// The facade entry point: holds optional DL models and observers, and
-/// runs any compatible scenario×backend pairing.
+/// The facade entry point: holds optional DL models and observers, builds
+/// [`Session`]s for any compatible scenario×backend pairing, and runs them
+/// to completion on request.
 #[derive(Default)]
 pub struct Engine {
     model_1d: Option<ModelBundle>,
@@ -97,7 +99,10 @@ impl Engine {
         self
     }
 
-    /// Registers a run monitor.
+    /// Registers a run monitor. Engine-held observers follow every
+    /// [`Self::run`]/[`Self::run_named`] call; sessions started with
+    /// [`Self::start`] attach their own via
+    /// [`Session::attach_observer`].
     pub fn with_observer(mut self, observer: Box<dyn Observer>) -> Self {
         self.observers.push(observer);
         self
@@ -106,6 +111,44 @@ impl Engine {
     /// True when a trained 1-D model is configured.
     pub fn has_model_1d(&self) -> bool {
         self.model_1d.is_some()
+    }
+
+    /// Builds the solver stack for `spec` on `backend` and returns it as
+    /// a steppable [`Session`] positioned before the first step — the
+    /// incremental primitive behind [`Self::run`].
+    pub fn start(&self, spec: &ScenarioSpec, backend: Backend) -> Result<Session, EngineError> {
+        spec.validate()?;
+        backend.supports(spec)?;
+        // Clock from before the build: wall_seconds includes solver-stack
+        // construction, matching the pre-session Engine::run.
+        let started = std::time::Instant::now();
+        let inner: Box<dyn BackendSession> = match backend {
+            Backend::Traditional1D | Backend::Dl1D => Box::new(Pic1DSession::new(
+                spec,
+                self.build_1d_solver(spec, backend)?,
+                self.numerics_1d.gather_shape,
+            )),
+            Backend::Traditional2D | Backend::Dl2D => Box::new(Pic2DSession::new(
+                spec,
+                self.build_2d_solver(spec, backend)?,
+            )),
+            Backend::Vlasov => Box::new(VlasovSession::new(spec)),
+            Backend::Ddecomp { n_ranks } => {
+                Box::new(DdecompSession::new(spec, n_ranks, self.numerics_1d)?)
+            }
+        };
+        Ok(Session::new(spec.clone(), backend, inner, started))
+    }
+
+    /// Rebuilds a session from a [`Checkpoint`] (the solver stack is
+    /// reconstructed from the embedded spec, then the mutable state and
+    /// recorded history are restored) and returns it ready to continue.
+    /// For deterministic solvers the resumed trajectory is bit-identical
+    /// to the uninterrupted run.
+    pub fn resume(&self, checkpoint: &Checkpoint) -> Result<Session, EngineError> {
+        let mut session = self.start(&checkpoint.spec, checkpoint.backend)?;
+        session.restore(checkpoint)?;
+        Ok(session)
     }
 
     /// Runs a registry scenario by name.
@@ -119,73 +162,19 @@ impl Engine {
         self.run(&spec, backend)
     }
 
-    /// Runs a scenario on a backend: validate, build, step, summarize.
+    /// Runs a scenario on a backend to completion: a thin wrapper that
+    /// starts a [`Session`], lends it the engine's observers, steps it to
+    /// `n_steps` and finishes it.
     pub fn run(
         &mut self,
         spec: &ScenarioSpec,
         backend: Backend,
     ) -> Result<RunSummary, EngineError> {
-        spec.validate()?;
-        backend.supports(spec)?;
-        for obs in &mut self.observers {
-            obs.on_start(spec, &backend);
-        }
-        let start = std::time::Instant::now();
-        let numerics = self.numerics_1d;
-        // Solvers are built before the observer borrow below.
-        let solver_1d = match backend {
-            Backend::Traditional1D | Backend::Dl1D => Some(self.build_1d_solver(spec, backend)?),
-            _ => None,
-        };
-        let solver_2d = match backend {
-            Backend::Traditional2D | Backend::Dl2D => Some(self.build_2d_solver(spec, backend)?),
-            _ => None,
-        };
-        let mut history = EnergyHistory::new(spec.tracked_modes.clone());
-        let mut extras: Vec<(String, f64)> = Vec::new();
-        let phase_space;
-        {
-            // Each driver pushes every recorded row through this one sink.
-            let observers = &mut self.observers;
-            let mut emit = |sample: Sample| {
-                history.push(&sample);
-                for obs in observers.iter_mut() {
-                    obs.on_sample(&sample);
-                }
-            };
-            phase_space = match backend {
-                Backend::Traditional1D | Backend::Dl1D => drive_1d(
-                    spec,
-                    solver_1d.expect("built above"),
-                    numerics.gather_shape,
-                    &mut emit,
-                )?,
-                Backend::Traditional2D | Backend::Dl2D => {
-                    drive_2d(spec, solver_2d.expect("built above"), &mut emit)?
-                }
-                Backend::Vlasov => {
-                    drive_vlasov(spec, &mut emit);
-                    None
-                }
-                Backend::Ddecomp { n_ranks } => {
-                    drive_ddecomp(spec, n_ranks, numerics, &mut emit, &mut extras)?
-                }
-            };
-        }
-        let summary = RunSummary {
-            scenario: spec.name.clone(),
-            backend: backend.to_string(),
-            dim: spec.dim(),
-            steps: spec.n_steps,
-            t_end: history.times.last().copied().unwrap_or(0.0),
-            history,
-            phase_space,
-            wall_seconds: start.elapsed().as_secs_f64(),
-            extras,
-        };
-        for obs in &mut self.observers {
-            obs.on_finish(&summary);
-        }
+        let mut session = self.start(spec, backend)?;
+        session.attach_observers(std::mem::take(&mut self.observers));
+        session.run_to_end();
+        let (summary, observers) = session.finish_detach();
+        self.observers = observers;
         Ok(summary)
     }
 
@@ -241,224 +230,6 @@ impl Engine {
     }
 }
 
-/// Builds and steps a 1-D PIC run, emitting each history row as it lands.
-fn drive_1d(
-    spec: &ScenarioSpec,
-    solver: Box<dyn FieldSolver>,
-    gather_shape: Shape,
-    emit: &mut impl FnMut(Sample),
-) -> Result<Option<PhaseSpace>, EngineError> {
-    let grid = spec.grid_1d();
-    let particles = match spec.two_stream_init() {
-        Some(init) => init.build(&grid),
-        None => spec.multi_beam_init().build(&grid),
-    };
-    // `PicConfig.init` is a record, not the load: `from_particles` below
-    // receives the actual particle buffer (which for bump-on-tail has no
-    // TwoStreamInit spelling).
-    let cfg = PicConfig {
-        grid,
-        init: placeholder_init(spec),
-        dt: spec.dt,
-        n_steps: spec.n_steps,
-        gather_shape,
-        tracked_modes: spec.tracked_modes.clone(),
-    };
-    let mut sim = Simulation::from_particles(cfg, particles, solver);
-    for _ in 0..spec.n_steps {
-        sim.step();
-        emit(last_row_1d(sim.history()));
-    }
-    sim.finish();
-    emit(last_row_1d(sim.history()));
-    let (x, v) = sim.phase_space();
-    Ok(Some(PhaseSpace {
-        x: x.to_vec(),
-        v: v.to_vec(),
-    }))
-}
-
-/// A `TwoStreamInit` standing in for loads `PicConfig` cannot express.
-fn placeholder_init(spec: &ScenarioSpec) -> TwoStreamInit {
-    let (v0, vth) = spec.species.as_two_stream().unwrap_or((0.0, 0.0));
-    TwoStreamInit {
-        v0,
-        vth,
-        n_particles: spec.n_particles(),
-        loading: crate::pic::Loading::Random,
-        seed: spec.seed,
-    }
-}
-
-fn last_row_1d(h: &crate::pic::History) -> Sample {
-    let i = h.len() - 1;
-    Sample {
-        step: i,
-        time: h.times[i],
-        kinetic: h.kinetic[i],
-        field: h.field[i],
-        momentum: h.momentum[i],
-        mode_amps: h.mode_amps.iter().map(|s| s[i]).collect(),
-    }
-}
-
-/// Builds and steps a 2-D PIC run. Tracked mode `m` maps to the `(m, 0)`
-/// mode of `Ex` — the mode family carrying the 1-D physics.
-fn drive_2d(
-    spec: &ScenarioSpec,
-    solver: Box<dyn FieldSolver2D>,
-    emit: &mut impl FnMut(Sample),
-) -> Result<Option<PhaseSpace>, EngineError> {
-    let init = spec.init_2d().expect("compatibility checked");
-    let cfg = Pic2DConfig {
-        grid: spec.grid_2d(),
-        init,
-        dt: spec.dt,
-        n_steps: spec.n_steps,
-        gather_shape: Shape::Cic,
-        tracked_modes: spec.tracked_modes.iter().map(|&m| (m, 0)).collect(),
-    };
-    let mut sim = Simulation2D::new(cfg, solver);
-    for _ in 0..spec.n_steps {
-        sim.step();
-        emit(last_row_2d(sim.history()));
-    }
-    sim.finish();
-    emit(last_row_2d(sim.history()));
-    let p = sim.particles();
-    Ok(Some(PhaseSpace {
-        x: p.x.clone(),
-        v: p.vx.clone(),
-    }))
-}
-
-fn last_row_2d(h: &crate::pic2d::simulation2d::History2D) -> Sample {
-    let i = h.len() - 1;
-    Sample {
-        step: i,
-        time: h.times[i],
-        kinetic: h.kinetic[i],
-        field: h.field[i],
-        momentum: h.momentum_x[i],
-        mode_amps: h.mode_amps.iter().map(|s| s[i]).collect(),
-    }
-}
-
-/// Smallest thermal spread the continuum backend accepts: below this the
-/// velocity grid cannot resolve the Maxwellian and the solver would have
-/// to silently alter the spec's physics. `Backend::Vlasov::supports`
-/// enforces it.
-pub(crate) const VLASOV_MIN_VTH: f64 = 0.01;
-
-/// Velocity-space resolution of the continuum backend per scale.
-fn vlasov_nv(scale: Scale) -> usize {
-    match scale {
-        Scale::Smoke => 64,
-        Scale::Scaled => 256,
-        Scale::Paper => 512,
-    }
-}
-
-/// Builds and steps a Vlasov–Poisson run. Diagnostics are recorded at the
-/// *start* of each step plus a final snapshot, matching the PIC sampling
-/// convention.
-fn drive_vlasov(spec: &ScenarioSpec, emit: &mut impl FnMut(Sample)) {
-    // `Backend::Vlasov::supports` has already rejected vth below
-    // VLASOV_MIN_VTH and quiet loadings on modes other than 1, so the
-    // spec's physics runs unmodified.
-    let (v0, vth) = spec.species.as_two_stream().expect("compatibility checked");
-    // A quiet PIC loading displaces by ξ = A·L·sin(kx), i.e. a relative
-    // density perturbation ε = A·L·k = 2π·A on mode 1, which is the mode
-    // the continuum solver seeds.
-    let perturbation = match spec.loading {
-        LoadingSpec::Quiet { mode: 1, amplitude } => {
-            (2.0 * std::f64::consts::PI * amplitude).abs().max(1e-9)
-        }
-        _ => 1e-3,
-    };
-    let cfg = VlasovConfig {
-        grid: spec.grid_1d(),
-        nv: vlasov_nv(spec.scale),
-        vmax: (v0 + 6.0 * vth).max(0.8),
-        dt: spec.dt,
-        v0,
-        vth,
-        perturbation,
-    };
-    let mut solver = VlasovSolver::new(cfg);
-    let mut record = |step: usize, solver: &VlasovSolver| {
-        emit(Sample {
-            step,
-            time: solver.time(),
-            kinetic: solver.kinetic_energy(),
-            field: solver.field_energy(),
-            momentum: solver.momentum(),
-            mode_amps: spec
-                .tracked_modes
-                .iter()
-                .map(|&m| solver.field_mode(m))
-                .collect(),
-        });
-    };
-    for step in 0..spec.n_steps {
-        record(step, &solver);
-        solver.step();
-    }
-    record(spec.n_steps, &solver);
-}
-
-/// Builds and steps a distributed 1-D run, reporting communication volume
-/// and migration counts as summary extras.
-fn drive_ddecomp(
-    spec: &ScenarioSpec,
-    n_ranks: usize,
-    numerics: Numerics1D,
-    emit: &mut impl FnMut(Sample),
-    extras: &mut Vec<(String, f64)>,
-) -> Result<Option<PhaseSpace>, EngineError> {
-    // The distributed gather/scatter strategy solves Poisson with the
-    // finite-difference backend only; honouring part of a numerics
-    // override while ignoring the rest would produce apples-to-oranges
-    // comparisons, so reject instead.
-    if numerics.poisson != PoissonKind::FiniteDifference {
-        return Err(EngineError::Incompatible {
-            scenario: spec.name.clone(),
-            backend: "ddecomp",
-            why: format!(
-                "the distributed solve supports only finite-difference Poisson (asked for {:?})",
-                numerics.poisson
-            ),
-        });
-    }
-    let init = spec.two_stream_init().expect("compatibility checked");
-    let cfg = DistConfig {
-        grid: spec.grid_1d(),
-        init,
-        dt: spec.dt,
-        n_steps: spec.n_steps,
-        gather_shape: numerics.gather_shape,
-        n_ranks,
-        tracked_modes: spec.tracked_modes.clone(),
-    };
-    let mut sim = DistSimulation::new(
-        cfg,
-        Box::new(GatherScatter::new(numerics.deposit_shape, 1.0)),
-    );
-    for _ in 0..spec.n_steps {
-        sim.step();
-        emit(last_row_1d(sim.history()));
-    }
-    sim.finish();
-    emit(last_row_1d(sim.history()));
-    let stats = sim.comm_stats();
-    extras.push(("ranks".into(), n_ranks as f64));
-    extras.push(("migrated_particles".into(), sim.migrated_total() as f64));
-    extras.push(("comm_messages".into(), stats.messages as f64));
-    extras.push(("comm_bytes".into(), stats.bytes as f64));
-    let (x, v) = sim.phase_space();
-    Ok(Some(PhaseSpace { x, v }))
-}
-
 /// One-shot convenience: runs `spec` on `backend` with no observers and no
 /// trained models (DL backends fall back to untrained networks).
 pub fn run(spec: &ScenarioSpec, backend: Backend) -> Result<RunSummary, EngineError> {
@@ -468,4 +239,10 @@ pub fn run(spec: &ScenarioSpec, backend: Backend) -> Result<RunSummary, EngineEr
 /// One-shot convenience: runs a registry scenario by name.
 pub fn run_scenario(name: &str, scale: Scale, backend: Backend) -> Result<RunSummary, EngineError> {
     Engine::new().run_named(name, scale, backend)
+}
+
+/// One-shot convenience: starts a session with no observers and no
+/// trained models (the free-function form of [`Engine::start`]).
+pub fn start(spec: &ScenarioSpec, backend: Backend) -> Result<Session, EngineError> {
+    Engine::new().start(spec, backend)
 }

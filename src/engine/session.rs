@@ -1,0 +1,977 @@
+//! Incremental sessions: the engine's stepping primitive.
+//!
+//! [`Engine::run`](super::Engine::run) is a one-shot convenience; the real
+//! primitive is [`Engine::start`](super::Engine::start), which builds the
+//! solver stack for a scenario×backend pairing and hands back a
+//! [`Session`] that the caller advances one step at a time. Sessions make
+//! the paper's comparison methodology an API instead of a script:
+//!
+//! * **step** — [`Session::step`] advances the solver one `dt` and returns
+//!   the diagnostics [`Sample`] recorded for the step's starting time
+//!   level (the same `n + 1`-samples convention every solver crate uses).
+//! * **stop early** — [`Session::run_until`] steps until a predicate on
+//!   the live sample fires (growth saturated, energy drifted, budget
+//!   spent); [`Session::finish`] yields a [`RunSummary`] for however many
+//!   steps actually ran.
+//! * **checkpoint / resume** — [`Session::checkpoint`] serializes the
+//!   mutable solver state (particles, fields, distribution function,
+//!   per-rank slabs) plus the recorded history through the engine's JSON
+//!   layer; [`Engine::resume`](super::Engine::resume) rebuilds the stack
+//!   from the embedded spec and continues. Finite `f64` state round-trips
+//!   bit-exactly, so a resumed run reproduces the uninterrupted
+//!   trajectory.
+//! * **lockstep** — two sessions on the same spec advance side by side;
+//!   [`super::compare::lockstep`] packages the per-step residuals.
+//!
+//! Backends plug in through the [`BackendSession`] trait; one
+//! implementation per solver family lives in this module.
+
+use super::backend::Backend;
+use super::error::EngineError;
+use super::json::{obj, Json};
+use super::observer::{EnergyHistory, Observer, PhaseSpace, RunSummary, Sample};
+use super::spec::{LoadingSpec, ScenarioSpec};
+use crate::core::presets::Scale;
+use crate::ddecomp::sim::{DistConfig, DistSimulation, DistState, RankStateSnapshot};
+use crate::ddecomp::strategy::GatherScatter;
+use crate::pic::history::SampleRow;
+use crate::pic::simulation::{PicConfig, Simulation};
+use crate::pic::solver::FieldSolver;
+use crate::pic::Shape;
+use crate::pic2d::simulation2d::Pic2DConfig;
+use crate::pic2d::solver2d::FieldSolver2D;
+use crate::pic2d::Simulation2D;
+use crate::vlasov::{VlasovConfig, VlasovSolver};
+
+/// Smallest thermal spread the continuum backend accepts: below this the
+/// velocity grid cannot resolve the Maxwellian and the solver would have
+/// to silently alter the spec's physics. `Backend::Vlasov::supports`
+/// enforces it.
+pub(crate) const VLASOV_MIN_VTH: f64 = 0.01;
+
+/// Velocity-space resolution of the continuum backend per scale.
+fn vlasov_nv(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 64,
+        Scale::Scaled => 256,
+        Scale::Paper => 512,
+    }
+}
+
+/// One backend's incremental driver: owns the solver stack of a running
+/// scenario and advances it step by step. Implementations adapt each
+/// solver family's stepping and diagnostics conventions to the engine's
+/// unified [`Sample`] shape; [`Session`] wraps one of these with history
+/// recording and observer fan-out.
+pub trait BackendSession {
+    /// Advances one step and returns the diagnostics row recorded for the
+    /// step's *starting* time level (the solver crates' convention).
+    fn step(&mut self) -> Sample;
+
+    /// Instantaneous diagnostics of the current state (the row
+    /// [`Self::finish`] would record), without advancing or recording.
+    fn sample(&mut self) -> Sample;
+
+    /// Records the final snapshot row, completing the `n + 1`-samples
+    /// convention, and returns it.
+    fn finish(&mut self) -> Sample;
+
+    /// Current simulation time.
+    fn time(&self) -> f64;
+
+    /// Steps performed so far (including any before a restore).
+    fn steps_done(&self) -> usize;
+
+    /// Final `(x, vx)` phase space; `None` for the continuum backend.
+    fn phase_space(&self) -> Option<PhaseSpace>;
+
+    /// Serializes the mutable solver state (everything [`Self::restore`]
+    /// needs to continue this run in a freshly built stack).
+    fn state_checkpoint(&self) -> Json;
+
+    /// Overwrites the mutable solver state with a checkpointed snapshot.
+    fn restore(&mut self, state: &Json) -> Result<(), EngineError>;
+
+    /// Backend-specific summary extras (e.g. communication volume).
+    fn extras(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+}
+
+/// Converts a solver-crate history row into the engine sample for `step`.
+fn sample_from_row(step: usize, row: SampleRow) -> Sample {
+    Sample {
+        step,
+        time: row.time,
+        kinetic: row.kinetic,
+        field: row.field,
+        momentum: row.momentum,
+        mode_amps: row.mode_amps,
+    }
+}
+
+fn bad_checkpoint(what: impl Into<String>) -> EngineError {
+    EngineError::Checkpoint { what: what.into() }
+}
+
+/// Guards resume against a different field solver than the one the
+/// checkpoint was taken with — most importantly a DL run resumed in an
+/// engine with no model configured, which would otherwise *silently*
+/// continue on the untrained fallback and change the physics. The check
+/// is by solver name (`"traditional"`, `"dl-mlp"`, `"dl-mlp-untrained"`,
+/// …); supplying the *same kind* of model with different trained
+/// parameters remains the caller's responsibility.
+fn check_solver_name(state: &Json, built: &str) -> Result<(), EngineError> {
+    let recorded = state.field("solver")?.as_str()?;
+    if recorded != built {
+        return Err(bad_checkpoint(format!(
+            "checkpoint was taken with field solver `{recorded}` but this engine builds \
+             `{built}`; configure the engine with the matching model before resuming"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// 1-D particle backends (traditional and DL share the session; only the
+// injected field solver differs).
+// ---------------------------------------------------------------------
+
+/// Session of the 1-D PIC backends (`Traditional1D` and `Dl1D`).
+pub struct Pic1DSession {
+    sim: Simulation,
+}
+
+impl Pic1DSession {
+    pub(crate) fn new(spec: &ScenarioSpec, solver: Box<dyn FieldSolver>, gather: Shape) -> Self {
+        let grid = spec.grid_1d();
+        // The general multi-beam loading covers every 1-D species; the
+        // dedicated two-stream builder is kept for the species it can
+        // express so existing runs reproduce bit-identically.
+        let particles = match spec.two_stream_init() {
+            Some(init) => init.build(&grid),
+            None => spec.multi_beam_init().build(&grid),
+        };
+        let cfg = PicConfig {
+            grid,
+            init: None,
+            dt: spec.dt,
+            n_steps: spec.n_steps,
+            gather_shape: gather,
+            tracked_modes: spec.tracked_modes.clone(),
+        };
+        Self {
+            sim: Simulation::from_particles(cfg, particles, solver),
+        }
+    }
+}
+
+impl BackendSession for Pic1DSession {
+    fn step(&mut self) -> Sample {
+        self.sim.step();
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        sample_from_row(self.sim.steps_done() - 1, row)
+    }
+
+    fn sample(&mut self) -> Sample {
+        let report = crate::pic::diagnostics::instantaneous_report(
+            self.sim.particles(),
+            self.sim.grid(),
+            self.sim.efield(),
+        );
+        Sample {
+            step: self.sim.steps_done(),
+            time: self.sim.time(),
+            kinetic: report.kinetic,
+            field: report.field,
+            momentum: report.momentum,
+            mode_amps: self
+                .sim
+                .config()
+                .tracked_modes
+                .iter()
+                .map(|&m| crate::pic::diagnostics::field_mode_amplitude(self.sim.efield(), m))
+                .collect(),
+        }
+    }
+
+    fn finish(&mut self) -> Sample {
+        self.sim.finish();
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        sample_from_row(self.sim.steps_done(), row)
+    }
+
+    fn time(&self) -> f64 {
+        self.sim.time()
+    }
+
+    fn steps_done(&self) -> usize {
+        self.sim.steps_done()
+    }
+
+    fn phase_space(&self) -> Option<PhaseSpace> {
+        let (x, v) = self.sim.phase_space();
+        Some(PhaseSpace {
+            x: x.to_vec(),
+            v: v.to_vec(),
+        })
+    }
+
+    fn state_checkpoint(&self) -> Json {
+        let (x, v) = self.sim.phase_space();
+        obj(vec![
+            ("solver", Json::Str(self.sim.solver_name().into())),
+            ("x", Json::num_arr(x)),
+            ("v", Json::num_arr(v)),
+            ("e", Json::num_arr(self.sim.efield())),
+            ("time", Json::Num(self.sim.time())),
+            ("steps_done", Json::Num(self.sim.steps_done() as f64)),
+        ])
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), EngineError> {
+        check_solver_name(state, self.sim.solver_name())?;
+        let x = state.field("x")?.as_f64_vec()?;
+        let v = state.field("v")?.as_f64_vec()?;
+        let e = state.field("e")?.as_f64_vec()?;
+        let n = self.sim.particles().len();
+        if x.len() != n || v.len() != n {
+            return Err(bad_checkpoint(format!(
+                "1-D state holds {} particles but the spec loads {n}",
+                x.len()
+            )));
+        }
+        if e.len() != self.sim.efield().len() {
+            return Err(bad_checkpoint(format!(
+                "1-D field has {} nodes but the grid has {}",
+                e.len(),
+                self.sim.efield().len()
+            )));
+        }
+        self.sim.restore_state(
+            &x,
+            &v,
+            &e,
+            state.field("time")?.as_f64()?,
+            state.field("steps_done")?.as_usize()?,
+        );
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2-D particle backends.
+// ---------------------------------------------------------------------
+
+/// Session of the 2-D PIC backends (`Traditional2D` and `Dl2D`). Tracked
+/// mode `m` maps to the `(m, 0)` mode of `Ex` — the family carrying the
+/// 1-D physics.
+pub struct Pic2DSession {
+    sim: Simulation2D,
+}
+
+impl Pic2DSession {
+    pub(crate) fn new(spec: &ScenarioSpec, solver: Box<dyn FieldSolver2D>) -> Self {
+        let init = spec.init_2d().expect("compatibility checked");
+        let cfg = Pic2DConfig {
+            grid: spec.grid_2d(),
+            init,
+            dt: spec.dt,
+            n_steps: spec.n_steps,
+            gather_shape: Shape::Cic,
+            tracked_modes: spec.tracked_modes.iter().map(|&m| (m, 0)).collect(),
+        };
+        Self {
+            sim: Simulation2D::new(cfg, solver),
+        }
+    }
+}
+
+impl BackendSession for Pic2DSession {
+    fn step(&mut self) -> Sample {
+        self.sim.step();
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        sample_from_row(self.sim.steps_done() - 1, row)
+    }
+
+    fn sample(&mut self) -> Sample {
+        let grid = &self.sim.config().grid;
+        let report = crate::pic2d::diagnostics2d::instantaneous_report(
+            self.sim.particles(),
+            grid,
+            self.sim.ex(),
+            self.sim.ey(),
+        );
+        Sample {
+            step: self.sim.steps_done(),
+            time: self.sim.time(),
+            kinetic: report.kinetic,
+            field: report.field,
+            momentum: report.momentum_x,
+            mode_amps: self
+                .sim
+                .config()
+                .tracked_modes
+                .iter()
+                .map(|&(mx, my)| {
+                    crate::pic2d::diagnostics2d::field_mode_amplitude(self.sim.ex(), grid, mx, my)
+                })
+                .collect(),
+        }
+    }
+
+    fn finish(&mut self) -> Sample {
+        self.sim.finish();
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        sample_from_row(self.sim.steps_done(), row)
+    }
+
+    fn time(&self) -> f64 {
+        self.sim.time()
+    }
+
+    fn steps_done(&self) -> usize {
+        self.sim.steps_done()
+    }
+
+    fn phase_space(&self) -> Option<PhaseSpace> {
+        let p = self.sim.particles();
+        Some(PhaseSpace {
+            x: p.x.clone(),
+            v: p.vx.clone(),
+        })
+    }
+
+    fn state_checkpoint(&self) -> Json {
+        let p = self.sim.particles();
+        obj(vec![
+            ("solver", Json::Str(self.sim.solver().name().into())),
+            ("x", Json::num_arr(&p.x)),
+            ("y", Json::num_arr(&p.y)),
+            ("vx", Json::num_arr(&p.vx)),
+            ("vy", Json::num_arr(&p.vy)),
+            ("ex", Json::num_arr(self.sim.ex())),
+            ("ey", Json::num_arr(self.sim.ey())),
+            ("time", Json::Num(self.sim.time())),
+            ("steps_done", Json::Num(self.sim.steps_done() as f64)),
+        ])
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), EngineError> {
+        check_solver_name(state, self.sim.solver().name())?;
+        let x = state.field("x")?.as_f64_vec()?;
+        let y = state.field("y")?.as_f64_vec()?;
+        let vx = state.field("vx")?.as_f64_vec()?;
+        let vy = state.field("vy")?.as_f64_vec()?;
+        let ex = state.field("ex")?.as_f64_vec()?;
+        let ey = state.field("ey")?.as_f64_vec()?;
+        let n = self.sim.particles().len();
+        if x.len() != n || y.len() != n || vx.len() != n || vy.len() != n {
+            return Err(bad_checkpoint(format!(
+                "2-D state holds {} particles but the spec loads {n}",
+                x.len()
+            )));
+        }
+        let nodes = self.sim.ex().len();
+        if ex.len() != nodes || ey.len() != nodes {
+            return Err(bad_checkpoint(format!(
+                "2-D fields have {}/{} nodes but the grid has {nodes}",
+                ex.len(),
+                ey.len()
+            )));
+        }
+        self.sim.restore_state(
+            &x,
+            &y,
+            &vx,
+            &vy,
+            &ex,
+            &ey,
+            state.field("time")?.as_f64()?,
+            state.field("steps_done")?.as_usize()?,
+        );
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Continuum Vlasov–Poisson backend.
+// ---------------------------------------------------------------------
+
+/// Session of the continuum `Vlasov` backend. Diagnostics are recorded at
+/// the *start* of each step plus a final snapshot, matching the PIC
+/// sampling convention.
+pub struct VlasovSession {
+    solver: VlasovSolver,
+    tracked_modes: Vec<usize>,
+    steps_done: usize,
+}
+
+impl VlasovSession {
+    pub(crate) fn new(spec: &ScenarioSpec) -> Self {
+        // `Backend::Vlasov::supports` has already rejected vth below
+        // VLASOV_MIN_VTH and quiet loadings on modes other than 1, so the
+        // spec's physics runs unmodified.
+        let (v0, vth) = spec.species.as_two_stream().expect("compatibility checked");
+        // A quiet PIC loading displaces by ξ = A·L·sin(kx), i.e. a relative
+        // density perturbation ε = A·L·k = 2π·A on mode 1, which is the
+        // mode the continuum solver seeds.
+        let perturbation = match spec.loading {
+            LoadingSpec::Quiet { mode: 1, amplitude } => {
+                (2.0 * std::f64::consts::PI * amplitude).abs().max(1e-9)
+            }
+            _ => 1e-3,
+        };
+        let cfg = VlasovConfig {
+            grid: spec.grid_1d(),
+            nv: vlasov_nv(spec.scale),
+            vmax: (v0 + 6.0 * vth).max(0.8),
+            dt: spec.dt,
+            v0,
+            vth,
+            perturbation,
+        };
+        Self {
+            solver: VlasovSolver::new(cfg),
+            tracked_modes: spec.tracked_modes.clone(),
+            steps_done: 0,
+        }
+    }
+
+    fn snapshot(&self) -> Sample {
+        Sample {
+            step: self.steps_done,
+            time: self.solver.time(),
+            kinetic: self.solver.kinetic_energy(),
+            field: self.solver.field_energy(),
+            momentum: self.solver.momentum(),
+            mode_amps: self
+                .tracked_modes
+                .iter()
+                .map(|&m| self.solver.field_mode(m))
+                .collect(),
+        }
+    }
+}
+
+impl BackendSession for VlasovSession {
+    fn step(&mut self) -> Sample {
+        let sample = self.snapshot();
+        self.solver.step();
+        self.steps_done += 1;
+        sample
+    }
+
+    fn sample(&mut self) -> Sample {
+        self.snapshot()
+    }
+
+    fn finish(&mut self) -> Sample {
+        self.snapshot()
+    }
+
+    fn time(&self) -> f64 {
+        self.solver.time()
+    }
+
+    fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    fn phase_space(&self) -> Option<PhaseSpace> {
+        None
+    }
+
+    fn state_checkpoint(&self) -> Json {
+        obj(vec![
+            ("f", Json::num_arr(self.solver.distribution())),
+            ("time", Json::Num(self.solver.time())),
+            ("steps_done", Json::Num(self.steps_done as f64)),
+        ])
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), EngineError> {
+        let f = state.field("f")?.as_f64_vec()?;
+        if f.len() != self.solver.distribution().len() {
+            return Err(bad_checkpoint(format!(
+                "distribution has {} phase cells but the solver grid has {}",
+                f.len(),
+                self.solver.distribution().len()
+            )));
+        }
+        self.solver
+            .restore_state(&f, state.field("time")?.as_f64()?);
+        self.steps_done = state.field("steps_done")?.as_usize()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributed 1-D backend.
+// ---------------------------------------------------------------------
+
+/// Session of the domain-decomposed `Ddecomp` backend. Reports
+/// communication volume and migration counts as summary extras.
+pub struct DdecompSession {
+    sim: DistSimulation,
+    tracked_modes: Vec<usize>,
+    n_ranks: usize,
+}
+
+impl DdecompSession {
+    pub(crate) fn new(
+        spec: &ScenarioSpec,
+        n_ranks: usize,
+        numerics: super::runner::Numerics1D,
+    ) -> Result<Self, EngineError> {
+        // The distributed gather/scatter strategy solves Poisson with the
+        // finite-difference backend only; honouring part of a numerics
+        // override while ignoring the rest would produce apples-to-oranges
+        // comparisons, so reject instead.
+        if numerics.poisson != crate::pic::solver::PoissonKind::FiniteDifference {
+            return Err(EngineError::Incompatible {
+                scenario: spec.name.clone(),
+                backend: "ddecomp",
+                why: format!(
+                    "the distributed solve supports only finite-difference Poisson (asked for {:?})",
+                    numerics.poisson
+                ),
+            });
+        }
+        let init = spec.two_stream_init().expect("compatibility checked");
+        let cfg = DistConfig {
+            grid: spec.grid_1d(),
+            init,
+            dt: spec.dt,
+            n_steps: spec.n_steps,
+            gather_shape: numerics.gather_shape,
+            n_ranks,
+            tracked_modes: spec.tracked_modes.clone(),
+        };
+        Ok(Self {
+            sim: DistSimulation::new(
+                cfg,
+                Box::new(GatherScatter::new(numerics.deposit_shape, 1.0)),
+            ),
+            tracked_modes: spec.tracked_modes.clone(),
+            n_ranks,
+        })
+    }
+}
+
+impl BackendSession for DdecompSession {
+    fn step(&mut self) -> Sample {
+        self.sim.step();
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        sample_from_row(self.sim.steps_done() - 1, row)
+    }
+
+    fn sample(&mut self) -> Sample {
+        let e = self.sim.global_efield();
+        Sample {
+            step: self.sim.steps_done(),
+            time: self.sim.time(),
+            kinetic: self.sim.kinetic_energy(),
+            field: crate::pic::efield::field_energy(self.sim.grid(), &e),
+            momentum: self.sim.total_momentum(),
+            mode_amps: self
+                .tracked_modes
+                .iter()
+                .map(|&m| crate::analytics::dft::mode_amplitude(&e, m))
+                .collect(),
+        }
+    }
+
+    fn finish(&mut self) -> Sample {
+        self.sim.finish();
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        sample_from_row(self.sim.steps_done(), row)
+    }
+
+    fn time(&self) -> f64 {
+        self.sim.time()
+    }
+
+    fn steps_done(&self) -> usize {
+        self.sim.steps_done()
+    }
+
+    fn phase_space(&self) -> Option<PhaseSpace> {
+        let (x, v) = self.sim.phase_space();
+        Some(PhaseSpace { x, v })
+    }
+
+    fn state_checkpoint(&self) -> Json {
+        let state = self.sim.export_state();
+        obj(vec![
+            (
+                "ranks",
+                Json::Arr(
+                    state
+                        .ranks
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("x", Json::num_arr(&r.x)),
+                                ("v", Json::num_arr(&r.v)),
+                                ("e_ext", Json::num_arr(&r.e_ext)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("time", Json::Num(state.time)),
+            ("steps_done", Json::Num(state.steps_done as f64)),
+            ("migrated_total", Json::Num(state.migrated_total as f64)),
+            ("comm_messages", Json::Num(state.comm.messages as f64)),
+            ("comm_bytes", Json::Num(state.comm.bytes as f64)),
+        ])
+    }
+
+    fn restore(&mut self, state: &Json) -> Result<(), EngineError> {
+        let rank_docs = state.field("ranks")?.as_arr()?;
+        if rank_docs.len() != self.n_ranks {
+            return Err(bad_checkpoint(format!(
+                "state holds {} ranks but the backend runs {}",
+                rank_docs.len(),
+                self.n_ranks
+            )));
+        }
+        let ext = crate::ddecomp::halo::ext_len(self.sim.topology());
+        let mut total_particles = 0usize;
+        let mut ranks = Vec::with_capacity(rank_docs.len());
+        for doc in rank_docs {
+            let snap = RankStateSnapshot {
+                x: doc.field("x")?.as_f64_vec()?,
+                v: doc.field("v")?.as_f64_vec()?,
+                e_ext: doc.field("e_ext")?.as_f64_vec()?,
+            };
+            if snap.x.len() != snap.v.len() {
+                return Err(bad_checkpoint("rank x/v lengths disagree"));
+            }
+            if snap.e_ext.len() != ext {
+                return Err(bad_checkpoint(format!(
+                    "rank slab has {} nodes but the topology needs {ext}",
+                    snap.e_ext.len()
+                )));
+            }
+            total_particles += snap.x.len();
+            ranks.push(snap);
+        }
+        if total_particles != self.sim.total_particles() {
+            return Err(bad_checkpoint(format!(
+                "state holds {total_particles} particles but the spec loads {}",
+                self.sim.total_particles()
+            )));
+        }
+        self.sim.restore_state(&DistState {
+            ranks,
+            time: state.field("time")?.as_f64()?,
+            steps_done: state.field("steps_done")?.as_usize()?,
+            migrated_total: state.field("migrated_total")?.as_u64()?,
+            comm: crate::ddecomp::comm::CommStats {
+                messages: state.field("comm_messages")?.as_u64()?,
+                bytes: state.field("comm_bytes")?.as_u64()?,
+            },
+        });
+        Ok(())
+    }
+
+    fn extras(&self) -> Vec<(String, f64)> {
+        let stats = self.sim.comm_stats();
+        vec![
+            ("ranks".into(), self.n_ranks as f64),
+            (
+                "migrated_particles".into(),
+                self.sim.migrated_total() as f64,
+            ),
+            ("comm_messages".into(), stats.messages as f64),
+            ("comm_bytes".into(), stats.bytes as f64),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// The public session driver.
+// ---------------------------------------------------------------------
+
+/// A running, steppable engine run: owns the solver stack (via a
+/// [`BackendSession`]), the unified [`EnergyHistory`], and any attached
+/// [`Observer`]s. Create with [`Engine::start`](super::Engine::start) or
+/// [`Engine::resume`](super::Engine::resume); consume with
+/// [`Session::finish`].
+pub struct Session {
+    spec: ScenarioSpec,
+    backend: Backend,
+    inner: Box<dyn BackendSession>,
+    history: EnergyHistory,
+    observers: Vec<Box<dyn Observer>>,
+    started: std::time::Instant,
+    wall_offset: f64,
+}
+
+impl Session {
+    /// `started` is captured by [`Engine::start`](super::Engine::start)
+    /// *before* the solver stack is built, so `wall_seconds` keeps
+    /// counting construction (particle loading, initial field solve,
+    /// model build) exactly as the pre-session `Engine::run` did.
+    pub(crate) fn new(
+        spec: ScenarioSpec,
+        backend: Backend,
+        inner: Box<dyn BackendSession>,
+        started: std::time::Instant,
+    ) -> Self {
+        let history = EnergyHistory::new(spec.tracked_modes.clone());
+        Self {
+            spec,
+            backend,
+            inner,
+            history,
+            observers: Vec::new(),
+            started,
+            wall_offset: 0.0,
+        }
+    }
+
+    /// Attaches a run monitor; its `on_start` hook fires immediately.
+    pub fn attach_observer(&mut self, mut observer: Box<dyn Observer>) {
+        observer.on_start(&self.spec, &self.backend);
+        self.observers.push(observer);
+    }
+
+    /// Attaches several monitors (see [`Self::attach_observer`]).
+    pub fn attach_observers(&mut self, observers: Vec<Box<dyn Observer>>) {
+        for obs in observers {
+            self.attach_observer(obs);
+        }
+    }
+
+    /// The scenario this session runs.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The backend driving it.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.inner.time()
+    }
+
+    /// Steps performed so far (including steps before a checkpoint for
+    /// resumed sessions).
+    pub fn steps_done(&self) -> usize {
+        self.inner.steps_done()
+    }
+
+    /// Steps left until the spec's configured `n_steps`.
+    pub fn remaining(&self) -> usize {
+        self.spec.n_steps.saturating_sub(self.steps_done())
+    }
+
+    /// True once the spec's configured `n_steps` have run.
+    pub fn is_complete(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The rows recorded so far.
+    pub fn history(&self) -> &EnergyHistory {
+        &self.history
+    }
+
+    /// Instantaneous diagnostics of the current state without advancing
+    /// or recording — the row [`Self::finish`] would append right now.
+    pub fn sample(&mut self) -> Sample {
+        self.inner.sample()
+    }
+
+    /// Advances one step; records and returns the step's diagnostics row,
+    /// streaming it to the attached observers. Stepping past the spec's
+    /// `n_steps` is permitted (the summary reports the count that ran).
+    pub fn step(&mut self) -> Sample {
+        let sample = self.inner.step();
+        self.history.push(&sample);
+        for obs in &mut self.observers {
+            obs.on_sample(&sample);
+        }
+        sample
+    }
+
+    /// Runs until the spec's `n_steps` have completed.
+    pub fn run_to_end(&mut self) {
+        while !self.is_complete() {
+            self.step();
+        }
+    }
+
+    /// The early-stop controller: steps until `stop` returns `true` for a
+    /// recorded sample or the spec's `n_steps` complete, whichever comes
+    /// first. Returns whether the predicate fired.
+    pub fn run_until(&mut self, mut stop: impl FnMut(&Sample) -> bool) -> bool {
+        while !self.is_complete() {
+            let sample = self.step();
+            if stop(&sample) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records the final snapshot row and yields the run summary
+    /// (`steps_done + 1` samples — identical to [`Engine::run`]'s output
+    /// for a full-length run, truncated-but-consistent after an early
+    /// stop).
+    pub fn finish(self) -> RunSummary {
+        self.finish_detach().0
+    }
+
+    /// [`Self::finish`], additionally handing back the attached observers
+    /// (used by [`Engine::run`] to re-own its monitors across runs).
+    pub fn finish_detach(mut self) -> (RunSummary, Vec<Box<dyn Observer>>) {
+        let final_sample = self.inner.finish();
+        self.history.push(&final_sample);
+        for obs in &mut self.observers {
+            obs.on_sample(&final_sample);
+        }
+        let summary = RunSummary {
+            scenario: self.spec.name.clone(),
+            backend: self.backend.to_string(),
+            dim: self.spec.dim(),
+            steps: self.inner.steps_done(),
+            t_end: self.history.times.last().copied().unwrap_or(0.0),
+            history: self.history,
+            phase_space: self.inner.phase_space(),
+            wall_seconds: self.wall_offset + self.started.elapsed().as_secs_f64(),
+            extras: self.inner.extras(),
+        };
+        let mut observers = self.observers;
+        for obs in &mut observers {
+            obs.on_finish(&summary);
+        }
+        (summary, observers)
+    }
+
+    /// Serializes the session — spec, backend, recorded history, wall
+    /// clock and the backend's mutable solver state — into a [`Checkpoint`]
+    /// that [`Engine::resume`](super::Engine::resume) can continue from.
+    /// Finite `f64` state round-trips bit-exactly through the JSON text.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            spec: self.spec.clone(),
+            backend: self.backend,
+            steps_done: self.inner.steps_done(),
+            time: self.inner.time(),
+            wall_seconds: self.wall_offset + self.started.elapsed().as_secs_f64(),
+            history: self.history.clone(),
+            state: self.inner.state_checkpoint(),
+        }
+    }
+
+    /// Restores a checkpoint into this freshly started session (the
+    /// [`Engine::resume`](super::Engine::resume) back half).
+    pub(crate) fn restore(&mut self, checkpoint: &Checkpoint) -> Result<(), EngineError> {
+        self.inner.restore(&checkpoint.state)?;
+        if self.inner.steps_done() != checkpoint.steps_done {
+            return Err(bad_checkpoint(format!(
+                "state says {} steps but the checkpoint header says {}",
+                self.inner.steps_done(),
+                checkpoint.steps_done
+            )));
+        }
+        if self.inner.time().to_bits() != checkpoint.time.to_bits() {
+            return Err(bad_checkpoint(format!(
+                "state says t = {} but the checkpoint header says t = {}",
+                self.inner.time(),
+                checkpoint.time
+            )));
+        }
+        if checkpoint.history.tracked_modes != self.spec.tracked_modes {
+            return Err(bad_checkpoint(
+                "checkpoint history tracks different modes than the spec",
+            ));
+        }
+        self.history = checkpoint.history.clone();
+        self.wall_offset = checkpoint.wall_seconds;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints.
+// ---------------------------------------------------------------------
+
+const CHECKPOINT_FORMAT: &str = "dlpic-session-checkpoint";
+const CHECKPOINT_VERSION: f64 = 1.0;
+
+/// A serialized mid-run session: the spec and backend to rebuild the
+/// solver stack, the mutable solver state to restore into it, and the
+/// history recorded so far. Produced by [`Session::checkpoint`], consumed
+/// by [`Engine::resume`](super::Engine::resume); persists as JSON via
+/// [`Checkpoint::to_json`]/[`Checkpoint::from_json`].
+#[derive(Clone)]
+pub struct Checkpoint {
+    /// The scenario of the checkpointed run.
+    pub spec: ScenarioSpec,
+    /// The backend that was driving it.
+    pub backend: Backend,
+    /// Steps performed up to the checkpoint.
+    pub steps_done: usize,
+    /// Simulation time at the checkpoint.
+    pub time: f64,
+    /// Wall-clock seconds accumulated up to the checkpoint (carried into
+    /// the resumed run's summary).
+    pub wall_seconds: f64,
+    /// Diagnostics rows recorded up to the checkpoint.
+    pub history: EnergyHistory,
+    state: Json,
+}
+
+impl Checkpoint {
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> String {
+        obj(vec![
+            ("format", Json::Str(CHECKPOINT_FORMAT.into())),
+            ("version", Json::Num(CHECKPOINT_VERSION)),
+            ("scenario", self.spec.to_json_value()),
+            ("backend", Json::Str(self.backend.to_string())),
+            ("steps_done", Json::Num(self.steps_done as f64)),
+            ("time", Json::Num(self.time)),
+            ("wall_seconds", Json::Num(self.wall_seconds)),
+            ("history", self.history.to_json_value()),
+            ("state", self.state.clone()),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a document produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        let doc = Json::parse(text)?;
+        let format = doc.field("format")?.as_str()?;
+        if format != CHECKPOINT_FORMAT {
+            return Err(bad_checkpoint(format!(
+                "not a session checkpoint (format `{format}`)"
+            )));
+        }
+        let version = doc.field("version")?.as_f64()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(bad_checkpoint(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let backend_name = doc.field("backend")?.as_str()?;
+        let backend = Backend::parse(backend_name)
+            .ok_or_else(|| bad_checkpoint(format!("unknown backend `{backend_name}`")))?;
+        Ok(Self {
+            spec: ScenarioSpec::from_json_value(doc.field("scenario")?)?,
+            backend,
+            steps_done: doc.field("steps_done")?.as_usize()?,
+            time: doc.field("time")?.as_f64()?,
+            wall_seconds: doc.field("wall_seconds")?.as_f64()?,
+            history: EnergyHistory::from_json_value(doc.field("history")?)?,
+            state: doc.field("state")?.clone(),
+        })
+    }
+}

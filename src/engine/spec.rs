@@ -391,6 +391,12 @@ impl ScenarioSpec {
     /// Serializes to a JSON document (serde-compatible shape; see
     /// [`super::json`] for why serde itself is not used).
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+
+    /// The spec as a [`Json`] value — the embeddable form used by session
+    /// checkpoints, which carry the spec alongside the mutable state.
+    pub fn to_json_value(&self) -> Json {
         let domain = match self.domain {
             DomainSpec::OneD { ncells, length } => obj(vec![
                 ("dim", Json::Str("1d".into())),
@@ -456,13 +462,18 @@ impl ScenarioSpec {
                 ),
             ),
         ])
-        .to_pretty()
     }
 
     /// Deserializes a document produced by [`Self::to_json`] (or written by
     /// hand / any serde emitter with the same shape), then validates it.
     pub fn from_json(text: &str) -> Result<Self, EngineError> {
         let doc = Json::parse(text)?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Deserializes from a [`Json`] value (inverse of
+    /// [`Self::to_json_value`]), then validates.
+    pub fn from_json_value(doc: &Json) -> Result<Self, EngineError> {
         let domain_doc = doc.field("domain")?;
         let domain = match domain_doc.field("dim")?.as_str()? {
             "1d" => DomainSpec::OneD {

@@ -29,6 +29,14 @@
 //! `landau_damping`, `cold_beam`, `bump_on_tail` and `thermal_noise`; see
 //! `examples/quickstart.rs` for the five-minute tour.
 //!
+//! Underneath `run` sits the incremental [`engine::Session`] primitive
+//! ([`engine::Engine::start`]): step-at-a-time advancement, early
+//! stopping ([`engine::Session::run_until`]), JSON checkpoint/resume
+//! ([`engine::Session::checkpoint`] / [`engine::Engine::resume`]) and
+//! lockstep multi-backend comparison ([`engine::compare::lockstep`] —
+//! the paper's figure methodology as an API). See
+//! `examples/saturation.rs` and `examples/lockstep_compare.rs`.
+//!
 //! ## The solver crates underneath
 //!
 //! The engine drives the workspace members, re-exported here for direct

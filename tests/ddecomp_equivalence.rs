@@ -31,7 +31,7 @@ fn dist_config(n_ranks: usize, n_steps: usize) -> DistConfig {
 fn single_process_reference(n_steps: usize) -> Simulation {
     let cfg = PicConfig {
         grid: Grid1D::paper(),
-        init: TwoStreamInit::quiet(0.2, 0.0, 16_000, 1e-3, 5),
+        init: Some(TwoStreamInit::quiet(0.2, 0.0, 16_000, 1e-3, 5)),
         dt: 0.2,
         n_steps,
         gather_shape: Shape::Cic,

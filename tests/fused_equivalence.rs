@@ -40,7 +40,7 @@ fn check_1d(shape: Shape, n_steps: usize) {
     let init = TwoStreamInit::random(0.2, 0.01, 4_000, 7);
     let cfg = PicConfig {
         grid: grid.clone(),
-        init: init.clone(),
+        init: Some(init.clone()),
         dt: 0.2,
         n_steps,
         gather_shape: shape,

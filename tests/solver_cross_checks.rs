@@ -108,7 +108,7 @@ fn langmuir_oscillation_frequency_is_unity() {
     let n = 64_000;
     let cfg = PicConfig {
         grid: grid.clone(),
-        init: TwoStreamInit {
+        init: Some(TwoStreamInit {
             v0: 0.0,
             vth: 0.0,
             n_particles: n,
@@ -117,7 +117,7 @@ fn langmuir_oscillation_frequency_is_unity() {
                 amplitude: 1e-3,
             },
             seed: 0,
-        },
+        }),
         dt: 0.05,
         n_steps: 500, // t = 25 ≈ 3.98 plasma periods
         gather_shape: Shape::Cic,
