@@ -27,7 +27,8 @@
 //! That makes the regression gate compare like with like on CI runners
 //! of any speed.
 
-use dlpic_nn::linalg::{matmul_naive, matmul_nn, matmul_nt, matmul_tn};
+use dlpic_bench::gate::{calibration_gflops, fill, indent_block, json_value_after, median};
+use dlpic_nn::linalg::{matmul_nn, matmul_nt, matmul_tn};
 use dlpic_pic::init::TwoStreamInit;
 use dlpic_pic::simulation::{PicConfig, Simulation};
 use dlpic_pic::solver::TraditionalSolver;
@@ -59,11 +60,6 @@ struct Measurement {
     step_1d: StepResult,
     step_2d: StepResult,
     matmul: MatmulResult,
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.total_cmp(b));
-    xs[xs.len() / 2]
 }
 
 /// Times `steps` calls of `Simulation::step` on the paper's fig4-scale
@@ -132,16 +128,6 @@ fn bench_2d(steps: usize, reps: usize) -> StepResult {
         steps,
         seconds,
         throughput: particles as f64 * steps as f64 / seconds,
-    }
-}
-
-/// Deterministic pseudo-random fill in [-1, 1).
-fn fill(buf: &mut [f32], mut seed: u64) {
-    for v in buf.iter_mut() {
-        seed = seed
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        *v = ((seed >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
     }
 }
 
@@ -235,28 +221,6 @@ fn bench_matmul(quick: bool, reps: usize) -> MatmulResult {
     }
 }
 
-/// Machine-speed anchor: GFLOP/s of the fixed-shape f64 `matmul_naive`
-/// oracle. The oracle's code is the property-test reference and is never
-/// part of the optimized kernels, so its throughput tracks only the
-/// machine (CPU + codegen flags), not the repo's performance work.
-fn calibration_gflops(reps: usize) -> f64 {
-    let n = 192;
-    let mut a = vec![0.0f32; n * n];
-    let mut b = vec![0.0f32; n * n];
-    fill(&mut a, 3);
-    fill(&mut b, 5);
-    std::hint::black_box(matmul_naive(&a, &b, n, n, n));
-    let flops = 2.0 * (n * n * n) as f64;
-    let times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(matmul_naive(&a, &b, n, n, n));
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    flops / median(times) / 1e9
-}
-
 fn measure(quick: bool) -> Measurement {
     let (steps_1d, steps_2d, reps) = if quick { (40, 12, 3) } else { (200, 60, 5) };
     eprintln!("measuring calibration anchor...");
@@ -312,17 +276,6 @@ fn print_human(m: &Measurement) {
         "matmul: nn {:.2}  tn {:.2}  nt {:.2}  infer {:.2}  | total {:.2} GFLOP/s",
         m.matmul.nn_train, m.matmul.tn_grad, m.matmul.nt_grad, m.matmul.nn_infer, m.matmul.total
     );
-}
-
-/// First `"key": <number>` after position `from` in `text`.
-fn json_value_after(text: &str, from: usize, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text[from..].find(&needle)? + from + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 /// The three throughput metrics of a named section in `BENCH_step.json`.
@@ -444,20 +397,4 @@ fn main() {
     if do_check {
         std::process::exit(check(&m));
     }
-}
-
-/// Re-indents a captured measurement JSON by two spaces for embedding.
-fn indent_block(block: &str) -> String {
-    block
-        .lines()
-        .enumerate()
-        .map(|(i, l)| {
-            if i == 0 {
-                l.to_string()
-            } else {
-                format!("  {l}")
-            }
-        })
-        .collect::<Vec<_>>()
-        .join("\n")
 }

@@ -24,12 +24,14 @@
 //!   rescaled to this machine by the `matmul_naive` calibration anchor,
 //!   exactly like the step gate.
 
+use dlpic_bench::gate::{
+    calibration_gflops, fill, indent_block, json_string_after, json_value_after, median,
+};
 use dlpic_core::presets::Scale;
 use dlpic_nn::data::Dataset;
 use dlpic_nn::init::Init;
 use dlpic_nn::layer::Layer;
 use dlpic_nn::layers::Conv2d;
-use dlpic_nn::linalg::matmul_naive;
 use dlpic_nn::loss::Mse;
 use dlpic_nn::optimizer::Adam;
 use dlpic_nn::tensor::Tensor;
@@ -55,42 +57,6 @@ struct Measurement {
     mlp: Throughput,
     cnn: Throughput,
     vlasov: Throughput,
-}
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.total_cmp(b));
-    xs[xs.len() / 2]
-}
-
-/// Deterministic pseudo-random fill in [-1, 1).
-fn fill(buf: &mut [f32], mut seed: u64) {
-    for v in buf.iter_mut() {
-        seed = seed
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        *v = ((seed >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
-    }
-}
-
-/// Machine-speed anchor: GFLOP/s of the fixed-shape f64 `matmul_naive`
-/// oracle (identical to the `step_throughput` anchor, so both gates
-/// rescale consistently).
-fn calibration_gflops(reps: usize) -> f64 {
-    let n = 192;
-    let mut a = vec![0.0f32; n * n];
-    let mut b = vec![0.0f32; n * n];
-    fill(&mut a, 3);
-    fill(&mut b, 5);
-    std::hint::black_box(matmul_naive(&a, &b, n, n, n));
-    let flops = 2.0 * (n * n * n) as f64;
-    let times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            std::hint::black_box(matmul_naive(&a, &b, n, n, n));
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    flops / median(times) / 1e9
 }
 
 /// Forward(training)+backward throughput of the four conv layers of the
@@ -330,24 +296,6 @@ fn print_human(m: &Measurement) {
 }
 
 /// First `"key": "<string>"` after position `from` in `text`.
-fn json_string_after(text: &str, from: usize, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\":");
-    let at = text[from..].find(&needle)? + from + needle.len();
-    let rest = text[at..].trim_start().strip_prefix('"')?;
-    Some(rest[..rest.find('"')?].to_string())
-}
-
-/// First `"key": <number>` after position `from` in `text`.
-fn json_value_after(text: &str, from: usize, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = text[from..].find(&needle)? + from + needle.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// The four throughput metrics of a measurement starting at `section`.
 fn section_metrics(text: &str, section: &str) -> Option<(f64, f64, f64, f64)> {
     let at = text.find(&format!("\"{section}\""))?;
@@ -494,20 +442,4 @@ fn main() {
     if do_check {
         std::process::exit(check(&m));
     }
-}
-
-/// Re-indents a captured measurement JSON by two spaces for embedding.
-fn indent_block(block: &str) -> String {
-    block
-        .lines()
-        .enumerate()
-        .map(|(i, l)| {
-            if i == 0 {
-                l.to_string()
-            } else {
-                format!("  {l}")
-            }
-        })
-        .collect::<Vec<_>>()
-        .join("\n")
 }

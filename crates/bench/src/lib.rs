@@ -297,3 +297,92 @@ mod tests {
         assert!(model.max1 >= model.mae1);
     }
 }
+
+/// Shared plumbing of the throughput-gate binaries (`step_throughput`,
+/// `train_throughput`, `ensemble_throughput`): the calibration anchor,
+/// timing medians and the minimal JSON scraping of the committed
+/// `BENCH_*.json` files. One copy, so an anchor or gate-policy change
+/// cannot silently diverge between the gates.
+pub mod gate {
+    use dlpic_nn::linalg::matmul_naive;
+    use std::time::Instant;
+
+    /// Median of the samples (ties to the upper middle).
+    ///
+    /// # Panics
+    /// Panics on an empty input.
+    pub fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    }
+
+    /// Deterministic pseudo-random fill in [-1, 1).
+    pub fn fill(buf: &mut [f32], mut seed: u64) {
+        for v in buf.iter_mut() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((seed >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
+        }
+    }
+
+    /// Machine-speed anchor: GFLOP/s of the fixed-shape f64
+    /// `matmul_naive` oracle. The oracle is the property-test reference
+    /// and never part of the optimized kernels, so its throughput tracks
+    /// only the machine (CPU + codegen flags), not the repo's
+    /// performance work. All gates use this one implementation so their
+    /// committed numbers rescale consistently.
+    pub fn calibration_gflops(reps: usize) -> f64 {
+        let n = 192;
+        let mut a = vec![0.0f32; n * n];
+        let mut b = vec![0.0f32; n * n];
+        fill(&mut a, 3);
+        fill(&mut b, 5);
+        std::hint::black_box(matmul_naive(&a, &b, n, n, n));
+        let flops = 2.0 * (n * n * n) as f64;
+        let times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(matmul_naive(&a, &b, n, n, n));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        flops / median(times) / 1e9
+    }
+
+    /// First `"key": <number>` after position `from` in `text`.
+    pub fn json_value_after(text: &str, from: usize, key: &str) -> Option<f64> {
+        let needle = format!("\"{key}\":");
+        let at = text[from..].find(&needle)? + from + needle.len();
+        let rest = text[at..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// First `"key": "<string>"` after position `from` in `text`.
+    pub fn json_string_after(text: &str, from: usize, key: &str) -> Option<String> {
+        let needle = format!("\"{key}\":");
+        let at = text[from..].find(&needle)? + from + needle.len();
+        let rest = text[at..].trim_start().strip_prefix('"')?;
+        Some(rest[..rest.find('"')?].to_string())
+    }
+
+    /// Re-indents a captured measurement JSON by two spaces for
+    /// embedding as a `baseline` section.
+    pub fn indent_block(block: &str) -> String {
+        block
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    l.to_string()
+                } else {
+                    format!("  {l}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}

@@ -18,7 +18,7 @@ use dlpic_nn::network::{PredictWorkspace, Sequential};
 use dlpic_nn::tensor::Tensor;
 use dlpic_pic::grid::Grid1D;
 use dlpic_pic::particles::Particles;
-use dlpic_pic::solver::FieldSolver;
+use dlpic_pic::solver::{FieldSolver, PhasedFieldSolver};
 
 /// A neural-network-backed electric-field solver.
 pub struct DlFieldSolver {
@@ -30,8 +30,14 @@ pub struct DlFieldSolver {
     name: &'static str,
     reference_mass: f32,
     scratch: Vec<f32>,
+    out_scratch: Vec<f32>,
     input: Tensor,
     workspace: PredictWorkspace,
+    /// Output width of the wrapped network, learned at the first
+    /// inference (0 = not inferred yet). Every simulation performs its
+    /// initial field solve during construction, so the value is known by
+    /// the time an external scheduler asks.
+    out_cells: usize,
 }
 
 impl DlFieldSolver {
@@ -58,8 +64,10 @@ impl DlFieldSolver {
             name,
             reference_mass: 0.0,
             scratch,
+            out_scratch: Vec::new(),
             input: Tensor::zeros(&[0]),
             workspace: PredictWorkspace::new(),
+            out_cells: 0,
         }
     }
 
@@ -134,69 +142,123 @@ impl DlFieldSolver {
             self.spec.cells(),
             "histogram size mismatch"
         );
-        self.stage_input(histogram);
+        self.stage_input(histogram, 1);
         self.net
             .predict_into(&self.input, &mut self.workspace)
             .data()
             .to_vec()
     }
 
-    /// Copies a prepared histogram into the reusable input tensor with
-    /// the architecture's shape.
-    fn stage_input(&mut self, data: &[f32]) {
+    /// Copies `rows` prepared histograms into the reusable input tensor
+    /// with the architecture's batch shape.
+    fn stage_input(&mut self, data: &[f32], rows: usize) {
+        assert_eq!(data.len(), rows * self.spec.cells(), "batch input size");
         match self.input_kind {
-            InputKind::Flat => self.input.resize_in_place(&[1, self.spec.cells()]),
+            InputKind::Flat => self.input.resize_in_place(&[rows, self.spec.cells()]),
             InputKind::Image => self
                 .input
-                .resize_in_place(&[1, 1, self.spec.nv, self.spec.nx]),
+                .resize_in_place(&[rows, 1, self.spec.nv, self.spec.nx]),
         }
         self.input.data_mut().copy_from_slice(data);
     }
 
-    /// One inference from the prepared `self.scratch` straight into the
-    /// grid field — reusable input/activation buffers, so the per-step
-    /// path performs no heap allocation once warm (for MLP stacks; see
-    /// `Layer::infer_into`).
+    /// Inference + field write from the prepared `self.scratch` — phases
+    /// 2–3 on the solver's own buffers (the in-process solo path of
+    /// [`FieldSolver::solve`] and the distributed raw-histogram entry).
     fn infer_scratch_into(&mut self, e: &mut [f64]) {
-        // `take` sidesteps the scratch-vs-input borrow without copying.
+        // `take` sidesteps the scratch-vs-self borrows without copying.
         let scratch = std::mem::take(&mut self.scratch);
-        self.stage_input(&scratch);
+        let mut out = std::mem::take(&mut self.out_scratch);
+        out.resize(e.len(), 0.0);
+        self.infer_batch(&scratch, 1, &mut out);
+        self.apply_output(&out, e);
         self.scratch = scratch;
-        let pred = self.net.predict_into(&self.input, &mut self.workspace);
-        assert_eq!(
-            pred.len(),
-            e.len(),
-            "network output width {} does not match grid cells {}",
-            pred.len(),
-            e.len()
-        );
-        for (dst, &src) in e.iter_mut().zip(pred.data()) {
-            *dst = src as f64;
-        }
+        self.out_scratch = out;
     }
 }
 
 impl FieldSolver for DlFieldSolver {
     fn solve(&mut self, particles: &Particles, grid: &Grid1D, e: &mut [f64]) {
-        // 1-2. Bin, rescale to the training mass, and normalize.
-        bin_phase_space(particles, grid, &self.spec, self.binning, &mut self.scratch);
-        if self.reference_mass > 0.0 {
-            let mass = particles.len() as f32;
-            if (mass - self.reference_mass).abs() > 0.5 {
-                let factor = self.reference_mass / mass;
-                for v in self.scratch.iter_mut() {
-                    *v *= factor;
-                }
-            }
-        }
-        self.norm.apply(&mut self.scratch);
-        // 3-4. Inference straight into the grid field (allocation-free
-        // once the reusable buffers are warm).
+        // The same three phases the ensemble scheduler drives externally:
+        // prepare (bin + mass-rescale + normalize), one m = 1 inference,
+        // apply. Allocation-free once the reusable buffers are warm, and
+        // bit-identical to a batched solve of the same state (row-stable
+        // GEMM kernels).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(self.spec.cells(), 0.0);
+        self.prepare_input(particles, grid, &mut scratch);
+        self.scratch = scratch;
         self.infer_scratch_into(e);
     }
 
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver> {
+        Some(self)
+    }
+}
+
+impl PhasedFieldSolver for DlFieldSolver {
+    fn input_len(&self) -> usize {
+        self.spec.cells()
+    }
+
+    fn output_len(&self) -> usize {
+        assert!(
+            self.out_cells > 0,
+            "output width is unknown before the first inference"
+        );
+        self.out_cells
+    }
+
+    fn prepare_input(&mut self, particles: &Particles, grid: &Grid1D, dst: &mut [f32]) {
+        // 1-2. Bin, rescale to the training mass, and normalize (paper
+        // Eq. 5) — everything `solve` does before the network.
+        bin_phase_space(particles, grid, &self.spec, self.binning, dst);
+        if self.reference_mass > 0.0 {
+            let mass = particles.len() as f32;
+            if (mass - self.reference_mass).abs() > 0.5 {
+                let factor = self.reference_mass / mass;
+                for v in dst.iter_mut() {
+                    *v *= factor;
+                }
+            }
+        }
+        self.norm.apply(dst);
+    }
+
+    fn infer_batch(&mut self, input: &[f32], rows: usize, output: &mut [f32]) {
+        // 3. One batched inference through the reusable input/activation
+        // buffers (ping-pong workspace; allocation-free once warm).
+        self.stage_input(input, rows);
+        let pred = self
+            .net
+            .predict_batch_into(&self.input, &mut self.workspace);
+        assert_eq!(
+            pred.len(),
+            output.len(),
+            "network output width {} does not match the requested {} values ({rows} rows)",
+            pred.len(),
+            output.len(),
+        );
+        output.copy_from_slice(pred.data());
+        self.out_cells = pred.len() / rows;
+    }
+
+    fn apply_output(&mut self, row: &[f32], e: &mut [f64]) {
+        // 4. Write the predicted electric field onto the grid nodes.
+        assert_eq!(
+            row.len(),
+            e.len(),
+            "network output width {} does not match grid cells {}",
+            row.len(),
+            e.len()
+        );
+        for (dst, &src) in e.iter_mut().zip(row) {
+            *dst = src as f64;
+        }
     }
 }
 
@@ -271,7 +333,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match grid cells")]
+    #[should_panic(expected = "network output width")]
     fn output_width_mismatch_detected() {
         let spec = PhaseGridSpec::smoke();
         let arch = ArchSpec::Mlp {

@@ -29,6 +29,7 @@ pub mod field_solver;
 pub mod normalize;
 pub mod phase_space;
 pub mod physics_loss;
+pub mod pool;
 pub mod presets;
 pub mod temporal;
 pub mod twod;

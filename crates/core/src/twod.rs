@@ -31,7 +31,7 @@ use dlpic_nn::trainer::{train, TrainConfig, TrainHistory};
 use dlpic_pic2d::grid2d::Grid2D;
 use dlpic_pic2d::particles2d::Particles2D;
 use dlpic_pic2d::simulation2d::{Pic2DConfig, Simulation2D};
-use dlpic_pic2d::solver2d::{FieldSolver2D, TraditionalSolver2D};
+use dlpic_pic2d::solver2d::{FieldSolver2D, PhasedFieldSolver2D, TraditionalSolver2D};
 
 /// Binning order for the 2-D density histogram (mirrors the 1-D
 /// `BinningShape`).
@@ -224,8 +224,13 @@ pub struct Dl2DFieldSolver {
     name: &'static str,
     reference_mass: f32,
     scratch: Vec<f32>,
+    out_scratch: Vec<f32>,
     input: Tensor,
     workspace: PredictWorkspace,
+    /// Input/output widths, learned at the first solve (0 = unknown; the
+    /// initial field solve during simulation construction fills them).
+    in_nodes: usize,
+    out_len: usize,
 }
 
 impl Dl2DFieldSolver {
@@ -244,8 +249,11 @@ impl Dl2DFieldSolver {
             name,
             reference_mass: 0.0,
             scratch: Vec::new(),
+            out_scratch: Vec::new(),
             input: Tensor::zeros(&[0]),
             workspace: PredictWorkspace::new(),
+            in_nodes: 0,
+            out_len: 0,
         }
     }
 
@@ -287,51 +295,106 @@ impl Dl2DFieldSolver {
             .to_vec()
     }
 
-    /// One inference from the prepared `self.scratch` straight into the
-    /// split field components — reusable input/activation buffers, so
-    /// the per-step path performs no heap allocation once warm.
+    /// Inference + field write from the prepared `self.scratch` — phases
+    /// 2–3 on the solver's own buffers (the in-process solo path).
     fn infer_scratch_into(&mut self, ex: &mut [f64], ey: &mut [f64]) {
-        let nodes = ex.len();
-        self.input.resize_in_place(&[1, self.scratch.len()]);
-        self.input.data_mut().copy_from_slice(&self.scratch);
-        let pred = self.net.predict_into(&self.input, &mut self.workspace);
-        assert_eq!(
-            pred.len(),
-            2 * nodes,
-            "network output width {} does not match 2·nodes = {}",
-            pred.len(),
-            2 * nodes
-        );
-        for (dst, &src) in ex.iter_mut().zip(&pred.data()[..nodes]) {
-            *dst = src as f64;
-        }
-        for (dst, &src) in ey.iter_mut().zip(&pred.data()[nodes..]) {
-            *dst = src as f64;
-        }
+        let scratch = std::mem::take(&mut self.scratch);
+        let mut out = std::mem::take(&mut self.out_scratch);
+        out.resize(2 * ex.len(), 0.0);
+        self.infer_batch(&scratch, 1, &mut out);
+        self.apply_output(&out, ex, ey);
+        self.scratch = scratch;
+        self.out_scratch = out;
     }
 }
 
 impl FieldSolver2D for Dl2DFieldSolver {
     fn solve(&mut self, particles: &Particles2D, grid: &Grid2D, ex: &mut [f64], ey: &mut [f64]) {
-        let nodes = grid.nodes();
-        self.scratch.clear();
-        self.scratch.resize(nodes, 0.0);
-        bin_density(particles, grid, self.binning, &mut self.scratch);
-        if self.reference_mass > 0.0 {
-            let mass = particles.len() as f32;
-            if (mass - self.reference_mass).abs() > 0.5 {
-                let factor = self.reference_mass / mass;
-                for v in self.scratch.iter_mut() {
-                    *v *= factor;
-                }
-            }
-        }
-        self.norm.apply(&mut self.scratch);
+        // The same three phases the ensemble scheduler drives externally:
+        // prepare (bin + mass-rescale + normalize), one m = 1 inference,
+        // apply — bit-identical to a batched solve of the same state.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.resize(grid.nodes(), 0.0);
+        self.prepare_input(particles, grid, &mut scratch);
+        self.scratch = scratch;
         self.infer_scratch_into(ex, ey);
     }
 
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver2D> {
+        Some(self)
+    }
+}
+
+impl PhasedFieldSolver2D for Dl2DFieldSolver {
+    fn input_len(&self) -> usize {
+        assert!(
+            self.in_nodes > 0,
+            "input width is unknown before the first solve"
+        );
+        self.in_nodes
+    }
+
+    fn output_len(&self) -> usize {
+        assert!(
+            self.out_len > 0,
+            "output width is unknown before the first inference"
+        );
+        self.out_len
+    }
+
+    fn prepare_input(&mut self, particles: &Particles2D, grid: &Grid2D, dst: &mut [f32]) {
+        bin_density(particles, grid, self.binning, dst);
+        if self.reference_mass > 0.0 {
+            let mass = particles.len() as f32;
+            if (mass - self.reference_mass).abs() > 0.5 {
+                let factor = self.reference_mass / mass;
+                for v in dst.iter_mut() {
+                    *v *= factor;
+                }
+            }
+        }
+        self.norm.apply(dst);
+        self.in_nodes = grid.nodes();
+    }
+
+    fn infer_batch(&mut self, input: &[f32], rows: usize, output: &mut [f32]) {
+        assert_eq!(input.len() % rows, 0, "batch input size");
+        self.input.resize_in_place(&[rows, input.len() / rows]);
+        self.input.data_mut().copy_from_slice(input);
+        let pred = self
+            .net
+            .predict_batch_into(&self.input, &mut self.workspace);
+        assert_eq!(
+            pred.len(),
+            output.len(),
+            "network output width {} does not match the requested {} values ({rows} rows)",
+            pred.len(),
+            output.len(),
+        );
+        output.copy_from_slice(pred.data());
+        self.out_len = pred.len() / rows;
+    }
+
+    fn apply_output(&mut self, row: &[f32], ex: &mut [f64], ey: &mut [f64]) {
+        let nodes = ex.len();
+        assert_eq!(
+            row.len(),
+            2 * nodes,
+            "network output width {} does not match 2·nodes = {}",
+            row.len(),
+            2 * nodes
+        );
+        for (dst, &src) in ex.iter_mut().zip(&row[..nodes]) {
+            *dst = src as f64;
+        }
+        for (dst, &src) in ey.iter_mut().zip(&row[nodes..]) {
+            *dst = src as f64;
+        }
     }
 }
 

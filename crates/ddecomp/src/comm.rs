@@ -136,13 +136,48 @@ impl Fabric {
         self.phases.clear();
     }
 
-    /// Replaces the aggregate counters with a checkpointed snapshot and
-    /// clears the per-phase breakdown (a restored run continues the totals
-    /// but cannot reconstruct which phases produced them).
-    pub fn restore_stats(&mut self, total: CommStats) {
+    /// Replaces the aggregate counters *and* the per-phase breakdown with
+    /// a checkpointed snapshot, so a restored run continues both (the
+    /// phase list keeps the snapshot's order as its first-seen order).
+    pub fn restore_stats(&mut self, total: CommStats, phases: &[(Phase, CommStats)]) {
         self.total = total;
         self.phases.clear();
+        self.phases.extend_from_slice(phases);
     }
+}
+
+/// Deposition halo exchange (gather/scatter strategy).
+pub const PHASE_DEPOSIT_HALO: Phase = "deposit-halo";
+/// Charge-density gather to rank 0 (gather/scatter strategy).
+pub const PHASE_RHO_GATHER: Phase = "rho-gather";
+/// Solved-field scatter from rank 0 (gather/scatter strategy).
+pub const PHASE_E_SCATTER: Phase = "e-scatter";
+/// Cross-rank particle migration (both strategies).
+pub const PHASE_MIGRATION: Phase = "migration";
+/// Phase-space-histogram reduction to rank 0 (DL strategy).
+pub const PHASE_HIST_REDUCE: Phase = "hist-reduce";
+/// Summed-histogram broadcast from rank 0 (DL strategy).
+pub const PHASE_HIST_BCAST: Phase = "hist-bcast";
+
+/// Every traffic class the distributed simulation emits — the closed set
+/// checkpoint restores intern against (phase keys are `&'static str`).
+/// Emission sites use the `PHASE_*` constants above, so a new class
+/// added through them is one line away from being restorable; sending
+/// under an ad-hoc string still works but will not survive a
+/// checkpoint round-trip.
+pub const KNOWN_PHASES: [Phase; 6] = [
+    PHASE_DEPOSIT_HALO,
+    PHASE_RHO_GATHER,
+    PHASE_E_SCATTER,
+    PHASE_MIGRATION,
+    PHASE_HIST_REDUCE,
+    PHASE_HIST_BCAST,
+];
+
+/// Maps a phase name read from a checkpoint back to its `&'static`
+/// spelling; `None` for names no strategy emits.
+pub fn intern_phase(name: &str) -> Option<Phase> {
+    KNOWN_PHASES.iter().copied().find(|&p| p == name)
 }
 
 #[cfg(test)]

@@ -79,7 +79,7 @@ pub fn send_halo_right(rank: usize, topo: &Topology, fabric: &mut Fabric, rho_ex
     fabric.send(
         rank,
         topo.right(rank),
-        "deposit-halo",
+        crate::comm::PHASE_DEPOSIT_HALO,
         rho_ext[HALO + cpr..].to_vec(),
     );
 }
@@ -104,7 +104,7 @@ pub fn send_halo_left(rank: usize, topo: &Topology, fabric: &mut Fabric, rho_ext
     fabric.send(
         rank,
         topo.left(rank),
-        "deposit-halo",
+        crate::comm::PHASE_DEPOSIT_HALO,
         rho_ext[..HALO].to_vec(),
     );
 }

@@ -46,7 +46,7 @@ pub fn send_leavers(
     }
     for (dest, payload) in outbound.into_iter().enumerate() {
         if !payload.is_empty() {
-            fabric.send(rank, dest, "migration", payload);
+            fabric.send(rank, dest, crate::comm::PHASE_MIGRATION, payload);
         }
     }
     moved

@@ -425,6 +425,7 @@ impl DistSimulation {
             steps_done: self.steps_done,
             migrated_total: self.migrated_total,
             comm: self.fabric.stats(),
+            comm_phases: self.fabric.phases().collect(),
         }
     }
 
@@ -432,8 +433,8 @@ impl DistSimulation {
     /// inverse of [`Self::export_state`]). Per-rank particle *order* is
     /// preserved, so deposition sums re-associate identically and the
     /// resumed trajectory is bit-identical to an uninterrupted run.
-    /// Traffic counters are restored as totals; the per-phase breakdown
-    /// restarts from the restore point.
+    /// Traffic counters are restored in full — the aggregate totals and
+    /// the per-phase breakdown both continue across the resume.
     ///
     /// # Panics
     /// Panics if the snapshot's rank count or slab widths do not match
@@ -454,7 +455,7 @@ impl DistSimulation {
         self.time = state.time;
         self.steps_done = state.steps_done;
         self.migrated_total = state.migrated_total;
-        self.fabric.restore_stats(state.comm);
+        self.fabric.restore_stats(state.comm, &state.comm_phases);
     }
 }
 
@@ -483,6 +484,8 @@ pub struct DistState {
     pub migrated_total: u64,
     /// Aggregate fabric traffic so far.
     pub comm: CommStats,
+    /// Per-phase traffic breakdown, in the fabric's first-seen order.
+    pub comm_phases: Vec<(crate::comm::Phase, CommStats)>,
 }
 
 #[cfg(test)]
@@ -551,6 +554,10 @@ mod tests {
         assert_eq!(straight.phase_space(), resumed.phase_space());
         assert_eq!(straight.comm_stats(), resumed.comm_stats());
         assert_eq!(straight.migrated_total(), resumed.migrated_total());
+        // The per-phase breakdown continues across the resume too (it
+        // used to restart from zero — CHANGES.md PR 4 known wart).
+        assert_eq!(straight.comm_phases(), resumed.comm_phases());
+        assert!(!resumed.comm_phases().is_empty());
     }
 
     #[test]

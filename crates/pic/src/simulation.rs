@@ -123,6 +123,21 @@ impl Simulation {
     /// Advances one step and records diagnostics for the starting time
     /// level (see module docs).
     pub fn step(&mut self) {
+        self.step_pre_solve();
+        self.solver
+            .solve(&self.particles, &self.cfg.grid, &mut self.e);
+        self.step_post_solve();
+    }
+
+    /// The first half of a split step: diagnostics for the starting time
+    /// level, the fused particle push, and the history row — everything
+    /// [`Self::step`] does *before* the field solve. An external driver
+    /// (the engine's ensemble scheduler) then performs the solve itself
+    /// through [`Self::split_for_solve`] — possibly batching the DL
+    /// inference of many simulations — and completes the step with
+    /// [`Self::step_post_solve`]. The
+    /// pre-solve → solve → post-solve sequence is exactly [`Self::step`].
+    pub fn step_pre_solve(&mut self) {
         let grid = &self.cfg.grid;
         let dt = self.cfg.dt;
 
@@ -156,12 +171,27 @@ impl Simulation {
             },
             &self.amps_scratch,
         );
+    }
 
-        // The next field solve from the pushed positions.
-        self.solver.solve(&self.particles, grid, &mut self.e);
-
-        self.time += dt;
+    /// The second half of a split step: advances the clock and step
+    /// counter. Call only after [`Self::step_pre_solve`] and the external
+    /// field solve.
+    pub fn step_post_solve(&mut self) {
+        self.time += self.cfg.dt;
         self.steps_done += 1;
+    }
+
+    /// Disjoint borrows of the pieces an external field solve needs
+    /// (between [`Self::step_pre_solve`] and [`Self::step_post_solve`]):
+    /// the injected solver, the pushed particle state, the grid, and the
+    /// field buffer to fill.
+    pub fn split_for_solve(&mut self) -> (&mut dyn FieldSolver, &Particles, &Grid1D, &mut [f64]) {
+        (
+            self.solver.as_mut(),
+            &self.particles,
+            &self.cfg.grid,
+            &mut self.e,
+        )
     }
 
     /// Runs the configured number of steps and appends a final snapshot at

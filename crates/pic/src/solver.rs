@@ -22,6 +22,68 @@ pub trait FieldSolver: Send {
 
     /// Human-readable name for logs/benchmarks.
     fn name(&self) -> &'static str;
+
+    /// The phase-split view of this solver, when its `solve` decomposes
+    /// into prepare-input / infer / apply-output stages an external
+    /// driver can batch across many simulations (the DL solvers).
+    /// `None` (the default) for monolithic solvers like the traditional
+    /// deposit→Poisson pipeline.
+    fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver> {
+        None
+    }
+}
+
+/// A field solver whose solve splits into three phases so that an
+/// external scheduler can gather the inference inputs of many concurrent
+/// simulations, run them as **one batched inference**, and scatter the
+/// results back — the ensemble execution path.
+///
+/// The contract mirrors [`FieldSolver::solve`] exactly: for any particle
+/// state,
+///
+/// ```text
+/// prepare_input(p, grid, &mut row);
+/// infer_batch(&row, 1, &mut out);
+/// apply_output(&out, e);
+/// ```
+///
+/// must be *bit-identical* to `solve(p, grid, e)` (the DL solvers route
+/// their own `solve` through these phases), and row `i` of an `m`-row
+/// `infer_batch` must be bit-identical to a 1-row `infer_batch` of that
+/// row (guaranteed by the row-stable GEMM kernels underneath).
+///
+/// Batching across solver instances is only meaningful when the
+/// instances hold identical network parameters; the engine's ensemble
+/// guarantees that by construction (one engine configures at most one
+/// model per dimension) and runs the whole batch through one instance.
+pub trait PhasedFieldSolver {
+    /// Width of one inference input row.
+    fn input_len(&self) -> usize;
+
+    /// Width of one inference output row.
+    fn output_len(&self) -> usize;
+
+    /// Phase 1: bins/normalizes the particle state into `dst`
+    /// (`input_len` values) — everything `solve` does before the network.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() != self.input_len()`.
+    fn prepare_input(&mut self, particles: &Particles, grid: &Grid1D, dst: &mut [f32]);
+
+    /// Phase 2: one inference over `rows` stacked input rows
+    /// (`rows × input_len` values) into `rows × output_len` outputs.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths disagree with `rows` and the widths.
+    fn infer_batch(&mut self, input: &[f32], rows: usize, output: &mut [f32]);
+
+    /// Phase 3: writes one output row onto the grid field — everything
+    /// `solve` does after the network.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.output_len()` or the field width
+    /// disagrees with the solver's output.
+    fn apply_output(&mut self, row: &[f32], e: &mut [f64]);
 }
 
 /// Which Poisson backend a [`TraditionalSolver`] uses.

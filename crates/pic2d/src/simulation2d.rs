@@ -189,6 +189,19 @@ impl Simulation2D {
     /// Advances one step and records diagnostics for the starting time
     /// level (see module docs).
     pub fn step(&mut self) {
+        self.step_pre_solve();
+        self.solver
+            .solve(&self.particles, &self.cfg.grid, &mut self.ex, &mut self.ey);
+        self.step_post_solve();
+    }
+
+    /// The first half of a split step: diagnostics, the fused particle
+    /// push and the history row — everything [`Self::step`] does before
+    /// the field solve. An external driver then solves through
+    /// [`Self::split_for_solve`] (possibly batching the DL inference of
+    /// many simulations) and completes with [`Self::step_post_solve`];
+    /// the sequence is exactly [`Self::step`].
+    pub fn step_pre_solve(&mut self) {
         let grid = &self.cfg.grid;
         let dt = self.cfg.dt;
 
@@ -222,12 +235,35 @@ impl Simulation2D {
             },
             &self.amps_scratch,
         );
+    }
 
-        self.solver
-            .solve(&self.particles, grid, &mut self.ex, &mut self.ey);
-
-        self.time += dt;
+    /// The second half of a split step: advances the clock and step
+    /// counter. Call only after [`Self::step_pre_solve`] and the external
+    /// field solve.
+    pub fn step_post_solve(&mut self) {
+        self.time += self.cfg.dt;
         self.steps_done += 1;
+    }
+
+    /// Disjoint borrows of the pieces an external field solve needs
+    /// (between [`Self::step_pre_solve`] and [`Self::step_post_solve`]).
+    #[allow(clippy::type_complexity)]
+    pub fn split_for_solve(
+        &mut self,
+    ) -> (
+        &mut dyn FieldSolver2D,
+        &Particles2D,
+        &Grid2D,
+        &mut [f64],
+        &mut [f64],
+    ) {
+        (
+            self.solver.as_mut(),
+            &self.particles,
+            &self.cfg.grid,
+            &mut self.ex,
+            &mut self.ey,
+        )
     }
 
     /// Runs the configured number of steps and appends a final snapshot.

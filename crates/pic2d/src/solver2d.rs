@@ -16,6 +16,35 @@ pub trait FieldSolver2D: Send {
 
     /// Human-readable name for logs/benchmarks.
     fn name(&self) -> &'static str;
+
+    /// The phase-split view of this solver, when its `solve` decomposes
+    /// into prepare-input / infer / apply-output stages an external
+    /// driver can batch across many simulations (the DL solver). `None`
+    /// (the default) for monolithic solvers.
+    fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver2D> {
+        None
+    }
+}
+
+/// The 2-D analogue of `dlpic_pic::solver::PhasedFieldSolver`: a field
+/// solve split into prepare / batched-infer / apply phases, with the same
+/// bit-identity contract (prepare + 1-row infer + apply ≡ `solve`; row
+/// `i` of an `m`-row infer ≡ a 1-row infer of that row).
+pub trait PhasedFieldSolver2D {
+    /// Width of one inference input row.
+    fn input_len(&self) -> usize;
+
+    /// Width of one inference output row (`[Ex | Ey]` stacked).
+    fn output_len(&self) -> usize;
+
+    /// Phase 1: bins/normalizes the particle state into `dst`.
+    fn prepare_input(&mut self, particles: &Particles2D, grid: &Grid2D, dst: &mut [f32]);
+
+    /// Phase 2: one inference over `rows` stacked input rows.
+    fn infer_batch(&mut self, input: &[f32], rows: usize, output: &mut [f32]);
+
+    /// Phase 3: writes one stacked `[Ex | Ey]` output row onto the grid.
+    fn apply_output(&mut self, row: &[f32], ex: &mut [f64], ey: &mut [f64]);
 }
 
 /// The traditional 2-D field solver: deposit ρ, add the neutralizing ion

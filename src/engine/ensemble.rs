@@ -1,0 +1,392 @@
+//! Fleet execution: many sessions, batched DL inference, multiple cores.
+//!
+//! The paper's value proposition is amortization — train a field solver
+//! once, then run *many* simulations cheaply. This module turns the
+//! [`Session`] primitive into a fleet primitive:
+//!
+//! * [`SweepSpec`] expands a registry scenario into a grid of
+//!   [`ScenarioSpec`]s — cartesian parameter axes, explicit point lists,
+//!   and seed fans — using the registry's sweepable-parameter metadata
+//!   ([`registry::sweep_params`](super::registry::sweep_params)).
+//! * [`Ensemble`] owns N sessions and steps them in **lockstep waves**.
+//!   Within a wave, sessions whose field solve is phase-split (the DL
+//!   backends) are grouped into cohorts: each session prepares its
+//!   inference input row, the cohort runs **one batched inference** —
+//!   an `[m, in]` GEMM that hits the 8-row zmm micro-kernels a batch-1
+//!   solve bypasses — and each session applies its output row.
+//!   Monolithic backends (traditional, Vlasov, distributed) run whole
+//!   steps in the same wave.
+//! * [`Ensemble::run_to_end`] distributes sessions across worker threads
+//!   (contiguous chunks via [`core::pool`](crate::core::pool); the
+//!   workspace's `rayon` is a sequential shim). Each chunk batches its
+//!   own cohorts with its own warm scratch, so there is no cross-thread
+//!   synchronization until the join.
+//!
+//! ## Determinism
+//!
+//! Per-run results are **bit-identical to solo runs** at any thread
+//! count: a session is driven by exactly one worker; its prepare/apply
+//! phases touch only its own state; and the batched inference is
+//! row-stable (row `i` of an `m`-row GEMM equals the 1-row product
+//! bitwise — see `nn::linalg`), so cohort composition cannot perturb any
+//! session's arithmetic. `tests/ensemble_api.rs` asserts this for every
+//! backend family at 1 and T > 1 threads.
+//!
+//! Cohort batching runs every row through **one member's network**. That
+//! is sound because an engine configures at most one model per dimension,
+//! so all DL sessions an [`Engine`](super::Engine) starts hold identical
+//! parameters; cohorts are additionally keyed by backend, scale and
+//! phase-grid shape so unrelated sessions never share a batch.
+//!
+//! ```no_run
+//! use dlpic_repro::engine::{Engine, Backend, SweepSpec};
+//! use dlpic_repro::core::Scale;
+//!
+//! let sweep = SweepSpec::grid("two_stream", Scale::Smoke)
+//!     .axis("v0", [0.12, 0.16, 0.20])
+//!     .seeds([1, 2, 3, 4]);
+//! let mut ensemble = Engine::new().start_sweep(&sweep, Backend::Dl1D)?;
+//! ensemble.run_to_end(dlpic_repro::core::pool::available_threads());
+//! for summary in ensemble.finish() {
+//!     println!("{}: γ = {:?}", summary.scenario, summary.growth_rate(1).map(|f| f.gamma));
+//! }
+//! # Ok::<(), dlpic_repro::engine::EngineError>(())
+//! ```
+
+use super::backend::Backend;
+use super::error::EngineError;
+use super::observer::RunSummary;
+use super::registry;
+use super::session::{Checkpoint, Session};
+use super::spec::ScenarioSpec;
+use crate::core::pool;
+use crate::core::presets::Scale;
+
+// ---------------------------------------------------------------------
+// Sweep specification.
+// ---------------------------------------------------------------------
+
+/// How a [`SweepSpec`] enumerates its parameter points.
+#[derive(Debug, Clone)]
+enum SweepKind {
+    /// The cartesian product of named axes (first axis varies slowest).
+    Cartesian(Vec<(String, Vec<f64>)>),
+    /// An explicit list of `(param, value)` assignment sets.
+    Explicit(Vec<Vec<(String, f64)>>),
+}
+
+/// A declarative description of a run fleet over one registry scenario:
+/// a parameter grid (cartesian axes or explicit points) crossed with a
+/// seed fan. [`SweepSpec::specs`] expands it into validated
+/// [`ScenarioSpec`]s; [`Engine::start_sweep`](super::Engine::start_sweep)
+/// turns those into a running [`Ensemble`].
+///
+/// Parameter names come from the registry's sweepable-parameter metadata
+/// ([`registry::sweep_params`]); unknown names are rejected with the
+/// known list.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    scenario: String,
+    scale: Scale,
+    kind: SweepKind,
+    seeds: Vec<u64>,
+}
+
+impl SweepSpec {
+    /// A cartesian sweep over `scenario` at `scale`; add axes with
+    /// [`Self::axis`] and a seed fan with [`Self::seeds`]. With no axes
+    /// and no seeds it expands to the single base spec.
+    pub fn grid(scenario: impl Into<String>, scale: Scale) -> Self {
+        Self {
+            scenario: scenario.into(),
+            scale,
+            kind: SweepKind::Cartesian(Vec::new()),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// An explicit sweep: one spec per listed `(param, value)` assignment
+    /// set (crossed with the seed fan, if any).
+    pub fn explicit(
+        scenario: impl Into<String>,
+        scale: Scale,
+        points: Vec<Vec<(String, f64)>>,
+    ) -> Self {
+        Self {
+            scenario: scenario.into(),
+            scale,
+            kind: SweepKind::Explicit(points),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Adds a cartesian axis: one run per value, crossed with every other
+    /// axis (earlier axes vary slowest).
+    ///
+    /// # Panics
+    /// Panics on an explicit sweep — axes and explicit points don't mix.
+    pub fn axis(mut self, name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
+        match &mut self.kind {
+            SweepKind::Cartesian(axes) => axes.push((name.into(), values.into_iter().collect())),
+            SweepKind::Explicit(_) => panic!("axis() on an explicit sweep"),
+        }
+        self
+    }
+
+    /// Fans every parameter point over these loading seeds (seed
+    /// ensembles). Empty (the default) keeps each point's registry seed.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The scenario this sweep runs.
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// Number of specs [`Self::specs`] will expand to.
+    pub fn len(&self) -> usize {
+        let points = match &self.kind {
+            SweepKind::Cartesian(axes) => axes.iter().map(|(_, v)| v.len()).product::<usize>(),
+            SweepKind::Explicit(points) => points.len(),
+        };
+        points * self.seeds.len().max(1)
+    }
+
+    /// True when the sweep expands to no runs (an empty axis or an empty
+    /// explicit list).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the sweep into one validated [`ScenarioSpec`] per run.
+    /// Each spec's name records its overrides
+    /// (`two_stream[v0=0.16, seed=3]`) so summaries stay tellable apart.
+    pub fn specs(&self) -> Result<Vec<ScenarioSpec>, EngineError> {
+        let base = registry::scenario(&self.scenario, self.scale)?;
+        let points: Vec<Vec<(String, f64)>> = match &self.kind {
+            SweepKind::Explicit(points) => points.clone(),
+            SweepKind::Cartesian(axes) => {
+                let mut points: Vec<Vec<(String, f64)>> = vec![Vec::new()];
+                for (name, values) in axes {
+                    let mut next = Vec::with_capacity(points.len() * values.len());
+                    for point in &points {
+                        for &v in values {
+                            let mut p = point.clone();
+                            p.push((name.clone(), v));
+                            next.push(p);
+                        }
+                    }
+                    points = next;
+                }
+                points
+            }
+        };
+        let mut specs = Vec::with_capacity(points.len() * self.seeds.len().max(1));
+        for point in &points {
+            let mut spec = base.clone();
+            for (name, value) in point {
+                registry::apply_sweep_param(&mut spec, name, *value)?;
+            }
+            let seeds: &[u64] = if self.seeds.is_empty() {
+                std::slice::from_ref(&spec.seed)
+            } else {
+                &self.seeds
+            };
+            for &seed in seeds {
+                let mut run = spec.clone();
+                run.seed = seed;
+                let mut tags: Vec<String> = point
+                    .iter()
+                    .map(|(name, value)| format!("{name}={value}"))
+                    .collect();
+                if !self.seeds.is_empty() {
+                    tags.push(format!("seed={seed}"));
+                }
+                if !tags.is_empty() {
+                    run.name = format!("{}[{}]", base.name, tags.join(", "));
+                }
+                run.validate()?;
+                specs.push(run);
+            }
+        }
+        Ok(specs)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The ensemble scheduler.
+// ---------------------------------------------------------------------
+
+/// Reusable wave buffers: the stacked inference inputs/outputs of one
+/// cohort. Warm after the first wave, so steady-state stepping performs
+/// no heap allocation.
+#[derive(Default)]
+struct WaveScratch {
+    input: Vec<f32>,
+    output: Vec<f32>,
+    /// `(cohort key, member indices)` work list, reused across waves.
+    cohorts: Vec<(CohortKey, Vec<usize>)>,
+    solo: Vec<usize>,
+}
+
+/// What must agree for sessions to share one batched inference: backend
+/// family, experiment scale (fixes the phase-grid geometry and
+/// architecture an engine builds), and the inference row widths. Within
+/// one [`Ensemble`] every DL session of a given dimension also shares
+/// the engine's (single) model, so equal keys imply equal networks.
+type CohortKey = (&'static str, Scale, (usize, usize));
+
+/// Steps every unfinished session in `sessions` once: phase-split
+/// sessions in batched cohorts, the rest solo. Returns how many sessions
+/// advanced.
+fn step_wave(sessions: &mut [Session], scratch: &mut WaveScratch) -> usize {
+    for (_, members) in &mut scratch.cohorts {
+        members.clear();
+    }
+    scratch.solo.clear();
+    for (i, session) in sessions.iter_mut().enumerate() {
+        if session.is_complete() {
+            continue;
+        }
+        match session.batched_infer_shape() {
+            Some(shape) => {
+                let key: CohortKey = (session.backend().name(), session.spec().scale, shape);
+                match scratch.cohorts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(i),
+                    None => scratch.cohorts.push((key, vec![i])),
+                }
+            }
+            None => scratch.solo.push(i),
+        }
+    }
+    let mut stepped = 0;
+    for c in 0..scratch.cohorts.len() {
+        // Move the member list out so `sessions` and the scratch buffers
+        // can be borrowed independently of the cohort list.
+        let members = std::mem::take(&mut scratch.cohorts[c].1);
+        let m = members.len();
+        if m == 0 {
+            scratch.cohorts[c].1 = members;
+            continue;
+        }
+        let (in_w, out_w) = scratch.cohorts[c].0 .2;
+        scratch.input.resize(m * in_w, 0.0);
+        scratch.output.resize(m * out_w, 0.0);
+        // Phase 1: every member prepares its row (and records its
+        // diagnostics sample, exactly as a monolithic step would).
+        for (r, &i) in members.iter().enumerate() {
+            sessions[i].step_prepare(&mut scratch.input[r * in_w..(r + 1) * in_w]);
+        }
+        // Phase 2: ONE inference for the whole cohort, through the first
+        // member's solver (identical weights across members by
+        // construction; row-stable kernels make each row bit-equal to a
+        // solo solve).
+        sessions[members[0]].infer_batch(&scratch.input[..m * in_w], m, &mut scratch.output);
+        // Phase 3: scatter the rows back.
+        for (r, &i) in members.iter().enumerate() {
+            sessions[i].step_apply(&scratch.output[r * out_w..(r + 1) * out_w]);
+        }
+        stepped += m;
+        scratch.cohorts[c].1 = members;
+    }
+    for &i in &scratch.solo {
+        sessions[i].step();
+        stepped += 1;
+    }
+    stepped
+}
+
+/// A fleet of concurrently advancing sessions — the ensemble execution
+/// layer. Create with [`Engine::start_ensemble`](super::Engine::start_ensemble)
+/// or [`Engine::start_sweep`](super::Engine::start_sweep); drive with
+/// [`Self::step_wave`] (incremental, single-threaded) or
+/// [`Self::run_to_end`] (multi-core); consume with [`Self::finish`].
+///
+/// Sessions keep their full [`Session`] capabilities: per-run histories,
+/// observers (attach via [`Self::session_mut`]), and checkpointing —
+/// [`Self::checkpoints`] snapshots every run in the standard per-session
+/// [`Checkpoint`] format that
+/// [`Engine::resume_ensemble`](super::Engine::resume_ensemble) (or plain
+/// [`Engine::resume`](super::Engine::resume)) accepts.
+pub struct Ensemble {
+    sessions: Vec<Session>,
+    scratch: WaveScratch,
+}
+
+impl Ensemble {
+    pub(crate) fn new(sessions: Vec<Session>) -> Self {
+        Self {
+            sessions,
+            scratch: WaveScratch::default(),
+        }
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True for an ensemble of no runs.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The runs, in sweep order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// One run, mutably (attach observers, inspect history mid-flight).
+    pub fn session_mut(&mut self, index: usize) -> &mut Session {
+        &mut self.sessions[index]
+    }
+
+    /// True once every run has completed its configured steps.
+    pub fn is_complete(&self) -> bool {
+        self.sessions.iter().all(|s| s.is_complete())
+    }
+
+    /// Advances every unfinished run by one step on the calling thread —
+    /// DL cohorts share one batched inference per wave. Returns how many
+    /// runs advanced (0 when complete). The incremental form of
+    /// [`Self::run_to_end`]; between waves the caller may sample
+    /// histories, checkpoint, or stop early.
+    pub fn step_wave(&mut self) -> usize {
+        step_wave(&mut self.sessions, &mut self.scratch)
+    }
+
+    /// Runs every session to its configured end across `threads` worker
+    /// threads ([`pool::available_threads`] is the natural argument).
+    /// Sessions are partitioned into contiguous chunks, one worker per
+    /// chunk, each batching its own cohorts — no cross-thread
+    /// synchronization until the final join, and per-run results
+    /// bit-identical to solo runs at any thread count (see the module
+    /// docs).
+    pub fn run_to_end(&mut self, threads: usize) {
+        pool::for_each_chunk(threads, &mut self.sessions, |_chunk, sessions| {
+            let mut scratch = WaveScratch::default();
+            while step_wave(sessions, &mut scratch) > 0 {}
+        });
+    }
+
+    /// Snapshots every run in the standard per-session [`Checkpoint`]
+    /// format (same JSON schema as [`Session::checkpoint`]); feed the
+    /// lot to [`Engine::resume_ensemble`](super::Engine::resume_ensemble)
+    /// or any subset to [`Engine::resume`](super::Engine::resume).
+    pub fn checkpoints(&self) -> Vec<Checkpoint> {
+        self.sessions.iter().map(Session::checkpoint).collect()
+    }
+
+    /// Finishes every run (final snapshot row, observer `on_finish`) and
+    /// returns the summaries in sweep order.
+    pub fn finish(self) -> Vec<RunSummary> {
+        self.sessions.into_iter().map(Session::finish).collect()
+    }
+
+    /// The backends driving the runs (diagnostic convenience).
+    pub fn backends(&self) -> Vec<Backend> {
+        self.sessions.iter().map(Session::backend).collect()
+    }
+}

@@ -50,6 +50,7 @@
 pub mod backend;
 pub mod compare;
 pub mod dl;
+pub mod ensemble;
 pub mod error;
 pub mod json;
 pub mod observer;
@@ -61,9 +62,13 @@ pub mod spec;
 pub use backend::{compatible_backends, Backend};
 pub use compare::{lockstep, ComparisonReport, LockstepDiff};
 pub use dl::Dl2DModel;
+pub use ensemble::{Ensemble, SweepSpec};
 pub use error::EngineError;
 pub use observer::{EnergyHistory, Observer, PhaseSpace, ProgressPrinter, RunSummary, Sample};
-pub use registry::{all_scenarios, names, scenario, SCENARIO_NAMES};
+pub use registry::{
+    all_scenarios, apply_sweep_param, names, scenario, sweep_params, sweepable_params, SweepParam,
+    SCENARIO_NAMES,
+};
 pub use runner::{run, run_scenario, start, Engine, Numerics1D};
 pub use session::{BackendSession, Checkpoint, Session};
 pub use spec::{Dim, DomainSpec, LoadingSpec, ScenarioSpec, SpeciesSpec};

@@ -254,7 +254,11 @@ impl RunSummary {
 /// A run monitor: the engine calls these hooks as the run proceeds.
 /// Implementations stream diagnostics to consoles, CSV files, dashboards —
 /// anything that should not be wired into the solver crates themselves.
-pub trait Observer {
+///
+/// `Send` because sessions (which own their observers) are distributed
+/// across worker threads by the ensemble scheduler; share mutable state
+/// out of an observer through `Arc<Mutex<…>>` rather than `Rc`.
+pub trait Observer: Send {
     /// Called once before the first step.
     fn on_start(&mut self, spec: &ScenarioSpec, backend: &Backend) {
         let _ = (spec, backend);

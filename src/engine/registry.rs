@@ -9,10 +9,16 @@
 //! | `cold_beam`     | the linearly *stable* cold-beam stress (Fig. 6)    |
 //! | `bump_on_tail`  | gentle-bump beam–plasma instability                |
 //! | `thermal_noise` | quiescent Maxwellian: fluctuation floor, no growth |
+//! | `warm_two_stream` | two-stream with thermal spread (Vlasov-friendly) |
+//! | `ion_acoustic`  | drifting Maxwellian carrying a seeded density wave |
 //!
 //! All entries reuse the paper's standard domains
 //! ([`DomainSpec::paper_1d`], [`DomainSpec::default_2d`]) and the
 //! `pic`/`pic2d` loading machinery underneath.
+//!
+//! For parameter sweeps, [`sweep_params`] lists the numeric knobs each
+//! scenario exposes and [`apply_sweep_param`] applies one by name —
+//! `engine::ensemble::SweepSpec` consumes both to expand grids of specs.
 
 use super::error::EngineError;
 use super::spec::{DomainSpec, LoadingSpec, ScenarioSpec, SpeciesSpec};
@@ -20,13 +26,15 @@ use crate::core::presets::Scale;
 use crate::pic::constants;
 
 /// Names this registry serves, in canonical order.
-pub const SCENARIO_NAMES: [&str; 6] = [
+pub const SCENARIO_NAMES: [&str; 8] = [
     "two_stream",
     "two_stream_2d",
     "landau_damping",
     "cold_beam",
     "bump_on_tail",
     "thermal_noise",
+    "warm_two_stream",
+    "ion_acoustic",
 ];
 
 /// The names this registry serves, as an enumerable slice — use this (or
@@ -163,6 +171,47 @@ pub fn scenario(name: &str, scale: Scale) -> Result<ScenarioSpec, EngineError> {
             seed: 23,
             tracked_modes: vec![1],
         },
+        "warm_two_stream" => ScenarioSpec {
+            name: name.into(),
+            domain: DomainSpec::paper_1d(),
+            // The paper's validation drift with a finite thermal spread:
+            // the instability still grows (v0 ≫ vth) but f is smooth
+            // enough for the continuum backend (vth ≥ its 0.01 floor),
+            // so sweeps can include Vlasov cross-checks.
+            species: SpeciesSpec::TwoStream {
+                v0: constants::PAPER_VALIDATION_V0,
+                vth: 0.02,
+            },
+            loading: LoadingSpec::Random,
+            scale,
+            ppc,
+            dt: constants::PAPER_DT,
+            n_steps,
+            seed: 29,
+            tracked_modes: vec![1, 2, 3],
+        },
+        "ion_acoustic" => ScenarioSpec {
+            name: name.into(),
+            domain: DomainSpec::paper_1d(),
+            // Electron picture of a current-carrying plasma: one
+            // Maxwellian drifting as a whole, with a quietly seeded
+            // mode-1 density wave riding on it (ion-acoustic-style
+            // propagating structure rather than a two-beam instability).
+            species: SpeciesSpec::DriftingMaxwellian {
+                drift: 0.15,
+                vth: 0.05,
+            },
+            loading: LoadingSpec::Quiet {
+                mode: 1,
+                amplitude: 1e-3,
+            },
+            scale,
+            ppc,
+            dt: constants::PAPER_DT,
+            n_steps,
+            seed: 31,
+            tracked_modes: vec![1, 2],
+        },
         other => {
             return Err(EngineError::UnknownScenario {
                 name: other.to_string(),
@@ -180,6 +229,133 @@ pub fn all_scenarios(scale: Scale) -> Vec<ScenarioSpec> {
         .iter()
         .map(|name| scenario(name, scale).expect("registry entries validate"))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Sweepable-parameter metadata (consumed by `ensemble::SweepSpec`).
+// ---------------------------------------------------------------------
+
+/// One numeric knob of a scenario that a parameter sweep may vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepParam {
+    /// The name [`apply_sweep_param`] accepts.
+    pub name: &'static str,
+    /// What the knob controls.
+    pub what: &'static str,
+}
+
+const fn param(name: &'static str, what: &'static str) -> SweepParam {
+    SweepParam { name, what }
+}
+
+/// The numeric knobs sweepable on `spec`, derived from its species and
+/// loading (so ad-hoc specs get the same metadata as registry entries).
+/// Every listed name is accepted by [`apply_sweep_param`].
+pub fn sweepable_params(spec: &ScenarioSpec) -> Vec<SweepParam> {
+    let mut params = vec![
+        param("dt", "time step"),
+        param("ppc", "macro-particles per cell (rounded to an integer)"),
+    ];
+    match spec.species {
+        SpeciesSpec::TwoStream { .. } => {
+            params.push(param("v0", "beam drift speed"));
+            params.push(param("vth", "per-beam thermal spread"));
+        }
+        SpeciesSpec::Maxwellian { .. } => {
+            params.push(param("vth", "thermal spread"));
+        }
+        SpeciesSpec::BumpOnTail { .. } => {
+            params.push(param("bulk_vth", "bulk thermal spread"));
+            params.push(param("beam_v", "beam drift speed"));
+            params.push(param("beam_vth", "beam thermal spread"));
+            params.push(param("beam_fraction", "beam density fraction"));
+        }
+        SpeciesSpec::DriftingMaxwellian { .. } => {
+            params.push(param("drift", "bulk drift speed"));
+            params.push(param("vth", "thermal spread"));
+        }
+    }
+    if matches!(spec.loading, LoadingSpec::Quiet { .. }) {
+        params.push(param("amplitude", "quiet-loading displacement amplitude"));
+    }
+    params
+}
+
+/// The sweepable knobs of a registry scenario by name (the metadata
+/// `SweepSpec` validates its axes against).
+pub fn sweep_params(name: &str) -> Result<Vec<SweepParam>, EngineError> {
+    Ok(sweepable_params(&scenario(name, Scale::Smoke)?))
+}
+
+/// Sets the named knob on `spec` (see [`sweepable_params`]); the caller
+/// re-validates the spec afterwards (sweeps validate every expanded
+/// point).
+// `!(value >= 1.0)` also rejects NaN where `value < 1.0` would accept it
+// (same convention as `ScenarioSpec::validate`).
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn apply_sweep_param(
+    spec: &mut ScenarioSpec,
+    name: &str,
+    value: f64,
+) -> Result<(), EngineError> {
+    let unknown = |spec: &ScenarioSpec| {
+        let known: Vec<&str> = sweepable_params(spec).iter().map(|p| p.name).collect();
+        Err(EngineError::InvalidSpec {
+            scenario: spec.name.clone(),
+            what: format!(
+                "`{name}` is not a sweepable parameter of this scenario (knows {})",
+                known.join(", ")
+            ),
+        })
+    };
+    match name {
+        "dt" => spec.dt = value,
+        "ppc" => {
+            if !(value >= 1.0) || value > 1e9 {
+                return Err(EngineError::InvalidSpec {
+                    scenario: spec.name.clone(),
+                    what: format!("ppc = {value} is not a positive particle count"),
+                });
+            }
+            spec.ppc = value.round() as usize;
+        }
+        "v0" => match &mut spec.species {
+            SpeciesSpec::TwoStream { v0, .. } => *v0 = value,
+            _ => return unknown(spec),
+        },
+        "vth" => match &mut spec.species {
+            SpeciesSpec::TwoStream { vth, .. }
+            | SpeciesSpec::Maxwellian { vth }
+            | SpeciesSpec::DriftingMaxwellian { vth, .. } => *vth = value,
+            SpeciesSpec::BumpOnTail { .. } => return unknown(spec),
+        },
+        "drift" => match &mut spec.species {
+            SpeciesSpec::DriftingMaxwellian { drift, .. } => *drift = value,
+            _ => return unknown(spec),
+        },
+        "bulk_vth" => match &mut spec.species {
+            SpeciesSpec::BumpOnTail { bulk_vth, .. } => *bulk_vth = value,
+            _ => return unknown(spec),
+        },
+        "beam_v" => match &mut spec.species {
+            SpeciesSpec::BumpOnTail { beam_v, .. } => *beam_v = value,
+            _ => return unknown(spec),
+        },
+        "beam_vth" => match &mut spec.species {
+            SpeciesSpec::BumpOnTail { beam_vth, .. } => *beam_vth = value,
+            _ => return unknown(spec),
+        },
+        "beam_fraction" => match &mut spec.species {
+            SpeciesSpec::BumpOnTail { beam_fraction, .. } => *beam_fraction = value,
+            _ => return unknown(spec),
+        },
+        "amplitude" => match &mut spec.loading {
+            LoadingSpec::Quiet { amplitude, .. } => *amplitude = value,
+            LoadingSpec::Random => return unknown(spec),
+        },
+        _ => return unknown(spec),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -214,6 +390,48 @@ mod tests {
         assert_eq!(names(), &SCENARIO_NAMES);
         for name in names() {
             assert!(scenario(name, Scale::Smoke).is_ok(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn new_presets_have_expected_physics() {
+        let warm = scenario("warm_two_stream", Scale::Smoke).unwrap();
+        assert!(matches!(
+            warm.species,
+            SpeciesSpec::TwoStream { vth, .. } if vth >= 0.01
+        ));
+        // Thermal spread above the continuum floor: Vlasov-compatible.
+        assert!(crate::engine::Backend::Vlasov.supports(&warm).is_ok());
+
+        let ion = scenario("ion_acoustic", Scale::Smoke).unwrap();
+        assert!(matches!(
+            ion.species,
+            SpeciesSpec::DriftingMaxwellian { .. }
+        ));
+        // Asymmetric drift: 1-D particle backends only, like bump-on-tail.
+        let names: Vec<&str> = crate::engine::compatible_backends(&ion)
+            .iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(names, vec!["traditional-1d", "dl-1d"]);
+    }
+
+    #[test]
+    fn sweep_metadata_names_are_applicable() {
+        for name in SCENARIO_NAMES {
+            let params = sweep_params(name).unwrap();
+            assert!(params.iter().any(|p| p.name == "dt"), "{name}");
+            let mut spec = scenario(name, Scale::Smoke).unwrap();
+            for p in &params {
+                // Application never validates physics ranges (the sweep
+                // validates each expanded spec); 2.0 satisfies the only
+                // applied-side check (ppc >= 1).
+                apply_sweep_param(&mut spec, p.name, 2.0)
+                    .unwrap_or_else(|e| panic!("{name}: listed param {} rejected: {e}", p.name));
+            }
+            // Unlisted names are rejected with the known list.
+            let err = apply_sweep_param(&mut spec, "warp_factor", 9.0).unwrap_err();
+            assert!(err.to_string().contains("dt"), "{err}");
         }
     }
 

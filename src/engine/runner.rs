@@ -12,6 +12,7 @@
 
 use super::backend::Backend;
 use super::dl::{self, Dl2DModel};
+use super::ensemble::{Ensemble, SweepSpec};
 use super::error::EngineError;
 use super::observer::{Observer, RunSummary};
 use super::session::{
@@ -149,6 +150,44 @@ impl Engine {
         let mut session = self.start(&checkpoint.spec, checkpoint.backend)?;
         session.restore(checkpoint)?;
         Ok(session)
+    }
+
+    /// Starts one session per spec and returns them as an [`Ensemble`] —
+    /// the fleet primitive: lockstep waves, batched DL inference within
+    /// each wave, multi-core [`Ensemble::run_to_end`]. All sessions are
+    /// built by this engine, so every DL session of a dimension shares
+    /// the engine's (single) model — the invariant cohort batching needs.
+    pub fn start_ensemble(
+        &self,
+        specs: &[ScenarioSpec],
+        backend: Backend,
+    ) -> Result<Ensemble, EngineError> {
+        let sessions = specs
+            .iter()
+            .map(|spec| self.start(spec, backend))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Ensemble::new(sessions))
+    }
+
+    /// Expands a [`SweepSpec`] (parameter grid × seed fan) and starts the
+    /// resulting fleet — `start_ensemble` over [`SweepSpec::specs`].
+    pub fn start_sweep(
+        &self,
+        sweep: &SweepSpec,
+        backend: Backend,
+    ) -> Result<Ensemble, EngineError> {
+        self.start_ensemble(&sweep.specs()?, backend)
+    }
+
+    /// Rebuilds a fleet from per-session checkpoints (the inverse of
+    /// [`Ensemble::checkpoints`]); each run resumes bit-identically, and
+    /// mixed backends are fine.
+    pub fn resume_ensemble(&self, checkpoints: &[Checkpoint]) -> Result<Ensemble, EngineError> {
+        let sessions = checkpoints
+            .iter()
+            .map(|c| self.resume(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Ensemble::new(sessions))
     }
 
     /// Runs a registry scenario by name.

@@ -63,7 +63,11 @@ fn vlasov_nv(scale: Scale) -> usize {
 /// solver family's stepping and diagnostics conventions to the engine's
 /// unified [`Sample`] shape; [`Session`] wraps one of these with history
 /// recording and observer fan-out.
-pub trait BackendSession {
+///
+/// `Send` because the ensemble scheduler distributes sessions across
+/// worker threads (each session is owned by exactly one worker at a
+/// time).
+pub trait BackendSession: Send {
     /// Advances one step and returns the diagnostics row recorded for the
     /// step's *starting* time level (the solver crates' convention).
     fn step(&mut self) -> Sample;
@@ -95,6 +99,56 @@ pub trait BackendSession {
     /// Backend-specific summary extras (e.g. communication volume).
     fn extras(&self) -> Vec<(String, f64)> {
         Vec::new()
+    }
+
+    // -----------------------------------------------------------------
+    // Batched-inference phase hooks (the ensemble execution path).
+    //
+    // A session whose field solve routes through a phase-split solver
+    // (`Some` from `infer_shape`) exposes its step as three phases so an
+    // external scheduler can gather the inference inputs of many
+    // sessions, run ONE batched inference, and scatter the outputs back:
+    //
+    //   let sample = s.step_prepare(&mut batch[r*in..][..in]);
+    //   leader.infer_batch(&batch, rows, &mut out);   // any cohort member
+    //   s.step_apply(&out[r*out_w..][..out_w]);
+    //
+    // prepare → infer(1 row) → apply is bit-identical to `step` (the
+    // solvers route their own solve through the same phases), and row
+    // `i` of a batched inference is bit-identical to a 1-row inference
+    // (row-stable GEMM kernels), so ensemble histories reproduce solo
+    // runs exactly. The defaults make every session non-batchable.
+    // -----------------------------------------------------------------
+
+    /// `(input, output)` row widths of the batched-inference phases, or
+    /// `None` when this session's solve cannot be split (non-DL
+    /// backends).
+    fn infer_shape(&mut self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Phase 1 of a split step: everything [`Self::step`] does before
+    /// the field-solve inference (diagnostics, particle push, history
+    /// row), plus the inference-input preparation into `input`. Returns
+    /// the step's diagnostics row, exactly as [`Self::step`] would.
+    ///
+    /// Must be followed by [`Self::step_apply`] before any other
+    /// stepping call. Only valid when [`Self::infer_shape`] is `Some`.
+    fn step_prepare(&mut self, _input: &mut [f32]) -> Sample {
+        unreachable!("step_prepare on a session without batched inference")
+    }
+
+    /// Phase 2: one inference over `rows` stacked input rows. Callable on
+    /// any cohort member; the ensemble runs the whole batch through one
+    /// session's solver (identical network parameters by construction).
+    fn infer_batch(&mut self, _input: &[f32], _rows: usize, _output: &mut [f32]) {
+        unreachable!("infer_batch on a session without batched inference")
+    }
+
+    /// Phase 3: applies this session's inference-output row and
+    /// completes the step begun by [`Self::step_prepare`].
+    fn step_apply(&mut self, _output: &[f32]) {
+        unreachable!("step_apply on a session without batched inference")
     }
 }
 
@@ -229,6 +283,41 @@ impl BackendSession for Pic1DSession {
         ])
     }
 
+    fn infer_shape(&mut self) -> Option<(usize, usize)> {
+        let (solver, _, _, _) = self.sim.split_for_solve();
+        solver.phased().map(|p| (p.input_len(), p.output_len()))
+    }
+
+    fn step_prepare(&mut self, input: &mut [f32]) -> Sample {
+        self.sim.step_pre_solve();
+        let (solver, particles, grid, _e) = self.sim.split_for_solve();
+        solver
+            .phased()
+            .expect("step_prepare on a non-phased solver")
+            .prepare_input(particles, grid, input);
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        // step_post_solve has not run yet, so steps_done is still the
+        // step index `step` would report as `steps_done() - 1`.
+        sample_from_row(self.sim.steps_done(), row)
+    }
+
+    fn infer_batch(&mut self, input: &[f32], rows: usize, output: &mut [f32]) {
+        let (solver, _, _, _) = self.sim.split_for_solve();
+        solver
+            .phased()
+            .expect("infer_batch on a non-phased solver")
+            .infer_batch(input, rows, output);
+    }
+
+    fn step_apply(&mut self, output: &[f32]) {
+        let (solver, _, _, e) = self.sim.split_for_solve();
+        solver
+            .phased()
+            .expect("step_apply on a non-phased solver")
+            .apply_output(output, e);
+        self.sim.step_post_solve();
+    }
+
     fn restore(&mut self, state: &Json) -> Result<(), EngineError> {
         check_solver_name(state, self.sim.solver_name())?;
         let x = state.field("x")?.as_f64_vec()?;
@@ -355,6 +444,39 @@ impl BackendSession for Pic2DSession {
             ("time", Json::Num(self.sim.time())),
             ("steps_done", Json::Num(self.sim.steps_done() as f64)),
         ])
+    }
+
+    fn infer_shape(&mut self) -> Option<(usize, usize)> {
+        let (solver, _, _, _, _) = self.sim.split_for_solve();
+        solver.phased().map(|p| (p.input_len(), p.output_len()))
+    }
+
+    fn step_prepare(&mut self, input: &mut [f32]) -> Sample {
+        self.sim.step_pre_solve();
+        let (solver, particles, grid, _ex, _ey) = self.sim.split_for_solve();
+        solver
+            .phased()
+            .expect("step_prepare on a non-phased solver")
+            .prepare_input(particles, grid, input);
+        let row = self.sim.history().last_sample().expect("row just recorded");
+        sample_from_row(self.sim.steps_done(), row)
+    }
+
+    fn infer_batch(&mut self, input: &[f32], rows: usize, output: &mut [f32]) {
+        let (solver, _, _, _, _) = self.sim.split_for_solve();
+        solver
+            .phased()
+            .expect("infer_batch on a non-phased solver")
+            .infer_batch(input, rows, output);
+    }
+
+    fn step_apply(&mut self, output: &[f32]) {
+        let (solver, _, _, ex, ey) = self.sim.split_for_solve();
+        solver
+            .phased()
+            .expect("step_apply on a non-phased solver")
+            .apply_output(output, ex, ey);
+        self.sim.step_post_solve();
     }
 
     fn restore(&mut self, state: &Json) -> Result<(), EngineError> {
@@ -625,6 +747,22 @@ impl BackendSession for DdecompSession {
             ("migrated_total", Json::Num(state.migrated_total as f64)),
             ("comm_messages", Json::Num(state.comm.messages as f64)),
             ("comm_bytes", Json::Num(state.comm.bytes as f64)),
+            (
+                "comm_phases",
+                Json::Arr(
+                    state
+                        .comm_phases
+                        .iter()
+                        .map(|&(phase, stats)| {
+                            obj(vec![
+                                ("phase", Json::Str(phase.into())),
+                                ("messages", Json::Num(stats.messages as f64)),
+                                ("bytes", Json::Num(stats.bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -664,6 +802,29 @@ impl BackendSession for DdecompSession {
                 self.sim.total_particles()
             )));
         }
+        // Per-phase traffic breakdown: phase names intern against the
+        // closed set the strategies emit (an unknown name means a
+        // corrupted or foreign checkpoint, not a new phase). Checkpoints
+        // written before the breakdown was persisted lack the field —
+        // still valid v1 documents, restored with an empty breakdown
+        // (exactly the old behavior).
+        let mut comm_phases = Vec::new();
+        let phase_docs = match state.field("comm_phases") {
+            Ok(docs) => docs.as_arr()?,
+            Err(_) => &[],
+        };
+        for doc in phase_docs {
+            let name = doc.field("phase")?.as_str()?;
+            let phase = crate::ddecomp::comm::intern_phase(name)
+                .ok_or_else(|| bad_checkpoint(format!("unknown comm phase `{name}`")))?;
+            comm_phases.push((
+                phase,
+                crate::ddecomp::comm::CommStats {
+                    messages: doc.field("messages")?.as_u64()?,
+                    bytes: doc.field("bytes")?.as_u64()?,
+                },
+            ));
+        }
         self.sim.restore_state(&DistState {
             ranks,
             time: state.field("time")?.as_f64()?,
@@ -673,6 +834,7 @@ impl BackendSession for DdecompSession {
                 messages: state.field("comm_messages")?.as_u64()?,
                 bytes: state.field("comm_bytes")?.as_u64()?,
             },
+            comm_phases,
         });
         Ok(())
     }
@@ -798,6 +960,42 @@ impl Session {
             obs.on_sample(&sample);
         }
         sample
+    }
+
+    /// `(input, output)` row widths of this session's batched-inference
+    /// phases, or `None` when its field solve cannot be split (non-DL
+    /// backends). See [`Self::step_prepare`].
+    pub fn batched_infer_shape(&mut self) -> Option<(usize, usize)> {
+        self.inner.infer_shape()
+    }
+
+    /// Phase 1 of a split step (see
+    /// [`BackendSession::step_prepare`]): advances everything up to the
+    /// field-solve inference, writes the inference input into `input`,
+    /// and records/streams the step's diagnostics row exactly as
+    /// [`Self::step`] would. Must be completed with [`Self::step_apply`];
+    /// the ensemble scheduler pairs them around one batched
+    /// [`Self::infer_batch`] shared by a whole cohort of sessions.
+    pub fn step_prepare(&mut self, input: &mut [f32]) -> Sample {
+        let sample = self.inner.step_prepare(input);
+        self.history.push(&sample);
+        for obs in &mut self.observers {
+            obs.on_sample(&sample);
+        }
+        sample
+    }
+
+    /// Phase 2 of a split step: one inference over `rows` stacked input
+    /// rows through this session's solver. The ensemble calls this on
+    /// one cohort member for the whole batch.
+    pub fn infer_batch(&mut self, input: &[f32], rows: usize, output: &mut [f32]) {
+        self.inner.infer_batch(input, rows, output);
+    }
+
+    /// Phase 3 of a split step: applies this session's output row and
+    /// completes the step begun by [`Self::step_prepare`].
+    pub fn step_apply(&mut self, output: &[f32]) {
+        self.inner.step_apply(output);
     }
 
     /// Runs until the spec's `n_steps` have completed.

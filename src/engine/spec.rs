@@ -121,6 +121,16 @@ pub enum SpeciesSpec {
         /// Fraction of the total density carried by the beam, in `(0, 1)`.
         beam_fraction: f64,
     },
+    /// A single Maxwellian drifting as a whole — the electron response of
+    /// an ion-acoustic-style current-carrying plasma. Asymmetric, so (like
+    /// bump-on-tail) it loads via `MultiBeamInit` and runs on the 1-D
+    /// particle backends.
+    DriftingMaxwellian {
+        /// Bulk drift speed.
+        drift: f64,
+        /// Thermal spread.
+        vth: f64,
+    },
 }
 
 impl SpeciesSpec {
@@ -131,7 +141,7 @@ impl SpeciesSpec {
         match *self {
             Self::TwoStream { v0, vth } => Some((v0, vth)),
             Self::Maxwellian { vth } => Some((0.0, vth)),
-            Self::BumpOnTail { .. } => None,
+            Self::BumpOnTail { .. } | Self::DriftingMaxwellian { .. } => None,
         }
     }
 }
@@ -240,6 +250,11 @@ impl ScenarioSpec {
                 }
                 if !(beam_fraction > 0.0 && beam_fraction < 1.0) {
                     return fail("beam_fraction must lie in (0, 1)");
+                }
+            }
+            SpeciesSpec::DriftingMaxwellian { drift, vth } => {
+                if !drift.is_finite() || !(vth > 0.0) {
+                    return fail("drifting maxwellian needs finite drift and vth > 0");
                 }
             }
         }
@@ -359,6 +374,11 @@ impl ScenarioSpec {
                     weight: beam_fraction,
                 },
             ],
+            SpeciesSpec::DriftingMaxwellian { drift, vth } => vec![BeamSpec {
+                drift,
+                vth,
+                weight: 1.0,
+            }],
         };
         MultiBeamInit {
             beams,
@@ -432,6 +452,11 @@ impl ScenarioSpec {
                 ("beam_v", Json::Num(beam_v)),
                 ("beam_vth", Json::Num(beam_vth)),
                 ("beam_fraction", Json::Num(beam_fraction)),
+            ]),
+            SpeciesSpec::DriftingMaxwellian { drift, vth } => obj(vec![
+                ("kind", Json::Str("drifting_maxwellian".into())),
+                ("drift", Json::Num(drift)),
+                ("vth", Json::Num(vth)),
             ]),
         };
         let loading = match self.loading {
@@ -507,6 +532,10 @@ impl ScenarioSpec {
                 beam_v: species_doc.field("beam_v")?.as_f64()?,
                 beam_vth: species_doc.field("beam_vth")?.as_f64()?,
                 beam_fraction: species_doc.field("beam_fraction")?.as_f64()?,
+            },
+            "drifting_maxwellian" => SpeciesSpec::DriftingMaxwellian {
+                drift: species_doc.field("drift")?.as_f64()?,
+                vth: species_doc.field("vth")?.as_f64()?,
             },
             other => {
                 return Err(EngineError::InvalidSpec {

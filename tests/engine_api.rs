@@ -129,22 +129,22 @@ fn observers_stream_every_sample() {
             assert_eq!(summary.history.len(), self.samples.len());
         }
     }
-    // Observers are boxed into the engine; inspect via a shared cell.
-    use std::cell::RefCell;
-    use std::rc::Rc;
-    struct Shared(Rc<RefCell<Counter>>);
+    // Observers are boxed into the engine; inspect via a shared handle
+    // (Arc<Mutex<…>> — observers are Send, sessions can cross threads).
+    use std::sync::{Arc, Mutex};
+    struct Shared(Arc<Mutex<Counter>>);
     impl Observer for Shared {
         fn on_start(&mut self, spec: &ScenarioSpec, backend: &Backend) {
-            self.0.borrow_mut().on_start(spec, backend);
+            self.0.lock().unwrap().on_start(spec, backend);
         }
         fn on_sample(&mut self, sample: &Sample) {
-            self.0.borrow_mut().on_sample(sample);
+            self.0.lock().unwrap().on_sample(sample);
         }
         fn on_finish(&mut self, summary: &RunSummary) {
-            self.0.borrow_mut().on_finish(summary);
+            self.0.lock().unwrap().on_finish(summary);
         }
     }
-    let state = Rc::new(RefCell::new(Counter {
+    let state = Arc::new(Mutex::new(Counter {
         started: 0,
         samples: Vec::new(),
         finished: 0,
@@ -153,7 +153,7 @@ fn observers_stream_every_sample() {
     spec.n_steps = 7;
     let mut eng = Engine::new().with_observer(Box::new(Shared(state.clone())));
     eng.run(&spec, Backend::Traditional1D).unwrap();
-    let counter = state.borrow();
+    let counter = state.lock().unwrap();
     assert_eq!(counter.started, 1);
     assert_eq!(counter.finished, 1);
     assert_eq!(counter.samples, (0..=7).collect::<Vec<_>>());

@@ -327,8 +327,8 @@ fn run_until_stops_early_and_summarizes_consistently() {
 
 #[test]
 fn sessions_stream_to_attached_observers() {
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    // Arc<Mutex<…>>: observers are Send (sessions can cross threads).
+    use std::sync::{Arc, Mutex};
 
     #[derive(Default)]
     struct Log {
@@ -336,26 +336,26 @@ fn sessions_stream_to_attached_observers() {
         steps: Vec<usize>,
         finished: usize,
     }
-    struct Shared(Rc<RefCell<Log>>);
+    struct Shared(Arc<Mutex<Log>>);
     impl Observer for Shared {
         fn on_start(&mut self, _spec: &ScenarioSpec, _backend: &Backend) {
-            self.0.borrow_mut().started += 1;
+            self.0.lock().unwrap().started += 1;
         }
         fn on_sample(&mut self, sample: &Sample) {
-            self.0.borrow_mut().steps.push(sample.step);
+            self.0.lock().unwrap().steps.push(sample.step);
         }
         fn on_finish(&mut self, _summary: &dlpic_repro::engine::RunSummary) {
-            self.0.borrow_mut().finished += 1;
+            self.0.lock().unwrap().finished += 1;
         }
     }
 
-    let log = Rc::new(RefCell::new(Log::default()));
+    let log = Arc::new(Mutex::new(Log::default()));
     let spec = small_spec("thermal_noise", 5);
     let mut session = engine::start(&spec, Backend::Traditional1D).unwrap();
     session.attach_observer(Box::new(Shared(log.clone())));
     session.run_to_end();
     session.finish();
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert_eq!(log.started, 1);
     assert_eq!(log.finished, 1);
     assert_eq!(log.steps, (0..=5).collect::<Vec<_>>());
