@@ -1,0 +1,159 @@
+//! The control-plane CLI: submit jobs to a running `dlpic-serve`, watch
+//! their sample streams, poll status, fetch results, cancel, drain.
+//!
+//! ```sh
+//! dlpic-cli submit --addr 127.0.0.1:7700 --job '{"backend":"dl-1d","sweep":{…}}'
+//! dlpic-cli watch  --addr 127.0.0.1:7700 job-0001
+//! dlpic-cli wait   --addr 127.0.0.1:7700 job-0001   # block, then print results
+//! dlpic-cli drain  --addr 127.0.0.1:7700
+//! ```
+//!
+//! Every subcommand prints the server's JSON to stdout, one document (or
+//! one event) per line, so output pipes straight into `jq`-style tools.
+
+use std::time::Duration;
+
+use dlpic_repro::engine::json::Json;
+use dlpic_serve::client::Client;
+use dlpic_serve::job::JobRequest;
+use dlpic_serve::protocol::ProtoError;
+use dlpic_serve::ServeError;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlpic-cli <submit|status|watch|cancel|drain|result|wait> --addr ADDR [args]\n\
+         \x20 submit --addr A [--tenant T] (--job JSON | --job-file PATH)\n\
+         \x20 status --addr A [JOB]\n\
+         \x20 watch  --addr A JOB\n\
+         \x20 cancel --addr A JOB\n\
+         \x20 drain  --addr A\n\
+         \x20 result --addr A JOB [RUN]\n\
+         \x20 wait   --addr A JOB"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: Option<String>,
+    tenant: String,
+    job_json: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(mut args: std::env::Args) -> Args {
+    let mut out = Args {
+        addr: None,
+        tenant: "default".into(),
+        job_json: None,
+        positional: Vec::new(),
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => out.addr = Some(value("--addr")),
+            "--tenant" => out.tenant = value("--tenant"),
+            "--job" => out.job_json = Some(value("--job")),
+            "--job-file" => {
+                let path = value("--job-file");
+                out.job_json = Some(std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+            other => out.positional.push(other.to_string()),
+        }
+    }
+    out
+}
+
+fn run() -> Result<(), ServeError> {
+    let mut env_args = std::env::args();
+    let _ = env_args.next();
+    let Some(command) = env_args.next() else {
+        usage()
+    };
+    let args = parse_args(env_args);
+    let addr = args.addr.clone().unwrap_or_else(|| {
+        eprintln!("--addr is required");
+        usage()
+    });
+    let mut client = Client::connect(&addr)?;
+    match command.as_str() {
+        "submit" => {
+            let text = args.job_json.clone().unwrap_or_else(|| {
+                eprintln!("submit needs --job JSON or --job-file PATH");
+                usage()
+            });
+            let doc = Json::parse(&text).map_err(ProtoError::from)?;
+            let job = JobRequest::from_json_value(&doc)?;
+            let (id, runs) = client.submit(&job, &args.tenant)?;
+            println!("{{\"job\":{:?},\"runs\":{runs}}}", id);
+        }
+        "status" => {
+            let doc = client.status(args.positional.first().map(String::as_str))?;
+            println!("{}", doc.to_compact());
+        }
+        "watch" => {
+            let job = args.positional.first().unwrap_or_else(|| usage());
+            client.watch(job, |event| println!("{}", event.to_compact()))?;
+        }
+        "cancel" => {
+            let job = args.positional.first().unwrap_or_else(|| usage());
+            let n = client.cancel(job)?;
+            println!("{{\"cancelled\":{n}}}");
+        }
+        "drain" => {
+            client.drain()?;
+            println!("{{\"draining\":true}}");
+        }
+        "result" => {
+            let job = args.positional.first().unwrap_or_else(|| usage());
+            let run = args.positional.get(1).map(|r| {
+                r.parse().unwrap_or_else(|_| {
+                    eprintln!("RUN must be an index");
+                    usage()
+                })
+            });
+            for result in client.results(job, run)? {
+                println!(
+                    "{{\"run\":{},\"name\":{:?},\"state\":{:?},\"summary\":{}}}",
+                    result.run,
+                    result.name,
+                    result.state,
+                    result.summary.to_compact()
+                );
+            }
+        }
+        "wait" => {
+            let job = args.positional.first().unwrap_or_else(|| usage());
+            for result in client.wait_for(job, Duration::from_millis(50))? {
+                println!(
+                    "{{\"run\":{},\"name\":{:?},\"state\":{:?},\"summary\":{}}}",
+                    result.run,
+                    result.name,
+                    result.state,
+                    result.summary.to_compact()
+                );
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("dlpic-cli: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,63 @@
+//! The daemon binary: bind, (optionally) resume a spooled fleet, serve
+//! until drained.
+//!
+//! ```sh
+//! dlpic-serve --listen 127.0.0.1:0 --spool /var/spool/dlpic
+//! dlpic-serve --resume /var/spool/dlpic          # continue after a crash
+//! ```
+//!
+//! Prints `listening <addr>` on stdout once ready (with the real port
+//! when an ephemeral one was requested) — scripts and the integration
+//! tests parse that line.
+
+use dlpic_serve::server::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlpic-serve [--listen HOST:PORT|unix:PATH] [--spool DIR] [--resume DIR]\n\
+         \x20                  [--max-sessions N] [--spool-interval WAVES]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--listen" => config.listen = value("--listen"),
+            "--spool" => config = config.spool(value("--spool")),
+            "--resume" => config = config.resume(value("--resume")),
+            "--max-sessions" => {
+                config.max_sessions = value("--max-sessions").parse().unwrap_or_else(|_| usage())
+            }
+            "--spool-interval" => {
+                config.spool_interval = value("--spool-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dlpic-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+}

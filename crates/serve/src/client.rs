@@ -1,0 +1,280 @@
+//! A blocking client for the serve protocol: connect, send one request
+//! line, read one response line — plus the streaming `watch` loop. The
+//! `dlpic-cli` binary is a thin argument parser over this module, and
+//! the integration tests drive servers through it in-process.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use dlpic_repro::engine::json::{obj, Json};
+
+use crate::error::ServeError;
+use crate::job::JobRequest;
+use crate::protocol::{self, ProtoError};
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Self::Tcp(s) => Self::Tcp(s.try_clone()?),
+            Self::Unix(s) => Self::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connection to a `dlpic-serve` daemon. One request at a time; the
+/// connection is reusable across requests (including after a completed
+/// `watch`).
+pub struct Client {
+    writer: Stream,
+    reader: BufReader<Stream>,
+}
+
+/// Reads one `\n`-terminated line without the server's [`MAX_LINE`]
+/// inbound cap: the cap shields the daemon from hostile peers, but the
+/// client trusts its server, and a `result` response legitimately embeds
+/// a full run history (which can run to megabytes). `None` at EOF.
+///
+/// [`MAX_LINE`]: crate::protocol::MAX_LINE
+fn read_raw_line(reader: &mut impl std::io::BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// One finished run as returned by [`Client::results`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Run index within the job.
+    pub run: usize,
+    /// The expanded spec's name.
+    pub name: String,
+    /// `done` or `stopped`.
+    pub state: String,
+    /// The stored summary document (scenario, backend, steps, history…).
+    pub summary: Json,
+}
+
+impl Client {
+    /// Connects to `host:port` (TCP) or `unix:<path>` (Unix socket).
+    pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        let stream = match addr.strip_prefix("unix:") {
+            Some(path) => Stream::Unix(UnixStream::connect(path)?),
+            None => Stream::Tcp(TcpStream::connect(addr)?),
+        };
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one raw request line and returns the parsed `ok` response
+    /// document (protocol errors become [`ServeError::Protocol`]).
+    pub fn request(&mut self, line: &str) -> Result<Json, ServeError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Json, ServeError> {
+        match read_raw_line(&mut self.reader)? {
+            None => Err(ServeError::Disconnected),
+            Some(line) => Ok(protocol::parse_response(&line)?),
+        }
+    }
+
+    /// Submits a job under `tenant`; returns `(job id, run count)`.
+    pub fn submit(
+        &mut self,
+        job: &JobRequest,
+        tenant: &str,
+    ) -> Result<(String, usize), ServeError> {
+        let line = obj(vec![
+            ("op", Json::Str("submit".into())),
+            ("tenant", Json::Str(tenant.into())),
+            ("job", job.to_json_value()),
+        ])
+        .to_compact();
+        let doc = self.request(&line)?;
+        Ok((
+            doc.field("job")
+                .map_err(ProtoError::from)?
+                .as_str()
+                .map_err(ProtoError::from)?
+                .to_string(),
+            doc.field("runs")
+                .and_then(Json::as_usize)
+                .map_err(ProtoError::from)?,
+        ))
+    }
+
+    /// The full status document — every job, or one by id.
+    pub fn status(&mut self, job: Option<&str>) -> Result<Json, ServeError> {
+        let mut fields = vec![("op", Json::Str("status".into()))];
+        if let Some(id) = job {
+            fields.push(("job", Json::Str(id.into())));
+        }
+        self.request(&obj(fields).to_compact())
+    }
+
+    /// Subscribes to a job and invokes `on_event` for every event line
+    /// until the job finishes (or the server drains). Returns the number
+    /// of events seen.
+    pub fn watch(
+        &mut self,
+        job: &str,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<usize, ServeError> {
+        let line = obj(vec![
+            ("op", Json::Str("watch".into())),
+            ("job", Json::Str(job.into())),
+        ])
+        .to_compact();
+        self.request(&line)?;
+        let mut seen = 0usize;
+        loop {
+            let event = match read_raw_line(&mut self.reader)? {
+                None => return Err(ServeError::Disconnected),
+                Some(text) => Json::parse(&text).map_err(ProtoError::from)?,
+            };
+            seen += 1;
+            let kind = event
+                .field("event")
+                .and_then(Json::as_str)
+                .map_err(ProtoError::from)?
+                .to_string();
+            on_event(&event);
+            if kind == "job_done" {
+                return Ok(seen);
+            }
+        }
+    }
+
+    /// Cancels a job's unfinished runs; returns how many were cancelled.
+    pub fn cancel(&mut self, job: &str) -> Result<usize, ServeError> {
+        let line = obj(vec![
+            ("op", Json::Str("cancel".into())),
+            ("job", Json::Str(job.into())),
+        ])
+        .to_compact();
+        let doc = self.request(&line)?;
+        Ok(doc
+            .field("cancelled")
+            .and_then(Json::as_usize)
+            .map_err(ProtoError::from)?)
+    }
+
+    /// Asks the server to spool everything and shut down gracefully.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        self.request(&obj(vec![("op", Json::Str("drain".into()))]).to_compact())?;
+        Ok(())
+    }
+
+    /// Fetches finished-run summaries — every finished run, or one
+    /// specific run index (which errors until that run finishes).
+    pub fn results(&mut self, job: &str, run: Option<usize>) -> Result<Vec<RunResult>, ServeError> {
+        let mut fields = vec![
+            ("op", Json::Str("result".into())),
+            ("job", Json::Str(job.into())),
+        ];
+        if let Some(k) = run {
+            fields.push(("run", Json::Num(k as f64)));
+        }
+        let doc = self.request(&obj(fields).to_compact())?;
+        let rows = doc
+            .field("results")
+            .and_then(Json::as_arr)
+            .map_err(ProtoError::from)?;
+        rows.iter()
+            .map(|row| {
+                Ok(RunResult {
+                    run: row
+                        .field("run")
+                        .and_then(Json::as_usize)
+                        .map_err(ProtoError::from)?,
+                    name: row
+                        .field("name")
+                        .and_then(Json::as_str)
+                        .map_err(ProtoError::from)?
+                        .to_string(),
+                    state: row
+                        .field("state")
+                        .and_then(Json::as_str)
+                        .map_err(ProtoError::from)?
+                        .to_string(),
+                    summary: row.field("summary").map_err(ProtoError::from)?.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Polls `status` until the job's runs are all final, then returns
+    /// its results. `interval` is the poll period.
+    pub fn wait_for(
+        &mut self,
+        job: &str,
+        interval: std::time::Duration,
+    ) -> Result<Vec<RunResult>, ServeError> {
+        loop {
+            let doc = self.status(Some(job))?;
+            let jobs = doc
+                .field("jobs")
+                .and_then(Json::as_arr)
+                .map_err(ProtoError::from)?;
+            let all_final = jobs.iter().all(|j| {
+                j.field("runs")
+                    .ok()
+                    .and_then(|runs| runs.as_arr().ok().map(<[Json]>::to_vec))
+                    .is_some_and(|runs| {
+                        runs.iter().all(|r| {
+                            matches!(
+                                r.field("state").and_then(Json::as_str),
+                                Ok("done" | "stopped" | "cancelled" | "failed")
+                            )
+                        })
+                    })
+            });
+            if all_final {
+                return self.results(job, None);
+            }
+            std::thread::sleep(interval);
+        }
+    }
+}

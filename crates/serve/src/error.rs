@@ -1,0 +1,60 @@
+//! The crate-wide error type: engine failures, I/O, and protocol-level
+//! rejections funneled into one `Result` for the client library and the
+//! binaries.
+
+use dlpic_repro::engine::EngineError;
+
+use crate::protocol::ProtoError;
+
+/// Anything that can go wrong serving or consuming the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An engine-side failure (bad spec, checkpoint mismatch, …).
+    Engine(EngineError),
+    /// Socket or spool I/O.
+    Io(std::io::Error),
+    /// A structured protocol rejection — either produced locally while
+    /// parsing a peer's line, or relayed from a server error response.
+    Protocol(ProtoError),
+    /// The server closed the connection mid-exchange.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Engine(e) => write!(f, "engine: {e}"),
+            Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::Protocol(e) => write!(f, "protocol: {e}"),
+            Self::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Engine(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        Self::Protocol(e)
+    }
+}

@@ -1,0 +1,279 @@
+//! The wire protocol: one JSON object per `\n`-terminated line, in both
+//! directions (NDJSON). Requests carry an `"op"` field; the server
+//! answers every request line with exactly one response line —
+//! `{"ok":true, …}` on success, `{"ok":false,"error":{"code","message"}}`
+//! on rejection — except `watch`, whose single `ok` acknowledgement is
+//! followed by a stream of `{"event": …}` lines until the job finishes.
+//!
+//! The parser is strict so that malformed traffic dies at the boundary:
+//! lines longer than [`MAX_LINE`] are rejected (and drained, so the
+//! connection keeps framing), non-objects and unknown `op`s are rejected,
+//! and every op rejects fields it does not define — a misspelled field is
+//! an error, not a silently ignored no-op. All rejections are data
+//! ([`ProtoError`]), never panics: a hostile peer cannot take the server
+//! down or wedge its own connection.
+
+use std::io::BufRead;
+
+use dlpic_repro::engine::json::{obj, Json, JsonError};
+
+use crate::job::JobRequest;
+
+/// Hard cap on one inbound request line, in bytes. The server refuses a
+/// line this long before parsing it — a shield against hostile peers.
+/// Responses are exempt: a `result` line legitimately embeds a full run
+/// history, and the client reads its trusted server without the cap.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// A structured protocol rejection: a machine-readable `code` plus a
+/// human-readable `message`. Serialized into error responses verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Stable machine-readable discriminator (`bad-json`, `oversized`,
+    /// `unknown-op`, `unknown-field`, `missing-field`, `bad-request`,
+    /// `unknown-job`, `server-error`, …).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A rejection with this code and message.
+    pub fn new(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        Self::new("bad-json", e.message)
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Enqueue a job under a tenant's queue.
+    Submit {
+        /// Queue to account the job against (fair scheduling unit).
+        tenant: String,
+        /// What to run (boxed: a `JobRequest` embeds a full spec, which
+        /// would otherwise dominate the enum's size).
+        job: Box<JobRequest>,
+    },
+    /// Report every job, or one job by id.
+    Status {
+        /// Restrict to this job id.
+        job: Option<String>,
+    },
+    /// Subscribe to a job's event stream (samples, run/job completion).
+    Watch {
+        /// Job id to follow.
+        job: String,
+    },
+    /// Cancel a job's unfinished runs.
+    Cancel {
+        /// Job id to cancel.
+        job: String,
+    },
+    /// Spool every session and shut the server down gracefully.
+    Drain,
+    /// Fetch the stored summary of finished runs.
+    Result {
+        /// Job id to read.
+        job: String,
+        /// One run index, or every finished run when absent.
+        run: Option<usize>,
+    },
+}
+
+/// Reads one `\n`-terminated line, enforcing [`MAX_LINE`]. Returns
+/// `Ok(None)` at EOF. An oversized line is drained to its newline (so the
+/// stream stays framed) and reported as a [`ProtoError`] — the caller
+/// answers it and keeps serving.
+pub fn read_line(reader: &mut impl BufRead) -> std::io::Result<Option<Result<String, ProtoError>>> {
+    let mut line = Vec::new();
+    let mut overflow = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF. A part-read line without a newline is a truncated
+            // request: report it unless nothing was read at all.
+            return match (line.is_empty(), overflow) {
+                (true, false) => Ok(None),
+                (_, true) => Ok(Some(Err(oversized()))),
+                (false, false) => Ok(Some(Err(ProtoError::new(
+                    "truncated",
+                    "connection closed mid-line (no trailing newline)",
+                )))),
+            };
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if !overflow {
+            if line.len() + take > MAX_LINE + 1 {
+                overflow = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(&buf[..take]);
+            }
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            if overflow {
+                return Ok(Some(Err(oversized())));
+            }
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(match String::from_utf8(line) {
+                Ok(text) => Ok(text),
+                Err(_) => Err(ProtoError::new("bad-utf8", "request line is not UTF-8")),
+            }));
+        }
+    }
+}
+
+fn oversized() -> ProtoError {
+    ProtoError::new(
+        "oversized",
+        format!("request line exceeds the {MAX_LINE}-byte cap"),
+    )
+}
+
+/// Parses one request line into a typed [`Request`]. Strict: unknown ops
+/// and unknown fields are rejected with the accepted set in the message.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let doc = Json::parse(line)?;
+    let Json::Obj(fields) = &doc else {
+        return Err(ProtoError::new(
+            "bad-request",
+            "a request must be a JSON object",
+        ));
+    };
+    let op = doc
+        .get("op")
+        .ok_or_else(|| ProtoError::new("missing-field", "a request needs an `op` field"))?
+        .as_str()?;
+    let allowed: &[&str] = match op {
+        "submit" => &["op", "tenant", "job"],
+        "status" => &["op", "job"],
+        "watch" | "cancel" => &["op", "job"],
+        "drain" => &["op"],
+        "result" => &["op", "job", "run"],
+        other => {
+            return Err(ProtoError::new(
+                "unknown-op",
+                format!(
+                    "unknown op `{other}` (knows submit, status, watch, cancel, drain, result)"
+                ),
+            ))
+        }
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ProtoError::new(
+                "unknown-field",
+                format!(
+                    "op `{op}` has no field `{key}` (accepts {})",
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    let job_id = |doc: &Json| -> Result<String, ProtoError> {
+        Ok(doc
+            .get("job")
+            .ok_or_else(|| ProtoError::new("missing-field", format!("op `{op}` needs `job`")))?
+            .as_str()?
+            .to_string())
+    };
+    Ok(match op {
+        "submit" => Request::Submit {
+            tenant: match doc.get("tenant") {
+                Some(t) => t.as_str()?.to_string(),
+                None => "default".into(),
+            },
+            job: Box::new(JobRequest::from_json_value(doc.get("job").ok_or_else(
+                || ProtoError::new("missing-field", "op `submit` needs a `job` object"),
+            )?)?),
+        },
+        "status" => Request::Status {
+            job: match doc.get("job") {
+                Some(j) => Some(j.as_str()?.to_string()),
+                None => None,
+            },
+        },
+        "watch" => Request::Watch { job: job_id(&doc)? },
+        "cancel" => Request::Cancel { job: job_id(&doc)? },
+        "drain" => Request::Drain,
+        "result" => Request::Result {
+            job: job_id(&doc)?,
+            run: match doc.get("run") {
+                Some(r) => Some(r.as_usize()?),
+                None => None,
+            },
+        },
+        _ => unreachable!("op validated above"),
+    })
+}
+
+/// A success response line: `{"ok":true, …fields}` (compact, no newline).
+pub fn ok_response(fields: Vec<(&str, Json)>) -> String {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    obj(all).to_compact()
+}
+
+/// An error response line for a [`ProtoError`] (compact, no newline).
+pub fn error_response(e: &ProtoError) -> String {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Json::Str(e.code.clone())),
+                ("message", Json::Str(e.message.clone())),
+            ]),
+        ),
+    ])
+    .to_compact()
+}
+
+/// An event line: `{"event": kind, …fields}` (compact, no newline).
+pub fn event(kind: &str, fields: Vec<(&str, Json)>) -> String {
+    let mut all = vec![("event", Json::Str(kind.into()))];
+    all.extend(fields);
+    obj(all).to_compact()
+}
+
+/// Interprets a response line client-side: `{"ok":true,…}` yields the
+/// document, `{"ok":false,…}` yields its [`ProtoError`].
+pub fn parse_response(line: &str) -> Result<Json, ProtoError> {
+    let doc = Json::parse(line)?;
+    match doc.field("ok")? {
+        Json::Bool(true) => Ok(doc),
+        Json::Bool(false) => {
+            let err = doc.field("error")?;
+            Err(ProtoError::new(
+                err.field("code")?.as_str()?,
+                err.field("message")?.as_str()?,
+            ))
+        }
+        other => Err(ProtoError::new(
+            "bad-response",
+            format!("`ok` is {} rather than a bool", other.to_compact()),
+        )),
+    }
+}

@@ -1,0 +1,1127 @@
+//! The daemon: one acceptor thread, one handler thread per connection,
+//! and one **scheduler** thread that owns every live [`Session`].
+//!
+//! The scheduler is the only thread that touches solver state, so the
+//! engine's single-threaded determinism story carries over unchanged: it
+//! admits queued runs (round-robin across tenants, capped at
+//! `max_sessions`), steps every admitted session in lockstep waves
+//! through [`WaveBatch`] — co-resident DL runs share one batched
+//! inference per wave, exactly like an [`Ensemble`](dlpic_repro::engine::Ensemble)
+//! — then briefly takes the control-plane lock to publish progress,
+//! stream new diagnostics rows to watchers, evaluate early-stop
+//! policies and finalize finished runs. Checkpoints flush to the spool
+//! every `spool_interval` waves and on drain, so a killed server resumes
+//! bit-identically (the engine re-runs the at-most-`spool_interval`
+//! trailing waves deterministically).
+//!
+//! Connection handlers never block the scheduler for longer than a
+//! control-plane update: submissions only append to the job table, and
+//! watch subscriptions are `mpsc` senders the scheduler fans samples
+//! into.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use dlpic_repro::engine::json::{obj, Json};
+use dlpic_repro::engine::{Checkpoint, Engine, RunSummary, ScenarioSpec, Session, WaveBatch};
+
+use crate::error::ServeError;
+use crate::job::{JobRequest, StopEval};
+use crate::protocol::{self, ProtoError, Request};
+use crate::spool::{Spool, SpoolJob, SpoolRun};
+
+// ---------------------------------------------------------------------
+// Configuration.
+// ---------------------------------------------------------------------
+
+/// Server configuration; build with the fluent setters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// `host:port` for TCP, or `unix:<path>` for a Unix socket. Port 0
+    /// binds an ephemeral port (the bound address is
+    /// [`Server::addr`]).
+    pub listen: String,
+    /// Durable state directory; `None` serves from memory only.
+    pub spool: Option<PathBuf>,
+    /// Reload a previous fleet from the spool manifest before serving.
+    pub resume: bool,
+    /// Admission cap: at most this many sessions step concurrently.
+    pub max_sessions: usize,
+    /// Waves between spool flushes (checkpoints + manifest).
+    pub spool_interval: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".into(),
+            spool: None,
+            resume: false,
+            max_sessions: 16,
+            spool_interval: 32,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the listen address (`host:port` or `unix:<path>`).
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = addr.into();
+        self
+    }
+
+    /// Enables the spool directory.
+    pub fn spool(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spool = Some(dir.into());
+        self
+    }
+
+    /// Resumes a previous fleet from the spool manifest.
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spool = Some(dir.into());
+        self.resume = true;
+        self
+    }
+
+    /// Sets the admission cap.
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = n.max(1);
+        self
+    }
+
+    /// Sets the spool flush interval in waves.
+    pub fn spool_interval(mut self, waves: usize) -> Self {
+        self.spool_interval = waves.max(1);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control-plane state (behind the mutex).
+// ---------------------------------------------------------------------
+
+/// Lifecycle of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Active,
+    Done,
+    Stopped,
+    Cancelled,
+    Failed,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Active => "active",
+            Self::Done => "done",
+            Self::Stopped => "stopped",
+            Self::Cancelled => "cancelled",
+            Self::Failed => "failed",
+        }
+    }
+
+    fn is_final(self) -> bool {
+        matches!(
+            self,
+            Self::Done | Self::Stopped | Self::Cancelled | Self::Failed
+        )
+    }
+}
+
+/// What the scheduler admits: a fresh spec, or a spooled checkpoint.
+enum PendingRun {
+    Fresh(ScenarioSpec),
+    Resume(Box<Checkpoint>),
+}
+
+struct RunEntry {
+    name: String,
+    phase: Phase,
+    steps_done: usize,
+    steps_total: usize,
+    pending: Option<PendingRun>,
+    result: Option<Json>,
+    error: Option<String>,
+    /// Global completion order (fairness is observable, not a timing
+    /// guess): the n-th run to reach a final state gets n.
+    finish_seq: Option<u64>,
+}
+
+struct JobEntry {
+    id: String,
+    tenant: String,
+    request: JobRequest,
+    runs: Vec<RunEntry>,
+    subscribers: Vec<mpsc::Sender<String>>,
+}
+
+impl JobEntry {
+    fn is_final(&self) -> bool {
+        self.runs.iter().all(|r| r.phase.is_final())
+    }
+
+    fn publish(&mut self, line: &str) {
+        self.subscribers
+            .retain(|tx| tx.send(line.to_string()).is_ok());
+    }
+}
+
+struct Shared {
+    jobs: Vec<JobEntry>,
+    next_job: u64,
+    /// Tenant admitted last, for round-robin fairness.
+    last_tenant: Option<String>,
+    /// Monotonic counter handed to runs as they reach a final state.
+    finish_counter: u64,
+    /// Cumulative seconds the scheduler spent stepping waves and doing
+    /// post-wave work (streaming, finalizing, spooling) — the serving
+    /// tier's whole per-step cost, excluding session construction and
+    /// idle waits. `serve_throughput` gates on this.
+    stepping_seconds: f64,
+    draining: bool,
+    stopped: bool,
+}
+
+struct Inner {
+    shared: Mutex<Shared>,
+    wake: Condvar,
+    max_sessions: usize,
+    spool_interval: usize,
+    spool: Option<Spool>,
+}
+
+// ---------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// One accepted client connection (TCP or Unix).
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Self::Tcp(s) => Self::Tcp(s.try_clone()?),
+            Self::Unix(s) => Self::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A running server: the bound address plus the scheduler/acceptor
+/// threads. Dropping the handle does **not** stop the server; send a
+/// `drain` request (or [`Client::drain`](crate::client::Client::drain))
+/// and [`Self::wait`].
+pub struct Server {
+    addr: String,
+    inner: Arc<Inner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, loads the spool when resuming, and starts serving with a
+    /// default (untrained-model) [`Engine`].
+    pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
+        Self::start_with_engine(config, Engine::new())
+    }
+
+    /// [`Self::start`] with a caller-built engine (trained models,
+    /// custom numerics). The scheduler thread takes sole ownership of
+    /// the engine.
+    pub fn start_with_engine(config: ServeConfig, engine: Engine) -> Result<Self, ServeError> {
+        let listener = match config.listen.strip_prefix("unix:") {
+            Some(path) => {
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+            None => Listener::Tcp(TcpListener::bind(&config.listen)?),
+        };
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr()?.to_string(),
+            Listener::Unix(_) => config.listen.clone(),
+        };
+
+        let spool = match &config.spool {
+            Some(dir) => Some(Spool::open(dir.clone())?),
+            None => None,
+        };
+        let mut shared = Shared {
+            jobs: Vec::new(),
+            next_job: 1,
+            last_tenant: None,
+            finish_counter: 0,
+            stepping_seconds: 0.0,
+            draining: false,
+            stopped: false,
+        };
+        if config.resume {
+            let spool = spool
+                .as_ref()
+                .expect("resume() always sets the spool directory");
+            let (next_job, jobs) = spool.load_manifest()?;
+            shared.next_job = next_job;
+            shared.jobs = jobs
+                .into_iter()
+                .map(|job| load_spooled_job(spool, job))
+                .collect::<Result<_, _>>()?;
+        }
+
+        let inner = Arc::new(Inner {
+            shared: Mutex::new(shared),
+            wake: Condvar::new(),
+            max_sessions: config.max_sessions,
+            spool_interval: config.spool_interval,
+            spool,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dlpic-serve-scheduler".into())
+                    .spawn(move || Scheduler::new(inner, engine).run())?,
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dlpic-serve-acceptor".into())
+                    .spawn(move || accept_loop(listener, inner))?,
+            );
+        }
+        Ok(Self {
+            addr,
+            inner,
+            threads,
+        })
+    }
+
+    /// The bound address clients connect to (`host:port` with the real
+    /// port for TCP, the `unix:<path>` string for Unix sockets).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// True once a drain completed and the scheduler exited.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.shared.lock().unwrap().stopped
+    }
+
+    /// Blocks until the server drains (scheduler and acceptor exited).
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spool resume.
+// ---------------------------------------------------------------------
+
+/// Rehydrates one manifest job: finished runs reload their stored
+/// summaries, in-flight runs re-queue from their checkpoint (or from
+/// step 0 via the embedded spec when the kill landed before their first
+/// flush), queued runs re-queue from their spec.
+fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError> {
+    let mut runs = Vec::with_capacity(job.runs.len());
+    for (k, run) in job.runs.iter().enumerate() {
+        let entry = match run.state.as_str() {
+            "done" | "stopped" => {
+                let result = spool.read_result(&job.id, k)?;
+                let steps = result.field("steps").and_then(Json::as_usize).unwrap_or(0);
+                RunEntry {
+                    name: run.name.clone(),
+                    phase: if run.state == "done" {
+                        Phase::Done
+                    } else {
+                        Phase::Stopped
+                    },
+                    steps_done: steps,
+                    steps_total: steps.max(run.spec.as_ref().map_or(0, |s| s.n_steps)),
+                    pending: None,
+                    result: Some(result),
+                    error: None,
+                    finish_seq: None,
+                }
+            }
+            "cancelled" | "failed" => RunEntry {
+                name: run.name.clone(),
+                phase: if run.state == "cancelled" {
+                    Phase::Cancelled
+                } else {
+                    Phase::Failed
+                },
+                steps_done: 0,
+                steps_total: run.spec.as_ref().map_or(0, |s| s.n_steps),
+                pending: None,
+                result: None,
+                error: run.error.clone(),
+                finish_seq: None,
+            },
+            // "active" and "queued" both re-queue; an active run prefers
+            // its checkpoint and falls back to a fresh start.
+            _ => {
+                let (pending, steps_done) = if spool.has_checkpoint(&job.id, k) {
+                    let ckpt = spool.read_checkpoint(&job.id, k)?;
+                    let done = ckpt.steps_done;
+                    (PendingRun::Resume(Box::new(ckpt)), done)
+                } else {
+                    let spec = run.spec.clone().ok_or_else(|| {
+                        ProtoError::new(
+                            "bad-spool",
+                            format!("{}: run {k} has neither checkpoint nor spec", job.id),
+                        )
+                    })?;
+                    (PendingRun::Fresh(spec), 0)
+                };
+                let steps_total = match &pending {
+                    PendingRun::Resume(c) => c.spec.n_steps,
+                    PendingRun::Fresh(s) => s.n_steps,
+                };
+                RunEntry {
+                    name: run.name.clone(),
+                    phase: Phase::Queued,
+                    steps_done,
+                    steps_total,
+                    pending: Some(pending),
+                    result: None,
+                    error: None,
+                    finish_seq: None,
+                }
+            }
+        };
+        runs.push(entry);
+    }
+    Ok(JobEntry {
+        id: job.id,
+        tenant: job.tenant,
+        request: job.request,
+        runs,
+        subscribers: Vec::new(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// The scheduler.
+// ---------------------------------------------------------------------
+
+/// A session the scheduler is stepping, with its control-plane address.
+struct ActiveRun {
+    job: usize,
+    run: usize,
+    session: Session,
+    /// History rows already streamed to watchers.
+    emitted: usize,
+    stop: Option<StopEval>,
+}
+
+struct Scheduler {
+    inner: Arc<Inner>,
+    engine: Engine,
+    active: Vec<ActiveRun>,
+    batch: WaveBatch,
+    waves_since_flush: usize,
+}
+
+impl Scheduler {
+    fn new(inner: Arc<Inner>, engine: Engine) -> Self {
+        Self {
+            inner,
+            engine,
+            active: Vec::new(),
+            batch: WaveBatch::new(),
+            waves_since_flush: 0,
+        }
+    }
+
+    fn run(mut self) {
+        // A local handle so mutex guards don't pin `self` borrowed.
+        let inner = Arc::clone(&self.inner);
+        loop {
+            // Control-plane sync: cancellations, drain, admission.
+            let admissions = {
+                let mut sh = inner.shared.lock().unwrap();
+                self.sweep_cancelled(&mut sh);
+                if sh.draining {
+                    self.flush_spool(&sh);
+                    for job in &mut sh.jobs {
+                        job.subscribers.clear();
+                    }
+                    sh.stopped = true;
+                    inner.wake.notify_all();
+                    return;
+                }
+                let admissions = self.admit(&mut sh);
+                if self.active.is_empty() && admissions.is_empty() {
+                    // Idle: nothing runs, nothing to admit — sleep until
+                    // a handler wakes us (timeout as a safety net).
+                    let _ = inner
+                        .wake
+                        .wait_timeout(sh, Duration::from_millis(200))
+                        .unwrap();
+                    continue;
+                }
+                admissions
+            };
+
+            // Build admitted sessions without holding the lock (model
+            // setup is the expensive part of a DL run's lifecycle).
+            for (job, run, pending) in admissions {
+                self.build(job, run, pending);
+            }
+
+            // One lockstep wave across every active session.
+            let t0 = std::time::Instant::now();
+            let mut refs: Vec<&mut Session> =
+                self.active.iter_mut().map(|a| &mut a.session).collect();
+            self.batch.step_wave(&mut refs);
+            self.waves_since_flush += 1;
+
+            // Publish progress, stream samples, finalize, flush.
+            let mut sh = inner.shared.lock().unwrap();
+            self.publish_wave(&mut sh);
+            if self.waves_since_flush >= self.inner.spool_interval {
+                self.flush_spool(&sh);
+                self.waves_since_flush = 0;
+            }
+            sh.stepping_seconds += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// Admits queued runs round-robin across tenants until the cap is
+    /// reached. Marks them `Active` in the control plane and returns
+    /// what to build.
+    fn admit(&mut self, sh: &mut Shared) -> Vec<(usize, usize, PendingRun)> {
+        let mut admissions = Vec::new();
+        while self.active.len() + admissions.len() < self.inner.max_sessions {
+            // The rotation: distinct tenants with queued work, in job
+            // order; serve the one after the last-served tenant.
+            let mut tenants: Vec<String> = Vec::new();
+            for job in &sh.jobs {
+                if job.runs.iter().any(|r| r.phase == Phase::Queued)
+                    && !tenants.contains(&job.tenant)
+                {
+                    tenants.push(job.tenant.clone());
+                }
+            }
+            if tenants.is_empty() {
+                break;
+            }
+            let start = sh
+                .last_tenant
+                .as_ref()
+                .and_then(|last| tenants.iter().position(|t| t == last))
+                .map_or(0, |pos| (pos + 1) % tenants.len());
+            let tenant = tenants[start].clone();
+            let slot = sh.jobs.iter().enumerate().find_map(|(j, job)| {
+                if job.tenant != tenant {
+                    return None;
+                }
+                job.runs
+                    .iter()
+                    .position(|r| r.phase == Phase::Queued)
+                    .map(|k| (j, k))
+            });
+            let Some((j, k)) = slot else { break };
+            let run = &mut sh.jobs[j].runs[k];
+            run.phase = Phase::Active;
+            let pending = run
+                .pending
+                .take()
+                .unwrap_or_else(|| unreachable!("queued run without pending work"));
+            admissions.push((j, k, pending));
+            sh.last_tenant = Some(tenant);
+        }
+        admissions
+    }
+
+    /// Builds one admitted session (engine work, lock-free) and
+    /// activates it, or records the failure.
+    fn build(&mut self, job: usize, run: usize, pending: PendingRun) {
+        let built = match &pending {
+            PendingRun::Fresh(spec) => {
+                let backend = {
+                    let sh = self.inner.shared.lock().unwrap();
+                    sh.jobs[job].request.backend
+                };
+                self.engine.start(spec, backend)
+            }
+            PendingRun::Resume(ckpt) => self.engine.resume(ckpt),
+        };
+        match built {
+            Ok(session) => {
+                let stop = {
+                    let sh = self.inner.shared.lock().unwrap();
+                    sh.jobs[job].request.stop.as_ref().map(|p| p.evaluator())
+                };
+                // Rows restored from a checkpoint were already streamed
+                // before the restart; only new rows go out.
+                let emitted = session.history().len();
+                self.active.push(ActiveRun {
+                    job,
+                    run,
+                    session,
+                    emitted,
+                    stop,
+                });
+            }
+            Err(e) => {
+                let mut sh = self.inner.shared.lock().unwrap();
+                let seq = sh.finish_counter;
+                sh.finish_counter += 1;
+                let entry = &mut sh.jobs[job].runs[run];
+                entry.phase = Phase::Failed;
+                entry.error = Some(e.to_string());
+                entry.finish_seq = Some(seq);
+                let line = run_done_event(&sh.jobs[job].id, run, &sh.jobs[job].runs[run]);
+                sh.jobs[job].publish(&line);
+                finish_job_if_final(&mut sh.jobs[job]);
+            }
+        }
+    }
+
+    /// Drops sessions whose runs were cancelled by a handler.
+    fn sweep_cancelled(&mut self, sh: &mut Shared) {
+        self.active.retain(|a| {
+            let phase = sh.jobs[a.job].runs[a.run].phase;
+            if phase == Phase::Cancelled {
+                if let Some(spool) = &self.inner.spool {
+                    spool.remove_run(&sh.jobs[a.job].id, a.run);
+                }
+                let line = run_done_event(&sh.jobs[a.job].id, a.run, &sh.jobs[a.job].runs[a.run]);
+                sh.jobs[a.job].publish(&line);
+                finish_job_if_final(&mut sh.jobs[a.job]);
+                return false;
+            }
+            true
+        });
+    }
+
+    /// Post-wave control-plane update: progress counters, sample
+    /// streaming, stop policies, and finalization of finished runs.
+    fn publish_wave(&mut self, sh: &mut Shared) {
+        let mut finished: Vec<(usize, Phase)> = Vec::new();
+        for (i, a) in self.active.iter_mut().enumerate() {
+            let job = &mut sh.jobs[a.job];
+            job.runs[a.run].steps_done = a.session.steps_done();
+            if !job.subscribers.is_empty() {
+                let history = a.session.history();
+                while a.emitted < history.len() {
+                    let line =
+                        sample_event(&job.id, a.run, &job.runs[a.run].name, history, a.emitted);
+                    job.publish(&line);
+                    a.emitted += 1;
+                }
+            } else {
+                a.emitted = a.session.history().len();
+            }
+            let stopped = a
+                .stop
+                .as_mut()
+                .is_some_and(|s| s.should_stop(a.session.history()));
+            if a.session.is_complete() {
+                finished.push((i, Phase::Done));
+            } else if stopped {
+                finished.push((i, Phase::Stopped));
+            }
+        }
+        // Finalize back-to-front so indices stay valid across removal.
+        for &(i, phase) in finished.iter().rev() {
+            let a = self.active.remove(i);
+            let (job_idx, run_idx) = (a.job, a.run);
+            let summary = a.session.finish();
+            let result = summary_to_json(&summary);
+            if let Some(spool) = &self.inner.spool {
+                let _ = spool.write_result(&sh.jobs[job_idx].id, run_idx, &result);
+            }
+            let seq = sh.finish_counter;
+            sh.finish_counter += 1;
+            let entry = &mut sh.jobs[job_idx].runs[run_idx];
+            entry.phase = phase;
+            entry.steps_done = summary.steps;
+            entry.result = Some(result);
+            entry.finish_seq = Some(seq);
+            let line = run_done_event(
+                &sh.jobs[job_idx].id,
+                run_idx,
+                &sh.jobs[job_idx].runs[run_idx],
+            );
+            sh.jobs[job_idx].publish(&line);
+            finish_job_if_final(&mut sh.jobs[job_idx]);
+        }
+        if !finished.is_empty() {
+            self.flush_spool(sh);
+            self.waves_since_flush = 0;
+        }
+    }
+
+    /// Writes every active checkpoint and the manifest — the durable
+    /// snapshot `--resume` restarts from.
+    fn flush_spool(&self, sh: &Shared) {
+        let Some(spool) = &self.inner.spool else {
+            return;
+        };
+        for a in &self.active {
+            let _ = spool.write_checkpoint(&sh.jobs[a.job].id, a.run, &a.session.checkpoint());
+        }
+        let jobs: Vec<SpoolJob> = sh
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| SpoolJob {
+                id: job.id.clone(),
+                tenant: job.tenant.clone(),
+                request: job.request.clone(),
+                runs: job
+                    .runs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, run)| SpoolRun {
+                        name: run.name.clone(),
+                        state: run.phase.name().into(),
+                        // Queued runs resume from this spec; active runs
+                        // keep it as the no-checkpoint-yet fallback.
+                        spec: match &run.pending {
+                            Some(PendingRun::Fresh(spec)) => Some(spec.clone()),
+                            Some(PendingRun::Resume(ckpt)) => Some(ckpt.spec.clone()),
+                            None => self
+                                .active
+                                .iter()
+                                .find(|a| (a.job, a.run) == (j, k))
+                                .map(|a| a.session.spec().clone()),
+                        },
+                        error: run.error.clone(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let _ = spool.save_manifest(sh.next_job, &jobs);
+    }
+}
+
+/// Sends `job_done` once every run of the job is final, and releases the
+/// watchers.
+fn finish_job_if_final(job: &mut JobEntry) {
+    if job.is_final() {
+        let line = protocol::event("job_done", vec![("job", Json::Str(job.id.clone()))]);
+        job.publish(&line);
+        job.subscribers.clear();
+    }
+}
+
+fn sample_event(
+    job: &str,
+    run: usize,
+    name: &str,
+    history: &dlpic_repro::engine::EnergyHistory,
+    row: usize,
+) -> String {
+    let amps: Vec<f64> = history.mode_amps.iter().map(|m| m[row]).collect();
+    protocol::event(
+        "sample",
+        vec![
+            ("job", Json::Str(job.into())),
+            ("run", Json::Num(run as f64)),
+            ("name", Json::Str(name.into())),
+            ("step", Json::Num(row as f64)),
+            ("time", Json::Num(history.times[row])),
+            ("kinetic", Json::Num(history.kinetic[row])),
+            ("field", Json::Num(history.field[row])),
+            ("momentum", Json::Num(history.momentum[row])),
+            ("mode_amps", Json::num_arr(&amps)),
+        ],
+    )
+}
+
+fn run_done_event(job: &str, run: usize, entry: &RunEntry) -> String {
+    protocol::event(
+        "run_done",
+        vec![
+            ("job", Json::Str(job.into())),
+            ("run", Json::Num(run as f64)),
+            ("name", Json::Str(entry.name.clone())),
+            ("state", Json::Str(entry.phase.name().into())),
+            ("steps", Json::Num(entry.steps_done as f64)),
+        ],
+    )
+}
+
+/// The stored form of a finished run: identity, scalars, and the full
+/// history (bit-exact through JSON — the restart tests diff this against
+/// solo runs).
+fn summary_to_json(summary: &RunSummary) -> Json {
+    obj(vec![
+        ("scenario", Json::Str(summary.scenario.clone())),
+        ("backend", Json::Str(summary.backend.clone())),
+        ("steps", Json::Num(summary.steps as f64)),
+        ("t_end", Json::Num(summary.t_end)),
+        ("wall_seconds", Json::Num(summary.wall_seconds)),
+        ("history", summary.history.to_json_value()),
+        (
+            "extras",
+            obj(summary
+                .extras
+                .iter()
+                .map(|(k, v)| (k.as_str(), Json::Num(*v)))
+                .collect()),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// The data plane: acceptor + per-connection handlers.
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: Listener, inner: Arc<Inner>) {
+    let set_nonblocking = |l: &Listener| match l {
+        Listener::Tcp(l) => l.set_nonblocking(true),
+        Listener::Unix(l) => l.set_nonblocking(true),
+    };
+    if set_nonblocking(&listener).is_err() {
+        return;
+    }
+    loop {
+        if inner.shared.lock().unwrap().stopped {
+            return;
+        }
+        let accepted = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        };
+        match accepted {
+            Ok(conn) => {
+                let inner = Arc::clone(&inner);
+                // Handlers are detached: they die with the process, and
+                // a drained in-process server only joins scheduler +
+                // acceptor.
+                let _ = std::thread::Builder::new()
+                    .name("dlpic-serve-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(conn, inner);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(conn: Conn, inner: Arc<Inner>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = conn;
+    while let Some(line) = protocol::read_line(&mut reader)? {
+        let request = line.and_then(|text| protocol::parse_request(&text));
+        match request {
+            Err(e) => send_line(&mut writer, &protocol::error_response(&e))?,
+            Ok(request) => handle_request(request, &inner, &mut writer)?,
+        }
+    }
+    Ok(())
+}
+
+fn send_line(writer: &mut Conn, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_request(request: Request, inner: &Arc<Inner>, writer: &mut Conn) -> std::io::Result<()> {
+    match request {
+        Request::Submit { tenant, job } => {
+            let response = submit(inner, tenant, *job);
+            send_line(writer, &respond(response))
+        }
+        Request::Status { job } => {
+            let response = status(inner, job.as_deref());
+            send_line(writer, &respond(response))
+        }
+        Request::Cancel { job } => {
+            let response = cancel(inner, &job);
+            send_line(writer, &respond(response))
+        }
+        Request::Drain => {
+            let mut sh = inner.shared.lock().unwrap();
+            sh.draining = true;
+            inner.wake.notify_all();
+            drop(sh);
+            send_line(
+                writer,
+                &protocol::ok_response(vec![("draining", Json::Bool(true))]),
+            )
+        }
+        Request::Result { job, run } => {
+            let response = results(inner, &job, run);
+            send_line(writer, &respond(response))
+        }
+        Request::Watch { job } => watch(inner, &job, writer),
+    }
+}
+
+fn respond(result: Result<Vec<(&str, Json)>, ProtoError>) -> String {
+    match result {
+        Ok(fields) => protocol::ok_response(fields),
+        Err(e) => protocol::error_response(&e),
+    }
+}
+
+fn submit(
+    inner: &Arc<Inner>,
+    tenant: String,
+    job: JobRequest,
+) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let specs = job.expand()?;
+    let mut sh = inner.shared.lock().unwrap();
+    if sh.draining || sh.stopped {
+        return Err(ProtoError::new("draining", "server is draining"));
+    }
+    let id = format!("job-{:04}", sh.next_job);
+    sh.next_job += 1;
+    let runs = specs
+        .into_iter()
+        .map(|spec| RunEntry {
+            name: spec.name.clone(),
+            phase: Phase::Queued,
+            steps_done: 0,
+            steps_total: spec.n_steps,
+            pending: Some(PendingRun::Fresh(spec)),
+            result: None,
+            error: None,
+            finish_seq: None,
+        })
+        .collect::<Vec<_>>();
+    let n_runs = runs.len();
+    sh.jobs.push(JobEntry {
+        id: id.clone(),
+        tenant,
+        request: job,
+        runs,
+        subscribers: Vec::new(),
+    });
+    inner.wake.notify_all();
+    Ok(vec![
+        ("job", Json::Str(id)),
+        ("runs", Json::Num(n_runs as f64)),
+    ])
+}
+
+fn status(inner: &Arc<Inner>, job: Option<&str>) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let sh = inner.shared.lock().unwrap();
+    let jobs: Vec<&JobEntry> = match job {
+        Some(id) => vec![find_job(&sh, id)?],
+        None => sh.jobs.iter().collect(),
+    };
+    let jobs_json = jobs
+        .into_iter()
+        .map(|job| {
+            obj(vec![
+                ("job", Json::Str(job.id.clone())),
+                ("tenant", Json::Str(job.tenant.clone())),
+                // Registered watch subscriptions. Lets a client confirm a
+                // subscription landed before acting on it (tests rely on
+                // this to sequence watch-then-release deterministically).
+                ("watchers", Json::Num(job.subscribers.len() as f64)),
+                (
+                    "runs",
+                    Json::Arr(
+                        job.runs
+                            .iter()
+                            .enumerate()
+                            .map(|(k, run)| {
+                                let mut fields = vec![
+                                    ("run", Json::Num(k as f64)),
+                                    ("name", Json::Str(run.name.clone())),
+                                    ("state", Json::Str(run.phase.name().into())),
+                                    ("steps_done", Json::Num(run.steps_done as f64)),
+                                    ("steps_total", Json::Num(run.steps_total as f64)),
+                                ];
+                                if let Some(seq) = run.finish_seq {
+                                    fields.push(("finish_seq", Json::Num(seq as f64)));
+                                }
+                                obj(fields)
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Ok(vec![
+        ("draining", Json::Bool(sh.draining)),
+        ("stepping_seconds", Json::Num(sh.stepping_seconds)),
+        ("jobs", Json::Arr(jobs_json)),
+    ])
+}
+
+fn cancel(inner: &Arc<Inner>, id: &str) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let mut sh = inner.shared.lock().unwrap();
+    let idx = sh
+        .jobs
+        .iter()
+        .position(|j| j.id == id)
+        .ok_or_else(|| unknown_job(id))?;
+    let mut cancelled = 0usize;
+    let mut was_queued = Vec::new();
+    let mut seq = sh.finish_counter;
+    let job = &mut sh.jobs[idx];
+    for (k, run) in job.runs.iter_mut().enumerate() {
+        if !run.phase.is_final() {
+            // Queued runs finalize here; active ones when the scheduler
+            // notices and drops their session.
+            if run.phase == Phase::Queued {
+                was_queued.push(k);
+            }
+            run.phase = Phase::Cancelled;
+            run.pending = None;
+            run.finish_seq = Some(seq);
+            seq += 1;
+            cancelled += 1;
+        }
+    }
+    for k in was_queued {
+        let line = run_done_event(&job.id, k, &job.runs[k]);
+        job.publish(&line);
+    }
+    finish_job_if_final(job);
+    sh.finish_counter = seq;
+    inner.wake.notify_all();
+    Ok(vec![
+        ("job", Json::Str(id.into())),
+        ("cancelled", Json::Num(cancelled as f64)),
+    ])
+}
+
+fn results(
+    inner: &Arc<Inner>,
+    id: &str,
+    run: Option<usize>,
+) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let sh = inner.shared.lock().unwrap();
+    let job = find_job(&sh, id)?;
+    let indices: Vec<usize> = match run {
+        Some(k) => {
+            if k >= job.runs.len() {
+                return Err(ProtoError::new(
+                    "unknown-run",
+                    format!("{id} has {} runs", job.runs.len()),
+                ));
+            }
+            vec![k]
+        }
+        None => (0..job.runs.len()).collect(),
+    };
+    let mut results = Vec::new();
+    for k in indices {
+        let entry = &job.runs[k];
+        let Some(result) = &entry.result else {
+            if run.is_some() {
+                return Err(ProtoError::new(
+                    "not-finished",
+                    format!("{id} run {k} is {}", entry.phase.name()),
+                ));
+            }
+            continue;
+        };
+        results.push(obj(vec![
+            ("run", Json::Num(k as f64)),
+            ("name", Json::Str(entry.name.clone())),
+            ("state", Json::Str(entry.phase.name().into())),
+            ("summary", result.clone()),
+        ]));
+    }
+    Ok(vec![
+        ("job", Json::Str(id.into())),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+fn watch(inner: &Arc<Inner>, id: &str, writer: &mut Conn) -> std::io::Result<()> {
+    let receiver = {
+        let mut sh = inner.shared.lock().unwrap();
+        let Some(job) = sh.jobs.iter_mut().find(|j| j.id == id) else {
+            drop(sh);
+            return send_line(writer, &protocol::error_response(&unknown_job(id)));
+        };
+        if job.is_final() {
+            let id = job.id.clone();
+            drop(sh);
+            send_line(
+                writer,
+                &protocol::ok_response(vec![("watching", Json::Str(id.clone()))]),
+            )?;
+            return send_line(
+                writer,
+                &protocol::event("job_done", vec![("job", Json::Str(id))]),
+            );
+        }
+        let (tx, rx) = mpsc::channel();
+        job.subscribers.push(tx);
+        rx
+    };
+    send_line(
+        writer,
+        &protocol::ok_response(vec![("watching", Json::Str(id.into()))]),
+    )?;
+    // Forward events until the scheduler drops our sender (job done or
+    // server drained) or the client goes away.
+    while let Ok(line) = receiver.recv() {
+        if send_line(writer, &line).is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn find_job<'a>(sh: &'a Shared, id: &str) -> Result<&'a JobEntry, ProtoError> {
+    sh.jobs
+        .iter()
+        .find(|j| j.id == id)
+        .ok_or_else(|| unknown_job(id))
+}
+
+fn unknown_job(id: &str) -> ProtoError {
+    ProtoError::new("unknown-job", format!("no job `{id}`"))
+}

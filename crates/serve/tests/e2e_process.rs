@@ -1,0 +1,218 @@
+//! Process-level end-to-end: a real `dlpic-serve` daemon on loopback, a
+//! sweep submitted through the real `dlpic-cli` binary, live sample
+//! streaming, then `SIGKILL` mid-run — no drain, no goodbye — and a
+//! `--resume` restart whose final histories are bit-identical to
+//! uninterrupted solo runs. This is the crash-consistency story the spool
+//! exists for, exercised through the shipped binaries.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use dlpic_repro::core::Scale;
+use dlpic_repro::engine::json::Json;
+use dlpic_repro::engine::{Backend, EnergyHistory, Engine, SweepSpec};
+use dlpic_serve::client::Client;
+use dlpic_serve::job::JobRequest;
+
+const STEPS: usize = 300;
+
+/// Kills the daemon on drop so a failing assert can't leak a process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_dlpic-serve"))
+            .args(["--listen", "127.0.0.1:0", "--spool-interval", "1"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn dlpic-serve");
+        let stdout = child.stdout.take().expect("stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read ready line");
+        let addr = line
+            .strip_prefix("listening ")
+            .unwrap_or_else(|| panic!("unexpected ready line {line:?}"))
+            .trim()
+            .to_string();
+        Self { child, addr }
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn cli(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_dlpic-cli"))
+        .args(args)
+        .output()
+        .expect("run dlpic-cli");
+    assert!(
+        out.status.success(),
+        "dlpic-cli {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("cli output is UTF-8")
+}
+
+fn sweep_job() -> JobRequest {
+    let sweep = SweepSpec::grid("two_stream", Scale::Smoke).axis("v0", [0.12, 0.16]);
+    JobRequest::sweep(sweep, Backend::Dl1D).with_steps(STEPS)
+}
+
+#[test]
+fn killed_daemon_resumes_from_spool_bit_identically() {
+    let spool = std::env::temp_dir().join(format!("dlpic-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let spool_arg = spool.display().to_string();
+
+    let daemon = Daemon::spawn(&["--spool", &spool_arg]);
+
+    // Submit the sweep through the real CLI.
+    let submitted = cli(&[
+        "submit",
+        "--addr",
+        &daemon.addr,
+        "--tenant",
+        "e2e",
+        "--job",
+        &sweep_job().to_json_value().to_compact(),
+    ]);
+    let submitted = Json::parse(submitted.trim()).expect("submit output is JSON");
+    let job = submitted
+        .field("job")
+        .and_then(Json::as_str)
+        .expect("job id")
+        .to_string();
+    assert_eq!(submitted.field("runs").and_then(Json::as_usize), Ok(2));
+
+    // A live watcher sees samples streaming while the run is in flight.
+    // The count is shared so the kill below can wait until at least one
+    // sample actually arrived — on a loaded box the watcher thread may
+    // register its subscription well after the runs start stepping.
+    let streamed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let (watch_addr, watch_job) = (daemon.addr.clone(), job.clone());
+    let watcher = {
+        let streamed = std::sync::Arc::clone(&streamed);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&watch_addr).expect("watch connect");
+            // The kill severs the stream mid-watch; count what arrived.
+            let _ = client.watch(&watch_job, |event| {
+                if event.field("event").and_then(Json::as_str) == Ok("sample") {
+                    streamed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        })
+    };
+
+    // Let both runs make real progress and the watcher see it stream,
+    // then pull the plug.
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    loop {
+        let doc = client.status(Some(&job)).expect("status");
+        let runs = doc.field("jobs").and_then(Json::as_arr).expect("jobs")[0]
+            .field("runs")
+            .and_then(Json::as_arr)
+            .expect("runs")
+            .to_vec();
+        let progressed = runs
+            .iter()
+            .all(|r| r.field("steps_done").and_then(Json::as_usize).unwrap() >= 3);
+        let done = runs
+            .iter()
+            .any(|r| r.field("state").and_then(Json::as_str).unwrap() == "done");
+        assert!(!done, "a run finished before the kill; raise STEPS");
+        if progressed && streamed.load(std::sync::atomic::Ordering::Relaxed) >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    daemon.kill();
+    watcher.join().expect("watcher thread");
+    let streamed = streamed.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(streamed >= 1, "watch saw no samples before the kill");
+
+    // The spool shows in-flight work, not a clean shutdown.
+    let manifest = std::fs::read_to_string(spool.join("meta.json")).expect("manifest");
+    assert!(
+        manifest.contains("\"active\"") || manifest.contains("\"queued\""),
+        "manifest should record interrupted runs: {manifest}"
+    );
+
+    // Restart from the spool and let the sweep finish.
+    let daemon = Daemon::spawn(&["--resume", &spool_arg]);
+    let mut client = Client::connect(&daemon.addr).expect("reconnect");
+    let results = client
+        .wait_for(&job, Duration::from_millis(10))
+        .expect("wait after resume");
+    assert_eq!(results.len(), 2);
+
+    // Bit-identical to solo runs of the same expanded specs.
+    let mut solo_specs = sweep_job().expand().expect("expand");
+    solo_specs.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut got: Vec<_> = results
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                EnergyHistory::from_json_value(r.summary.field("history").unwrap())
+                    .expect("history parses"),
+            )
+        })
+        .collect();
+    got.sort_by(|a, b| a.0.cmp(&b.0));
+    for ((name, served), spec) in got.iter().zip(&solo_specs) {
+        assert_eq!(name, &spec.name);
+        let solo = Engine::new().run(spec, Backend::Dl1D).expect("solo");
+        assert_eq!(
+            served, &solo.history,
+            "{name}: resumed history differs from the uninterrupted run"
+        );
+    }
+
+    // The CLI's status/result views work against the resumed daemon.
+    let status = cli(&["status", "--addr", &daemon.addr, &job]);
+    assert!(status.contains("\"done\""), "{status}");
+    let printed = cli(&["result", "--addr", &daemon.addr, &job, "0"]);
+    let printed = Json::parse(printed.trim()).expect("result output is JSON");
+    assert_eq!(printed.field("state").and_then(Json::as_str), Ok("done"));
+
+    cli(&["drain", "--addr", &daemon.addr]);
+    let _ = daemon.wait_timeout_drop();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+trait WaitTimeout {
+    fn wait_timeout_drop(self) -> std::io::Result<()>;
+}
+
+impl WaitTimeout for Daemon {
+    /// Waits for a drained daemon to exit on its own, with a kill-backed
+    /// deadline so the test cannot hang.
+    fn wait_timeout_drop(mut self) -> std::io::Result<()> {
+        for _ in 0..200 {
+            if self.child.try_wait()?.is_some() {
+                std::mem::forget(self);
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        Ok(()) // Drop kills it.
+    }
+}

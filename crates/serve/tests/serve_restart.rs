@@ -1,0 +1,178 @@
+//! The durability contract across every backend family: a fleet covering
+//! all six families is spooled mid-run, the server is dropped, a fresh
+//! server resumes from the spool, and every final history is
+//! bit-identical to an uninterrupted solo `Engine::run` — the restart is
+//! arithmetically invisible.
+
+use std::time::Duration;
+
+use dlpic_repro::core::Scale;
+use dlpic_repro::engine::json::Json;
+use dlpic_repro::engine::{self, Backend, EnergyHistory, Engine};
+use dlpic_serve::client::Client;
+use dlpic_serve::job::JobRequest;
+use dlpic_serve::server::{ServeConfig, Server};
+
+/// One (scenario, backend, budget) per backend family. The whole fleet
+/// is admitted in one scheduler pass (see the blocker below) and then
+/// steps in lockstep, so budgets only need to outlast the status poll
+/// that triggers the drain.
+fn fleet() -> Vec<(&'static str, Backend, usize)> {
+    vec![
+        ("two_stream", Backend::Traditional1D, 40),
+        ("two_stream", Backend::Dl1D, 36),
+        ("two_stream_2d", Backend::Traditional2D, 24),
+        ("two_stream_2d", Backend::Dl2D, 24),
+        ("warm_two_stream", Backend::Vlasov, 24),
+        ("two_stream", Backend::Ddecomp { n_ranks: 4 }, 40),
+    ]
+}
+
+fn spec_for(scenario: &str, n_steps: usize, seed: u64) -> engine::ScenarioSpec {
+    let mut spec = engine::scenario(scenario, Scale::Smoke).expect("registry");
+    spec.n_steps = n_steps;
+    spec.seed = seed;
+    spec.name = format!("{scenario}[seed={seed}]");
+    spec
+}
+
+fn temp_spool(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dlpic-spool-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn mixed_backend_fleet_survives_a_restart_bit_identically() {
+    let spool = temp_spool("mixed");
+    // spool_interval=1: a checkpoint lands after every wave, so the
+    // drain is guaranteed to catch live in-flight state.
+    let server = Server::start(
+        ServeConfig::default()
+            .spool(&spool)
+            .spool_interval(1)
+            .max_sessions(6),
+    )
+    .expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // A six-run blocker sweep holds every slot while the fleet is
+    // submitted, so the whole fleet is admitted in ONE scheduler pass
+    // once the blocker is cancelled and then advances in lockstep.
+    // Without the barrier, fast backends finish their small budgets
+    // while Vlasov/ddecomp sessions are still being built.
+    let blocker = JobRequest::sweep(
+        engine::SweepSpec::grid("two_stream", Scale::Smoke).seeds([90, 91, 92, 93, 94, 95]),
+        Backend::Traditional1D,
+    )
+    .with_steps(200_000);
+    let (blocker_id, n) = client.submit(&blocker, "blocker").expect("submit blocker");
+    assert_eq!(n, 6);
+    loop {
+        let doc = client.status(Some(&blocker_id)).expect("status");
+        let all_active = doc.field("jobs").and_then(Json::as_arr).expect("jobs")[0]
+            .field("runs")
+            .and_then(Json::as_arr)
+            .expect("runs")
+            .iter()
+            .all(|r| r.field("state").and_then(Json::as_str).unwrap() == "active");
+        if all_active {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut jobs = Vec::new();
+    for (i, (scenario, backend, steps)) in fleet().into_iter().enumerate() {
+        let spec = spec_for(scenario, steps, 10 + i as u64);
+        let (id, _) = client
+            .submit(&JobRequest::scenario(spec, backend), "fleet")
+            .expect("submit");
+        jobs.push((id, scenario, backend, steps, 10 + i as u64));
+    }
+    assert_eq!(client.cancel(&blocker_id).expect("cancel blocker"), 6);
+
+    // Wait until every run has stepped at least once but none is done,
+    // so the drain interrupts all six families mid-flight.
+    loop {
+        let doc = client.status(None).expect("status");
+        let runs: Vec<(usize, usize, String)> = doc
+            .field("jobs")
+            .and_then(Json::as_arr)
+            .expect("jobs")
+            .iter()
+            .filter(|job| job.field("job").and_then(Json::as_str).unwrap() != blocker_id)
+            .map(|job| {
+                let run = &job.field("runs").and_then(Json::as_arr).expect("runs")[0];
+                (
+                    run.field("steps_done").and_then(Json::as_usize).unwrap(),
+                    run.field("steps_total").and_then(Json::as_usize).unwrap(),
+                    run.field("state").and_then(Json::as_str).unwrap().into(),
+                )
+            })
+            .collect();
+        assert!(
+            runs.iter().all(|(_, _, state)| state != "done"),
+            "a run completed before the drain; raise its budget ({runs:?})"
+        );
+        if runs.iter().all(|(done, _, _)| *done >= 1) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    client.drain().expect("drain");
+    server.wait(); // the old server is gone; only the spool remains
+
+    // Every job must be mid-flight in the manifest (none final).
+    let manifest = std::fs::read_to_string(spool.join("meta.json")).expect("manifest");
+    assert!(manifest.contains("active") || manifest.contains("queued"));
+
+    // Resurrect from the spool alone and let the fleet run out.
+    let server = Server::start(ServeConfig::default().resume(&spool)).expect("resume");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (id, scenario, backend, steps, seed) in &jobs {
+        let results = client
+            .wait_for(id, Duration::from_millis(5))
+            .expect("wait after resume");
+        assert_eq!(results.len(), 1, "{id}");
+        assert_eq!(results[0].state, "done", "{id}");
+        let served =
+            EnergyHistory::from_json_value(results[0].summary.field("history").expect("history"))
+                .expect("history parses");
+        let solo = Engine::new()
+            .run(&spec_for(scenario, *steps, *seed), *backend)
+            .expect("solo");
+        assert_eq!(
+            served, solo.history,
+            "{scenario}/{backend}: resumed history differs from the uninterrupted run"
+        );
+    }
+
+    client.drain().expect("drain");
+    server.wait();
+
+    // Atomic writes leave no temp droppings behind.
+    for entry in walk(&spool) {
+        assert!(
+            !entry.to_string_lossy().ends_with(".tmp"),
+            "stray temp file {entry:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+fn walk(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(walk(&path));
+        } else {
+            out.push(path);
+        }
+    }
+    out
+}

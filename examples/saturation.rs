@@ -53,14 +53,20 @@ fn main() -> Result<(), EngineError> {
     });
     let used = session.steps_done();
 
-    // --- Checkpoint mid-flight, resume in a fresh engine, finish. ------
-    let text = session.checkpoint().to_json();
+    // --- Checkpoint to disk, resume in a fresh engine, finish. ---------
+    // `write_file` is atomic (tmp + rename), the same discipline the
+    // dlpic-serve spool uses — a crash never leaves a half checkpoint.
+    let path =
+        std::env::temp_dir().join(format!("dlpic-saturation-{}.ckpt.json", std::process::id()));
+    session.checkpoint().write_file(&path)?;
     drop(session);
     println!(
-        "checkpointed at step {used} ({:.1} kB of JSON)",
-        text.len() as f64 / 1024.0
+        "checkpointed at step {used} ({:.1} kB on disk)",
+        std::fs::metadata(&path).map_or(0.0, |m| m.len() as f64) / 1024.0
     );
-    let mut resumed = Engine::new().resume(&Checkpoint::from_json(&text)?)?;
+    let checkpoint = Checkpoint::read_file(&path)?;
+    let _ = std::fs::remove_file(&path);
+    let mut resumed = Engine::new().resume(&checkpoint)?;
     let summary = {
         // A short grace run past saturation shows the plateau.
         for _ in 0..10.min(resumed.remaining()) {

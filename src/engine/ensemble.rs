@@ -55,6 +55,7 @@
 
 use super::backend::Backend;
 use super::error::EngineError;
+use super::json::{obj, Json};
 use super::observer::RunSummary;
 use super::registry;
 use super::session::{Checkpoint, Session};
@@ -163,8 +164,13 @@ impl SweepSpec {
     /// Expands the sweep into one validated [`ScenarioSpec`] per run.
     /// Each spec's name records its overrides
     /// (`two_stream[v0=0.16, seed=3]`) so summaries stay tellable apart.
+    ///
+    /// Parameter names are validated up front against the scenario's
+    /// sweepable knobs ([`registry::sweepable_params`]) — a typo'd axis
+    /// fails here with the known-names list, before any expansion.
     pub fn specs(&self) -> Result<Vec<ScenarioSpec>, EngineError> {
         let base = registry::scenario(&self.scenario, self.scale)?;
+        self.validate_names(&base)?;
         let points: Vec<Vec<(String, f64)>> = match &self.kind {
             SweepKind::Explicit(points) => points.clone(),
             SweepKind::Cartesian(axes) => {
@@ -213,6 +219,148 @@ impl SweepSpec {
         }
         Ok(specs)
     }
+
+    /// Checks every axis (or explicit-point parameter) name against the
+    /// base scenario's sweepable knobs, so a bad name fails fast with the
+    /// known list instead of deep inside expansion.
+    fn validate_names(&self, base: &ScenarioSpec) -> Result<(), EngineError> {
+        let known = registry::sweepable_params(base);
+        let names: Vec<&String> = match &self.kind {
+            SweepKind::Cartesian(axes) => axes.iter().map(|(name, _)| name).collect(),
+            SweepKind::Explicit(points) => points
+                .iter()
+                .flat_map(|point| point.iter().map(|(name, _)| name))
+                .collect(),
+        };
+        for name in names {
+            if !known.iter().any(|p| p.name == name) {
+                let list: Vec<&str> = known.iter().map(|p| p.name).collect();
+                return Err(EngineError::InvalidSpec {
+                    scenario: base.name.clone(),
+                    what: format!(
+                        "`{name}` is not a sweepable parameter of this scenario (knows {})",
+                        list.join(", ")
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the sweep as a JSON value (the wire form `dlpic-serve`
+    /// jobs carry); inverse of [`Self::from_json_value`].
+    pub fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("scale", Json::Str(self.scale.name().into())),
+        ];
+        match &self.kind {
+            SweepKind::Cartesian(axes) => fields.push((
+                "axes",
+                Json::Arr(
+                    axes.iter()
+                        .map(|(name, values)| {
+                            obj(vec![
+                                ("name", Json::Str(name.clone())),
+                                ("values", Json::num_arr(values)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )),
+            SweepKind::Explicit(points) => fields.push((
+                "points",
+                Json::Arr(
+                    points
+                        .iter()
+                        .map(|point| {
+                            Json::Arr(
+                                point
+                                    .iter()
+                                    .map(|(name, value)| {
+                                        obj(vec![
+                                            ("name", Json::Str(name.clone())),
+                                            ("value", Json::Num(*value)),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            )),
+        }
+        if !self.seeds.is_empty() {
+            fields.push((
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
+            ));
+        }
+        obj(fields)
+    }
+
+    /// Parses the JSON form produced by [`Self::to_json_value`]. Exactly
+    /// one of `axes` (cartesian) or `points` (explicit) must be present;
+    /// `seeds` is optional.
+    pub fn from_json_value(doc: &Json) -> Result<Self, EngineError> {
+        let scenario = doc.field("scenario")?.as_str()?.to_string();
+        let scale_name = doc.field("scale")?.as_str()?;
+        let scale = Scale::parse(scale_name).ok_or_else(|| EngineError::InvalidSpec {
+            scenario: scenario.clone(),
+            what: format!("unknown scale `{scale_name}` (knows smoke, scaled, paper)"),
+        })?;
+        let kind = match (doc.get("axes"), doc.get("points")) {
+            (Some(axes), None) => SweepKind::Cartesian(
+                axes.as_arr()?
+                    .iter()
+                    .map(|axis| {
+                        Ok((
+                            axis.field("name")?.as_str()?.to_string(),
+                            axis.field("values")?.as_f64_vec()?,
+                        ))
+                    })
+                    .collect::<Result<_, EngineError>>()?,
+            ),
+            (None, Some(points)) => SweepKind::Explicit(
+                points
+                    .as_arr()?
+                    .iter()
+                    .map(|point| {
+                        point
+                            .as_arr()?
+                            .iter()
+                            .map(|assign| {
+                                Ok((
+                                    assign.field("name")?.as_str()?.to_string(),
+                                    assign.field("value")?.as_f64()?,
+                                ))
+                            })
+                            .collect::<Result<Vec<_>, EngineError>>()
+                    })
+                    .collect::<Result<_, EngineError>>()?,
+            ),
+            _ => {
+                return Err(EngineError::InvalidSpec {
+                    scenario,
+                    what: "a sweep needs exactly one of `axes` or `points`".into(),
+                })
+            }
+        };
+        let seeds = match doc.get("seeds") {
+            Some(seeds) => seeds
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(Self {
+            scenario,
+            scale,
+            kind,
+            seeds,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -238,15 +386,36 @@ struct WaveScratch {
 /// the engine's (single) model, so equal keys imply equal networks.
 type CohortKey = (&'static str, Scale, (usize, usize));
 
+/// Either owned or borrowed storage of a [`Session`] in a wave slice —
+/// lets one `step_wave` drive both [`Ensemble`]'s owned `Vec<Session>`
+/// and a scheduler's transient `&mut [&mut Session]` ([`WaveBatch`])
+/// without per-wave re-borrowing or allocation.
+trait SessionSlot {
+    fn session(&mut self) -> &mut Session;
+}
+
+impl SessionSlot for Session {
+    fn session(&mut self) -> &mut Session {
+        self
+    }
+}
+
+impl SessionSlot for &mut Session {
+    fn session(&mut self) -> &mut Session {
+        self
+    }
+}
+
 /// Steps every unfinished session in `sessions` once: phase-split
 /// sessions in batched cohorts, the rest solo. Returns how many sessions
 /// advanced.
-fn step_wave(sessions: &mut [Session], scratch: &mut WaveScratch) -> usize {
+fn step_wave<S: SessionSlot>(sessions: &mut [S], scratch: &mut WaveScratch) -> usize {
     for (_, members) in &mut scratch.cohorts {
         members.clear();
     }
     scratch.solo.clear();
-    for (i, session) in sessions.iter_mut().enumerate() {
+    for (i, slot) in sessions.iter_mut().enumerate() {
+        let session = slot.session();
         if session.is_complete() {
             continue;
         }
@@ -277,25 +446,62 @@ fn step_wave(sessions: &mut [Session], scratch: &mut WaveScratch) -> usize {
         // Phase 1: every member prepares its row (and records its
         // diagnostics sample, exactly as a monolithic step would).
         for (r, &i) in members.iter().enumerate() {
-            sessions[i].step_prepare(&mut scratch.input[r * in_w..(r + 1) * in_w]);
+            sessions[i]
+                .session()
+                .step_prepare(&mut scratch.input[r * in_w..(r + 1) * in_w]);
         }
         // Phase 2: ONE inference for the whole cohort, through the first
         // member's solver (identical weights across members by
         // construction; row-stable kernels make each row bit-equal to a
         // solo solve).
-        sessions[members[0]].infer_batch(&scratch.input[..m * in_w], m, &mut scratch.output);
+        sessions[members[0]].session().infer_batch(
+            &scratch.input[..m * in_w],
+            m,
+            &mut scratch.output,
+        );
         // Phase 3: scatter the rows back.
         for (r, &i) in members.iter().enumerate() {
-            sessions[i].step_apply(&scratch.output[r * out_w..(r + 1) * out_w]);
+            sessions[i]
+                .session()
+                .step_apply(&scratch.output[r * out_w..(r + 1) * out_w]);
         }
         stepped += m;
         scratch.cohorts[c].1 = members;
     }
     for &i in &scratch.solo {
-        sessions[i].step();
+        sessions[i].session().step();
         stepped += 1;
     }
     stepped
+}
+
+/// Wave stepping over *borrowed* sessions — the scheduler-side sibling of
+/// [`Ensemble::step_wave`] for callers that own their sessions elsewhere
+/// (e.g. a server multiplexing many independent jobs). Each call batches
+/// the slice's phase-split sessions into DL cohorts exactly like an
+/// ensemble wave, so co-resident DL runs share one batched inference even
+/// though they belong to different owners. Scratch buffers are warm after
+/// the first wave.
+///
+/// The same determinism contract applies: each session's results are
+/// bit-identical to a solo run regardless of what else shares the wave.
+#[derive(Default)]
+pub struct WaveBatch {
+    scratch: WaveScratch,
+}
+
+impl WaveBatch {
+    /// A batcher with cold scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Steps every unfinished session once (batched DL cohorts + solo
+    /// monolithic steps); returns how many advanced (0 when all are
+    /// complete).
+    pub fn step_wave(&mut self, sessions: &mut [&mut Session]) -> usize {
+        step_wave(sessions, &mut self.scratch)
+    }
 }
 
 /// A fleet of concurrently advancing sessions — the ensemble execution

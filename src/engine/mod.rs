@@ -62,7 +62,7 @@ pub mod spec;
 pub use backend::{compatible_backends, Backend};
 pub use compare::{lockstep, ComparisonReport, LockstepDiff};
 pub use dl::Dl2DModel;
-pub use ensemble::{Ensemble, SweepSpec};
+pub use ensemble::{Ensemble, SweepSpec, WaveBatch};
 pub use error::EngineError;
 pub use observer::{EnergyHistory, Observer, PhaseSpace, ProgressPrinter, RunSummary, Sample};
 pub use registry::{

@@ -1144,6 +1144,27 @@ impl Checkpoint {
         .to_pretty()
     }
 
+    /// Writes the checkpoint to `path` atomically: the document goes to a
+    /// sibling `<path>.tmp` first and is renamed into place, so readers
+    /// (and a crash mid-write) never observe a torn file. The server
+    /// spool relies on this; `examples/saturation.rs` shows the
+    /// single-run form.
+    pub fn write_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), EngineError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint written by [`Self::write_file`] (or any
+    /// [`Self::to_json`] document on disk).
+    pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Self, EngineError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
     /// Parses a document produced by [`Self::to_json`].
     pub fn from_json(text: &str) -> Result<Self, EngineError> {
         let doc = Json::parse(text)?;

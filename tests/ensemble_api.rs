@@ -300,3 +300,34 @@ fn sweep_drives_an_ensemble_end_to_end() {
     assert_eq!(summaries[0].scenario, "two_stream[v0=0.15]");
     assert_eq!(summaries[1].scenario, "two_stream[v0=0.2]");
 }
+
+#[test]
+fn sweep_spec_round_trips_through_json() {
+    let grid = SweepSpec::grid("two_stream", Scale::Smoke)
+        .axis("v0", [0.12, 0.16, 0.20])
+        .axis("vth", [0.0, 0.01])
+        .seeds([7, 8]);
+    let back = SweepSpec::from_json_value(&grid.to_json_value()).expect("grid parses back");
+    // The JSON form is the wire/spool format — expansion must be
+    // unchanged by a round trip, spec for spec.
+    assert_eq!(back.specs().unwrap(), grid.specs().unwrap());
+
+    let explicit = SweepSpec::explicit(
+        "bump_on_tail",
+        Scale::Smoke,
+        vec![
+            vec![("beam_v".into(), 0.25)],
+            vec![("beam_v".into(), 0.35), ("beam_fraction".into(), 0.2)],
+        ],
+    );
+    let back = SweepSpec::from_json_value(&explicit.to_json_value()).expect("points parse back");
+    assert_eq!(back.specs().unwrap(), explicit.specs().unwrap());
+
+    // A document with neither axes nor points is rejected.
+    let err = SweepSpec::from_json_value(
+        &dlpic_repro::engine::json::Json::parse(r#"{"scenario":"two_stream","scale":"smoke"}"#)
+            .unwrap(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("axes"), "{err}");
+}

@@ -372,3 +372,50 @@ fn registry_names_are_enumerable_for_callers() {
         other => panic!("unexpected: {other:?}"),
     }
 }
+
+/// `Checkpoint::write_file` / `read_file` carry the atomic tmp+rename
+/// persistence discipline the serve spool and the saturation example
+/// rely on: a resumed run from the on-disk file is bit-identical, and no
+/// `.tmp` sibling outlives the write.
+#[test]
+fn checkpoint_file_roundtrip_is_atomic_and_exact() {
+    let engine = Engine::new();
+    let spec = small_spec("two_stream", 12);
+
+    let mut straight = engine.start(&spec, Backend::Dl1D).unwrap();
+    straight.run_to_end();
+    let straight = straight.finish();
+
+    let mut session = engine.start(&spec, Backend::Dl1D).unwrap();
+    for _ in 0..5 {
+        session.step();
+    }
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("dlpic-ckpt-{}.json", std::process::id()));
+    session.checkpoint().write_file(&path).unwrap();
+    drop(session);
+
+    let mut tmp = path.clone().into_os_string();
+    tmp.push(".tmp");
+    assert!(
+        !std::path::Path::new(&tmp).exists(),
+        "temp file must be renamed away"
+    );
+
+    let checkpoint = Checkpoint::read_file(&path).unwrap();
+    assert_eq!(checkpoint.steps_done, 5);
+    assert_eq!(&checkpoint.spec, &spec);
+    let mut resumed = engine.resume(&checkpoint).unwrap();
+    resumed.run_to_end();
+    let resumed = resumed.finish();
+    assert_histories_match(
+        &straight.history,
+        &resumed.history,
+        0.0,
+        "file-resumed dl-1d run",
+    );
+    std::fs::remove_file(&path).unwrap();
+
+    // A missing file surfaces as an error, not a panic.
+    assert!(Checkpoint::read_file(dir.join("dlpic-no-such-checkpoint.json")).is_err());
+}
