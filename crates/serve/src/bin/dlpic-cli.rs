@@ -14,21 +14,22 @@
 use std::time::Duration;
 
 use dlpic_repro::engine::json::Json;
-use dlpic_serve::client::Client;
+use dlpic_serve::client::{Backoff, Client};
 use dlpic_serve::job::JobRequest;
-use dlpic_serve::protocol::ProtoError;
+use dlpic_serve::protocol::{ProtoError, WatchPolicy, DEFAULT_WATCH_QUEUE};
 use dlpic_serve::ServeError;
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlpic-cli <submit|status|watch|cancel|drain|result|wait> --addr ADDR [args]\n\
-         \x20 submit --addr A [--tenant T] (--job JSON | --job-file PATH)\n\
+         \x20 submit --addr A [--tenant T] [--job-key K] (--job JSON | --job-file PATH)\n\
          \x20 status --addr A [JOB]\n\
-         \x20 watch  --addr A JOB\n\
+         \x20 watch  --addr A [--policy drop_oldest|decimate:N] [--queue N] [--retries N] JOB\n\
          \x20 cancel --addr A JOB\n\
          \x20 drain  --addr A\n\
          \x20 result --addr A JOB [RUN]\n\
-         \x20 wait   --addr A JOB"
+         \x20 wait   --addr A [--retries N] JOB\n\
+         global: --timeout SECS   connect/read deadline (0 = block forever; default 30)"
     );
     std::process::exit(2);
 }
@@ -37,6 +38,11 @@ struct Args {
     addr: Option<String>,
     tenant: String,
     job_json: Option<String>,
+    job_key: Option<String>,
+    timeout: Option<Duration>,
+    retries: usize,
+    policy: WatchPolicy,
+    queue: usize,
     positional: Vec<String>,
 }
 
@@ -45,6 +51,11 @@ fn parse_args(mut args: std::env::Args) -> Args {
         addr: None,
         tenant: "default".into(),
         job_json: None,
+        job_key: None,
+        timeout: Some(Duration::from_secs(30)),
+        retries: 0,
+        policy: WatchPolicy::default(),
+        queue: DEFAULT_WATCH_QUEUE,
         positional: Vec::new(),
     };
     while let Some(arg) = args.next() {
@@ -64,6 +75,36 @@ fn parse_args(mut args: std::env::Args) -> Args {
                     eprintln!("cannot read {path}: {e}");
                     std::process::exit(1);
                 }));
+            }
+            "--job-key" => out.job_key = Some(value("--job-key")),
+            "--timeout" => {
+                let secs: f64 = value("--timeout").parse().unwrap_or_else(|_| {
+                    eprintln!("--timeout needs seconds");
+                    usage()
+                });
+                out.timeout = if secs <= 0.0 {
+                    None
+                } else {
+                    Some(Duration::from_secs_f64(secs))
+                };
+            }
+            "--retries" => {
+                out.retries = value("--retries").parse().unwrap_or_else(|_| {
+                    eprintln!("--retries needs a count");
+                    usage()
+                })
+            }
+            "--policy" => {
+                out.policy = WatchPolicy::parse(&value("--policy")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--queue" => {
+                out.queue = value("--queue").parse().unwrap_or_else(|_| {
+                    eprintln!("--queue needs a capacity");
+                    usage()
+                })
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -87,7 +128,7 @@ fn run() -> Result<(), ServeError> {
         eprintln!("--addr is required");
         usage()
     });
-    let mut client = Client::connect(&addr)?;
+    let mut client = Client::connect_with(&addr, args.timeout)?;
     match command.as_str() {
         "submit" => {
             let text = args.job_json.clone().unwrap_or_else(|| {
@@ -96,8 +137,13 @@ fn run() -> Result<(), ServeError> {
             });
             let doc = Json::parse(&text).map_err(ProtoError::from)?;
             let job = JobRequest::from_json_value(&doc)?;
-            let (id, runs) = client.submit(&job, &args.tenant)?;
-            println!("{{\"job\":{:?},\"runs\":{runs}}}", id);
+            let (id, runs, deduped) =
+                client.submit_keyed(&job, &args.tenant, args.job_key.as_deref())?;
+            if deduped {
+                println!("{{\"job\":{id:?},\"runs\":{runs},\"deduped\":true}}");
+            } else {
+                println!("{{\"job\":{id:?},\"runs\":{runs}}}");
+            }
         }
         "status" => {
             let doc = client.status(args.positional.first().map(String::as_str))?;
@@ -105,7 +151,18 @@ fn run() -> Result<(), ServeError> {
         }
         "watch" => {
             let job = args.positional.first().unwrap_or_else(|| usage());
-            client.watch(job, |event| println!("{}", event.to_compact()))?;
+            let on_event = |event: &Json| println!("{}", event.to_compact());
+            if args.retries > 0 {
+                client.watch_retry(
+                    job,
+                    args.policy,
+                    args.queue,
+                    Backoff::attempts(args.retries),
+                    on_event,
+                )?;
+            } else {
+                client.watch_with(job, args.policy, args.queue, on_event)?;
+            }
         }
         "cancel" => {
             let job = args.positional.first().unwrap_or_else(|| usage());
@@ -136,7 +193,13 @@ fn run() -> Result<(), ServeError> {
         }
         "wait" => {
             let job = args.positional.first().unwrap_or_else(|| usage());
-            for result in client.wait_for(job, Duration::from_millis(50))? {
+            let interval = Duration::from_millis(50);
+            let results = if args.retries > 0 {
+                client.wait_for_retry(job, interval, Backoff::attempts(args.retries))?
+            } else {
+                client.wait_for(job, interval)?
+            };
+            for result in results {
                 println!(
                     "{{\"run\":{},\"name\":{:?},\"state\":{:?},\"summary\":{}}}",
                     result.run,

@@ -9,19 +9,26 @@
 //! Prints `listening <addr>` on stdout once ready (with the real port
 //! when an ephemeral one was requested) — scripts and the integration
 //! tests parse that line.
+//!
+//! `--inject NAME=KIND@STEP[;…]` (KIND `panic` or `nan`) arms
+//! deterministic fault injection on runs whose name contains NAME — the
+//! containment tests stage one sick run inside a healthy fleet with it.
 
+use dlpic_repro::engine::{Engine, FaultPlan};
 use dlpic_serve::server::{ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlpic-serve [--listen HOST:PORT|unix:PATH] [--spool DIR] [--resume DIR]\n\
-         \x20                  [--max-sessions N] [--spool-interval WAVES]"
+         \x20                  [--max-sessions N] [--spool-interval WAVES]\n\
+         \x20                  [--inject NAME=KIND@STEP[;...]]  (KIND: panic | nan)"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut config = ServeConfig::default();
+    let mut faults = FaultPlan::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -42,6 +49,12 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
+            "--inject" => {
+                faults = FaultPlan::parse(&value("--inject")).unwrap_or_else(|e| {
+                    eprintln!("dlpic-serve: {e}");
+                    usage()
+                })
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -49,7 +62,7 @@ fn main() {
             }
         }
     }
-    let server = match Server::start(config) {
+    let server = match Server::start_with_engine(config, Engine::new().with_faults(faults)) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("dlpic-serve: {e}");

@@ -2,16 +2,73 @@
 //! line, read one response line — plus the streaming `watch` loop. The
 //! `dlpic-cli` binary is a thin argument parser over this module, and
 //! the integration tests drive servers through it in-process.
+//!
+//! Robustness: [`Client::connect_with`] applies connect/read/write
+//! deadlines so a dead server surfaces as [`ServeError::Timeout`] instead
+//! of hanging forever; [`Client::submit_keyed`] makes submits idempotent
+//! under retry; and [`Client::watch_retry`] / [`Client::wait_for_retry`]
+//! reconnect through transient failures with a bounded exponential
+//! [`Backoff`].
 
 use std::io::{BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 use dlpic_repro::engine::json::{obj, Json};
 
 use crate::error::ServeError;
 use crate::job::JobRequest;
-use crate::protocol::{self, ProtoError};
+use crate::protocol::{self, ProtoError, WatchPolicy, DEFAULT_WATCH_QUEUE};
+
+/// A bounded exponential-backoff schedule for reconnects: sleeps
+/// `initial`, doubling per attempt up to `max`, for at most `attempts`
+/// reconnect attempts. Only transient failures (I/O, timeout, server
+/// disconnect) are retried — protocol rejections fail immediately.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// Reconnect attempts before giving up.
+    pub attempts: usize,
+    /// First sleep.
+    pub initial: Duration,
+    /// Sleep ceiling.
+    pub max: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            initial: Duration::from_millis(200),
+            max: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Backoff {
+    /// A schedule with this many attempts and the default sleeps.
+    pub fn attempts(n: usize) -> Self {
+        Self {
+            attempts: n,
+            ..Self::default()
+        }
+    }
+
+    /// The sleep before reconnect attempt `attempt` (0-based).
+    pub fn delay(&self, attempt: usize) -> Duration {
+        let factor = 1u32 << attempt.min(16) as u32;
+        self.initial.saturating_mul(factor).min(self.max)
+    }
+
+    /// True for failures worth a reconnect: the connection died or timed
+    /// out. A protocol rejection would fail identically on retry.
+    pub fn retryable(e: &ServeError) -> bool {
+        matches!(
+            e,
+            ServeError::Io(_) | ServeError::Disconnected | ServeError::Timeout
+        )
+    }
+}
 
 enum Stream {
     Tcp(TcpStream),
@@ -56,6 +113,8 @@ impl Write for Stream {
 /// connection is reusable across requests (including after a completed
 /// `watch`).
 pub struct Client {
+    addr: String,
+    timeout: Option<Duration>,
     writer: Stream,
     reader: BufReader<Stream>,
 }
@@ -91,17 +150,68 @@ pub struct RunResult {
 }
 
 impl Client {
-    /// Connects to `host:port` (TCP) or `unix:<path>` (Unix socket).
+    /// Connects to `host:port` (TCP) or `unix:<path>` (Unix socket) with
+    /// no deadlines — reads block until the server answers. Prefer
+    /// [`Self::connect_with`] for anything unattended.
     pub fn connect(addr: &str) -> Result<Self, ServeError> {
+        Self::connect_with(addr, None)
+    }
+
+    /// [`Self::connect`] with `timeout` applied to connect, read and
+    /// write: a dead or wedged server surfaces as [`ServeError::Timeout`]
+    /// instead of hanging the caller forever.
+    pub fn connect_with(addr: &str, timeout: Option<Duration>) -> Result<Self, ServeError> {
         let stream = match addr.strip_prefix("unix:") {
-            Some(path) => Stream::Unix(UnixStream::connect(path)?),
-            None => Stream::Tcp(TcpStream::connect(addr)?),
+            Some(path) => {
+                let s = UnixStream::connect(path)?;
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
+                Stream::Unix(s)
+            }
+            None => {
+                let s = match timeout {
+                    None => TcpStream::connect(addr)?,
+                    Some(t) => {
+                        let mut last: Option<std::io::Error> = None;
+                        let mut connected = None;
+                        for sa in addr.to_socket_addrs()? {
+                            match TcpStream::connect_timeout(&sa, t) {
+                                Ok(s) => {
+                                    connected = Some(s);
+                                    break;
+                                }
+                                Err(e) => last = Some(e),
+                            }
+                        }
+                        match connected {
+                            Some(s) => s,
+                            None => {
+                                return Err(last
+                                    .map(ServeError::from)
+                                    .unwrap_or(ServeError::Disconnected))
+                            }
+                        }
+                    }
+                };
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)?;
+                Stream::Tcp(s)
+            }
         };
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
+            addr: addr.to_string(),
+            timeout,
             writer: stream,
             reader,
         })
+    }
+
+    /// Replaces the underlying connection with a fresh one to the same
+    /// address and deadlines (any half-read stream state is discarded).
+    pub fn reconnect(&mut self) -> Result<(), ServeError> {
+        *self = Self::connect_with(&self.addr, self.timeout)?;
+        Ok(())
     }
 
     /// Sends one raw request line and returns the parsed `ok` response
@@ -126,13 +236,29 @@ impl Client {
         job: &JobRequest,
         tenant: &str,
     ) -> Result<(String, usize), ServeError> {
-        let line = obj(vec![
+        let (id, runs, _) = self.submit_keyed(job, tenant, None)?;
+        Ok((id, runs))
+    }
+
+    /// [`Self::submit`] with an idempotency key: resubmitting the same
+    /// `(tenant, job_key)` — say, after a timed-out submit whose response
+    /// was lost — returns the already-accepted job instead of scheduling
+    /// a duplicate. Returns `(job id, run count, deduped)`.
+    pub fn submit_keyed(
+        &mut self,
+        job: &JobRequest,
+        tenant: &str,
+        job_key: Option<&str>,
+    ) -> Result<(String, usize, bool), ServeError> {
+        let mut fields = vec![
             ("op", Json::Str("submit".into())),
             ("tenant", Json::Str(tenant.into())),
             ("job", job.to_json_value()),
-        ])
-        .to_compact();
-        let doc = self.request(&line)?;
+        ];
+        if let Some(key) = job_key {
+            fields.push(("job_key", Json::Str(key.into())));
+        }
+        let doc = self.request(&obj(fields).to_compact())?;
         Ok((
             doc.field("job")
                 .map_err(ProtoError::from)?
@@ -142,6 +268,7 @@ impl Client {
             doc.field("runs")
                 .and_then(Json::as_usize)
                 .map_err(ProtoError::from)?,
+            matches!(doc.get("deduped"), Some(Json::Bool(true))),
         ))
     }
 
@@ -157,14 +284,24 @@ impl Client {
     /// Subscribes to a job and invokes `on_event` for every event line
     /// until the job finishes (or the server drains). Returns the number
     /// of events seen.
-    pub fn watch(
+    pub fn watch(&mut self, job: &str, on_event: impl FnMut(&Json)) -> Result<usize, ServeError> {
+        self.watch_with(job, WatchPolicy::default(), DEFAULT_WATCH_QUEUE, on_event)
+    }
+
+    /// [`Self::watch`] with an explicit backpressure policy and queue
+    /// capacity for this subscription.
+    pub fn watch_with(
         &mut self,
         job: &str,
+        policy: WatchPolicy,
+        queue: usize,
         mut on_event: impl FnMut(&Json),
     ) -> Result<usize, ServeError> {
         let line = obj(vec![
             ("op", Json::Str("watch".into())),
             ("job", Json::Str(job.into())),
+            ("policy", Json::Str(policy.wire())),
+            ("queue", Json::Num(queue as f64)),
         ])
         .to_compact();
         self.request(&line)?;
@@ -275,6 +412,62 @@ impl Client {
                 return self.results(job, None);
             }
             std::thread::sleep(interval);
+        }
+    }
+
+    /// [`Self::watch`] that survives transient connection loss:
+    /// retryable failures reconnect with bounded exponential `backoff`
+    /// and re-subscribe. The stream restarts on re-subscribe, so
+    /// `on_event` may see earlier rows again — watchers are consumers of
+    /// at-least-once sample delivery, and a job that finished during the
+    /// outage yields an immediate `job_done`. Returns the events seen by
+    /// the final (successful) subscription.
+    pub fn watch_retry(
+        &mut self,
+        job: &str,
+        policy: WatchPolicy,
+        queue: usize,
+        backoff: Backoff,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<usize, ServeError> {
+        let mut attempt = 0usize;
+        loop {
+            match self.watch_with(job, policy, queue, &mut on_event) {
+                Ok(seen) => return Ok(seen),
+                Err(e) if Backoff::retryable(&e) && attempt < backoff.attempts => {
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                    // A failed reconnect burns an attempt too; the next
+                    // loop iteration fails fast at `watch_with` if the
+                    // server is still gone.
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`Self::wait_for`] that survives transient connection loss:
+    /// retryable failures reconnect with bounded exponential `backoff`
+    /// and resume polling (polling is idempotent, so nothing is lost or
+    /// duplicated across the reconnect).
+    pub fn wait_for_retry(
+        &mut self,
+        job: &str,
+        interval: Duration,
+        backoff: Backoff,
+    ) -> Result<Vec<RunResult>, ServeError> {
+        let mut attempt = 0usize;
+        loop {
+            match self.wait_for(job, interval) {
+                Ok(results) => return Ok(results),
+                Err(e) if Backoff::retryable(&e) && attempt < backoff.attempts => {
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 }

@@ -18,6 +18,10 @@ pub enum ServeError {
     Protocol(ProtoError),
     /// The server closed the connection mid-exchange.
     Disconnected,
+    /// A connect or read deadline expired (the client's configured
+    /// timeout) — distinguishable from other I/O so callers can retry
+    /// with backoff instead of failing hard.
+    Timeout,
 }
 
 impl std::fmt::Display for ServeError {
@@ -27,6 +31,7 @@ impl std::fmt::Display for ServeError {
             Self::Io(e) => write!(f, "i/o: {e}"),
             Self::Protocol(e) => write!(f, "protocol: {e}"),
             Self::Disconnected => write!(f, "server closed the connection"),
+            Self::Timeout => write!(f, "timed out waiting for the server"),
         }
     }
 }
@@ -49,7 +54,12 @@ impl From<EngineError> for ServeError {
 
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
+        // A read on a socket with a deadline set reports the expiry as
+        // WouldBlock (unix) or TimedOut (windows); both mean "timeout".
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => Self::Timeout,
+            _ => Self::Io(e),
+        }
     }
 }
 

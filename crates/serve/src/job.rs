@@ -31,6 +31,12 @@ pub struct JobRequest {
     pub steps: Option<usize>,
     /// Server-side early-stop predicate, evaluated after every wave.
     pub stop: Option<StopPolicy>,
+    /// Hard per-run step ceiling: a run still unfinished after this many
+    /// steps is marked `failed` (`deadline exceeded`), not `done`.
+    pub deadline_steps: Option<usize>,
+    /// Hard wall-clock ceiling measured from admission: an active run
+    /// whose job has been running longer is marked `failed`.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl JobRequest {
@@ -41,6 +47,8 @@ impl JobRequest {
             source: JobSource::Scenario(spec),
             steps: None,
             stop: None,
+            deadline_steps: None,
+            deadline_seconds: None,
         }
     }
 
@@ -51,6 +59,8 @@ impl JobRequest {
             source: JobSource::Sweep(sweep),
             steps: None,
             stop: None,
+            deadline_steps: None,
+            deadline_seconds: None,
         }
     }
 
@@ -63,6 +73,19 @@ impl JobRequest {
     /// Stops every run early once `stop` fires.
     pub fn with_stop(mut self, stop: StopPolicy) -> Self {
         self.stop = Some(stop);
+        self
+    }
+
+    /// Fails any run still unfinished after `steps` steps.
+    pub fn with_deadline_steps(mut self, steps: usize) -> Self {
+        self.deadline_steps = Some(steps);
+        self
+    }
+
+    /// Fails any active run once the job has been running `seconds` of
+    /// wall clock.
+    pub fn with_deadline_seconds(mut self, seconds: f64) -> Self {
+        self.deadline_seconds = Some(seconds);
         self
     }
 
@@ -105,6 +128,12 @@ impl JobRequest {
         if let Some(stop) = &self.stop {
             fields.push(("stop", stop.to_json_value()));
         }
+        if let Some(d) = self.deadline_steps {
+            fields.push(("deadline_steps", Json::Num(d as f64)));
+        }
+        if let Some(d) = self.deadline_seconds {
+            fields.push(("deadline_seconds", Json::Num(d)));
+        }
         obj(fields)
     }
 
@@ -115,7 +144,15 @@ impl JobRequest {
         let Json::Obj(fields) = doc else {
             return Err(ProtoError::new("bad-job", "`job` must be a JSON object"));
         };
-        const ALLOWED: &[&str] = &["backend", "scenario", "sweep", "steps", "stop"];
+        const ALLOWED: &[&str] = &[
+            "backend",
+            "scenario",
+            "sweep",
+            "steps",
+            "stop",
+            "deadline_steps",
+            "deadline_seconds",
+        ];
         for (key, _) in fields {
             if !ALLOWED.contains(&key.as_str()) {
                 return Err(ProtoError::new(
@@ -159,6 +196,32 @@ impl JobRequest {
             },
             stop: match doc.get("stop") {
                 Some(s) => Some(StopPolicy::from_json_value(s)?),
+                None => None,
+            },
+            deadline_steps: match doc.get("deadline_steps") {
+                Some(d) => {
+                    let steps = d.as_usize()?;
+                    if steps == 0 {
+                        return Err(ProtoError::new(
+                            "bad-job",
+                            "`deadline_steps` must be at least 1",
+                        ));
+                    }
+                    Some(steps)
+                }
+                None => None,
+            },
+            deadline_seconds: match doc.get("deadline_seconds") {
+                Some(d) => {
+                    let seconds = d.as_f64()?;
+                    if seconds.is_nan() || seconds <= 0.0 {
+                        return Err(ProtoError::new(
+                            "bad-job",
+                            "`deadline_seconds` must be a positive number",
+                        ));
+                    }
+                    Some(seconds)
+                }
                 None => None,
             },
         })

@@ -25,6 +25,11 @@ use crate::job::JobRequest;
 /// history, and the client reads its trusted server without the cap.
 pub const MAX_LINE: usize = 1 << 20;
 
+/// Default per-subscriber watch queue capacity, in event lines. Bounded
+/// so a stalled watcher backs up its own queue, not the OS socket buffer
+/// and not the scheduler.
+pub const DEFAULT_WATCH_QUEUE: usize = 256;
+
 /// A structured protocol rejection: a machine-readable `code` plus a
 /// human-readable `message`. Serialized into error responses verbatim.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +66,50 @@ impl From<JsonError> for ProtoError {
     }
 }
 
+/// How a watch subscriber's bounded event queue sheds load when the
+/// client reads slower than the scheduler produces. Control events
+/// (`run_done`, `run_failed`, `job_done`) are never shed — only samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WatchPolicy {
+    /// Evict the oldest queued sample to make room for the newest —
+    /// the subscriber always sees the freshest data (the default).
+    #[default]
+    DropOldest,
+    /// Keep only every Nth history row (`row % N == 0`) — a
+    /// deterministic thinning that is independent of client timing.
+    Decimate(usize),
+}
+
+impl WatchPolicy {
+    /// Parses the wire form: `drop_oldest` or `decimate:N` (N ≥ 1).
+    pub fn parse(s: &str) -> Result<Self, ProtoError> {
+        if s == "drop_oldest" {
+            return Ok(Self::DropOldest);
+        }
+        if let Some(n) = s.strip_prefix("decimate:") {
+            return match n.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Self::Decimate(n)),
+                _ => Err(ProtoError::new(
+                    "bad-request",
+                    format!("decimate stride `{n}` is not a positive integer"),
+                )),
+            };
+        }
+        Err(ProtoError::new(
+            "bad-request",
+            format!("unknown watch policy `{s}` (knows drop_oldest, decimate:N)"),
+        ))
+    }
+
+    /// The wire form accepted by [`Self::parse`].
+    pub fn wire(&self) -> String {
+        match self {
+            Self::DropOldest => "drop_oldest".into(),
+            Self::Decimate(n) => format!("decimate:{n}"),
+        }
+    }
+}
+
 /// A parsed client request.
 #[derive(Debug)]
 pub enum Request {
@@ -71,6 +120,10 @@ pub enum Request {
         /// What to run (boxed: a `JobRequest` embeds a full spec, which
         /// would otherwise dominate the enum's size).
         job: Box<JobRequest>,
+        /// Client-supplied idempotency key: a resubmit with the same
+        /// `(tenant, job_key)` returns the existing job instead of
+        /// enqueueing a duplicate.
+        job_key: Option<String>,
     },
     /// Report every job, or one job by id.
     Status {
@@ -81,6 +134,10 @@ pub enum Request {
     Watch {
         /// Job id to follow.
         job: String,
+        /// Backpressure policy for this subscriber's sample queue.
+        policy: WatchPolicy,
+        /// Queue capacity in lines (default 256, min 1).
+        queue: usize,
     },
     /// Cancel a job's unfinished runs.
     Cancel {
@@ -167,9 +224,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         .ok_or_else(|| ProtoError::new("missing-field", "a request needs an `op` field"))?
         .as_str()?;
     let allowed: &[&str] = match op {
-        "submit" => &["op", "tenant", "job"],
+        "submit" => &["op", "tenant", "job", "job_key"],
         "status" => &["op", "job"],
-        "watch" | "cancel" => &["op", "job"],
+        "watch" => &["op", "job", "policy", "queue"],
+        "cancel" => &["op", "job"],
         "drain" => &["op"],
         "result" => &["op", "job", "run"],
         other => {
@@ -208,6 +266,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             job: Box::new(JobRequest::from_json_value(doc.get("job").ok_or_else(
                 || ProtoError::new("missing-field", "op `submit` needs a `job` object"),
             )?)?),
+            job_key: match doc.get("job_key") {
+                Some(k) => {
+                    let key = k.as_str()?;
+                    if key.is_empty() {
+                        return Err(ProtoError::new(
+                            "bad-request",
+                            "`job_key` must be a non-empty string",
+                        ));
+                    }
+                    Some(key.to_string())
+                }
+                None => None,
+            },
         },
         "status" => Request::Status {
             job: match doc.get("job") {
@@ -215,7 +286,26 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 None => None,
             },
         },
-        "watch" => Request::Watch { job: job_id(&doc)? },
+        "watch" => Request::Watch {
+            job: job_id(&doc)?,
+            policy: match doc.get("policy") {
+                Some(p) => WatchPolicy::parse(p.as_str()?)?,
+                None => WatchPolicy::default(),
+            },
+            queue: match doc.get("queue") {
+                Some(q) => {
+                    let n = q.as_usize()?;
+                    if n == 0 {
+                        return Err(ProtoError::new(
+                            "bad-request",
+                            "`queue` capacity must be at least 1",
+                        ));
+                    }
+                    n
+                }
+                None => DEFAULT_WATCH_QUEUE,
+            },
+        },
         "cancel" => Request::Cancel { job: job_id(&doc)? },
         "drain" => Request::Drain,
         "result" => Request::Result {

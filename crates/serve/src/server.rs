@@ -19,20 +19,20 @@
 //! watch subscriptions are `mpsc` senders the scheduler fans samples
 //! into.
 
+use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dlpic_repro::engine::json::{obj, Json};
 use dlpic_repro::engine::{Checkpoint, Engine, RunSummary, ScenarioSpec, Session, WaveBatch};
 
 use crate::error::ServeError;
 use crate::job::{JobRequest, StopEval};
-use crate::protocol::{self, ProtoError, Request};
+use crate::protocol::{self, ProtoError, Request, WatchPolicy};
 use crate::spool::{Spool, SpoolJob, SpoolRun};
 
 // ---------------------------------------------------------------------
@@ -155,12 +155,121 @@ struct RunEntry {
     finish_seq: Option<u64>,
 }
 
+/// One watch subscriber's bounded event queue. The scheduler pushes under
+/// its control-plane pass; the subscriber's connection thread pops and
+/// writes to the socket at the client's pace. When the client is slower
+/// than the fleet, the queue sheds *samples* by its [`WatchPolicy`] —
+/// control events (`run_done`, `run_failed`, `job_done`) always land, so
+/// a slow watcher loses resolution, never outcomes, and a stalled one
+/// bounds its memory here instead of in an unbounded channel or the OS
+/// socket buffer.
+struct SubQueue {
+    policy: WatchPolicy,
+    capacity: usize,
+    state: Mutex<SubState>,
+    ready: Condvar,
+}
+
+struct SubState {
+    items: VecDeque<String>,
+    closed: bool,
+    queued_total: u64,
+    dropped: u64,
+    decimated: u64,
+}
+
+impl SubQueue {
+    fn new(policy: WatchPolicy, capacity: usize) -> Self {
+        Self {
+            policy,
+            capacity: capacity.max(1),
+            state: Mutex::new(SubState {
+                items: VecDeque::new(),
+                closed: false,
+                queued_total: 0,
+                dropped: 0,
+                decimated: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one sample line for history row `row`, shedding by
+    /// policy: decimation keeps every Nth row, and a full queue evicts
+    /// its oldest sample.
+    fn push_sample(&self, line: &str, row: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        if let WatchPolicy::Decimate(n) = self.policy {
+            if !row.is_multiple_of(n) {
+                st.decimated += 1;
+                return;
+            }
+        }
+        if st.items.len() >= self.capacity {
+            st.items.pop_front();
+            st.dropped += 1;
+        }
+        st.items.push_back(line.to_string());
+        st.queued_total += 1;
+        self.ready.notify_one();
+    }
+
+    /// Enqueues a control event; never shed (outcomes must arrive).
+    fn push_control(&self, line: &str) {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        st.items.push_back(line.to_string());
+        st.queued_total += 1;
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next line; `None` once closed and drained.
+    fn pop(&self) -> Option<String> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(line) = st.items.pop_front() {
+                return Some(line);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Marks the queue finished; queued lines still drain via [`pop`].
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// `(depth, queued_total, dropped, decimated)` for `status`.
+    fn stats(&self) -> (usize, u64, u64, u64) {
+        let st = self.state.lock().unwrap();
+        (st.items.len(), st.queued_total, st.dropped, st.decimated)
+    }
+}
+
 struct JobEntry {
     id: String,
     tenant: String,
     request: JobRequest,
+    /// Client-supplied idempotency key (resubmits dedupe against it).
+    job_key: Option<String>,
+    /// When this job entered the table (or re-entered it on resume) —
+    /// the epoch `deadline_seconds` is measured from.
+    submitted: Instant,
     runs: Vec<RunEntry>,
-    subscribers: Vec<mpsc::Sender<String>>,
+    subscribers: Vec<Arc<SubQueue>>,
 }
 
 impl JobEntry {
@@ -168,9 +277,17 @@ impl JobEntry {
         self.runs.iter().all(|r| r.phase.is_final())
     }
 
-    fn publish(&mut self, line: &str) {
-        self.subscribers
-            .retain(|tx| tx.send(line.to_string()).is_ok());
+    fn publish_control(&mut self, line: &str) {
+        self.subscribers.retain(|q| !q.is_closed());
+        for q in &self.subscribers {
+            q.push_control(line);
+        }
+    }
+
+    fn publish_sample(&mut self, line: &str, row: usize) {
+        for q in &self.subscribers {
+            q.push_sample(line, row);
+        }
     }
 }
 
@@ -364,28 +481,49 @@ impl Server {
 /// summaries, in-flight runs re-queue from their checkpoint (or from
 /// step 0 via the embedded spec when the kill landed before their first
 /// flush), queued runs re-queue from their spec.
+///
+/// Self-healing: a truncated or corrupt per-run file never aborts the
+/// resume. A bad checkpoint restarts that run from step 0 when its spec
+/// survived (with a warning), else quarantines just that run as `failed`;
+/// a bad result file quarantines likewise. Every other run resumes
+/// untouched.
 fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError> {
+    let quarantine = |run: &SpoolRun, k: usize, why: String| -> RunEntry {
+        eprintln!("warning: spool: {} run {k} quarantined: {why}", job.id);
+        RunEntry {
+            name: run.name.clone(),
+            phase: Phase::Failed,
+            steps_done: 0,
+            steps_total: run.spec.as_ref().map_or(0, |s| s.n_steps),
+            pending: None,
+            result: None,
+            error: Some(format!("unrecoverable after restart: {why}")),
+            finish_seq: None,
+        }
+    };
     let mut runs = Vec::with_capacity(job.runs.len());
     for (k, run) in job.runs.iter().enumerate() {
         let entry = match run.state.as_str() {
-            "done" | "stopped" => {
-                let result = spool.read_result(&job.id, k)?;
-                let steps = result.field("steps").and_then(Json::as_usize).unwrap_or(0);
-                RunEntry {
-                    name: run.name.clone(),
-                    phase: if run.state == "done" {
-                        Phase::Done
-                    } else {
-                        Phase::Stopped
-                    },
-                    steps_done: steps,
-                    steps_total: steps.max(run.spec.as_ref().map_or(0, |s| s.n_steps)),
-                    pending: None,
-                    result: Some(result),
-                    error: None,
-                    finish_seq: None,
+            "done" | "stopped" => match spool.read_result(&job.id, k) {
+                Ok(result) => {
+                    let steps = result.field("steps").and_then(Json::as_usize).unwrap_or(0);
+                    RunEntry {
+                        name: run.name.clone(),
+                        phase: if run.state == "done" {
+                            Phase::Done
+                        } else {
+                            Phase::Stopped
+                        },
+                        steps_done: steps,
+                        steps_total: steps.max(run.spec.as_ref().map_or(0, |s| s.n_steps)),
+                        pending: None,
+                        result: Some(result),
+                        error: None,
+                        finish_seq: None,
+                    }
                 }
-            }
+                Err(e) => quarantine(run, k, format!("corrupt result file: {e}")),
+            },
             "cancelled" | "failed" => RunEntry {
                 name: run.name.clone(),
                 phase: if run.state == "cancelled" {
@@ -396,39 +534,58 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                 steps_done: 0,
                 steps_total: run.spec.as_ref().map_or(0, |s| s.n_steps),
                 pending: None,
-                result: None,
+                // Failed runs may have a stored partial summary.
+                result: spool.read_result(&job.id, k).ok(),
                 error: run.error.clone(),
                 finish_seq: None,
             },
             // "active" and "queued" both re-queue; an active run prefers
             // its checkpoint and falls back to a fresh start.
             _ => {
-                let (pending, steps_done) = if spool.has_checkpoint(&job.id, k) {
-                    let ckpt = spool.read_checkpoint(&job.id, k)?;
-                    let done = ckpt.steps_done;
-                    (PendingRun::Resume(Box::new(ckpt)), done)
+                let recovered: Result<(PendingRun, usize), String> = if spool
+                    .has_checkpoint(&job.id, k)
+                {
+                    match spool.read_checkpoint(&job.id, k) {
+                        Ok(ckpt) => {
+                            let done = ckpt.steps_done;
+                            Ok((PendingRun::Resume(Box::new(ckpt)), done))
+                        }
+                        Err(e) => match run.spec.clone() {
+                            Some(spec) => {
+                                eprintln!(
+                                    "warning: spool: {} run {k}: corrupt checkpoint \
+                                         ({e}); restarting from step 0",
+                                    job.id
+                                );
+                                Ok((PendingRun::Fresh(spec), 0))
+                            }
+                            None => Err(format!("corrupt checkpoint and no spec to restart: {e}")),
+                        },
+                    }
                 } else {
-                    let spec = run.spec.clone().ok_or_else(|| {
-                        ProtoError::new(
-                            "bad-spool",
-                            format!("{}: run {k} has neither checkpoint nor spec", job.id),
-                        )
-                    })?;
-                    (PendingRun::Fresh(spec), 0)
+                    match run.spec.clone() {
+                        Some(spec) => Ok((PendingRun::Fresh(spec), 0)),
+                        None => Err("neither checkpoint nor spec on disk".into()),
+                    }
                 };
-                let steps_total = match &pending {
-                    PendingRun::Resume(c) => c.spec.n_steps,
-                    PendingRun::Fresh(s) => s.n_steps,
-                };
-                RunEntry {
-                    name: run.name.clone(),
-                    phase: Phase::Queued,
-                    steps_done,
-                    steps_total,
-                    pending: Some(pending),
-                    result: None,
-                    error: None,
-                    finish_seq: None,
+                match recovered {
+                    Ok((pending, steps_done)) => {
+                        let steps_total = match &pending {
+                            PendingRun::Resume(c) => c.spec.n_steps,
+                            PendingRun::Fresh(s) => s.n_steps,
+                        };
+                        RunEntry {
+                            name: run.name.clone(),
+                            phase: Phase::Queued,
+                            steps_done,
+                            steps_total,
+                            pending: Some(pending),
+                            result: None,
+                            error: None,
+                            finish_seq: None,
+                        }
+                    }
+                    Err(why) => quarantine(run, k, why),
                 }
             }
         };
@@ -438,6 +595,8 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
         id: job.id,
         tenant: job.tenant,
         request: job.request,
+        job_key: job.job_key,
+        submitted: Instant::now(),
         runs,
         subscribers: Vec::new(),
     })
@@ -487,6 +646,9 @@ impl Scheduler {
                 if sh.draining {
                     self.flush_spool(&sh);
                     for job in &mut sh.jobs {
+                        for q in &job.subscribers {
+                            q.close();
+                        }
                         job.subscribers.clear();
                     }
                     sh.stopped = true;
@@ -578,9 +740,11 @@ impl Scheduler {
     }
 
     /// Builds one admitted session (engine work, lock-free) and
-    /// activates it, or records the failure.
+    /// activates it, or records the failure. Construction runs inside
+    /// `catch_unwind`, so a panicking solver build fails one run, not the
+    /// scheduler thread.
     fn build(&mut self, job: usize, run: usize, pending: PendingRun) {
-        let built = match &pending {
+        let built = contained(|| match &pending {
             PendingRun::Fresh(spec) => {
                 let backend = {
                     let sh = self.inner.shared.lock().unwrap();
@@ -589,7 +753,9 @@ impl Scheduler {
                 self.engine.start(spec, backend)
             }
             PendingRun::Resume(ckpt) => self.engine.resume(ckpt),
-        };
+        })
+        .map_err(|panic| ServeError::Protocol(ProtoError::new("server-error", panic)))
+        .and_then(|r| r.map_err(ServeError::from));
         match built {
             Ok(session) => {
                 let stop = {
@@ -615,8 +781,8 @@ impl Scheduler {
                 entry.phase = Phase::Failed;
                 entry.error = Some(e.to_string());
                 entry.finish_seq = Some(seq);
-                let line = run_done_event(&sh.jobs[job].id, run, &sh.jobs[job].runs[run]);
-                sh.jobs[job].publish(&line);
+                let line = run_failed_event(&sh.jobs[job].id, run, &sh.jobs[job].runs[run]);
+                sh.jobs[job].publish_control(&line);
                 finish_job_if_final(&mut sh.jobs[job]);
             }
         }
@@ -631,7 +797,7 @@ impl Scheduler {
                     spool.remove_run(&sh.jobs[a.job].id, a.run);
                 }
                 let line = run_done_event(&sh.jobs[a.job].id, a.run, &sh.jobs[a.job].runs[a.run]);
-                sh.jobs[a.job].publish(&line);
+                sh.jobs[a.job].publish_control(&line);
                 finish_job_if_final(&mut sh.jobs[a.job]);
                 return false;
             }
@@ -640,9 +806,10 @@ impl Scheduler {
     }
 
     /// Post-wave control-plane update: progress counters, sample
-    /// streaming, stop policies, and finalization of finished runs.
+    /// streaming, stop policies, fault quarantine, deadline enforcement,
+    /// and finalization of finished runs.
     fn publish_wave(&mut self, sh: &mut Shared) {
-        let mut finished: Vec<(usize, Phase)> = Vec::new();
+        let mut finished: Vec<(usize, Phase, Option<String>)> = Vec::new();
         for (i, a) in self.active.iter_mut().enumerate() {
             let job = &mut sh.jobs[a.job];
             job.runs[a.run].steps_done = a.session.steps_done();
@@ -651,7 +818,7 @@ impl Scheduler {
                 while a.emitted < history.len() {
                     let line =
                         sample_event(&job.id, a.run, &job.runs[a.run].name, history, a.emitted);
-                    job.publish(&line);
+                    job.publish_sample(&line, a.emitted);
                     a.emitted += 1;
                 }
             } else {
@@ -661,34 +828,78 @@ impl Scheduler {
                 .stop
                 .as_mut()
                 .is_some_and(|s| s.should_stop(a.session.history()));
-            if a.session.is_complete() {
-                finished.push((i, Phase::Done));
+            let deadline = {
+                let req = &job.request;
+                let over_steps = req
+                    .deadline_steps
+                    .is_some_and(|d| a.session.steps_done() >= d);
+                let over_wall = req
+                    .deadline_seconds
+                    .is_some_and(|d| job.submitted.elapsed().as_secs_f64() > d);
+                if over_steps {
+                    Some(format!(
+                        "deadline exceeded: {} steps without finishing",
+                        a.session.steps_done()
+                    ))
+                } else if over_wall {
+                    Some(format!(
+                        "deadline exceeded: job ran past {} wall seconds",
+                        req.deadline_seconds.unwrap_or(0.0)
+                    ))
+                } else {
+                    None
+                }
+            };
+            // Quarantine beats completion beats deadline beats stop: a
+            // faulted run is failed even if its step counter looks done.
+            if let Some(fault) = a.session.fault() {
+                finished.push((i, Phase::Failed, Some(fault.to_string())));
+            } else if a.session.is_complete() {
+                finished.push((i, Phase::Done, None));
+            } else if let Some(why) = deadline {
+                finished.push((i, Phase::Failed, Some(why)));
             } else if stopped {
-                finished.push((i, Phase::Stopped));
+                finished.push((i, Phase::Stopped, None));
             }
         }
         // Finalize back-to-front so indices stay valid across removal.
-        for &(i, phase) in finished.iter().rev() {
-            let a = self.active.remove(i);
+        for (i, phase, error) in finished.iter().rev() {
+            let a = self.active.remove(*i);
             let (job_idx, run_idx) = (a.job, a.run);
+            // `finish` is fault-aware: a quarantined session's summary is
+            // built from its recorded history only — the solver state is
+            // never touched again.
             let summary = a.session.finish();
-            let result = summary_to_json(&summary);
+            let mut result = summary_to_json(&summary);
+            if let (Phase::Failed, Json::Obj(fields)) = (*phase, &mut result) {
+                fields.push(("error".into(), Json::Str(error.clone().unwrap_or_default())));
+                fields.push(("partial".into(), Json::Bool(true)));
+            }
             if let Some(spool) = &self.inner.spool {
                 let _ = spool.write_result(&sh.jobs[job_idx].id, run_idx, &result);
             }
             let seq = sh.finish_counter;
             sh.finish_counter += 1;
             let entry = &mut sh.jobs[job_idx].runs[run_idx];
-            entry.phase = phase;
+            entry.phase = *phase;
             entry.steps_done = summary.steps;
             entry.result = Some(result);
+            entry.error = error.clone();
             entry.finish_seq = Some(seq);
-            let line = run_done_event(
-                &sh.jobs[job_idx].id,
-                run_idx,
-                &sh.jobs[job_idx].runs[run_idx],
-            );
-            sh.jobs[job_idx].publish(&line);
+            let line = if *phase == Phase::Failed {
+                run_failed_event(
+                    &sh.jobs[job_idx].id,
+                    run_idx,
+                    &sh.jobs[job_idx].runs[run_idx],
+                )
+            } else {
+                run_done_event(
+                    &sh.jobs[job_idx].id,
+                    run_idx,
+                    &sh.jobs[job_idx].runs[run_idx],
+                )
+            };
+            sh.jobs[job_idx].publish_control(&line);
             finish_job_if_final(&mut sh.jobs[job_idx]);
         }
         if !finished.is_empty() {
@@ -714,6 +925,7 @@ impl Scheduler {
                 id: job.id.clone(),
                 tenant: job.tenant.clone(),
                 request: job.request.clone(),
+                job_key: job.job_key.clone(),
                 runs: job
                     .runs
                     .iter()
@@ -738,15 +950,35 @@ impl Scheduler {
             })
             .collect();
         let _ = spool.save_manifest(sh.next_job, &jobs);
+        spool.gc(&jobs);
     }
 }
 
+/// The panic payload as text, for fault records.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Runs `f` with panics contained to an `Err(message)`.
+fn contained<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(panic_message)
+}
+
 /// Sends `job_done` once every run of the job is final, and releases the
-/// watchers.
+/// watchers (their queues drain, then their handlers exit).
 fn finish_job_if_final(job: &mut JobEntry) {
     if job.is_final() {
         let line = protocol::event("job_done", vec![("job", Json::Str(job.id.clone()))]);
-        job.publish(&line);
+        job.publish_control(&line);
+        for q in &job.subscribers {
+            q.close();
+        }
         job.subscribers.clear();
     }
 }
@@ -784,6 +1016,23 @@ fn run_done_event(job: &str, run: usize, entry: &RunEntry) -> String {
             ("name", Json::Str(entry.name.clone())),
             ("state", Json::Str(entry.phase.name().into())),
             ("steps", Json::Num(entry.steps_done as f64)),
+        ],
+    )
+}
+
+/// The structured failure event: like `run_done`, plus the stored error.
+/// A distinct event kind so dashboards and retry logic can react without
+/// string-matching states.
+fn run_failed_event(job: &str, run: usize, entry: &RunEntry) -> String {
+    protocol::event(
+        "run_failed",
+        vec![
+            ("job", Json::Str(job.into())),
+            ("run", Json::Num(run as f64)),
+            ("name", Json::Str(entry.name.clone())),
+            ("state", Json::Str(entry.phase.name().into())),
+            ("steps", Json::Num(entry.steps_done as f64)),
+            ("error", Json::Str(entry.error.clone().unwrap_or_default())),
         ],
     )
 }
@@ -871,8 +1120,12 @@ fn send_line(writer: &mut Conn, line: &str) -> std::io::Result<()> {
 
 fn handle_request(request: Request, inner: &Arc<Inner>, writer: &mut Conn) -> std::io::Result<()> {
     match request {
-        Request::Submit { tenant, job } => {
-            let response = submit(inner, tenant, *job);
+        Request::Submit {
+            tenant,
+            job,
+            job_key,
+        } => {
+            let response = submit(inner, tenant, *job, job_key);
             send_line(writer, &respond(response))
         }
         Request::Status { job } => {
@@ -897,7 +1150,7 @@ fn handle_request(request: Request, inner: &Arc<Inner>, writer: &mut Conn) -> st
             let response = results(inner, &job, run);
             send_line(writer, &respond(response))
         }
-        Request::Watch { job } => watch(inner, &job, writer),
+        Request::Watch { job, policy, queue } => watch(inner, &job, policy, queue, writer),
     }
 }
 
@@ -912,9 +1165,27 @@ fn submit(
     inner: &Arc<Inner>,
     tenant: String,
     job: JobRequest,
+    job_key: Option<String>,
 ) -> Result<Vec<(&'static str, Json)>, ProtoError> {
     let specs = job.expand()?;
     let mut sh = inner.shared.lock().unwrap();
+    // Idempotent submit: the same (tenant, job_key) maps to the already
+    // accepted job, so a client retrying a submit whose response was lost
+    // cannot double-schedule. Checked before the drain gate — the job the
+    // key names was accepted, and pointing at it is always safe.
+    if let Some(key) = &job_key {
+        if let Some(existing) = sh
+            .jobs
+            .iter()
+            .find(|j| j.tenant == tenant && j.job_key.as_deref() == Some(key.as_str()))
+        {
+            return Ok(vec![
+                ("job", Json::Str(existing.id.clone())),
+                ("runs", Json::Num(existing.runs.len() as f64)),
+                ("deduped", Json::Bool(true)),
+            ]);
+        }
+    }
     if sh.draining || sh.stopped {
         return Err(ProtoError::new("draining", "server is draining"));
     }
@@ -938,6 +1209,8 @@ fn submit(
         id: id.clone(),
         tenant,
         request: job,
+        job_key,
+        submitted: Instant::now(),
         runs,
         subscribers: Vec::new(),
     });
@@ -964,6 +1237,27 @@ fn status(inner: &Arc<Inner>, job: Option<&str>) -> Result<Vec<(&'static str, Js
                 // subscription landed before acting on it (tests rely on
                 // this to sequence watch-then-release deterministically).
                 ("watchers", Json::Num(job.subscribers.len() as f64)),
+                // Per-subscriber queue accounting: shed samples are
+                // observable, not silent.
+                (
+                    "watch_stats",
+                    Json::Arr(
+                        job.subscribers
+                            .iter()
+                            .map(|q| {
+                                let (depth, queued_total, dropped, decimated) = q.stats();
+                                obj(vec![
+                                    ("policy", Json::Str(q.policy.wire())),
+                                    ("capacity", Json::Num(q.capacity as f64)),
+                                    ("depth", Json::Num(depth as f64)),
+                                    ("queued_total", Json::Num(queued_total as f64)),
+                                    ("dropped", Json::Num(dropped as f64)),
+                                    ("decimated", Json::Num(decimated as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
                 (
                     "runs",
                     Json::Arr(
@@ -980,6 +1274,9 @@ fn status(inner: &Arc<Inner>, job: Option<&str>) -> Result<Vec<(&'static str, Js
                                 ];
                                 if let Some(seq) = run.finish_seq {
                                     fields.push(("finish_seq", Json::Num(seq as f64)));
+                                }
+                                if let Some(error) = &run.error {
+                                    fields.push(("error", Json::Str(error.clone())));
                                 }
                                 obj(fields)
                             })
@@ -1023,7 +1320,7 @@ fn cancel(inner: &Arc<Inner>, id: &str) -> Result<Vec<(&'static str, Json)>, Pro
     }
     for k in was_queued {
         let line = run_done_event(&job.id, k, &job.runs[k]);
-        job.publish(&line);
+        job.publish_control(&line);
     }
     finish_job_if_final(job);
     sh.finish_counter = seq;
@@ -1078,8 +1375,14 @@ fn results(
     ])
 }
 
-fn watch(inner: &Arc<Inner>, id: &str, writer: &mut Conn) -> std::io::Result<()> {
-    let receiver = {
+fn watch(
+    inner: &Arc<Inner>,
+    id: &str,
+    policy: WatchPolicy,
+    queue: usize,
+    writer: &mut Conn,
+) -> std::io::Result<()> {
+    let subscription = {
         let mut sh = inner.shared.lock().unwrap();
         let Some(job) = sh.jobs.iter_mut().find(|j| j.id == id) else {
             drop(sh);
@@ -1097,18 +1400,23 @@ fn watch(inner: &Arc<Inner>, id: &str, writer: &mut Conn) -> std::io::Result<()>
                 &protocol::event("job_done", vec![("job", Json::Str(id))]),
             );
         }
-        let (tx, rx) = mpsc::channel();
-        job.subscribers.push(tx);
-        rx
+        let q = Arc::new(SubQueue::new(policy, queue));
+        job.subscribers.push(Arc::clone(&q));
+        q
     };
     send_line(
         writer,
-        &protocol::ok_response(vec![("watching", Json::Str(id.into()))]),
+        &protocol::ok_response(vec![
+            ("watching", Json::Str(id.into())),
+            ("policy", Json::Str(policy.wire())),
+        ]),
     )?;
-    // Forward events until the scheduler drops our sender (job done or
-    // server drained) or the client goes away.
-    while let Ok(line) = receiver.recv() {
+    // Forward events at the client's pace until the scheduler closes the
+    // queue (job done or server drained) or the client goes away. A dead
+    // client closes its own queue so the scheduler stops feeding it.
+    while let Some(line) = subscription.pop() {
         if send_line(writer, &line).is_err() {
+            subscription.close();
             break;
         }
     }

@@ -38,6 +38,8 @@ pub struct SpoolJob {
     pub tenant: String,
     /// The original request (backend, source, budget, stop policy).
     pub request: JobRequest,
+    /// Client-supplied idempotency key, so dedupe survives a restart.
+    pub job_key: Option<String>,
     /// Per-run durable state.
     pub runs: Vec<SpoolRun>,
 }
@@ -101,13 +103,22 @@ impl Spool {
         atomic_write(&self.dir.join("meta.json"), &doc.to_pretty())
     }
 
-    /// Loads the fleet manifest; `(next_job, jobs)`.
+    /// Loads the fleet manifest; `(next_job, jobs)`. Every failure names
+    /// the offending file — "bad-json" alone is useless when the operator
+    /// is deciding which spool file to inspect or delete.
     pub fn load_manifest(&self) -> Result<(u64, Vec<SpoolJob>), ServeError> {
-        let text = std::fs::read_to_string(self.dir.join("meta.json"))?;
-        let doc = Json::parse(&text).map_err(ProtoError::from)?;
-        let format = doc.field("format").map_err(ProtoError::from)?;
+        let path = self.dir.join("meta.json");
+        let name_file = |what: String| -> ServeError {
+            ProtoError::new("bad-spool", format!("{}: {what}", path.display())).into()
+        };
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| name_file(format!("cannot read manifest: {e}")))?;
+        let doc = Json::parse(&text).map_err(|e| name_file(format!("bad json: {}", e.message)))?;
+        let format = doc
+            .field("format")
+            .map_err(|e| name_file(e.message.clone()))?;
         if format.as_str().map_err(ProtoError::from)? != MANIFEST_FORMAT {
-            return Err(ProtoError::new("bad-spool", "not a dlpic-serve spool manifest").into());
+            return Err(name_file("not a dlpic-serve spool manifest".into()));
         }
         let next_job = doc
             .field("next_job")
@@ -170,6 +181,49 @@ impl Spool {
         let _ = std::fs::remove_file(self.checkpoint_path(job, run));
         let _ = std::fs::remove_file(self.done_path(job, run));
     }
+
+    /// Garbage-collects the spool against the manifest just written:
+    /// drops job directories the manifest no longer mentions, stray
+    /// `.tmp` files from interrupted atomic writes, and checkpoints of
+    /// runs that reached a final state (their `done` file, when one
+    /// exists, is the record). Best-effort — GC never fails a flush.
+    pub fn gc(&self, jobs: &[SpoolJob]) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            if !path.is_dir() {
+                continue;
+            }
+            match jobs.iter().find(|j| j.id == name) {
+                None => {
+                    let _ = std::fs::remove_dir_all(&path);
+                }
+                Some(job) => {
+                    for (k, run) in job.runs.iter().enumerate() {
+                        let final_state =
+                            matches!(run.state.as_str(), "done" | "stopped" | "cancelled");
+                        if final_state {
+                            let _ = std::fs::remove_file(self.checkpoint_path(&job.id, k));
+                        }
+                    }
+                    if let Ok(inner) = std::fs::read_dir(&path) {
+                        for file in inner.flatten() {
+                            if file.path().extension().is_some_and(|e| e == "tmp") {
+                                let _ = std::fs::remove_file(file.path());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Write-to-sibling-then-rename: the same atomicity discipline as
@@ -184,32 +238,36 @@ fn atomic_write(path: &Path, text: &str) -> Result<(), ServeError> {
 }
 
 fn job_to_json(job: &SpoolJob) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("id", Json::Str(job.id.clone())),
         ("tenant", Json::Str(job.tenant.clone())),
         ("request", job.request.to_json_value()),
-        (
-            "runs",
-            Json::Arr(
-                job.runs
-                    .iter()
-                    .map(|run| {
-                        let mut fields = vec![
-                            ("name", Json::Str(run.name.clone())),
-                            ("state", Json::Str(run.state.clone())),
-                        ];
-                        if let Some(spec) = &run.spec {
-                            fields.push(("spec", spec.to_json_value()));
-                        }
-                        if let Some(error) = &run.error {
-                            fields.push(("error", Json::Str(error.clone())));
-                        }
-                        obj(fields)
-                    })
-                    .collect(),
-            ),
+    ];
+    if let Some(key) = &job.job_key {
+        fields.push(("job_key", Json::Str(key.clone())));
+    }
+    fields.push((
+        "runs",
+        Json::Arr(
+            job.runs
+                .iter()
+                .map(|run| {
+                    let mut fields = vec![
+                        ("name", Json::Str(run.name.clone())),
+                        ("state", Json::Str(run.state.clone())),
+                    ];
+                    if let Some(spec) = &run.spec {
+                        fields.push(("spec", spec.to_json_value()));
+                    }
+                    if let Some(error) = &run.error {
+                        fields.push(("error", Json::Str(error.clone())));
+                    }
+                    obj(fields)
+                })
+                .collect(),
         ),
-    ])
+    ));
+    obj(fields)
 }
 
 fn job_from_json(doc: &Json) -> Result<SpoolJob, ServeError> {
@@ -247,6 +305,10 @@ fn job_from_json(doc: &Json) -> Result<SpoolJob, ServeError> {
             .map_err(ProtoError::from)?
             .to_string(),
         request: JobRequest::from_json_value(doc.field("request").map_err(ProtoError::from)?)?,
+        job_key: match doc.get("job_key") {
+            Some(k) => Some(k.as_str().map_err(ProtoError::from)?.to_string()),
+            None => None,
+        },
         runs: doc
             .field("runs")
             .and_then(Json::as_arr)

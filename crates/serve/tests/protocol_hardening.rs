@@ -6,7 +6,10 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
+use dlpic_repro::core::Scale;
 use dlpic_repro::engine::json::Json;
+use dlpic_repro::engine::{self, Backend};
+use dlpic_serve::job::JobRequest;
 use dlpic_serve::protocol::MAX_LINE;
 use dlpic_serve::server::{ServeConfig, Server};
 
@@ -77,6 +80,21 @@ fn hostile_lines_get_structured_errors_and_the_server_keeps_serving() {
         ("unknown-job", br#"{"op":"status","job":"job-9999"}"#),
         ("unknown-job", br#"{"op":"result","job":"job-9999"}"#),
         ("unknown-job", br#"{"op":"cancel","job":"job-9999"}"#),
+        // The idempotency key is submit-only and must be non-empty.
+        ("unknown-field", br#"{"op":"status","job_key":"k"}"#),
+        // Watch backpressure knobs are validated before the job lookup.
+        (
+            "bad-request",
+            br#"{"op":"watch","job":"job-0000","policy":"lifo"}"#,
+        ),
+        (
+            "bad-request",
+            br#"{"op":"watch","job":"job-0000","policy":"decimate:0"}"#,
+        ),
+        (
+            "bad-request",
+            br#"{"op":"watch","job":"job-0000","queue":0}"#,
+        ),
     ];
 
     for (want, line) in cases {
@@ -102,6 +120,70 @@ fn hostile_lines_get_structured_errors_and_the_server_keeps_serving() {
     // An unknown-job watch answers with an error (not a hung stream).
     let doc = send_raw(&mut stream, &mut reader, br#"{"op":"watch","job":"nope"}"#);
     assert_eq!(error_code(&doc), "unknown-job");
+
+    // Job-key and deadline strictness against an otherwise valid job
+    // document: each hostile knob is the only bad thing on the line.
+    let mut spec = engine::scenario("two_stream", Scale::Smoke).expect("registry");
+    spec.n_steps = 4;
+    let job = JobRequest::scenario(spec, Backend::Traditional1D);
+    let job_json = job.to_json_value().to_compact();
+    let hostile_knobs: &[(&str, String)] = &[
+        (
+            "bad-request",
+            format!(r#"{{"op":"submit","job":{job_json},"job_key":""}}"#),
+        ),
+        (
+            "bad-json",
+            format!(r#"{{"op":"submit","job":{job_json},"job_key":7}}"#),
+        ),
+        (
+            "bad-job",
+            format!(
+                r#"{{"op":"submit","job":{}}}"#,
+                job.clone()
+                    .with_deadline_steps(0)
+                    .to_json_value()
+                    .to_compact()
+            ),
+        ),
+        (
+            "bad-job",
+            format!(
+                r#"{{"op":"submit","job":{}}}"#,
+                job.clone()
+                    .with_deadline_seconds(-1.0)
+                    .to_json_value()
+                    .to_compact()
+            ),
+        ),
+    ];
+    for (want, line) in hostile_knobs {
+        let doc = send_raw(&mut stream, &mut reader, line.as_bytes());
+        assert_eq!(
+            &error_code(&doc),
+            want,
+            "line {line} -> {}",
+            doc.to_compact()
+        );
+    }
+
+    // A well-formed keyed submit, replayed on the same connection: the
+    // second submit is absorbed and points at the first job.
+    let keyed = format!(r#"{{"op":"submit","job":{job_json},"job_key":"replay-1"}}"#);
+    let first = send_raw(&mut stream, &mut reader, keyed.as_bytes());
+    assert!(
+        matches!(first.get("ok"), Some(Json::Bool(true))),
+        "{}",
+        first.to_compact()
+    );
+    let id = first
+        .field("job")
+        .and_then(Json::as_str)
+        .expect("job id")
+        .to_string();
+    let second = send_raw(&mut stream, &mut reader, keyed.as_bytes());
+    assert_eq!(second.field("job").and_then(Json::as_str), Ok(&*id));
+    assert_eq!(second.field("deduped"), Ok(&Json::Bool(true)));
 
     // A peer that disconnects mid-line doesn't take the server down.
     {

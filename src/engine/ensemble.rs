@@ -55,6 +55,7 @@
 
 use super::backend::Backend;
 use super::error::EngineError;
+use super::health::SessionFault;
 use super::json::{obj, Json};
 use super::observer::RunSummary;
 use super::registry;
@@ -377,6 +378,9 @@ struct WaveScratch {
     /// `(cohort key, member indices)` work list, reused across waves.
     cohorts: Vec<(CohortKey, Vec<usize>)>,
     solo: Vec<usize>,
+    /// Cohort members whose prepare phase survived this wave (faulted
+    /// members drop out and the surviving rows compact down).
+    live: Vec<usize>,
 }
 
 /// What must agree for sessions to share one batched inference: backend
@@ -406,9 +410,39 @@ impl SessionSlot for &mut Session {
     }
 }
 
-/// Steps every unfinished session in `sessions` once: phase-split
-/// sessions in batched cohorts, the rest solo. Returns how many sessions
-/// advanced.
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Runs `f` with unwinding contained: a panic becomes `Err(message)`
+/// instead of tearing down the wave (and with it every co-scheduled
+/// session). `AssertUnwindSafe` is sound here because every caller
+/// quarantines the touched session on `Err` — its possibly-inconsistent
+/// solver state is never stepped or sampled again.
+fn contained<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(panic_message)
+}
+
+/// Steps every unfinished, healthy session in `sessions` once:
+/// phase-split sessions in batched cohorts, the rest solo. Returns how
+/// many sessions advanced.
+///
+/// Fault containment: each session's prepare/apply/solo step runs with
+/// panics contained, and its history is divergence-checked after the
+/// step ([`Session::check_health`]). A faulted session is quarantined —
+/// dropped from this and every later wave with its partial history
+/// intact — and cannot perturb its cohort: surviving rows compact down
+/// (row-stable inference makes every row bit-identical at any batch
+/// height), and if the *shared* batched inference itself panics, the
+/// wave degrades to per-member 1-row inference so one poisoned network
+/// only takes down its own run.
 fn step_wave<S: SessionSlot>(sessions: &mut [S], scratch: &mut WaveScratch) -> usize {
     for (_, members) in &mut scratch.cohorts {
         members.clear();
@@ -416,7 +450,7 @@ fn step_wave<S: SessionSlot>(sessions: &mut [S], scratch: &mut WaveScratch) -> u
     scratch.solo.clear();
     for (i, slot) in sessions.iter_mut().enumerate() {
         let session = slot.session();
-        if session.is_complete() {
+        if session.is_complete() || !session.is_healthy() {
             continue;
         }
         match session.batched_infer_shape() {
@@ -435,42 +469,102 @@ fn step_wave<S: SessionSlot>(sessions: &mut [S], scratch: &mut WaveScratch) -> u
         // Move the member list out so `sessions` and the scratch buffers
         // can be borrowed independently of the cohort list.
         let members = std::mem::take(&mut scratch.cohorts[c].1);
-        let m = members.len();
-        if m == 0 {
+        if members.is_empty() {
             scratch.cohorts[c].1 = members;
             continue;
         }
         let (in_w, out_w) = scratch.cohorts[c].0 .2;
-        scratch.input.resize(m * in_w, 0.0);
-        scratch.output.resize(m * out_w, 0.0);
+        scratch.input.resize(members.len() * in_w, 0.0);
+        scratch.output.resize(members.len() * out_w, 0.0);
         // Phase 1: every member prepares its row (and records its
-        // diagnostics sample, exactly as a monolithic step would).
-        for (r, &i) in members.iter().enumerate() {
-            sessions[i]
-                .session()
-                .step_prepare(&mut scratch.input[r * in_w..(r + 1) * in_w]);
+        // diagnostics sample, exactly as a monolithic step would). A
+        // member whose prepare panics is quarantined and its row slot is
+        // reused by the next survivor.
+        scratch.live.clear();
+        for &i in &members {
+            let r = scratch.live.len();
+            let row = &mut scratch.input[r * in_w..(r + 1) * in_w];
+            match contained(|| {
+                sessions[i].session().step_prepare(row);
+            }) {
+                Ok(()) => scratch.live.push(i),
+                Err(message) => sessions[i]
+                    .session()
+                    .set_fault(SessionFault::Panicked { message }),
+            }
+        }
+        let m = scratch.live.len();
+        if m == 0 {
+            scratch.cohorts[c].1 = members;
+            continue;
         }
         // Phase 2: ONE inference for the whole cohort, through the first
-        // member's solver (identical weights across members by
+        // survivor's solver (identical weights across members by
         // construction; row-stable kernels make each row bit-equal to a
-        // solo solve).
-        sessions[members[0]].session().infer_batch(
-            &scratch.input[..m * in_w],
-            m,
-            &mut scratch.output,
-        );
-        // Phase 3: scatter the rows back.
-        for (r, &i) in members.iter().enumerate() {
-            sessions[i]
-                .session()
-                .step_apply(&scratch.output[r * out_w..(r + 1) * out_w]);
+        // solo solve). If the shared inference panics, fall back to
+        // per-member 1-row inference — bit-identical rows again — so
+        // only the member whose own network panics is lost.
+        let leader = scratch.live[0];
+        let batch_ok = contained(|| {
+            sessions[leader].session().infer_batch(
+                &scratch.input[..m * in_w],
+                m,
+                &mut scratch.output[..m * out_w],
+            );
+        })
+        .is_ok();
+        if !batch_ok {
+            for r in 0..m {
+                let i = scratch.live[r];
+                let result = contained(|| {
+                    sessions[i].session().infer_batch(
+                        &scratch.input[r * in_w..(r + 1) * in_w],
+                        1,
+                        &mut scratch.output[r * out_w..(r + 1) * out_w],
+                    );
+                });
+                if let Err(message) = result {
+                    sessions[i]
+                        .session()
+                        .set_fault(SessionFault::Panicked { message });
+                }
+            }
         }
-        stepped += m;
+        // Phase 3: scatter the rows back, then divergence-check the
+        // step's recorded diagnostics.
+        for r in 0..m {
+            let i = scratch.live[r];
+            if !sessions[i].session().is_healthy() {
+                continue;
+            }
+            match contained(|| {
+                sessions[i]
+                    .session()
+                    .step_apply(&scratch.output[r * out_w..(r + 1) * out_w]);
+            }) {
+                Ok(()) => {
+                    stepped += 1;
+                    sessions[i].session().check_health();
+                }
+                Err(message) => sessions[i]
+                    .session()
+                    .set_fault(SessionFault::Panicked { message }),
+            }
+        }
         scratch.cohorts[c].1 = members;
     }
     for &i in &scratch.solo {
-        sessions[i].session().step();
-        stepped += 1;
+        match contained(|| {
+            sessions[i].session().step();
+        }) {
+            Ok(()) => {
+                stepped += 1;
+                sessions[i].session().check_health();
+            }
+            Err(message) => sessions[i]
+                .session()
+                .set_fault(SessionFault::Panicked { message }),
+        }
     }
     stepped
 }
@@ -549,9 +643,24 @@ impl Ensemble {
         &mut self.sessions[index]
     }
 
-    /// True once every run has completed its configured steps.
+    /// True once every run is terminal: completed its configured steps,
+    /// or quarantined by a fault (see [`Self::faults`]).
     pub fn is_complete(&self) -> bool {
-        self.sessions.iter().all(|s| s.is_complete())
+        self.sessions
+            .iter()
+            .all(|s| s.is_complete() || !s.is_healthy())
+    }
+
+    /// Quarantined runs as `(session index, fault)` pairs. Healthy
+    /// fleets return an empty list; a faulted run's partial history
+    /// remains readable via [`Self::sessions`] and flows into its
+    /// [`Self::finish`] summary.
+    pub fn faults(&self) -> Vec<(usize, &SessionFault)> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.fault().map(|f| (i, f)))
+            .collect()
     }
 
     /// Advances every unfinished run by one step on the calling thread —

@@ -40,6 +40,15 @@ pub enum EngineError {
         /// What is wrong.
         what: String,
     },
+    /// A run's diagnostics went non-finite — the solver left the physical
+    /// regime (for DL backends: the surrogate was driven off its training
+    /// distribution). The run's history up to `step` remains valid.
+    Diverged {
+        /// Index of the first non-finite diagnostics row.
+        step: usize,
+        /// Which quantity went non-finite, and how.
+        diagnostic: String,
+    },
     /// Spec (de)serialization failed.
     Json(JsonError),
     /// A growth-rate/line fit failed.
@@ -72,6 +81,9 @@ impl std::fmt::Display for EngineError {
                 write!(f, "unknown scenario `{name}`; known: {}", known.join(", "))
             }
             Self::Checkpoint { what } => write!(f, "checkpoint: {what}"),
+            Self::Diverged { step, diagnostic } => {
+                write!(f, "run diverged at step {step}: {diagnostic}")
+            }
             Self::Json(e) => write!(f, "scenario spec: {e}"),
             Self::Fit(e) => write!(f, "fit: {e}"),
             Self::Bundle(e) => write!(f, "model bundle: {e}"),

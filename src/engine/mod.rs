@@ -52,6 +52,8 @@ pub mod compare;
 pub mod dl;
 pub mod ensemble;
 pub mod error;
+pub mod fault;
+pub mod health;
 pub mod json;
 pub mod observer;
 pub mod registry;
@@ -64,6 +66,8 @@ pub use compare::{lockstep, ComparisonReport, LockstepDiff};
 pub use dl::Dl2DModel;
 pub use ensemble::{Ensemble, SweepSpec, WaveBatch};
 pub use error::EngineError;
+pub use fault::{FaultKind, FaultPlan, FaultRule};
+pub use health::{RunHealth, SessionFault};
 pub use observer::{EnergyHistory, Observer, PhaseSpace, ProgressPrinter, RunSummary, Sample};
 pub use registry::{
     all_scenarios, apply_sweep_param, names, scenario, sweep_params, sweepable_params, SweepParam,

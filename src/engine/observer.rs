@@ -90,6 +90,21 @@ impl EnergyHistory {
         self.times.is_empty()
     }
 
+    /// Discards every row from index `len` on — the divergence guard uses
+    /// this to freeze a quarantined run's history at the last row whose
+    /// diagnostics were all finite, so partial histories stay losslessly
+    /// JSON-serializable.
+    pub fn truncate(&mut self, len: usize) {
+        self.times.truncate(len);
+        self.kinetic.truncate(len);
+        self.field.truncate(len);
+        self.total.truncate(len);
+        self.momentum.truncate(len);
+        for series in &mut self.mode_amps {
+            series.truncate(len);
+        }
+    }
+
     /// The amplitude history of tracked mode `m` as a named series.
     pub fn mode_series(&self, mode: usize) -> Option<TimeSeries> {
         let idx = self.tracked_modes.iter().position(|&m| m == mode)?;

@@ -14,6 +14,7 @@ use super::backend::Backend;
 use super::dl::{self, Dl2DModel};
 use super::ensemble::{Ensemble, SweepSpec};
 use super::error::EngineError;
+use super::fault::FaultPlan;
 use super::observer::{Observer, RunSummary};
 use super::session::{
     BackendSession, Checkpoint, DdecompSession, Pic1DSession, Pic2DSession, Session, VlasovSession,
@@ -73,6 +74,7 @@ pub struct Engine {
     model_2d: Option<Dl2DModel>,
     numerics_1d: Numerics1D,
     observers: Vec<Box<dyn Observer>>,
+    faults: FaultPlan,
 }
 
 impl Engine {
@@ -114,6 +116,13 @@ impl Engine {
         self.model_1d.is_some()
     }
 
+    /// Injects deterministic faults into matching sessions (supervision
+    /// tests and `dlpic-serve --inject`).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Builds the solver stack for `spec` on `backend` and returns it as
     /// a steppable [`Session`] positioned before the first step — the
     /// incremental primitive behind [`Self::run`].
@@ -138,6 +147,7 @@ impl Engine {
                 Box::new(DdecompSession::new(spec, n_ranks, self.numerics_1d)?)
             }
         };
+        let inner = self.faults.wrap(&spec.name, inner);
         Ok(Session::new(spec.clone(), backend, inner, started))
     }
 

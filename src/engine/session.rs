@@ -28,6 +28,7 @@
 
 use super::backend::Backend;
 use super::error::EngineError;
+use super::health::{RunHealth, SessionFault};
 use super::json::{obj, Json};
 use super::observer::{EnergyHistory, Observer, PhaseSpace, RunSummary, Sample};
 use super::spec::{LoadingSpec, ScenarioSpec};
@@ -870,6 +871,8 @@ pub struct Session {
     observers: Vec<Box<dyn Observer>>,
     started: std::time::Instant,
     wall_offset: f64,
+    health: RunHealth,
+    fault: Option<SessionFault>,
 }
 
 impl Session {
@@ -892,6 +895,8 @@ impl Session {
             observers: Vec::new(),
             started,
             wall_offset: 0.0,
+            health: RunHealth::new(),
+            fault: None,
         }
     }
 
@@ -942,6 +947,41 @@ impl Session {
     /// The rows recorded so far.
     pub fn history(&self) -> &EnergyHistory {
         &self.history
+    }
+
+    /// Why this session was quarantined, when it was (a wave scheduler
+    /// stops stepping a faulted session; see [`super::health`]).
+    pub fn fault(&self) -> Option<&SessionFault> {
+        self.fault.as_ref()
+    }
+
+    /// True while the session has neither panicked nor diverged.
+    pub fn is_healthy(&self) -> bool {
+        self.fault.is_none()
+    }
+
+    /// Quarantines the session (a wave scheduler records the panic it
+    /// caught; a faulted session is never stepped again).
+    pub fn set_fault(&mut self, fault: SessionFault) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    /// Scans history rows recorded since the last call for non-finite
+    /// diagnostics and quarantines the session at the first bad row. The
+    /// bad row and everything after it are discarded — the preserved
+    /// partial history is entirely finite, so it survives a JSON
+    /// round-trip (non-finite numbers serialize as `null`). Returns the
+    /// (possibly pre-existing) fault.
+    pub fn check_health(&mut self) -> Option<&SessionFault> {
+        if self.fault.is_none() {
+            if let Some((step, diagnostic)) = self.health.check(&self.history) {
+                self.history.truncate(step);
+                self.fault = Some(SessionFault::Diverged { step, diagnostic });
+            }
+        }
+        self.fault.as_ref()
     }
 
     /// Instantaneous diagnostics of the current state without advancing
@@ -1029,10 +1069,16 @@ impl Session {
     /// [`Self::finish`], additionally handing back the attached observers
     /// (used by [`Engine::run`] to re-own its monitors across runs).
     pub fn finish_detach(mut self) -> (RunSummary, Vec<Box<dyn Observer>>) {
-        let final_sample = self.inner.finish();
-        self.history.push(&final_sample);
-        for obs in &mut self.observers {
-            obs.on_sample(&final_sample);
+        // A faulted session's solver is never advanced or sampled again:
+        // a panicked stack may be mid-step, and a diverged one would only
+        // append more garbage. Its summary is built from the rows already
+        // recorded — the preserved partial history.
+        if self.fault.is_none() {
+            let final_sample = self.inner.finish();
+            self.history.push(&final_sample);
+            for obs in &mut self.observers {
+                obs.on_sample(&final_sample);
+            }
         }
         let summary = RunSummary {
             scenario: self.spec.name.clone(),
@@ -1040,8 +1086,12 @@ impl Session {
             dim: self.spec.dim(),
             steps: self.inner.steps_done(),
             t_end: self.history.times.last().copied().unwrap_or(0.0),
+            phase_space: if self.fault.is_none() {
+                self.inner.phase_space()
+            } else {
+                None
+            },
             history: self.history,
-            phase_space: self.inner.phase_space(),
             wall_seconds: self.wall_offset + self.started.elapsed().as_secs_f64(),
             extras: self.inner.extras(),
         };
@@ -1093,6 +1143,9 @@ impl Session {
         }
         self.history = checkpoint.history.clone();
         self.wall_offset = checkpoint.wall_seconds;
+        // Re-validate the restored rows on the next health check — a
+        // checkpoint of an already-diverged run must not resume silently.
+        self.health.reset();
         Ok(())
     }
 }

@@ -214,6 +214,118 @@ fn ddecomp_rejects_indivisible_rank_counts() {
     assert!(result.is_err(), "5 ranks over 64 cells must be rejected");
 }
 
+// ---------------------------------------------------------------------
+// Run supervision: wave-level fault containment.
+//
+// One sick run in a cohort-batched fleet must be quarantined — partial
+// history preserved, typed fault recorded — while every healthy run
+// finishes bit-identical to its solo execution (the row-stable GEMM
+// invariant makes dropping a row from the shared inference batch safe).
+// ---------------------------------------------------------------------
+
+mod supervision {
+    use dlpic_repro::core::Scale;
+    use dlpic_repro::engine::{
+        Backend, Engine, EngineError, FaultKind, FaultPlan, SessionFault, SweepSpec,
+    };
+
+    fn sweep() -> SweepSpec {
+        SweepSpec::grid("two_stream", Scale::Smoke).axis("v0", [0.10, 0.14, 0.18])
+    }
+
+    fn solo_histories() -> Vec<Vec<f64>> {
+        sweep()
+            .specs()
+            .unwrap()
+            .iter()
+            .map(|spec| {
+                Engine::new()
+                    .run(spec, Backend::Dl1D)
+                    .unwrap()
+                    .history
+                    .kinetic
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panicking_run_is_quarantined_and_healthy_runs_bit_identical() {
+        let solo = solo_histories();
+        let plan = FaultPlan::new().rule("v0=0.14", FaultKind::Panic, 5);
+        let mut fleet = Engine::new()
+            .with_faults(plan)
+            .start_sweep(&sweep(), Backend::Dl1D)
+            .unwrap();
+        fleet.run_to_end(1);
+        assert!(fleet.is_complete(), "faulted fleet must still terminate");
+
+        let faults = fleet.faults();
+        assert_eq!(faults.len(), 1, "exactly the injected run faults");
+        assert_eq!(faults[0].0, 1);
+        assert!(
+            matches!(faults[0].1, SessionFault::Panicked { .. }),
+            "{:?}",
+            faults[0].1
+        );
+
+        let summaries = fleet.finish();
+        // The sick run keeps its partial history (steps before the panic).
+        assert!(!summaries[1].history.is_empty());
+        assert!(summaries[1].history.len() < solo[1].len());
+        // The healthy neighbours are bit-identical to solo execution.
+        assert_eq!(summaries[0].history.kinetic, solo[0]);
+        assert_eq!(summaries[2].history.kinetic, solo[2]);
+    }
+
+    #[test]
+    fn nan_divergence_is_quarantined_with_typed_error() {
+        let solo = solo_histories();
+        let plan = FaultPlan::new().rule("v0=0.14", FaultKind::NanField, 10);
+        let mut fleet = Engine::new()
+            .with_faults(plan)
+            .start_sweep(&sweep(), Backend::Dl1D)
+            .unwrap();
+        fleet.run_to_end(1);
+        assert!(fleet.is_complete());
+
+        let faults = fleet.faults();
+        assert_eq!(faults.len(), 1);
+        let (idx, fault) = (faults[0].0, faults[0].1.clone());
+        assert_eq!(idx, 1);
+        let SessionFault::Diverged { step, diagnostic } = &fault else {
+            panic!("expected divergence, got {fault}");
+        };
+        assert!(diagnostic.contains("field energy"), "{diagnostic}");
+        // The typed engine error carries the same coordinates.
+        match fault.to_error() {
+            Some(EngineError::Diverged { step: s, .. }) => assert_eq!(s, *step),
+            other => panic!("expected EngineError::Diverged, got {other:?}"),
+        }
+
+        let summaries = fleet.finish();
+        // Quarantine freezes the run just before the first bad row: the
+        // preserved partial history is shorter than solo and entirely
+        // finite (so it survives a JSON round-trip).
+        assert_eq!(summaries[1].history.len(), *step);
+        assert!(summaries[1].history.len() < solo[1].len());
+        for (i, v) in summaries[1].history.field.iter().enumerate() {
+            assert!(v.is_finite(), "preserved row {i} must stay clean");
+        }
+        assert_eq!(summaries[0].history.kinetic, solo[0]);
+        assert_eq!(summaries[2].history.kinetic, solo[2]);
+    }
+
+    #[test]
+    fn fault_plan_parses_the_inject_syntax() {
+        let plan = FaultPlan::parse("v0=0.12=panic@40; v0=0.16=nan@7").unwrap();
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("run=explode@3").is_err());
+        assert!(FaultPlan::parse("run=panic@soon").is_err());
+    }
+}
+
 #[test]
 fn ddecomp_empty_rank_participates_safely() {
     // All particles crowded into one slab: seven ranks start empty yet
