@@ -29,7 +29,10 @@
 //!   throughput regresses more than `DLPIC_PERF_MAX_REGRESSION`
 //!   (default 0.35) against the committed `BENCH_serve.json` after
 //!   calibration-anchor rescaling (3× derate on a kernel-path
-//!   mismatch, as in the ensemble gate).
+//!   mismatch, as in the ensemble gate), or if the daemon's per-wave
+//!   latency p99 exceeds the committed `served_wave_p99_ms` by more
+//!   than `DLPIC_SERVE_MAX_P99_FACTOR` (default 3) after the same
+//!   rescaling.
 
 use std::time::{Duration, Instant};
 
@@ -92,10 +95,11 @@ fn bench_direct(specs: &[engine::ScenarioSpec], reps: usize) -> FleetResult {
 }
 
 /// Submits the fleet as one sweep job to a fresh in-process daemon and
-/// reads its `stepping_seconds` meter once every run is done.
-fn bench_served(steps: usize, reps: usize) -> FleetResult {
+/// reads its `stepping_seconds` meter (and the wave-latency histogram's
+/// p99) once every run is done.
+fn bench_served(steps: usize, reps: usize) -> (FleetResult, f64) {
     let total_steps = RUNS * steps;
-    let times: Vec<f64> = (0..reps)
+    let samples: Vec<(f64, f64)> = (0..reps)
         .map(|_| {
             let server =
                 Server::start(ServeConfig::default().max_sessions(RUNS)).expect("start server");
@@ -107,7 +111,7 @@ fn bench_served(steps: usize, reps: usize) -> FleetResult {
             // every run is final, then read the meter. Poll gently: on a
             // single-core box an eager poller preempts the scheduler
             // mid-wave and its runtime would be billed to the meter.
-            let stepping = loop {
+            let sample = loop {
                 let doc = client.status(Some(&id)).expect("status");
                 let runs = doc.field("jobs").and_then(Json::as_arr).expect("jobs")[0]
                     .field("runs")
@@ -118,23 +122,33 @@ fn bench_served(steps: usize, reps: usize) -> FleetResult {
                     .iter()
                     .all(|r| r.field("state").and_then(Json::as_str).expect("state") == "done");
                 if all_done {
-                    break doc
+                    let stepping = doc
                         .field("stepping_seconds")
                         .and_then(Json::as_f64)
                         .expect("stepping_seconds");
+                    let p99 = doc
+                        .field("wave_latency")
+                        .and_then(|w| w.field("p99_ms"))
+                        .and_then(Json::as_f64)
+                        .expect("wave_latency p99");
+                    break (stepping, p99);
                 }
                 std::thread::sleep(Duration::from_millis(100));
             };
             client.drain().expect("drain");
             server.wait();
-            stepping
+            sample
         })
         .collect();
-    let seconds = median(times);
-    FleetResult {
-        seconds,
-        steps_per_sec: total_steps as f64 / seconds,
-    }
+    let seconds = median(samples.iter().map(|s| s.0).collect());
+    let p99 = median(samples.iter().map(|s| s.1).collect());
+    (
+        FleetResult {
+            seconds,
+            steps_per_sec: total_steps as f64 / seconds,
+        },
+        p99,
+    )
 }
 
 /// Asserts (on a mini-fleet) that histories served through the daemon
@@ -173,6 +187,8 @@ struct Measurement {
     steps: usize,
     direct: FleetResult,
     served: FleetResult,
+    /// p99 of the daemon's per-wave latency histogram (median over reps).
+    wave_p99_ms: f64,
 }
 
 fn measure(quick: bool) -> Measurement {
@@ -184,13 +200,14 @@ fn measure(quick: bool) -> Measurement {
     eprintln!("measuring direct ensemble ({RUNS} runs x {steps} steps x {reps} reps)...");
     let direct = bench_direct(&specs, reps);
     eprintln!("measuring served fleet through the daemon...");
-    let served = bench_served(steps, reps);
+    let (served, wave_p99_ms) = bench_served(steps, reps);
     Measurement {
         calibration,
         simd: simd_level(),
         steps,
         direct,
         served,
+        wave_p99_ms,
     }
 }
 
@@ -202,13 +219,14 @@ fn measurement_json(m: &Measurement, indent: &str) -> String {
         )
     };
     format!(
-        "{{\n{indent}  \"calibration_gflops\": {:.3},\n{indent}  \"simd\": \"{}\",\n{indent}  \"runs\": {RUNS},\n{indent}  \"steps\": {},\n{indent}  \"ppc\": {PPC},\n{indent}  \"direct\": {},\n{indent}  \"served\": {},\n{indent}  \"served_vs_direct\": {:.3}\n{indent}}}",
+        "{{\n{indent}  \"calibration_gflops\": {:.3},\n{indent}  \"simd\": \"{}\",\n{indent}  \"runs\": {RUNS},\n{indent}  \"steps\": {},\n{indent}  \"ppc\": {PPC},\n{indent}  \"direct\": {},\n{indent}  \"served\": {},\n{indent}  \"served_vs_direct\": {:.3},\n{indent}  \"served_wave_p99_ms\": {:.3}\n{indent}}}",
         m.calibration,
         m.simd,
         m.steps,
         fleet(&m.direct),
         fleet(&m.served),
         m.served.steps_per_sec / m.direct.steps_per_sec,
+        m.wave_p99_ms,
     )
 }
 
@@ -222,6 +240,10 @@ fn print_human(m: &Measurement) {
         m.served.steps_per_sec,
         m.served.seconds,
         m.served.steps_per_sec / m.direct.steps_per_sec
+    );
+    println!(
+        "wave latency   : p99 {:.3}ms (daemon histogram)",
+        m.wave_p99_ms
     );
 }
 
@@ -304,6 +326,36 @@ fn check(m: &Measurement) -> i32 {
             delta * 100.0
         );
     }
+    // Gate 3: tail latency. The wave-latency histogram's p99 must stay
+    // within a factor of the committed number after the same
+    // calibration/derate rescaling (latency scales inversely with
+    // machine speed). p99 is read from a log-bucketed histogram and
+    // quick mode sees few waves, so the factor is generous — it catches
+    // an O(n) scan smuggled into the wave loop, not jitter.
+    let max_factor: f64 = std::env::var("DLPIC_SERVE_MAX_P99_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+    match json_value_after(&text, cur_at, "served_wave_p99_ms") {
+        Some(base) if base > 0.0 => {
+            let bound = base / scale * derate * max_factor;
+            let verdict = if m.wave_p99_ms > bound {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "  wave p99: committed {base:.3}ms, bound {bound:.3}ms, measured {:.3}ms {verdict}",
+                m.wave_p99_ms
+            );
+        }
+        _ => {
+            eprintln!("BENCH_serve.json has no parsable \"served_wave_p99_ms\"");
+            return 2;
+        }
+    }
+
     if failed {
         println!("FAIL: serve throughput gate");
         1

@@ -126,6 +126,55 @@ impl ArchSpec {
         }
     }
 
+    /// Trainable parameter count of the network [`Self::build`] would
+    /// construct (weights + biases), layer by layer. Drives memory-budget
+    /// estimates: an f32 network occupies `4 * param_count()` bytes of
+    /// weight storage.
+    pub fn param_count(&self) -> usize {
+        let dense = |inp: usize, out: usize| inp * out + out;
+        match self {
+            ArchSpec::Mlp {
+                input,
+                hidden,
+                output,
+            } => {
+                let mut prev = *input;
+                let mut total = 0usize;
+                for &h in hidden {
+                    total += dense(prev, h);
+                    prev = h;
+                }
+                total + dense(prev, *output)
+            }
+            ArchSpec::Cnn {
+                nv,
+                nx,
+                channels,
+                kernel,
+                hidden,
+                output,
+            } => {
+                let (c1, c2) = *channels;
+                let conv = |ic: usize, oc: usize| ic * oc * kernel * kernel + oc;
+                // Two blocks of [conv, conv, pool], then the dense head on
+                // the twice-pooled image.
+                let mut total = conv(1, c1) + conv(c1, c1) + conv(c1, c2) + conv(c2, c2);
+                let mut prev = c2 * (nv / 4) * (nx / 4);
+                for &h in hidden {
+                    total += dense(prev, h);
+                    prev = h;
+                }
+                total + dense(prev, *output)
+            }
+            ArchSpec::ResMlp {
+                input,
+                width,
+                blocks,
+                output,
+            } => dense(*input, *width) + blocks * dense(*width, *width) + dense(*width, *output),
+        }
+    }
+
     /// Builds the network with deterministic initialization from `seed`.
     ///
     /// # Panics
@@ -364,6 +413,40 @@ mod tests {
         assert_eq!(net.param_count(), expect);
         let y = net.predict(&Tensor::zeros(&[1, 4096]));
         assert_eq!(y.shape(), &[1, 64]);
+    }
+
+    #[test]
+    fn param_count_matches_built_network() {
+        let specs = [
+            ArchSpec::paper_mlp(64 * 64, 64),
+            ArchSpec::Mlp {
+                input: 48,
+                hidden: vec![32, 32],
+                output: 16,
+            },
+            ArchSpec::Cnn {
+                nv: 16,
+                nx: 16,
+                channels: (4, 8),
+                kernel: 3,
+                hidden: vec![32, 32, 32],
+                output: 64,
+            },
+            ArchSpec::ResMlp {
+                input: 64,
+                width: 48,
+                blocks: 3,
+                output: 16,
+            },
+        ];
+        for spec in specs {
+            assert_eq!(
+                spec.param_count(),
+                spec.build(0).param_count(),
+                "{}: spec-level count disagrees with the built network",
+                spec.kind_name()
+            );
+        }
     }
 
     #[test]

@@ -21,15 +21,19 @@ use dlpic_serve::ServeError;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dlpic-cli <submit|status|watch|cancel|drain|result|wait> --addr ADDR [args]\n\
-         \x20 submit --addr A [--tenant T] [--job-key K] (--job JSON | --job-file PATH)\n\
+        "usage: dlpic-cli <submit|status|watch|cancel|drain|result|wait|health|prune> --addr ADDR [args]\n\
+         \x20 submit --addr A [--tenant T] [--job-key K] [--retries N] (--job JSON | --job-file PATH)\n\
          \x20 status --addr A [JOB]\n\
          \x20 watch  --addr A [--policy drop_oldest|decimate:N] [--queue N] [--retries N] JOB\n\
          \x20 cancel --addr A JOB\n\
          \x20 drain  --addr A\n\
          \x20 result --addr A JOB [RUN]\n\
          \x20 wait   --addr A [--retries N] JOB\n\
-         global: --timeout SECS   connect/read deadline (0 = block forever; default 30)"
+         \x20 health --addr A\n\
+         \x20 prune  --addr A [KEEP]\n\
+         global: --timeout SECS   connect/read deadline (0 = block forever; default 30)\n\
+         submit --retries also honors the server's retry_after_ms advice on\n\
+         overloaded / quota-exceeded / circuit-open rejections"
     );
     std::process::exit(2);
 }
@@ -137,8 +141,16 @@ fn run() -> Result<(), ServeError> {
             });
             let doc = Json::parse(&text).map_err(ProtoError::from)?;
             let job = JobRequest::from_json_value(&doc)?;
-            let (id, runs, deduped) =
-                client.submit_keyed(&job, &args.tenant, args.job_key.as_deref())?;
+            let (id, runs, deduped) = if args.retries > 0 {
+                client.submit_keyed_retry(
+                    &job,
+                    &args.tenant,
+                    args.job_key.as_deref(),
+                    Backoff::attempts(args.retries),
+                )?
+            } else {
+                client.submit_keyed(&job, &args.tenant, args.job_key.as_deref())?
+            };
             if deduped {
                 println!("{{\"job\":{id:?},\"runs\":{runs},\"deduped\":true}}");
             } else {
@@ -208,6 +220,20 @@ fn run() -> Result<(), ServeError> {
                     result.summary.to_compact()
                 );
             }
+        }
+        "health" => {
+            let doc = client.health()?;
+            println!("{}", doc.to_compact());
+        }
+        "prune" => {
+            let keep = args.positional.first().map(|k| {
+                k.parse().unwrap_or_else(|_| {
+                    eprintln!("KEEP must be a count");
+                    usage()
+                })
+            });
+            let pruned = client.prune(keep)?;
+            println!("{{\"pruned\":{pruned}}}");
         }
         _ => usage(),
     }

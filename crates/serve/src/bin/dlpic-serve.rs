@@ -21,9 +21,23 @@ fn usage() -> ! {
     eprintln!(
         "usage: dlpic-serve [--listen HOST:PORT|unix:PATH] [--spool DIR] [--resume DIR]\n\
          \x20                  [--max-sessions N] [--spool-interval WAVES]\n\
+         \x20                  [--memory-budget BYTES[K|M|G]] [--max-queued N]\n\
+         \x20                  [--tenant-max-queued N] [--spool-retain N]\n\
+         \x20                  [--breaker-threshold N] [--breaker-cooldown SECONDS]\n\
          \x20                  [--inject NAME=KIND@STEP[;...]]  (KIND: panic | nan)"
     );
     std::process::exit(2);
+}
+
+/// Parses a byte count with an optional K/M/G suffix (binary multiples).
+fn parse_bytes(text: &str) -> Option<usize> {
+    let (digits, factor) = match text.as_bytes().last()? {
+        b'K' | b'k' => (&text[..text.len() - 1], 1usize << 10),
+        b'M' | b'm' => (&text[..text.len() - 1], 1 << 20),
+        b'G' | b'g' => (&text[..text.len() - 1], 1 << 30),
+        _ => (text, 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * factor)
 }
 
 fn main() {
@@ -48,6 +62,33 @@ fn main() {
                 config.spool_interval = value("--spool-interval")
                     .parse()
                     .unwrap_or_else(|_| usage())
+            }
+            "--memory-budget" => {
+                config.memory_budget =
+                    Some(parse_bytes(&value("--memory-budget")).unwrap_or_else(|| usage()))
+            }
+            "--max-queued" => {
+                config.max_queued = value("--max-queued").parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-max-queued" => {
+                config.tenant_max_queued = value("--tenant-max-queued")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--spool-retain" => {
+                config.spool_retain =
+                    Some(value("--spool-retain").parse().unwrap_or_else(|_| usage()))
+            }
+            "--breaker-threshold" => {
+                config.breaker_threshold = value("--breaker-threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--breaker-cooldown" => {
+                let secs: f64 = value("--breaker-cooldown")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                config.breaker_cooldown = std::time::Duration::from_secs_f64(secs.max(0.0));
             }
             "--inject" => {
                 faults = FaultPlan::parse(&value("--inject")).unwrap_or_else(|e| {

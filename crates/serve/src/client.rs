@@ -70,6 +70,20 @@ impl Backoff {
     }
 }
 
+/// Deterministic bounded jitter for overload retries: a hash of
+/// `(key, attempt)` scaled to at most 25% of the advised wait. No RNG
+/// and no clock, so retry schedules are reproducible in tests while
+/// distinct keys still decorrelate.
+fn retry_jitter(key: &str, attempt: usize, advised_ms: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.bytes().chain(attempt.to_le_bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let cap = (advised_ms / 4).max(1);
+    h % cap
+}
+
 enum Stream {
     Tcp(TcpStream),
     Unix(UnixStream),
@@ -270,6 +284,67 @@ impl Client {
                 .map_err(ProtoError::from)?,
             matches!(doc.get("deduped"), Some(Json::Bool(true))),
         ))
+    }
+
+    /// [`Self::submit_keyed`] that cooperates with the server's overload
+    /// governance: a rejection carrying `retry_after_ms` (`overloaded`,
+    /// `quota-exceeded`, `circuit-open`) sleeps for the advised interval
+    /// — plus deterministic bounded jitter so a burst of shed clients
+    /// does not re-stampede in lockstep — and resubmits, up to
+    /// `backoff.attempts` times. Transport failures reconnect on the
+    /// `backoff` schedule as usual; rejections without retry advice fail
+    /// immediately (they would fail identically on retry).
+    ///
+    /// The jitter is derived from the attempt number and the job key (no
+    /// clock, no RNG): attempt `n` adds `hash(job_key, n) % 25%` of the
+    /// advised wait.
+    pub fn submit_keyed_retry(
+        &mut self,
+        job: &JobRequest,
+        tenant: &str,
+        job_key: Option<&str>,
+        backoff: Backoff,
+    ) -> Result<(String, usize, bool), ServeError> {
+        let mut attempt = 0usize;
+        loop {
+            match self.submit_keyed(job, tenant, job_key) {
+                Ok(accepted) => return Ok(accepted),
+                Err(e) if attempt < backoff.attempts => {
+                    if let Some(advised) = e.retry_after_ms() {
+                        let jitter = retry_jitter(job_key.unwrap_or(tenant), attempt, advised);
+                        std::thread::sleep(Duration::from_millis(advised + jitter));
+                    } else if Backoff::retryable(&e) {
+                        std::thread::sleep(backoff.delay(attempt));
+                        let _ = self.reconnect();
+                    } else {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The server's `health` document: liveness/readiness, session and
+    /// backlog load, budget occupancy, breaker state, wave latency.
+    pub fn health(&mut self) -> Result<Json, ServeError> {
+        self.request(&obj(vec![("op", Json::Str("health".into()))]).to_compact())
+    }
+
+    /// Asks the server to prune finished jobs down to the newest `keep`
+    /// per tenant (`None` uses the server's `--spool-retain`). Returns
+    /// how many jobs were pruned.
+    pub fn prune(&mut self, keep: Option<usize>) -> Result<usize, ServeError> {
+        let mut fields = vec![("op", Json::Str("prune".into()))];
+        if let Some(n) = keep {
+            fields.push(("keep", Json::Num(n as f64)));
+        }
+        let doc = self.request(&obj(fields).to_compact())?;
+        Ok(doc
+            .field("pruned")
+            .and_then(Json::as_usize)
+            .map_err(ProtoError::from)?)
     }
 
     /// The full status document — every job, or one by id.

@@ -24,6 +24,21 @@ pub enum ServeError {
     Timeout,
 }
 
+impl ServeError {
+    /// The server's retry advice, when this is an overload rejection
+    /// (`overloaded`, `quota-exceeded`, `circuit-open`) that carried
+    /// `retry_after_ms`. `None` for every other failure — those either
+    /// retry on the transport schedule ([`Backoff`]) or not at all.
+    ///
+    /// [`Backoff`]: crate::client::Backoff
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            Self::Protocol(e) => e.retry_after_ms,
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -9,6 +9,15 @@ use dlpic_repro::engine::{Backend, EnergyHistory, ScenarioSpec, SweepSpec};
 
 use crate::protocol::ProtoError;
 
+/// The circuit-breaker identity of one expanded run: backend plus the
+/// full canonical spec JSON. Two runs share a fingerprint exactly when
+/// the engine would execute them identically, so consecutive failures of
+/// a resubmitted poison spec accumulate, while a neighbouring sweep point
+/// (different seed, different parameters) is never punished for them.
+pub fn spec_fingerprint(backend: Backend, spec: &ScenarioSpec) -> String {
+    format!("{backend}|{}", spec.to_json_value().to_compact())
+}
+
 /// The workload of a job: one explicit scenario, or a sweep expanded
 /// server-side.
 #[derive(Debug, Clone)]

@@ -20,6 +20,9 @@
 //!   `meta.json` fleet manifest, reloaded by `dlpic-serve --resume`.
 //! * [`client`] — a blocking client library; the `dlpic-cli` binary is a
 //!   thin wrapper over it.
+//! * [`stats`] — overload-governance instrumentation: the scheduler's
+//!   log-bucketed wave-latency histogram and per-spec circuit breakers
+//!   backing budgeted admission and load shedding.
 //!
 //! ```no_run
 //! use dlpic_serve::{client::Client, job::JobRequest, server::{Server, ServeConfig}};
@@ -40,6 +43,7 @@ pub mod job;
 pub mod protocol;
 pub mod server;
 pub mod spool;
+pub mod stats;
 
 mod error;
 

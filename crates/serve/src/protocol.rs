@@ -36,10 +36,15 @@ pub const DEFAULT_WATCH_QUEUE: usize = 256;
 pub struct ProtoError {
     /// Stable machine-readable discriminator (`bad-json`, `oversized`,
     /// `unknown-op`, `unknown-field`, `missing-field`, `bad-request`,
-    /// `unknown-job`, `server-error`, …).
+    /// `unknown-job`, `server-error`, and the overload-governance codes
+    /// `overloaded`, `quota-exceeded`, `circuit-open`, …).
     pub code: String,
     /// Human-readable detail.
     pub message: String,
+    /// Server advice on when a retry of the same request might succeed
+    /// (overload rejections carry it; permanent rejections don't).
+    /// Cooperating clients sleep at least this long before resubmitting.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
@@ -48,7 +53,16 @@ impl ProtoError {
         Self {
             code: code.into(),
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches retry advice: the server predicts capacity in `ms`
+    /// milliseconds, and a cooperating client backs off at least that
+    /// long.
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -153,6 +167,16 @@ pub enum Request {
         /// One run index, or every finished run when absent.
         run: Option<usize>,
     },
+    /// Liveness/readiness probe: load factor, budget occupancy, backlog
+    /// depth and open circuits, without the per-job detail of `status`.
+    Health,
+    /// Apply finished-job retention now: keep the newest `keep` finished
+    /// jobs per tenant (defaulting to the server's `--spool-retain`) and
+    /// drop the rest from the table and the spool.
+    Prune {
+        /// Per-tenant retention override for this pass.
+        keep: Option<usize>,
+    },
 }
 
 /// Reads one `\n`-terminated line, enforcing [`MAX_LINE`]. Returns
@@ -230,11 +254,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "cancel" => &["op", "job"],
         "drain" => &["op"],
         "result" => &["op", "job", "run"],
+        "health" => &["op"],
+        "prune" => &["op", "keep"],
         other => {
             return Err(ProtoError::new(
                 "unknown-op",
                 format!(
-                    "unknown op `{other}` (knows submit, status, watch, cancel, drain, result)"
+                    "unknown op `{other}` (knows submit, status, watch, cancel, drain, \
+                     result, health, prune)"
                 ),
             ))
         }
@@ -315,6 +342,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 None => None,
             },
         },
+        "health" => Request::Health,
+        "prune" => Request::Prune {
+            keep: match doc.get("keep") {
+                Some(k) => Some(k.as_usize()?),
+                None => None,
+            },
+        },
         _ => unreachable!("op validated above"),
     })
 }
@@ -327,18 +361,17 @@ pub fn ok_response(fields: Vec<(&str, Json)>) -> String {
 }
 
 /// An error response line for a [`ProtoError`] (compact, no newline).
+/// Overload rejections additionally carry `retry_after_ms` so clients
+/// can back off by the server's estimate instead of guessing.
 pub fn error_response(e: &ProtoError) -> String {
-    obj(vec![
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            obj(vec![
-                ("code", Json::Str(e.code.clone())),
-                ("message", Json::Str(e.message.clone())),
-            ]),
-        ),
-    ])
-    .to_compact()
+    let mut fields = vec![
+        ("code", Json::Str(e.code.clone())),
+        ("message", Json::Str(e.message.clone())),
+    ];
+    if let Some(ms) = e.retry_after_ms {
+        fields.push(("retry_after_ms", Json::Num(ms as f64)));
+    }
+    obj(vec![("ok", Json::Bool(false)), ("error", obj(fields))]).to_compact()
 }
 
 /// An event line: `{"event": kind, …fields}` (compact, no newline).
@@ -356,10 +389,14 @@ pub fn parse_response(line: &str) -> Result<Json, ProtoError> {
         Json::Bool(true) => Ok(doc),
         Json::Bool(false) => {
             let err = doc.field("error")?;
-            Err(ProtoError::new(
+            let mut e = ProtoError::new(
                 err.field("code")?.as_str()?,
                 err.field("message")?.as_str()?,
-            ))
+            );
+            if let Some(ms) = err.get("retry_after_ms") {
+                e.retry_after_ms = Some(ms.as_u64()?);
+            }
+            Err(e)
         }
         other => Err(ProtoError::new(
             "bad-response",

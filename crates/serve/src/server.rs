@@ -28,12 +28,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use dlpic_repro::engine::json::{obj, Json};
-use dlpic_repro::engine::{Checkpoint, Engine, RunSummary, ScenarioSpec, Session, WaveBatch};
+use dlpic_repro::engine::{
+    estimate_session, Checkpoint, Engine, RunSummary, ScenarioSpec, Session, WaveBatch,
+};
 
 use crate::error::ServeError;
-use crate::job::{JobRequest, StopEval};
+use crate::job::{spec_fingerprint, JobRequest, StopEval};
 use crate::protocol::{self, ProtoError, Request, WatchPolicy};
 use crate::spool::{Spool, SpoolJob, SpoolRun};
+use crate::stats::{CircuitBreakers, LatencyHistogram};
 
 // ---------------------------------------------------------------------
 // Configuration.
@@ -54,6 +57,27 @@ pub struct ServeConfig {
     pub max_sessions: usize,
     /// Waves between spool flushes (checkpoints + manifest).
     pub spool_interval: usize,
+    /// Budgeted admission: upper bound (bytes) on the summed resource
+    /// estimate of concurrently *stepping* runs. `None` disables the
+    /// budget and admission is capped by `max_sessions` alone.
+    pub memory_budget: Option<usize>,
+    /// Backlog cap: at most this many runs may sit queued across all
+    /// tenants; past it `submit` sheds load with a structured
+    /// `overloaded` rejection carrying `retry_after_ms`.
+    pub max_queued: usize,
+    /// Per-tenant backlog cap; past it `submit` rejects that tenant with
+    /// `quota-exceeded` while other tenants keep submitting.
+    pub tenant_max_queued: usize,
+    /// Circuit breaker: consecutive failed runs of one spec fingerprint
+    /// before its circuit opens (0 disables the breaker).
+    pub breaker_threshold: usize,
+    /// How long an open circuit rejects resubmissions before half-opening.
+    pub breaker_cooldown: Duration,
+    /// Spool retention: keep at most this many *finished* jobs per tenant
+    /// in the table/manifest; older ones are pruned on the scheduler's
+    /// retention pass. `None` keeps everything (the `prune` op then needs
+    /// an explicit `keep`).
+    pub spool_retain: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +88,12 @@ impl Default for ServeConfig {
             resume: false,
             max_sessions: 16,
             spool_interval: 32,
+            memory_budget: None,
+            max_queued: 1024,
+            tenant_max_queued: 256,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(60),
+            spool_retain: None,
         }
     }
 }
@@ -97,6 +127,37 @@ impl ServeConfig {
     /// Sets the spool flush interval in waves.
     pub fn spool_interval(mut self, waves: usize) -> Self {
         self.spool_interval = waves.max(1);
+        self
+    }
+
+    /// Caps the summed resource estimate of concurrently stepping runs.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Caps the global queued-run backlog.
+    pub fn max_queued(mut self, runs: usize) -> Self {
+        self.max_queued = runs.max(1);
+        self
+    }
+
+    /// Caps each tenant's queued-run backlog.
+    pub fn tenant_max_queued(mut self, runs: usize) -> Self {
+        self.tenant_max_queued = runs.max(1);
+        self
+    }
+
+    /// Sets the circuit-breaker trip threshold (0 disables) and cooldown.
+    pub fn breaker(mut self, threshold: usize, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Keeps at most `jobs` finished jobs per tenant in spool/table.
+    pub fn spool_retain(mut self, jobs: usize) -> Self {
+        self.spool_retain = Some(jobs);
         self
     }
 }
@@ -153,6 +214,13 @@ struct RunEntry {
     /// Global completion order (fairness is observable, not a timing
     /// guess): the n-th run to reach a final state gets n.
     finish_seq: Option<u64>,
+    /// Resource estimate ([`estimate_session`]) charged against the
+    /// memory budget while this run steps. 0 for final runs reloaded
+    /// without a spec (nothing left to charge).
+    est_bytes: usize,
+    /// Circuit-breaker key ([`spec_fingerprint`]); empty when the spec is
+    /// gone (final runs reloaded from results only).
+    fingerprint: String,
 }
 
 /// One watch subscriber's bounded event queue. The scheduler pushes under
@@ -303,8 +371,81 @@ struct Shared {
     /// tier's whole per-step cost, excluding session construction and
     /// idle waits. `serve_throughput` gates on this.
     stepping_seconds: f64,
+    /// Per-wave latency distribution (same interval `stepping_seconds`
+    /// accumulates); `status`/`health` surface it and the perf gate
+    /// bounds its p99.
+    wave_latency: LatencyHistogram,
+    /// Poison-job circuit breakers, keyed by spec fingerprint. The
+    /// scheduler records outcomes; `submit` consults them.
+    breakers: CircuitBreakers,
+    /// A handler asking the scheduler for a retention pass: `Some(keep)`
+    /// until the scheduler picks it up, then the pruned count lands in
+    /// `prune_result`. Funneled through the scheduler because active-run
+    /// bookkeeping holds indices into `jobs`.
+    prune_request: Option<usize>,
+    prune_result: Option<usize>,
     draining: bool,
     stopped: bool,
+}
+
+impl Shared {
+    fn queued_runs(&self) -> usize {
+        self.jobs
+            .iter()
+            .flat_map(|j| &j.runs)
+            .filter(|r| r.phase == Phase::Queued)
+            .count()
+    }
+
+    fn active_runs(&self) -> usize {
+        self.jobs
+            .iter()
+            .flat_map(|j| &j.runs)
+            .filter(|r| r.phase == Phase::Active)
+            .count()
+    }
+
+    fn tenant_queued(&self, tenant: &str) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.tenant == tenant)
+            .flat_map(|j| &j.runs)
+            .filter(|r| r.phase == Phase::Queued)
+            .count()
+    }
+
+    /// Bytes charged against the memory budget right now (estimates of
+    /// every `Active` run).
+    fn active_bytes(&self) -> usize {
+        self.jobs
+            .iter()
+            .flat_map(|j| &j.runs)
+            .filter(|r| r.phase == Phase::Active)
+            .map(|r| r.est_bytes)
+            .sum()
+    }
+
+    fn queued_bytes(&self) -> usize {
+        self.jobs
+            .iter()
+            .flat_map(|j| &j.runs)
+            .filter(|r| r.phase == Phase::Queued)
+            .map(|r| r.est_bytes)
+            .sum()
+    }
+
+    /// Retry advice for shed load: roughly one backlog's worth of waves
+    /// at the recently observed wave latency, clamped to [100 ms, 10 s].
+    /// Before any wave has run the histogram is empty and the estimate
+    /// falls back to a flat 500 ms.
+    fn retry_after_ms(&self) -> u64 {
+        let mean = self.wave_latency.mean_ms();
+        if mean <= 0.0 {
+            return 500;
+        }
+        let eta = mean * (self.queued_runs() as f64 + 1.0);
+        eta.clamp(100.0, 10_000.0) as u64
+    }
 }
 
 struct Inner {
@@ -313,6 +454,10 @@ struct Inner {
     max_sessions: usize,
     spool_interval: usize,
     spool: Option<Spool>,
+    memory_budget: Option<usize>,
+    max_queued: usize,
+    tenant_max_queued: usize,
+    spool_retain: Option<usize>,
 }
 
 // ---------------------------------------------------------------------
@@ -407,6 +552,10 @@ impl Server {
             last_tenant: None,
             finish_counter: 0,
             stepping_seconds: 0.0,
+            wave_latency: LatencyHistogram::default(),
+            breakers: CircuitBreakers::new(config.breaker_threshold, config.breaker_cooldown),
+            prune_request: None,
+            prune_result: None,
             draining: false,
             stopped: false,
         };
@@ -428,6 +577,10 @@ impl Server {
             max_sessions: config.max_sessions,
             spool_interval: config.spool_interval,
             spool,
+            memory_budget: config.memory_budget,
+            max_queued: config.max_queued,
+            tenant_max_queued: config.tenant_max_queued,
+            spool_retain: config.spool_retain,
         });
 
         let mut threads = Vec::new();
@@ -488,8 +641,21 @@ impl Server {
 /// a bad result file quarantines likewise. Every other run resumes
 /// untouched.
 fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError> {
+    let backend = job.request.backend;
+    // Budget/breaker bookkeeping for reloaded runs: recompute from the
+    // stored spec when it survived (final runs without one charge 0 bytes
+    // and carry an empty fingerprint — neither is consulted again).
+    let accounting = |spec: Option<&ScenarioSpec>| -> (usize, String) {
+        spec.map_or((0, String::new()), |s| {
+            (
+                estimate_session(s, backend).total(),
+                spec_fingerprint(backend, s),
+            )
+        })
+    };
     let quarantine = |run: &SpoolRun, k: usize, why: String| -> RunEntry {
         eprintln!("warning: spool: {} run {k} quarantined: {why}", job.id);
+        let (est_bytes, fingerprint) = accounting(run.spec.as_ref());
         RunEntry {
             name: run.name.clone(),
             phase: Phase::Failed,
@@ -499,6 +665,8 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
             result: None,
             error: Some(format!("unrecoverable after restart: {why}")),
             finish_seq: None,
+            est_bytes,
+            fingerprint,
         }
     };
     let mut runs = Vec::with_capacity(job.runs.len());
@@ -507,6 +675,7 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
             "done" | "stopped" => match spool.read_result(&job.id, k) {
                 Ok(result) => {
                     let steps = result.field("steps").and_then(Json::as_usize).unwrap_or(0);
+                    let (est_bytes, fingerprint) = accounting(run.spec.as_ref());
                     RunEntry {
                         name: run.name.clone(),
                         phase: if run.state == "done" {
@@ -520,25 +689,32 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                         result: Some(result),
                         error: None,
                         finish_seq: None,
+                        est_bytes,
+                        fingerprint,
                     }
                 }
                 Err(e) => quarantine(run, k, format!("corrupt result file: {e}")),
             },
-            "cancelled" | "failed" => RunEntry {
-                name: run.name.clone(),
-                phase: if run.state == "cancelled" {
-                    Phase::Cancelled
-                } else {
-                    Phase::Failed
-                },
-                steps_done: 0,
-                steps_total: run.spec.as_ref().map_or(0, |s| s.n_steps),
-                pending: None,
-                // Failed runs may have a stored partial summary.
-                result: spool.read_result(&job.id, k).ok(),
-                error: run.error.clone(),
-                finish_seq: None,
-            },
+            "cancelled" | "failed" => {
+                let (est_bytes, fingerprint) = accounting(run.spec.as_ref());
+                RunEntry {
+                    name: run.name.clone(),
+                    phase: if run.state == "cancelled" {
+                        Phase::Cancelled
+                    } else {
+                        Phase::Failed
+                    },
+                    steps_done: 0,
+                    steps_total: run.spec.as_ref().map_or(0, |s| s.n_steps),
+                    pending: None,
+                    // Failed runs may have a stored partial summary.
+                    result: spool.read_result(&job.id, k).ok(),
+                    error: run.error.clone(),
+                    finish_seq: None,
+                    est_bytes,
+                    fingerprint,
+                }
+            }
             // "active" and "queued" both re-queue; an active run prefers
             // its checkpoint and falls back to a fresh start.
             _ => {
@@ -570,10 +746,12 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                 };
                 match recovered {
                     Ok((pending, steps_done)) => {
-                        let steps_total = match &pending {
-                            PendingRun::Resume(c) => c.spec.n_steps,
-                            PendingRun::Fresh(s) => s.n_steps,
+                        let spec = match &pending {
+                            PendingRun::Resume(c) => &c.spec,
+                            PendingRun::Fresh(s) => s,
                         };
+                        let steps_total = spec.n_steps;
+                        let (est_bytes, fingerprint) = accounting(Some(spec));
                         RunEntry {
                             name: run.name.clone(),
                             phase: Phase::Queued,
@@ -583,6 +761,8 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                             result: None,
                             error: None,
                             finish_seq: None,
+                            est_bytes,
+                            fingerprint,
                         }
                     }
                     Err(why) => quarantine(run, k, why),
@@ -643,6 +823,20 @@ impl Scheduler {
             let admissions = {
                 let mut sh = inner.shared.lock().unwrap();
                 self.sweep_cancelled(&mut sh);
+                // Retention runs here — on the scheduler thread — because
+                // active-run bookkeeping holds indices into `sh.jobs` that
+                // must be remapped in the same critical section.
+                if let Some(keep) = sh.prune_request.take() {
+                    let pruned = self.apply_retention(&mut sh, keep);
+                    self.flush_spool(&sh);
+                    sh.prune_result = Some(pruned);
+                    inner.wake.notify_all();
+                }
+                if let Some(retain) = inner.spool_retain {
+                    if self.apply_retention(&mut sh, retain) > 0 {
+                        self.flush_spool(&sh);
+                    }
+                }
                 if sh.draining {
                     self.flush_spool(&sh);
                     for job in &mut sh.jobs {
@@ -688,14 +882,65 @@ impl Scheduler {
                 self.flush_spool(&sh);
                 self.waves_since_flush = 0;
             }
-            sh.stepping_seconds += t0.elapsed().as_secs_f64();
+            let elapsed = t0.elapsed();
+            sh.stepping_seconds += elapsed.as_secs_f64();
+            sh.wave_latency.record(elapsed);
         }
     }
 
-    /// Admits queued runs round-robin across tenants until the cap is
-    /// reached. Marks them `Active` in the control plane and returns
-    /// what to build.
+    /// One retention pass: per tenant, keep the newest `keep` *finished*
+    /// jobs (insertion order is id order) and drop the rest from the
+    /// table; the next manifest flush garbage-collects their spool
+    /// directories. In-flight jobs are never touched, so no `ActiveRun`
+    /// can reference a removed entry — remaining active indices are
+    /// remapped over the holes. Returns how many jobs were pruned.
+    ///
+    /// A pruned job forgets everything about itself, including its
+    /// `job_key` — a later resubmit with the same key schedules fresh
+    /// work instead of deduping.
+    fn apply_retention(&mut self, sh: &mut Shared, keep: usize) -> usize {
+        let mut drop_idx: Vec<usize> = Vec::new();
+        let mut tenants: Vec<&str> = Vec::new();
+        for job in &sh.jobs {
+            if !tenants.contains(&job.tenant.as_str()) {
+                tenants.push(&job.tenant);
+            }
+        }
+        for tenant in tenants {
+            let finished: Vec<usize> = sh
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.tenant == tenant && j.is_final())
+                .map(|(i, _)| i)
+                .collect();
+            if finished.len() > keep {
+                drop_idx.extend_from_slice(&finished[..finished.len() - keep]);
+            }
+        }
+        if drop_idx.is_empty() {
+            return 0;
+        }
+        drop_idx.sort_unstable();
+        let mut idx = 0usize;
+        sh.jobs.retain(|_| {
+            let dropped = drop_idx.binary_search(&idx).is_ok();
+            idx += 1;
+            !dropped
+        });
+        for a in &mut self.active {
+            a.job -= drop_idx.partition_point(|&d| d < a.job);
+        }
+        drop_idx.len()
+    }
+
+    /// Admits queued runs round-robin across tenants until the session
+    /// cap — or the memory budget — is reached. Marks them `Active` in
+    /// the control plane and returns what to build. Queued runs whose
+    /// spec's circuit is open are failed here (`circuit-open`) without
+    /// consuming a session slot.
     fn admit(&mut self, sh: &mut Shared) -> Vec<(usize, usize, PendingRun)> {
+        let now = Instant::now();
         let mut admissions = Vec::new();
         while self.active.len() + admissions.len() < self.inner.max_sessions {
             // The rotation: distinct tenants with queued work, in job
@@ -727,6 +972,42 @@ impl Scheduler {
                     .map(|k| (j, k))
             });
             let Some((j, k)) = slot else { break };
+            // A quarantined spec fails at the admission gate: the run
+            // never gets a session, so a poison job resubmitted in a
+            // loop cannot occupy scheduler waves during its cooldown.
+            let fingerprint = sh.jobs[j].runs[k].fingerprint.clone();
+            if let Some(remaining) = sh.breakers.open_remaining(&fingerprint, now) {
+                let seq = sh.finish_counter;
+                sh.finish_counter += 1;
+                let run = &mut sh.jobs[j].runs[k];
+                run.phase = Phase::Failed;
+                run.pending = None;
+                run.error = Some(format!(
+                    "circuit-open: spec quarantined for another {:.1}s",
+                    remaining.as_secs_f64()
+                ));
+                run.finish_seq = Some(seq);
+                let line = run_failed_event(&sh.jobs[j].id, k, &sh.jobs[j].runs[k]);
+                sh.jobs[j].publish_control(&line);
+                finish_job_if_final(&mut sh.jobs[j]);
+                // The tenant used its rotation turn on a shed run.
+                sh.last_tenant = Some(tenant);
+                continue;
+            }
+            // Budgeted admission: the next candidate must fit in the
+            // remaining budget, else admission pauses until an active
+            // run frees its estimate (head-of-line, so a large run
+            // cannot starve behind a stream of small ones). A lone run
+            // bigger than the whole budget is admitted anyway when
+            // nothing else is stepping — submit-time checks reject such
+            // specs, but a spool resumed under a tighter budget must
+            // still make progress.
+            if let Some(budget) = self.inner.memory_budget {
+                let used = sh.active_bytes();
+                if used > 0 && used + sh.jobs[j].runs[k].est_bytes > budget {
+                    break;
+                }
+            }
             let run = &mut sh.jobs[j].runs[k];
             run.phase = Phase::Active;
             let pending = run
@@ -781,6 +1062,8 @@ impl Scheduler {
                 entry.phase = Phase::Failed;
                 entry.error = Some(e.to_string());
                 entry.finish_seq = Some(seq);
+                let fingerprint = entry.fingerprint.clone();
+                sh.breakers.record_failure(&fingerprint, Instant::now());
                 let line = run_failed_event(&sh.jobs[job].id, run, &sh.jobs[job].runs[run]);
                 sh.jobs[job].publish_control(&line);
                 finish_job_if_final(&mut sh.jobs[job]);
@@ -886,6 +1169,14 @@ impl Scheduler {
             entry.result = Some(result);
             entry.error = error.clone();
             entry.finish_seq = Some(seq);
+            // Feed the breaker: consecutive failures of one spec
+            // fingerprint open its circuit; any success closes it.
+            let fingerprint = entry.fingerprint.clone();
+            if *phase == Phase::Failed {
+                sh.breakers.record_failure(&fingerprint, Instant::now());
+            } else {
+                sh.breakers.record_success(&fingerprint);
+            }
             let line = if *phase == Phase::Failed {
                 run_failed_event(
                     &sh.jobs[job_idx].id,
@@ -1150,6 +1441,8 @@ fn handle_request(request: Request, inner: &Arc<Inner>, writer: &mut Conn) -> st
             let response = results(inner, &job, run);
             send_line(writer, &respond(response))
         }
+        Request::Health => send_line(writer, &respond(health(inner))),
+        Request::Prune { keep } => send_line(writer, &respond(prune(inner, keep))),
         Request::Watch { job, policy, queue } => watch(inner, &job, policy, queue, writer),
     }
 }
@@ -1189,11 +1482,79 @@ fn submit(
     if sh.draining || sh.stopped {
         return Err(ProtoError::new("draining", "server is draining"));
     }
+    // Overload governance, cheapest check first. Every rejection is
+    // structured; the retryable ones carry `retry_after_ms`.
+    let backend = job.backend;
+    let estimates: Vec<(usize, String)> = specs
+        .iter()
+        .map(|spec| {
+            (
+                estimate_session(spec, backend).total(),
+                spec_fingerprint(backend, spec),
+            )
+        })
+        .collect();
+    // 1. Circuit breaker: a quarantined spec is rejected up front so the
+    //    client backs off instead of queueing work the scheduler would
+    //    shed at admission anyway.
+    let now = Instant::now();
+    let open = estimates
+        .iter()
+        .filter_map(|(_, fp)| sh.breakers.open_remaining(fp, now))
+        .max();
+    if let Some(remaining) = open {
+        return Err(ProtoError::new(
+            "circuit-open",
+            format!(
+                "spec quarantined after {} consecutive failures; retry after cooldown",
+                sh.breakers.threshold()
+            ),
+        )
+        .with_retry_after(remaining.as_millis() as u64));
+    }
+    // 2. A single run that cannot fit the whole budget can never be
+    //    admitted — permanent rejection, no retry advice.
+    if let Some(budget) = inner.memory_budget {
+        if let Some((est, _)) = estimates.iter().find(|(est, _)| *est > budget) {
+            return Err(ProtoError::new(
+                "quota-exceeded",
+                format!("run needs ~{est} bytes but the memory budget is {budget} bytes"),
+            ));
+        }
+    }
+    // 3. Bounded backlog, global then per-tenant.
+    let queued = sh.queued_runs();
+    if queued + specs.len() > inner.max_queued {
+        let retry = sh.retry_after_ms();
+        return Err(ProtoError::new(
+            "overloaded",
+            format!(
+                "backlog full: {queued} queued + {} new > {} cap",
+                specs.len(),
+                inner.max_queued
+            ),
+        )
+        .with_retry_after(retry));
+    }
+    let tenant_queued = sh.tenant_queued(&tenant);
+    if tenant_queued + specs.len() > inner.tenant_max_queued {
+        let retry = sh.retry_after_ms();
+        return Err(ProtoError::new(
+            "quota-exceeded",
+            format!(
+                "tenant backlog full: {tenant_queued} queued + {} new > {} cap",
+                specs.len(),
+                inner.tenant_max_queued
+            ),
+        )
+        .with_retry_after(retry));
+    }
     let id = format!("job-{:04}", sh.next_job);
     sh.next_job += 1;
     let runs = specs
         .into_iter()
-        .map(|spec| RunEntry {
+        .zip(estimates)
+        .map(|(spec, (est_bytes, fingerprint))| RunEntry {
             name: spec.name.clone(),
             phase: Phase::Queued,
             steps_done: 0,
@@ -1202,6 +1563,8 @@ fn submit(
             result: None,
             error: None,
             finish_seq: None,
+            est_bytes,
+            fingerprint,
         })
         .collect::<Vec<_>>();
     let n_runs = runs.len();
@@ -1289,8 +1652,150 @@ fn status(inner: &Arc<Inner>, job: Option<&str>) -> Result<Vec<(&'static str, Js
     Ok(vec![
         ("draining", Json::Bool(sh.draining)),
         ("stepping_seconds", Json::Num(sh.stepping_seconds)),
+        ("queued_runs", Json::Num(sh.queued_runs() as f64)),
+        ("active_runs", Json::Num(sh.active_runs() as f64)),
+        ("backlog", backlog_json(&sh)),
+        ("budget", budget_json(inner, &sh)),
+        ("wave_latency", sh.wave_latency.to_json()),
         ("jobs", Json::Arr(jobs_json)),
     ])
+}
+
+/// Per-tenant backlog depth: every tenant in the table, with its queued
+/// and active run counts — an operator reads which tenant the pressure
+/// comes from straight off `status`.
+fn backlog_json(sh: &Shared) -> Json {
+    let mut tenants: Vec<&str> = Vec::new();
+    for job in &sh.jobs {
+        if !tenants.contains(&job.tenant.as_str()) {
+            tenants.push(&job.tenant);
+        }
+    }
+    Json::Arr(
+        tenants
+            .into_iter()
+            .map(|tenant| {
+                let (mut queued, mut active) = (0usize, 0usize);
+                for run in sh
+                    .jobs
+                    .iter()
+                    .filter(|j| j.tenant == tenant)
+                    .flat_map(|j| &j.runs)
+                {
+                    match run.phase {
+                        Phase::Queued => queued += 1,
+                        Phase::Active => active += 1,
+                        _ => {}
+                    }
+                }
+                obj(vec![
+                    ("tenant", Json::Str(tenant.into())),
+                    ("queued", Json::Num(queued as f64)),
+                    ("active", Json::Num(active as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Budget occupancy: the configured limit (null when unbudgeted) plus
+/// the bytes currently charged by stepping runs and waiting in queue.
+fn budget_json(inner: &Inner, sh: &Shared) -> Json {
+    obj(vec![
+        (
+            "limit_bytes",
+            inner
+                .memory_budget
+                .map_or(Json::Null, |b| Json::Num(b as f64)),
+        ),
+        ("active_bytes", Json::Num(sh.active_bytes() as f64)),
+        ("queued_bytes", Json::Num(sh.queued_bytes() as f64)),
+    ])
+}
+
+/// The `health` op: liveness/readiness plus the load signals a client or
+/// balancer needs to decide whether to send work here — session and
+/// backlog occupancy, budget occupancy, breaker state, and the wave
+/// latency distribution.
+fn health(inner: &Arc<Inner>) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let sh = inner.shared.lock().unwrap();
+    let active = sh.active_runs();
+    let queued = sh.queued_runs();
+    Ok(vec![
+        ("live", Json::Bool(true)),
+        ("ready", Json::Bool(!sh.draining && !sh.stopped)),
+        ("draining", Json::Bool(sh.draining)),
+        ("active_runs", Json::Num(active as f64)),
+        ("max_sessions", Json::Num(inner.max_sessions as f64)),
+        ("load", Json::Num(active as f64 / inner.max_sessions as f64)),
+        ("queued_runs", Json::Num(queued as f64)),
+        ("max_queued", Json::Num(inner.max_queued as f64)),
+        ("budget", budget_json(inner, &sh)),
+        (
+            "circuits_open",
+            Json::Num(sh.breakers.open_count(Instant::now()) as f64),
+        ),
+        ("breaker_trips", Json::Num(sh.breakers.total_trips() as f64)),
+        ("wave_latency", sh.wave_latency.to_json()),
+    ])
+}
+
+/// The `prune` op: ask the scheduler for a retention pass keeping the
+/// newest `keep` finished jobs per tenant (falling back to the server's
+/// `--spool-retain`). Blocks until the pass ran so the reported count is
+/// exact.
+fn prune(inner: &Arc<Inner>, keep: Option<usize>) -> Result<Vec<(&'static str, Json)>, ProtoError> {
+    let Some(keep) = keep.or(inner.spool_retain) else {
+        return Err(ProtoError::new(
+            "bad-request",
+            "no retention configured: pass `keep` or start the server with --spool-retain",
+        ));
+    };
+    let mut sh = inner.shared.lock().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    // Serialize concurrent prunes: wait until any in-flight request was
+    // consumed and its result claimed before posting ours.
+    while sh.prune_request.is_some() || sh.prune_result.is_some() {
+        if sh.draining || sh.stopped {
+            return Err(ProtoError::new("draining", "server is draining"));
+        }
+        if Instant::now() >= deadline {
+            return Err(ProtoError::new("server-error", "prune timed out"));
+        }
+        let (guard, _) = inner
+            .wake
+            .wait_timeout(sh, Duration::from_millis(100))
+            .unwrap();
+        sh = guard;
+    }
+    if sh.draining || sh.stopped {
+        return Err(ProtoError::new("draining", "server is draining"));
+    }
+    sh.prune_request = Some(keep);
+    inner.wake.notify_all();
+    loop {
+        if let Some(pruned) = sh.prune_result.take() {
+            inner.wake.notify_all();
+            return Ok(vec![
+                ("pruned", Json::Num(pruned as f64)),
+                ("keep", Json::Num(keep as f64)),
+            ]);
+        }
+        if sh.stopped || (sh.draining && sh.prune_request.is_some()) {
+            // The scheduler exited (or will exit) without serving us.
+            sh.prune_request = None;
+            return Err(ProtoError::new("draining", "server is draining"));
+        }
+        if Instant::now() >= deadline {
+            sh.prune_request = None;
+            return Err(ProtoError::new("server-error", "prune timed out"));
+        }
+        let (guard, _) = inner
+            .wake
+            .wait_timeout(sh, Duration::from_millis(100))
+            .unwrap();
+        sh = guard;
+    }
 }
 
 fn cancel(inner: &Arc<Inner>, id: &str) -> Result<Vec<(&'static str, Json)>, ProtoError> {

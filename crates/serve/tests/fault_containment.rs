@@ -723,3 +723,157 @@ fn sick_fleet_survives_sigkill_and_corrupt_checkpoint_end_to_end() {
     daemon.kill();
     let _ = std::fs::remove_dir_all(&spool);
 }
+
+/// Spool-GC invariants that must hold at every rest point: the directory
+/// holds exactly the manifest plus one directory per manifest job (no
+/// orphans from pruned/cancelled work) and no leaked `.tmp` files from
+/// interrupted atomic writes.
+fn assert_spool_invariants(spool: &std::path::Path) {
+    let manifest = std::fs::read_to_string(spool.join("meta.json")).expect("manifest readable");
+    let doc = Json::parse(&manifest).expect("manifest is JSON");
+    let known: Vec<String> = doc
+        .field("jobs")
+        .and_then(Json::as_arr)
+        .expect("manifest jobs")
+        .iter()
+        .map(|j| {
+            j.field("id")
+                .and_then(Json::as_str)
+                .expect("job id")
+                .to_string()
+        })
+        .collect();
+    for entry in std::fs::read_dir(spool).expect("read spool") {
+        let entry = entry.expect("entry");
+        let name = entry.file_name().into_string().expect("utf-8 name");
+        assert!(!name.ends_with(".tmp"), "leaked atomic-write temp {name}");
+        if entry.file_type().expect("file type").is_dir() {
+            assert!(known.contains(&name), "orphan job dir {name} survived gc");
+            for file in std::fs::read_dir(entry.path()).expect("job dir") {
+                let file = file
+                    .expect("entry")
+                    .file_name()
+                    .into_string()
+                    .expect("utf-8");
+                assert!(
+                    !file.ends_with(".tmp"),
+                    "leaked atomic-write temp {name}/{file}"
+                );
+            }
+        } else {
+            assert_eq!(name, "meta.json", "unexpected stray file {name}");
+        }
+    }
+}
+
+/// The restart story under sustained abuse: a mixed healthy/sick fleet
+/// is SIGKILLed mid-flight and `--resume`d five times in a row. After
+/// every cycle the spool obeys its GC invariants and the sick run's
+/// quarantine survives verbatim; after the last cycle the healthy runs
+/// finish bit-identical to uninterrupted solo runs — five partial
+/// replays composed exactly, losing and corrupting nothing.
+#[test]
+fn five_sigkill_resume_cycles_compose_bit_identically() {
+    let spool = temp_dir("soak");
+    let spool_arg = spool.display().to_string();
+    let inject = "v0=0.12=panic@5";
+    let sweep = SweepSpec::grid("two_stream", Scale::Smoke).axis("v0", [0.1, 0.12, 0.14, 0.16]);
+    // Long enough that no healthy run can finish inside five short
+    // observe-then-kill windows (smoke DL runs step fast even in debug).
+    let job_req = JobRequest::sweep(sweep, Backend::Dl1D).with_steps(4000);
+
+    // `--spool-interval 4` (last flag wins) keeps checkpoint I/O from
+    // dominating a 4000-step fleet while still bounding replay per kill.
+    let daemon = Daemon::spawn(&[
+        "--spool",
+        &spool_arg,
+        "--inject",
+        inject,
+        "--spool-interval",
+        "4",
+    ]);
+    let (job, runs) = Client::connect(&daemon.addr)
+        .expect("connect")
+        .submit(&job_req, "soak")
+        .expect("submit");
+    assert_eq!(runs, 4);
+
+    let mut watermark = [0usize; 4];
+    let mut daemon = daemon;
+    for cycle in 0..5 {
+        // Let every healthy run advance past its last observed progress
+        // (and the sick run reach quarantine) before pulling the plug.
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        let mut client = Client::connect(&daemon.addr).expect("reconnect");
+        loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "cycle {cycle}: fleet made no progress"
+            );
+            let states = run_states(&mut client, &job);
+            assert!(
+                states.iter().all(|(s, _, _)| s != "done"),
+                "cycle {cycle}: a healthy run finished early; raise the step budget"
+            );
+            let healthy_moved = [0usize, 2, 3]
+                .iter()
+                .all(|&k| states[k].1 > watermark[k] + 1);
+            if healthy_moved && states[1].0 == "failed" {
+                for (k, (_, steps, _)) in states.iter().enumerate() {
+                    watermark[k] = *steps;
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        daemon.kill();
+
+        // At rest: the spool is consistent after an uncoordinated kill.
+        assert_spool_invariants(&spool);
+
+        daemon = Daemon::spawn(&[
+            "--resume",
+            &spool_arg,
+            "--inject",
+            inject,
+            "--spool-interval",
+            "4",
+        ]);
+        let mut client = Client::connect(&daemon.addr).expect("reconnect");
+        let states = run_states(&mut client, &job);
+        assert_eq!(
+            states[1].0, "failed",
+            "cycle {cycle}: quarantine must survive the restart"
+        );
+        assert!(
+            states[1].2.as_deref().unwrap().contains("solver panicked"),
+            "cycle {cycle}: structured error lost: {:?}",
+            states[1].2
+        );
+    }
+
+    // Let the final incarnation run the fleet to completion.
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let results = client
+        .wait_for(&job, Duration::from_millis(10))
+        .expect("wait after final resume");
+    assert_eq!(results.len(), 4);
+    let solo_specs = job_req.expand().expect("expand");
+    for k in [0usize, 2, 3] {
+        assert_eq!(results[k].state, "done", "run {k}");
+        let solo = Engine::new()
+            .run(&solo_specs[k], Backend::Dl1D)
+            .expect("solo");
+        assert_eq!(
+            history_of(&results[k].summary),
+            solo.history,
+            "run {k}: five kill/resume cycles diverged from the uninterrupted run"
+        );
+    }
+    assert_eq!(results[1].state, "failed");
+
+    cli(&["drain", "--addr", &daemon.addr]);
+    daemon.kill();
+    assert_spool_invariants(&spool);
+    let _ = std::fs::remove_dir_all(&spool);
+}

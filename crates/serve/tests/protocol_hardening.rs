@@ -82,6 +82,10 @@ fn hostile_lines_get_structured_errors_and_the_server_keeps_serving() {
         ("unknown-job", br#"{"op":"cancel","job":"job-9999"}"#),
         // The idempotency key is submit-only and must be non-empty.
         ("unknown-field", br#"{"op":"status","job_key":"k"}"#),
+        // The governance ops are just as strict as the data ops.
+        ("unknown-field", br#"{"op":"health","verbose":true}"#),
+        ("bad-json", br#"{"op":"prune","keep":"all"}"#),
+        ("bad-json", br#"{"op":"prune","keep":-1}"#),
         // Watch backpressure knobs are validated before the job lookup.
         (
             "bad-request",
@@ -242,6 +246,113 @@ fn oversized_line_is_drained_not_desynchronized() {
         second.to_compact()
     );
 
+    let _ = send_raw(&mut stream, &mut reader, br#"{"op":"drain"}"#);
+    server.wait();
+}
+
+/// Overload and governance rejections ride the same structured-error
+/// rails as malformed input: a full backlog answers `overloaded` with
+/// machine-readable retry advice inside the error object, `prune` on a
+/// server with no retention policy is a `bad-request`, and the
+/// connection that was refused keeps serving valid requests.
+#[test]
+fn overload_rejection_carries_retry_advice_and_the_connection_survives() {
+    let mut config = ServeConfig::default().max_queued(1);
+    config.max_sessions = 1;
+    let server = Server::start(config).expect("start");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Pin the lone session with a long run, then fill the 1-slot backlog.
+    let mut blocker = engine::scenario("two_stream", Scale::Smoke).expect("registry");
+    blocker.n_steps = 500_000;
+    let submit_line = format!(
+        r#"{{"op":"submit","job":{}}}"#,
+        JobRequest::scenario(blocker, Backend::Traditional1D)
+            .to_json_value()
+            .to_compact()
+    );
+    let mut submitted = Vec::new();
+    let doc = send_raw(&mut stream, &mut reader, submit_line.as_bytes());
+    assert!(
+        matches!(doc.get("ok"), Some(Json::Bool(true))),
+        "{}",
+        doc.to_compact()
+    );
+    submitted.push(
+        doc.field("job")
+            .and_then(Json::as_str)
+            .expect("id")
+            .to_string(),
+    );
+    // Wait for the scheduler to move the blocker into its session so the
+    // next submit lands in the backlog, not ahead of it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let doc = send_raw(&mut stream, &mut reader, br#"{"op":"status"}"#);
+        if doc.field("active_runs").and_then(Json::as_usize) == Ok(1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "blocker never admitted: {}",
+            doc.to_compact()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let doc = send_raw(&mut stream, &mut reader, submit_line.as_bytes());
+    assert!(
+        matches!(doc.get("ok"), Some(Json::Bool(true))),
+        "{}",
+        doc.to_compact()
+    );
+    submitted.push(
+        doc.field("job")
+            .and_then(Json::as_str)
+            .expect("id")
+            .to_string(),
+    );
+
+    // The backlog is full: the third submit is shed, structurally.
+    let doc = send_raw(&mut stream, &mut reader, submit_line.as_bytes());
+    assert_eq!(error_code(&doc), "overloaded");
+    let advice = doc
+        .field("error")
+        .expect("error object")
+        .field("retry_after_ms")
+        .and_then(Json::as_usize)
+        .expect("overload rejection must carry retry advice");
+    assert!((100..=10_000).contains(&advice), "advice {advice}ms");
+
+    // No retention policy configured: prune is a bad-request, with the
+    // remedy spelled out in the message.
+    let doc = send_raw(&mut stream, &mut reader, br#"{"op":"prune"}"#);
+    assert_eq!(error_code(&doc), "bad-request");
+
+    // The refused connection still serves valid requests.
+    let doc = send_raw(&mut stream, &mut reader, br#"{"op":"status"}"#);
+    assert!(
+        matches!(doc.get("ok"), Some(Json::Bool(true))),
+        "{}",
+        doc.to_compact()
+    );
+    let doc = send_raw(&mut stream, &mut reader, br#"{"op":"health"}"#);
+    assert!(
+        matches!(doc.get("ok"), Some(Json::Bool(true))),
+        "{}",
+        doc.to_compact()
+    );
+
+    // Unpin the fleet so drain can finish.
+    for job in &submitted {
+        let line = format!(r#"{{"op":"cancel","job":"{job}"}}"#);
+        let doc = send_raw(&mut stream, &mut reader, line.as_bytes());
+        assert!(
+            matches!(doc.get("ok"), Some(Json::Bool(true))),
+            "{}",
+            doc.to_compact()
+        );
+    }
     let _ = send_raw(&mut stream, &mut reader, br#"{"op":"drain"}"#);
     server.wait();
 }

@@ -704,4 +704,16 @@ impl Ensemble {
     pub fn backends(&self) -> Vec<Backend> {
         self.sessions.iter().map(Session::backend).collect()
     }
+
+    /// Estimated total memory footprint of the fleet, summed over
+    /// [`estimate_session`](super::resources::estimate_session) for every
+    /// run — the figure to compare against a host's memory before
+    /// launching (the serving tier budgets admission with the same
+    /// per-session estimate).
+    pub fn estimated_bytes(&self) -> usize {
+        self.sessions
+            .iter()
+            .map(|s| super::resources::estimate_session(s.spec(), s.backend()).total())
+            .sum()
+    }
 }

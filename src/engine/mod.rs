@@ -57,6 +57,7 @@ pub mod health;
 pub mod json;
 pub mod observer;
 pub mod registry;
+pub mod resources;
 pub mod runner;
 pub mod session;
 pub mod spec;
@@ -73,6 +74,7 @@ pub use registry::{
     all_scenarios, apply_sweep_param, names, scenario, sweep_params, sweepable_params, SweepParam,
     SCENARIO_NAMES,
 };
+pub use resources::{estimate_session, ResourceEstimate};
 pub use runner::{run, run_scenario, start, Engine, Numerics1D};
 pub use session::{BackendSession, Checkpoint, Session};
 pub use spec::{Dim, DomainSpec, LoadingSpec, ScenarioSpec, SpeciesSpec};
