@@ -1,0 +1,167 @@
+//! The analysis driver: walk the tree, run the configured rules per
+//! file, apply inline suppressions and the baseline, and assemble the
+//! sorted [`Report`].
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, Level};
+use crate::report::{Baseline, Finding, Report};
+use crate::rules::run_rule;
+use crate::source::SourceFile;
+
+/// Recursively collects every `.rs` file under `root` that the config
+/// does not exclude, as workspace-relative `/`-separated paths, sorted —
+/// scan order (and therefore report order) is deterministic by
+/// construction.
+pub fn collect_files(root: &Path, config: &Config) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    walk(root, root, config, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, config: &Config, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = relative(root, &path);
+        if config.is_excluded(&rel) {
+            continue;
+        }
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("file_type {}: {e}", path.display()))?;
+        if ty.is_dir() {
+            // Skip hidden directories (.git is also in the exclude list).
+            if entry.file_name().to_string_lossy().starts_with('.') {
+                continue;
+            }
+            walk(root, &path, config, out)?;
+        } else if ty.is_file() && rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Analyzes one already-loaded source file. Exposed for the fixture
+/// tests; [`analyze_tree`] is the production entry point.
+pub fn analyze_source(
+    file: &SourceFile,
+    config: &Config,
+    baseline: &Baseline,
+    report: &mut Report,
+) {
+    let rules = config.rules_for(&file.path);
+    let mut hits = Vec::new();
+    for (rule, _) in &rules {
+        run_rule(rule, file, &mut hits);
+    }
+    // A typo'd `analyze:allow` must not silently disable anything.
+    for &line in &file.malformed_allows {
+        hits.push(crate::rules::RuleHit {
+            rule: "malformed-suppression",
+            line,
+            message: "unparseable `analyze:allow` — the syntax is \
+                      `// analyze:allow(rule-name): reason` with a non-empty reason"
+                .to_string(),
+        });
+    }
+    for hit in hits {
+        if file.is_allowed(hit.rule, hit.line) {
+            report.suppressed += 1;
+            continue;
+        }
+        let level = if hit.rule == "malformed-suppression" {
+            Level::Deny
+        } else {
+            rules
+                .iter()
+                .find(|(r, _)| *r == hit.rule)
+                .map(|(_, l)| *l)
+                .unwrap_or(Level::Warn)
+        };
+        let snippet = file.snippet(hit.line).to_string();
+        let baselined = baseline.covers(hit.rule, &file.path, &snippet);
+        report.findings.push(Finding {
+            rule: hit.rule.to_string(),
+            level,
+            path: file.path.clone(),
+            line: hit.line,
+            message: hit.message,
+            snippet,
+            baselined,
+        });
+    }
+}
+
+/// Analyzes the whole tree under `root`.
+pub fn analyze_tree(root: &Path, config: &Config, baseline: &Baseline) -> Result<Report, String> {
+    let files = collect_files(root, config)?;
+    let mut report = Report::default();
+    for rel in files {
+        let abs = root.join(&rel);
+        let source =
+            fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        let file = SourceFile::parse(&rel, &source);
+        analyze_source(&file, config, baseline, &mut report);
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_and_levels_flow_through() {
+        let src = "\
+            use std::collections::HashMap;\n\
+            // analyze:allow(no-hashmap-iter-in-state): transient cache, never serialized\n\
+            type Cache = HashMap<String, u32>;\n\
+            // analyze:allow(oops\n";
+        let file = SourceFile::parse("state.rs", src);
+        let cfg = Config::all_paths();
+        let mut report = Report::default();
+        analyze_source(&file, &cfg, &Baseline::default(), &mut report);
+        // Line 1 fires, line 3 is suppressed, line 4 is malformed.
+        assert_eq!(report.suppressed, 1);
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(
+            rules,
+            vec!["no-hashmap-iter-in-state", "malformed-suppression"],
+            "{:?}",
+            report.findings
+        );
+        assert_eq!(report.deny_count(), 2);
+    }
+
+    #[test]
+    fn baseline_downgrades_known_findings() {
+        let src = "use std::collections::HashMap;\n";
+        let file = SourceFile::parse("state.rs", src);
+        let cfg = Config::all_paths();
+        let baseline =
+            Baseline::parse("no-hashmap-iter-in-state\tstate.rs\tuse std::collections::HashMap;\n")
+                .unwrap();
+        let mut report = Report::default();
+        analyze_source(&file, &cfg, &baseline, &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].baselined);
+        assert_eq!(report.deny_count(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! A lightweight Rust token scanner — just enough lexical structure for
+//! the rule engine: identifiers, punctuation, literals, and comments,
+//! each tagged with its 1-based source line. No parsing, no external
+//! dependencies; the container is offline and the rules only need token
+//! patterns, not a syntax tree.
+//!
+//! The scanner understands everything that could make a naive substring
+//! search lie: nested block comments, string/char/byte literals, raw
+//! strings with arbitrary `#` fences, and lifetimes (so `'a` is not a
+//! truncated char literal).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `for`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `!`, …).
+    Punct,
+    /// String / char / byte-string literal (text excludes quotes).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// Lifetime (`'a`) — kept distinct so char-literal logic stays honest.
+    Lifetime,
+    /// `// …` line comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` block comment (possibly nested).
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Source text: the identifier/number itself, the single punctuation
+    /// character, the comment including its `//`/`/*` markers, or the
+    /// literal body without quotes.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into tokens. Never fails: unterminated constructs are
+/// closed at end-of-file (the rules prefer best-effort findings over
+/// refusing a file rustc already accepts or rejects elsewhere).
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let at = |k: usize| chars.get(k).copied().unwrap_or('\0');
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && at(i + 1) == '/' {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::LineComment,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else if c == '/' && at(i + 1) == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::BlockComment,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+        } else if c == 'r' && (at(i + 1) == '"' || at(i + 1) == '#')
+            || (c == 'b' && at(i + 1) == 'r' && (at(i + 2) == '"' || at(i + 2) == '#'))
+        {
+            // Raw (byte) string: r"…", r#"…"#, br##"…"##, …
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while j < chars.len() && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j).copied() == Some('"') {
+                let start_line = line;
+                j += 1;
+                let body_start = j;
+                'scan: while j < chars.len() {
+                    if chars[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(j + 1 + k).copied() == Some('#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            break 'scan;
+                        }
+                    }
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[body_start..j.min(chars.len())].iter().collect(),
+                    line: start_line,
+                });
+                i = (j + 1 + hashes).min(chars.len());
+            } else {
+                // `r` / `br` not followed by a raw string: plain ident.
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+        } else if c == '"' || (c == 'b' && at(i + 1) == '"') {
+            let start_line = line;
+            i += if c == 'b' { 2 } else { 1 };
+            let body_start = i;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1; // skip the escaped character
+                }
+                if chars.get(i).copied() == Some('\n') {
+                    line += 1;
+                }
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: chars[body_start..i.min(chars.len())].iter().collect(),
+                line: start_line,
+            });
+            i += 1; // closing quote
+        } else if c == '\'' {
+            // Lifetime or char literal. A lifetime is `'` + ident-start
+            // NOT followed by a closing `'` (so `'a'` is a char literal
+            // and `'a` is a lifetime).
+            if (at(i + 1).is_alphabetic() || at(i + 1) == '_') && at(i + 2) != '\'' {
+                let start = i + 1;
+                i += 2;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                i += 1;
+                let body_start = i;
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[body_start..i.min(chars.len())].iter().collect(),
+                    line,
+                });
+                i += 1;
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' && at(i + 1).is_ascii_digit() {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else {
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_strings_and_comments_are_separated() {
+        let toks = kinds(r#"let x = "HashMap::iter"; // HashMap here too"#);
+        assert!(toks.contains(&(TokenKind::Ident, "let".into())));
+        // The string body and the comment are NOT ident tokens, so a
+        // rule scanning idents cannot be fooled by either.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("HashMap here")));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let toks = kinds(r##"x r#"unsafe { "quoted" }"# /* outer /* unsafe */ still */ y"##);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+            2 // x and y
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("still")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "x"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let toks = lex("let s = \"never closed");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+}

@@ -1,0 +1,470 @@
+//! The shipped rules. Each rule scans a [`SourceFile`]'s token stream
+//! (test-masked and comment tokens already excluded) and emits findings;
+//! the engine applies levels, inline suppressions, and the baseline.
+
+use crate::source::SourceFile;
+
+/// A raw rule hit, before suppression/baseline filtering.
+#[derive(Debug, Clone)]
+pub struct RuleHit {
+    pub rule: &'static str,
+    pub line: usize,
+    pub message: String,
+}
+
+/// Runs `rule` (by name) against `file`. Unknown names produce nothing —
+/// the config layer validates names before this is reached.
+pub fn run_rule(rule: &str, file: &SourceFile, out: &mut Vec<RuleHit>) {
+    match rule {
+        "no-hashmap-iter-in-state" => no_hashmap_in_state(file, out),
+        "no-wallclock-in-engine" => no_wallclock(file, out),
+        "no-panic-in-request-path" => no_panic_in_request_path(file, out),
+        "safety-comment-required" => safety_comment_required(file, out),
+        "no-alloc-in-hot-loop" => no_alloc_in_hot_loop(file, out),
+        "phase-constants-only" => phase_constants_only(file, out),
+        _ => {}
+    }
+}
+
+/// `no-hashmap-iter-in-state`: the configured state-serialization paths
+/// must not mention `HashMap`/`HashSet` at all. Banning the type rather
+/// than chasing `.iter()` call sites is deliberate: if the type never
+/// enters the module, no refactor can reintroduce order-dependent output.
+fn no_hashmap_in_state(file: &SourceFile, out: &mut Vec<RuleHit>) {
+    for &i in &file.code_indices() {
+        let t = &file.tokens[i];
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(RuleHit {
+                rule: "no-hashmap-iter-in-state",
+                line: t.line,
+                message: format!(
+                    "`{}` in a state-serialization path: its iteration order is \
+                     nondeterministic and can leak into checkpoint/spool/status \
+                     bytes — use `BTreeMap`/`BTreeSet` or sort keys explicitly",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `no-wallclock-in-engine`: flags `Instant::now` / `SystemTime::now`.
+fn no_wallclock(file: &SourceFile, out: &mut Vec<RuleHit>) {
+    let code = file.code_indices();
+    for w in code.windows(4) {
+        let [a, b, c, d] = [w[0], w[1], w[2], w[3]];
+        let clock = &file.tokens[a];
+        if (clock.is_ident("Instant") || clock.is_ident("SystemTime"))
+            && file.tokens[b].is_punct(':')
+            && file.tokens[c].is_punct(':')
+            && file.tokens[d].is_ident("now")
+        {
+            out.push(RuleHit {
+                rule: "no-wallclock-in-engine",
+                line: clock.line,
+                message: format!(
+                    "`{}::now()` in engine/solver code: wall-clock reads in \
+                     state-affecting paths break checkpoint/resume bit-identity — \
+                     thread timing in from the caller, or annotate a diagnostics-only \
+                     site with `// analyze:allow(no-wallclock-in-engine): <why>`",
+                    clock.text
+                ),
+            });
+        }
+    }
+}
+
+/// `no-panic-in-request-path`: flags `.unwrap()` / `.expect(` and the
+/// panicking macros in serve request-path modules. One structural
+/// exemption: `.unwrap()`/`.expect(..)` directly on `lock()`, `wait(..)`,
+/// or `wait_timeout(..)` — propagating Mutex/Condvar poisoning is itself
+/// the panic-containment strategy (a poisoned lock means a handler
+/// already panicked; limping on would serve corrupt state).
+fn no_panic_in_request_path(file: &SourceFile, out: &mut Vec<RuleHit>) {
+    let code = file.code_indices();
+    for k in 0..code.len() {
+        let t = &file.tokens[code[k]];
+        // panic-family macros
+        if k + 1 < code.len()
+            && file.tokens[code[k + 1]].is_punct('!')
+            && (t.is_ident("panic")
+                || t.is_ident("unreachable")
+                || t.is_ident("todo")
+                || t.is_ident("unimplemented"))
+        {
+            out.push(RuleHit {
+                rule: "no-panic-in-request-path",
+                line: t.line,
+                message: format!(
+                    "`{}!` in a request-path module: a malformed or hostile \
+                     request must produce a structured error response, not a \
+                     daemon panic",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        // .unwrap( / .expect(
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && k >= 1
+            && file.tokens[code[k - 1]].is_punct('.')
+            && k + 1 < code.len()
+            && file.tokens[code[k + 1]].is_punct('(')
+        {
+            if poison_exempt_receiver(file, &code, k - 1) {
+                continue;
+            }
+            out.push(RuleHit {
+                rule: "no-panic-in-request-path",
+                line: t.line,
+                message: format!(
+                    "`.{}(…)` in a request-path module: convert the failure \
+                     into a structured `server-error`/`bad-request` response \
+                     (Mutex/Condvar poisoning propagation via \
+                     `.lock()/.wait()/.wait_timeout()` is exempt)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// True when the expression before the `.` at code index `dot` is a call
+/// of `lock`, `wait`, or `wait_timeout` — i.e. `x.lock().unwrap()`.
+fn poison_exempt_receiver(file: &SourceFile, code: &[usize], dot: usize) -> bool {
+    if dot == 0 || !file.tokens[code[dot - 1]].is_punct(')') {
+        return false;
+    }
+    // Walk back to the matching `(`.
+    let mut depth = 0isize;
+    let mut j = dot - 1;
+    loop {
+        let t = &file.tokens[code[j]];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+    }
+    if j == 0 {
+        return false;
+    }
+    let callee = &file.tokens[code[j - 1]];
+    callee.is_ident("lock") || callee.is_ident("wait") || callee.is_ident("wait_timeout")
+}
+
+/// `safety-comment-required`: every `unsafe` token must have a
+/// `// SAFETY:` comment or a `# Safety` doc section in the comment /
+/// attribute block directly above it (or on its own line).
+fn safety_comment_required(file: &SourceFile, out: &mut Vec<RuleHit>) {
+    for &i in &file.code_indices() {
+        let t = &file.tokens[i];
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        if has_safety_context(file, t.line) {
+            continue;
+        }
+        out.push(RuleHit {
+            rule: "safety-comment-required",
+            line: t.line,
+            message: "`unsafe` without a justification: put a `// SAFETY: …` \
+                      comment (or a `/// # Safety` doc section) directly above \
+                      stating why the contract holds"
+                .to_string(),
+        });
+    }
+}
+
+/// Scans the line of the `unsafe` token and the contiguous block of
+/// comment/attribute lines above it for a safety marker.
+fn has_safety_context(file: &SourceFile, line: usize) -> bool {
+    let marker = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if marker(file.snippet(line)) {
+        return true;
+    }
+    let mut n = line - 1; // 1-based line above
+    while n >= 1 {
+        let s = file.snippet(n);
+        let attached = s.starts_with("//")
+            || s.starts_with("#[")
+            || s.starts_with("#!")
+            || s.starts_with(")]");
+        if !attached {
+            return false;
+        }
+        if marker(s) {
+            return true;
+        }
+        n -= 1;
+    }
+    false
+}
+
+const ALLOC_CTORS: [&str; 3] = ["Vec", "String", "Box"];
+const ALLOC_CTOR_FNS: [&str; 3] = ["new", "with_capacity", "from"];
+const ALLOC_METHODS: [&str; 5] = ["to_vec", "to_string", "to_owned", "clone", "collect"];
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// `no-alloc-in-hot-loop`: in files opted in with `// analyze:hot`,
+/// flags allocation-shaped calls inside `for`/`while`/`loop` bodies.
+fn no_alloc_in_hot_loop(file: &SourceFile, out: &mut Vec<RuleHit>) {
+    if !file.hot {
+        return;
+    }
+    let code = file.code_indices();
+    // Loop-body tracking: after a loop keyword, the body is the first `{`
+    // at zero paren/bracket depth (Rust forbids bare struct literals in
+    // loop headers, so this is reliable without a parser).
+    let mut pending_loops = 0usize; // loop keywords whose `{` we await
+    let mut header_depth = 0isize;
+    let mut loop_stack: Vec<isize> = Vec::new(); // brace depth of each open loop body
+    let mut brace = 0isize;
+
+    for k in 0..code.len() {
+        let t = &file.tokens[code[k]];
+        if pending_loops > 0 {
+            if t.is_punct('(') || t.is_punct('[') {
+                header_depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                header_depth -= 1;
+            } else if t.is_punct('{') && header_depth == 0 {
+                brace += 1;
+                loop_stack.push(brace);
+                pending_loops -= 1;
+                continue;
+            }
+        }
+        if t.is_punct('{') {
+            brace += 1;
+        } else if t.is_punct('}') {
+            if loop_stack.last() == Some(&brace) {
+                loop_stack.pop();
+            }
+            brace -= 1;
+        } else if t.is_ident("while") || t.is_ident("loop") {
+            pending_loops += 1;
+            header_depth = 0;
+        } else if t.is_ident("for") && for_is_a_loop(file, &code, k) {
+            // `for` also appears in `impl Trait for Type` and `for<'a>`
+            // bounds — only a header containing a top-level `in` before
+            // its `{` is a loop.
+            pending_loops += 1;
+            header_depth = 0;
+        }
+
+        if loop_stack.is_empty() {
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        // Vec::new / String::with_capacity / Box::new / Vec::from …
+        if ALLOC_CTORS.iter().any(|c| t.is_ident(c))
+            && k + 3 < code.len()
+            && file.tokens[code[k + 1]].is_punct(':')
+            && file.tokens[code[k + 2]].is_punct(':')
+            && ALLOC_CTOR_FNS
+                .iter()
+                .any(|f| file.tokens[code[k + 3]].is_ident(f))
+        {
+            hit = Some(format!("{}::{}", t.text, file.tokens[code[k + 3]].text));
+        }
+        // vec![…] / format!(…)
+        if ALLOC_MACROS.iter().any(|m| t.is_ident(m))
+            && k + 1 < code.len()
+            && file.tokens[code[k + 1]].is_punct('!')
+        {
+            hit = Some(format!("{}!", t.text));
+        }
+        // .to_vec() / .clone() / .collect::<…>() …
+        if ALLOC_METHODS.iter().any(|m| t.is_ident(m))
+            && k >= 1
+            && file.tokens[code[k - 1]].is_punct('.')
+        {
+            hit = Some(format!(".{}()", t.text));
+        }
+        if let Some(what) = hit {
+            out.push(RuleHit {
+                rule: "no-alloc-in-hot-loop",
+                line: t.line,
+                message: format!(
+                    "`{what}` inside a loop body of an `analyze:hot` file: \
+                     hoist the allocation out of the loop or reuse a \
+                     caller-owned scratch buffer"
+                ),
+            });
+        }
+    }
+}
+
+/// True when the `for` at code index `k` heads a real loop: an `in`
+/// appears at zero paren/bracket depth before the first top-level `{`.
+fn for_is_a_loop(file: &SourceFile, code: &[usize], k: usize) -> bool {
+    let mut depth = 0isize;
+    for &idx in &code[k + 1..] {
+        let t = &file.tokens[idx];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_ident("in") {
+                return true;
+            }
+            if t.is_punct('{') || t.is_punct(';') {
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// `phase-constants-only`: every `.send(from, to, phase, payload)` call
+/// must pass a `PHASE_*` constant as its third argument.
+fn phase_constants_only(file: &SourceFile, out: &mut Vec<RuleHit>) {
+    let code = file.code_indices();
+    for k in 0..code.len() {
+        let t = &file.tokens[code[k]];
+        if !(t.is_ident("send")
+            && k >= 1
+            && file.tokens[code[k - 1]].is_punct('.')
+            && k + 1 < code.len()
+            && file.tokens[code[k + 1]].is_punct('('))
+        {
+            continue;
+        }
+        // Split the argument list at top-level commas; collect arg 2.
+        let mut depth = 0isize;
+        let mut arg = 0usize;
+        let mut phase_ok = false;
+        let mut arg_count = 0usize;
+        let mut j = k + 1;
+        while j < code.len() {
+            let a = &file.tokens[code[j]];
+            if a.is_punct('(') || a.is_punct('[') || a.is_punct('{') {
+                depth += 1;
+            } else if a.is_punct(')') || a.is_punct(']') || a.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.is_punct(',') && depth == 1 {
+                arg += 1;
+            } else if depth >= 1 {
+                if arg == 0 && arg_count == 0 {
+                    arg_count = 1; // saw at least one token → ≥1 arg
+                }
+                if arg == 2
+                    && a.kind == crate::lexer::TokenKind::Ident
+                    && a.text.starts_with("PHASE_")
+                {
+                    phase_ok = true;
+                }
+            }
+            j += 1;
+        }
+        let total_args = if arg_count == 0 { 0 } else { arg + 1 };
+        if total_args < 3 || !phase_ok {
+            out.push(RuleHit {
+                rule: "phase-constants-only",
+                line: t.line,
+                message: "`.send(…)` without a `comm::PHASE_*` constant as the \
+                          phase argument: ad-hoc phase strings drift from \
+                          `KNOWN_PHASES` and break checkpoint restore — add a \
+                          constant to `comm.rs` and use it here"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn hits(rule: &str, src: &str) -> Vec<RuleHit> {
+        let f = SourceFile::parse("x.rs", src);
+        let mut out = Vec::new();
+        run_rule(rule, &f, &mut out);
+        out
+    }
+
+    #[test]
+    fn poison_exemption_covers_chained_locks_only() {
+        let src = "fn f() {\n\
+                   let a = state.lock().unwrap();\n\
+                   let b = cv.wait_timeout(g, d).unwrap();\n\
+                   let c = maybe.unwrap();\n\
+                   let d = spool.as_ref().expect(\"set\");\n\
+                   }\n";
+        let got = hits("no-panic-in-request-path", src);
+        let lines: Vec<usize> = got.iter().map(|h| h.line).collect();
+        assert_eq!(lines, vec![4, 5], "{got:?}");
+    }
+
+    #[test]
+    fn loop_tracking_flags_only_loop_bodies() {
+        let src = "// analyze:hot\n\
+                   fn f(v: &[f32]) -> Vec<f32> {\n\
+                   let mut out = Vec::new();\n\
+                   for x in v.iter() {\n\
+                       let s = format!(\"{x}\");\n\
+                       while s.len() > 0 { let t = s.clone(); }\n\
+                   }\n\
+                   let fine = v.to_vec();\n\
+                   out\n\
+                   }\n";
+        let got = hits("no-alloc-in-hot-loop", src);
+        let lines: Vec<usize> = got.iter().map(|h| h.line).collect();
+        assert_eq!(lines, vec![5, 6], "{got:?}");
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "// analyze:hot\n\
+                   impl Clone for Thing {\n\
+                       fn clone(&self) -> Self { self.inner.clone() }\n\
+                   }\n\
+                   fn f(v: &[f32]) { for x in v { let y = x.clone(); } }\n";
+        let got = hits("no-alloc-in-hot-loop", src);
+        let lines: Vec<usize> = got.iter().map(|h| h.line).collect();
+        assert_eq!(lines, vec![5], "{got:?}");
+    }
+
+    #[test]
+    fn send_arg_positions() {
+        let src = "fn f() {\n\
+                   fabric.send(rank, 0, crate::comm::PHASE_RHO_GATHER, buf.to_vec());\n\
+                   fabric.send(rank, 0, \"halo\", buf.to_vec());\n\
+                   fabric.send(g(1, 2), h(3, 4), PHASE_X, v);\n\
+                   tx.send(value);\n\
+                   }\n";
+        let got = hits("phase-constants-only", src);
+        let lines: Vec<usize> = got.iter().map(|h| h.line).collect();
+        assert_eq!(lines, vec![3, 5], "{got:?}");
+    }
+
+    #[test]
+    fn safety_scan_accepts_comment_doc_and_attr_stacks() {
+        let ok = "/// Does things.\n\
+                  /// # Safety\n\
+                  /// Caller upholds X.\n\
+                  #[target_feature(enable = \"avx512f\")]\n\
+                  pub unsafe fn k() {}\n\
+                  fn f() {\n\
+                      // SAFETY: bounds asserted above.\n\
+                      unsafe { k() }\n\
+                  }\n";
+        assert!(hits("safety-comment-required", ok).is_empty());
+        let bad =
+            "fn f() {\n    let x = 1;\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        assert_eq!(hits("safety-comment-required", bad).len(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: suppressions that do not parse. A typo'd `analyze:allow`
+//! must surface as a deny finding — never silently suppress nothing.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // analyze:allow(no-wallclock-in-engine)
+    Instant::now()
+}
+
+pub fn stamp_again() -> Instant {
+    // analyze:allow(): empty rule name
+    Instant::now()
+}

@@ -1,0 +1,10 @@
+//! Fixture: a well-formed suppression — rule name in parentheses, colon,
+//! non-empty reason — and prose that merely *mentions* the analyze:allow
+//! syntax mid-sentence, which is not a directive.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // analyze:allow(no-wallclock-in-engine): fixture exercising the happy-path suppression syntax
+    Instant::now()
+}

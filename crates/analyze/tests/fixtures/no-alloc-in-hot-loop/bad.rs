@@ -1,0 +1,21 @@
+//! Fixture: a hot file allocating inside its loop bodies — every flagged
+//! form in one pass.
+
+// analyze:hot — per-particle loop, must stay allocation-free
+
+pub fn step(xs: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for &x in xs {
+        let scratch = Vec::with_capacity(4);
+        let label = format!("{x}");
+        let copy = xs.to_vec();
+        acc += x + scratch.capacity() as f32 + label.len() as f32 + copy[0];
+    }
+    let mut i = 0;
+    while i < xs.len() {
+        let boxed = Box::new(xs[i]);
+        acc += *boxed;
+        i += 1;
+    }
+    acc
+}

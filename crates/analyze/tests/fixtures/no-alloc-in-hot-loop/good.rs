@@ -1,0 +1,36 @@
+//! Fixture: the same work with allocations hoisted out of the loop and a
+//! caller-owned scratch buffer — plus an `impl … for …` to prove the
+//! `for` keyword there is not mistaken for a loop header.
+
+// analyze:hot — per-particle loop, must stay allocation-free
+
+pub struct Scratch {
+    buf: Vec<f32>,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self { buf: Vec::new() }
+    }
+}
+
+pub fn step(xs: &[f32], scratch: &mut Scratch) -> f32 {
+    scratch.buf.clear();
+    scratch.buf.extend_from_slice(xs);
+    let mut acc = 0.0;
+    for &x in &scratch.buf {
+        acc += x * x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate_in_loops() {
+        for i in 0..3 {
+            let v = vec![i as f32];
+            assert_eq!(v.len(), 1);
+        }
+    }
+}

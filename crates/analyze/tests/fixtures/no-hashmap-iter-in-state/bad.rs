@@ -1,0 +1,19 @@
+//! Fixture: HashMap in a state-serialization path. The map's iteration
+//! order leaks into the rendered bytes, so two identical runs can write
+//! different checkpoint files.
+
+use std::collections::HashMap;
+
+pub struct RunIndex {
+    runs: HashMap<String, u64>,
+}
+
+impl RunIndex {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, steps) in &self.runs {
+            out.push_str(&format!("{id}={steps}\n"));
+        }
+        out
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: the same index on BTreeMap — iteration is key-ordered, so the
+//! rendered bytes are a pure function of the contents. Test code may use
+//! HashMap freely; the rule masks `#[cfg(test)]` modules.
+
+use std::collections::BTreeMap;
+
+pub struct RunIndex {
+    runs: BTreeMap<String, u64>,
+}
+
+impl RunIndex {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (id, steps) in &self.runs {
+            out.push_str(&format!("{id}={steps}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_maps_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert("a", 1);
+        assert_eq!(m["a"], 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: panics reachable from a request handler. A hostile request
+//! must produce a structured error response, never a daemon crash.
+
+pub fn handle(body: &str) -> String {
+    let n: u64 = body.parse().unwrap();
+    if n > 1_000 {
+        panic!("request too large");
+    }
+    let doubled = n.checked_mul(2).expect("overflow");
+    match doubled % 2 {
+        0 => format!("ok {doubled}"),
+        _ => unreachable!("doubling is always even"),
+    }
+}

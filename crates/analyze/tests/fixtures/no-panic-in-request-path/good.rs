@@ -1,0 +1,35 @@
+//! Fixture: the same handler with structured errors. Poison propagation
+//! on `.lock()`/`.wait()` is the one exempt unwrap family — a poisoned
+//! mutex means a handler already panicked, and limping on would serve
+//! corrupt state.
+
+use std::sync::Mutex;
+
+pub struct Handler {
+    hits: Mutex<u64>,
+}
+
+impl Handler {
+    pub fn handle(&self, body: &str) -> Result<String, String> {
+        let n: u64 = body
+            .parse()
+            .map_err(|e| format!("bad-request: not a number: {e}"))?;
+        if n > 1_000 {
+            return Err("bad-request: too large".to_string());
+        }
+        let mut hits = self.hits.lock().unwrap();
+        *hits += 1;
+        Ok(format!("ok {n}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let h = super::Handler {
+            hits: std::sync::Mutex::new(0),
+        };
+        assert_eq!(h.handle("2").unwrap(), "ok 2");
+    }
+}

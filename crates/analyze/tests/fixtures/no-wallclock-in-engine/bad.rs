@@ -1,0 +1,22 @@
+//! Fixture: wall-clock reads inside solver code. Both clock types are
+//! flagged — any time-dependent value that reaches engine state breaks
+//! checkpoint/resume bit-identity.
+
+use std::time::{Instant, SystemTime};
+
+pub struct Stepper {
+    seed: u64,
+}
+
+impl Stepper {
+    pub fn new() -> Self {
+        let t = Instant::now();
+        let epoch = SystemTime::now();
+        let _ = (t, epoch);
+        Self { seed: 0 }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}

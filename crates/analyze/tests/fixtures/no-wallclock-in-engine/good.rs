@@ -1,0 +1,22 @@
+//! Fixture: timing threaded in from the caller (who may read the clock —
+//! it sits outside the engine scope), plus an annotated diagnostics-only
+//! read. Both pass.
+
+use std::time::Instant;
+
+pub struct Stepper {
+    started: Instant,
+}
+
+impl Stepper {
+    /// The caller reads the clock; the engine only stores the value.
+    pub fn new(started: Instant) -> Self {
+        Self { started }
+    }
+
+    pub fn elapsed_seconds(&self) -> f64 {
+        // analyze:allow(no-wallclock-in-engine): feeds only a human-facing diagnostic, never simulation state
+        let now = Instant::now();
+        now.duration_since(self.started).as_secs_f64()
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: ad-hoc phase tags at the emission site. String literals and
+//! computed tags both drift from `KNOWN_PHASES` without any compile
+//! error — only the constant is checkable.
+
+pub fn exchange(fabric: &mut Fabric, rank: usize, buf: &[f64]) {
+    fabric.send(rank, 0, "halo-left", buf.to_vec());
+    let phase = phase_name(rank);
+    fabric.send(rank, 1, phase, buf.to_vec());
+}
+
+fn phase_name(rank: usize) -> String {
+    format!("phase-{rank}")
+}
+
+pub struct Fabric;
+
+impl Fabric {
+    pub fn send(&mut self, _to: usize, _from: usize, _phase: impl AsRef<str>, _payload: Vec<f64>) {}
+}

@@ -1,0 +1,20 @@
+//! Fixture: every emission tagged with a `PHASE_*` constant, including
+//! one with nested call arguments around it.
+
+pub const PHASE_HALO_LEFT: &str = "halo-left";
+pub const PHASE_RHO_GATHER: &str = "rho-gather";
+
+pub fn exchange(fabric: &mut Fabric, rank: usize, buf: &[f64]) {
+    fabric.send(rank, 0, PHASE_HALO_LEFT, buf.to_vec());
+    fabric.send(peer(rank, 1), 0, PHASE_RHO_GATHER, buf.to_vec());
+}
+
+fn peer(rank: usize, offset: usize) -> usize {
+    rank + offset
+}
+
+pub struct Fabric;
+
+impl Fabric {
+    pub fn send(&mut self, _to: usize, _from: usize, _phase: &str, _payload: Vec<f64>) {}
+}

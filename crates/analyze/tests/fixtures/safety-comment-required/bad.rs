@@ -1,0 +1,14 @@
+//! Fixture: unjustified `unsafe`. Neither the block nor the unsafe fn
+//! states why the contract holds.
+
+pub unsafe fn sum_unchecked(v: &[f32], n: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += *v.get_unchecked(i);
+    }
+    acc
+}
+
+pub fn sum(v: &[f32]) -> f32 {
+    unsafe { sum_unchecked(v, v.len()) }
+}

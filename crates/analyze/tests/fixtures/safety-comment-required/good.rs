@@ -1,0 +1,22 @@
+//! Fixture: every `unsafe` justified — a `# Safety` doc section on the
+//! unsafe fn (attributes may sit between it and the fn) and a
+//! `// SAFETY:` comment on the call-site block.
+
+/// Sums the first `n` elements without bounds checks.
+///
+/// # Safety
+///
+/// Caller must guarantee `n <= v.len()`.
+#[inline]
+pub unsafe fn sum_unchecked(v: &[f32], n: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += *v.get_unchecked(i);
+    }
+    acc
+}
+
+pub fn sum(v: &[f32]) -> f32 {
+    // SAFETY: n is exactly v.len(), so every index is in bounds.
+    unsafe { sum_unchecked(v, v.len()) }
+}

@@ -44,6 +44,9 @@
 //! ensemble scheduler relies on this: batching `m` concurrent DL field
 //! solves into one GEMM must reproduce each solo solve bit-for-bit.
 
+// analyze:hot — GEMM/conv micro-kernels are the inference hot path; loop
+// bodies here must stay allocation-free (workspaces are caller-provided).
+
 /// Rows per register tile of the `nn`/`tn` micro-kernels.
 const MR: usize = 4;
 /// Columns per register tile of the `nn`/`tn` micro-kernels.
@@ -670,6 +673,7 @@ pub fn conv_dw_accum(
                 let b_row = &pad[off + oy * pw..off + oy * pw + w];
                 let a_chunks = a_row.chunks_exact(LANES);
                 let b_chunks = b_row.chunks_exact(LANES);
+                // analyze:allow(no-alloc-in-hot-loop): ChunksExact::clone copies a two-pointer iterator, no heap allocation — the originals are kept for .remainder() below
                 for (x, y) in a_chunks.clone().zip(b_chunks.clone()) {
                     for l in 0..LANES {
                         lanes[l] += x[l] * y[l];

@@ -79,6 +79,7 @@ pub fn train(
 ) -> TrainHistory {
     assert!(!train_set.is_empty(), "empty training set");
     assert!(cfg.batch_size > 0, "batch size must be positive");
+    // analyze:allow(no-wallclock-in-engine): feeds only TrainHistory's elapsed-seconds diagnostic, never weights or optimizer state
     let start = std::time::Instant::now();
     let mut history = TrainHistory::default();
     let mut perm = Vec::new();

@@ -18,6 +18,9 @@
 //! time-centred kinetic energy and the post-push momentum) in the same
 //! pass, in the same per-particle summation order as the unfused code.
 
+// analyze:hot — the fused per-particle loop is the 1-D stepping hot path;
+// loop bodies here must stay allocation-free (PR 2's single-pass win).
+
 use crate::grid::Grid1D;
 use crate::particles::Particles;
 use crate::shape::Shape;

@@ -16,6 +16,9 @@
 //! unfused value by rounding (≪ 1e-15 relative); the per-component
 //! momentum sums keep the unfused order exactly.
 
+// analyze:hot — the fused per-particle loop is the 2-D stepping hot path;
+// loop bodies here must stay allocation-free (PR 3's single-pass win).
+
 use crate::grid2d::Grid2D;
 use crate::particles2d::Particles2D;
 use dlpic_pic::fused::{advance_position, wrap_cell};

@@ -349,7 +349,15 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 None => None,
             },
         },
-        _ => unreachable!("op validated above"),
+        // Defensively structured even though the op list above already
+        // validated: a future op added to one table but not the other
+        // must reject the request, never panic the daemon.
+        other => {
+            return Err(ProtoError::new(
+                "unknown-op",
+                format!("op `{other}` recognized but not dispatchable (server bug)"),
+            ))
+        }
     })
 }
 

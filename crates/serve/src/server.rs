@@ -560,9 +560,12 @@ impl Server {
             stopped: false,
         };
         if config.resume {
-            let spool = spool
-                .as_ref()
-                .expect("resume() always sets the spool directory");
+            let spool = spool.as_ref().ok_or_else(|| {
+                ServeError::Protocol(ProtoError::new(
+                    "bad-request",
+                    "--resume requires a spool directory",
+                ))
+            })?;
             let (next_job, jobs) = spool.load_manifest()?;
             shared.next_job = next_job;
             shared.jobs = jobs
@@ -1013,6 +1016,7 @@ impl Scheduler {
             let pending = run
                 .pending
                 .take()
+                // analyze:allow(no-panic-in-request-path): scheduler-thread invariant — a Queued run always carries its pending work (set at submit and at spool resume), and this loop is the only taker
                 .unwrap_or_else(|| unreachable!("queued run without pending work"));
             admissions.push((j, k, pending));
             sh.last_tenant = Some(tenant);

@@ -6,7 +6,7 @@
 //! answering `status`/`health`, so neither adds synchronization beyond
 //! the existing control-plane pass.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use dlpic_repro::engine::json::{obj, Json};
@@ -129,7 +129,11 @@ struct BreakerState {
 pub struct CircuitBreakers {
     threshold: usize,
     cooldown: Duration,
-    states: HashMap<String, BreakerState>,
+    // BTreeMap, not HashMap: breaker state is aggregated into
+    // wire-visible `status`/`health` numbers, and the serve tier's
+    // serialization paths are held to deterministic iteration order
+    // (enforced by dlpic-analyze's no-hashmap-iter-in-state rule).
+    states: BTreeMap<String, BreakerState>,
 }
 
 impl CircuitBreakers {
@@ -139,7 +143,7 @@ impl CircuitBreakers {
         Self {
             threshold,
             cooldown,
-            states: HashMap::new(),
+            states: BTreeMap::new(),
         }
     }
 

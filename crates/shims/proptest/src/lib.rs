@@ -156,7 +156,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Length specifications [`vec`] accepts: an exact `usize` or a
+    /// Length specifications [`vec()`] accepts: an exact `usize` or a
     /// `Range<usize>`.
     pub trait VecLen {
         /// Draws a length.

@@ -7,7 +7,7 @@
 //! * [`SweepSpec`] expands a registry scenario into a grid of
 //!   [`ScenarioSpec`]s — cartesian parameter axes, explicit point lists,
 //!   and seed fans — using the registry's sweepable-parameter metadata
-//!   ([`registry::sweep_params`](super::registry::sweep_params)).
+//!   ([`registry::sweep_params`]).
 //! * [`Ensemble`] owns N sessions and steps them in **lockstep waves**.
 //!   Within a wave, sessions whose field solve is phase-split (the DL
 //!   backends) are grouped into cohorts: each session prepares its

@@ -71,25 +71,31 @@ impl FaultPlan {
         self.rules.is_empty()
     }
 
-    /// Parses the `--inject` syntax (see the type docs).
+    /// Parses the `--inject` syntax (see the type docs). Errors name the
+    /// offending `;`-separated segment by its 1-based position, so a typo
+    /// buried in a long multi-rule plan is findable from the message
+    /// alone.
     pub fn parse(text: &str) -> Result<Self, EngineError> {
-        let bad = |what: String| EngineError::InvalidSpec {
-            scenario: String::new(),
-            what,
-        };
         let mut plan = Self::new();
-        for part in text.split(';').filter(|p| !p.trim().is_empty()) {
+        for (idx, part) in text.split(';').enumerate() {
+            if part.trim().is_empty() {
+                continue;
+            }
+            let bad = |what: String| EngineError::InvalidSpec {
+                scenario: String::new(),
+                what: format!("inject segment {} (`{}`): {what}", idx + 1, part.trim()),
+            };
             let (name, action) = part
                 .rsplit_once('=')
-                .ok_or_else(|| bad(format!("inject rule `{part}` is not NAME=KIND@STEP")))?;
+                .ok_or_else(|| bad("not NAME=KIND@STEP".to_string()))?;
             let (kind, step) = action
                 .split_once('@')
-                .ok_or_else(|| bad(format!("inject action `{action}` is not KIND@STEP")))?;
+                .ok_or_else(|| bad(format!("action `{action}` is not KIND@STEP")))?;
             let kind = FaultKind::parse(kind)
-                .ok_or_else(|| bad(format!("inject kind `{kind}` (knows panic, nan)")))?;
+                .ok_or_else(|| bad(format!("kind `{kind}` (knows panic, nan)")))?;
             let at_step = step
                 .parse()
-                .map_err(|_| bad(format!("inject step `{step}` is not a number")))?;
+                .map_err(|_| bad(format!("step `{step}` is not a number")))?;
             plan = plan.rule(name.trim(), kind, at_step);
         }
         Ok(plan)

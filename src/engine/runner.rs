@@ -131,6 +131,7 @@ impl Engine {
         backend.supports(spec)?;
         // Clock from before the build: wall_seconds includes solver-stack
         // construction, matching the pre-session Engine::run.
+        // analyze:allow(no-wallclock-in-engine): feeds only the wall_seconds diagnostic in RunSummary, never simulation state — checkpoints exclude it
         let started = std::time::Instant::now();
         let inner: Box<dyn BackendSession> = match backend {
             Backend::Traditional1D | Backend::Dl1D => Box::new(Pic1DSession::new(

@@ -1059,7 +1059,7 @@ impl Session {
     }
 
     /// Records the final snapshot row and yields the run summary
-    /// (`steps_done + 1` samples — identical to [`Engine::run`]'s output
+    /// (`steps_done + 1` samples — identical to [`super::Engine::run`]'s output
     /// for a full-length run, truncated-but-consistent after an early
     /// stop).
     pub fn finish(self) -> RunSummary {
@@ -1067,7 +1067,7 @@ impl Session {
     }
 
     /// [`Self::finish`], additionally handing back the attached observers
-    /// (used by [`Engine::run`] to re-own its monitors across runs).
+    /// (used by [`super::Engine::run`] to re-own its monitors across runs).
     pub fn finish_detach(mut self) -> (RunSummary, Vec<Box<dyn Observer>>) {
         // A faulted session's solver is never advanced or sampled again:
         // a panicked stack may be mid-step, and a diverged one would only

@@ -324,6 +324,23 @@ mod supervision {
         assert!(FaultPlan::parse("run=explode@3").is_err());
         assert!(FaultPlan::parse("run=panic@soon").is_err());
     }
+
+    #[test]
+    fn fault_plan_errors_name_the_offending_segment() {
+        // The second of three rules is broken: the message must point at
+        // segment 2 and quote it, so a typo in a long plan is findable.
+        let err = FaultPlan::parse("a=panic@1;b=explode@2;c=nan@3").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("segment 2"), "{msg}");
+        assert!(msg.contains("b=explode@2"), "{msg}");
+
+        // Segment numbering counts `;`-separated positions literally, so
+        // the index still lines up when empty segments are skipped.
+        let err = FaultPlan::parse("a=panic@1;;c=nan@oops").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("segment 3"), "{msg}");
+        assert!(msg.contains("`oops` is not a number"), "{msg}");
+    }
 }
 
 #[test]
