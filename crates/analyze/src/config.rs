@@ -61,13 +61,14 @@ pub struct Config {
 }
 
 /// The shipped rule names, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "no-hashmap-iter-in-state",
     "no-wallclock-in-engine",
     "no-panic-in-request-path",
     "safety-comment-required",
     "no-alloc-in-hot-loop",
     "phase-constants-only",
+    "no-weight-clone",
 ];
 
 /// One-line description per rule (for `--list-rules` and SARIF output).
@@ -101,6 +102,12 @@ pub fn rule_description(rule: &str) -> &'static str {
             "every `fabric.send(..)` emission must tag its phase with a \
              `comm::PHASE_*` constant, so KNOWN_PHASES can never drift from \
              the emitters"
+        }
+        "no-weight-clone" => {
+            "engine and serve code must not `.clone()` bundles/models/\
+             networks: one cloned weight set per session erases the \
+             shared-fleet memory budget — share an `Arc<FrozenModel>` and \
+             take handles with `Arc::clone`"
         }
         _ => "unknown rule",
     }
@@ -171,6 +178,12 @@ impl Config {
         rules.insert(
             "phase-constants-only".to_string(),
             rule(Level::Deny, &["crates/ddecomp/src/**"]),
+        );
+        // Weight sharing: the fleet-facing layers, where one stray clone
+        // multiplies resident weight bytes by the session count.
+        rules.insert(
+            "no-weight-clone".to_string(),
+            rule(Level::Deny, &["src/engine/**", "crates/serve/src/**"]),
         );
         Self {
             rules,

@@ -22,6 +22,7 @@ pub fn run_rule(rule: &str, file: &SourceFile, out: &mut Vec<RuleHit>) {
         "safety-comment-required" => safety_comment_required(file, out),
         "no-alloc-in-hot-loop" => no_alloc_in_hot_loop(file, out),
         "phase-constants-only" => phase_constants_only(file, out),
+        "no-weight-clone" => no_weight_clone(file, out),
         _ => {}
     }
 }
@@ -384,6 +385,51 @@ fn phase_constants_only(file: &SourceFile, out: &mut Vec<RuleHit>) {
     }
 }
 
+/// Identifier fragments that name a weight-carrying value. Matched
+/// case-insensitively as substrings (`model_1d`, `trained_bundle`, …);
+/// `net` alone is matched exactly to avoid `planet`/`netmask` noise.
+const WEIGHT_NAMES: [&str; 3] = ["bundle", "model", "network"];
+
+/// `no-weight-clone`: flags `<ident>.clone()` where the receiver names a
+/// model/bundle/network. Cloning a trained network duplicates its entire
+/// weight allocation per session — the shared-fleet memory wins depend on
+/// every session holding the same `Arc<FrozenModel>`. `Arc::clone(&x)`
+/// (path syntax, no `.`) is the sanctioned way to take another handle and
+/// is structurally exempt.
+fn no_weight_clone(file: &SourceFile, out: &mut Vec<RuleHit>) {
+    let code = file.code_indices();
+    for k in 2..code.len() {
+        let t = &file.tokens[code[k]];
+        if !(t.is_ident("clone")
+            && file.tokens[code[k - 1]].is_punct('.')
+            && k + 1 < code.len()
+            && file.tokens[code[k + 1]].is_punct('('))
+        {
+            continue;
+        }
+        let recv = &file.tokens[code[k - 2]];
+        if recv.kind != crate::lexer::TokenKind::Ident {
+            continue;
+        }
+        let name = recv.text.to_ascii_lowercase();
+        if name != "net" && !WEIGHT_NAMES.iter().any(|w| name.contains(w)) {
+            continue;
+        }
+        out.push(RuleHit {
+            rule: "no-weight-clone",
+            line: t.line,
+            message: format!(
+                "`{}.clone()` duplicates a full weight allocation: freeze \
+                 once and share an `Arc<FrozenModel>`/`FrozenBundle` across \
+                 sessions (take extra handles with `Arc::clone(&…)`), or \
+                 annotate a genuinely per-copy site with \
+                 `// analyze:allow(no-weight-clone): <why>`",
+                recv.text
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +495,23 @@ mod tests {
         let got = hits("phase-constants-only", src);
         let lines: Vec<usize> = got.iter().map(|h| h.line).collect();
         assert_eq!(lines, vec![3, 5], "{got:?}");
+    }
+
+    #[test]
+    fn weight_clone_matches_receiver_names_not_arc_handles() {
+        let src = "fn f() {\n\
+                   let a = bundle.clone();\n\
+                   let b = self.model_1d.clone();\n\
+                   let c = trained_network.clone();\n\
+                   let d = net.clone();\n\
+                   let e = Arc::clone(&bundle);\n\
+                   let f = frozen.clone();\n\
+                   let g = planet.clone();\n\
+                   let h = spec.scenario.clone();\n\
+                   }\n";
+        let got = hits("no-weight-clone", src);
+        let lines: Vec<usize> = got.iter().map(|h| h.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5], "{got:?}");
     }
 
     #[test]

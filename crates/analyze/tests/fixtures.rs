@@ -51,6 +51,7 @@ fn expected_hits(rule: &str) -> usize {
         "safety-comment-required" => 2,  // unsafe fn + unsafe block
         "no-alloc-in-hot-loop" => 4,     // with_capacity, format!, to_vec, Box::new
         "phase-constants-only" => 2,     // string literal + computed tag
+        "no-weight-clone" => 3,          // bundle, self.model_1d, net
         other => panic!("no fixture expectation for `{other}`"),
     }
 }

@@ -1,0 +1,20 @@
+//! Fixture: the sanctioned sharing idioms. Handles come from
+//! `Arc::clone`, cheap metadata strings may be cloned freely, and a
+//! genuinely per-copy site carries an inline allow.
+
+use std::sync::Arc;
+
+pub struct Engine {
+    model_1d: Arc<Bundle>,
+}
+
+impl Engine {
+    pub fn spawn(&self, spec: &Spec, base_model: &Bundle) -> Session {
+        let shared = Arc::clone(&self.model_1d);
+        let name = spec.scenario.clone();
+        let frozen = self.frozen.clone();
+        // analyze:allow(no-weight-clone): mutation fuzzing needs a private weight copy per trial
+        let scratch = base_model.clone();
+        Session::new(shared, frozen, name, scratch)
+    }
+}

@@ -13,7 +13,18 @@
 //!
 //! Before timing, the binary verifies on a mini-fleet that ensemble
 //! histories are bit-identical to solo runs — the numbers only count if
-//! the batching is exact.
+//! the batching is exact. Since every fleet member reads the same
+//! `Arc<FrozenModel>`, that check also pins the shared-weight inference
+//! path to the owned-network semantics.
+//!
+//! Beyond throughput, the bench accounts the fleet's *weight memory*
+//! (one shared allocation vs 16 private copies — the `weights` section
+//! and the ≤ 1.1× single-copy gate) and measures the bf16 storage path:
+//! solo-shape inference GFLOP/s-equivalent vs f32 (the memory-bound
+//! m = 1 GEMV where halved weight traffic pays) and the two-stream
+//! growth rate of a bf16 fleet against its f32 twin (the physics
+//! tolerance that gates bf16 adoption — see the README's precision
+//! contract).
 //!
 //! Usage (same conventions as `step_throughput`):
 //!
@@ -38,9 +49,10 @@
 
 use dlpic_bench::gate::{calibration_gflops, json_string_after, json_value_after, median};
 use dlpic_nn::linalg::simd_level;
+use dlpic_nn::{FrozenModel, Precision, PredictWorkspace, Tensor};
 use dlpic_repro::core::pool;
 use dlpic_repro::core::Scale;
-use dlpic_repro::engine::{self, Backend, EnergyHistory, Engine};
+use dlpic_repro::engine::{self, dl, Backend, EnergyHistory, Engine};
 use std::time::Instant;
 
 /// Fleet geometry: 16 concurrent runs (two full 8-row zmm tiles per
@@ -148,6 +160,128 @@ fn verify_bit_identity() {
     eprintln!("bit-identity: batched histories == solo histories (9-run fleet)");
 }
 
+/// Resident weight bytes of the fleet: the sharing headline.
+struct WeightFootprint {
+    /// One frozen f32 copy of the Paper-scale MLP.
+    single_copy_bytes: usize,
+    /// What 16 private copies would pin (the pre-sharing world).
+    fleet_per_copy_bytes: usize,
+    /// What the live 16-run ensemble actually pins, deduplicated by
+    /// `Session::weight_storage` allocation identity.
+    fleet_shared_bytes: usize,
+    /// Distinct weight allocations across the fleet (1 when sharing works).
+    distinct_models: usize,
+    /// One frozen bf16 copy of the same network (~half the f32 bytes).
+    bf16_single_copy_bytes: usize,
+}
+
+/// Builds the real 16-run fleet and reads its deduplicated weight bytes.
+fn measure_weights() -> WeightFootprint {
+    let specs = fleet_specs(1);
+    let engine = Engine::new();
+    let ensemble = engine
+        .start_ensemble(&specs, Backend::Dl1D)
+        .expect("start ensemble");
+    let (distinct_models, fleet_shared_bytes) = ensemble.weight_footprint();
+    let net = Scale::Paper.mlp_arch().build(0xD15E);
+    let single = net
+        .freeze(Precision::F32)
+        .expect("the paper MLP has a frozen form")
+        .weight_bytes();
+    let bf16 = net
+        .freeze(Precision::Bf16)
+        .expect("the paper MLP has a frozen form")
+        .weight_bytes();
+    WeightFootprint {
+        single_copy_bytes: single,
+        fleet_per_copy_bytes: RUNS * single,
+        fleet_shared_bytes,
+        distinct_models,
+        bf16_single_copy_bytes: bf16,
+    }
+}
+
+/// bf16 vs f32 inference on the solo shape (m = 1): GFLOP/s-equivalent
+/// (nominal 2·params FLOPs per solve over wall time — bf16 does the same
+/// arithmetic in f32 after decode, so the figure is comparable) plus the
+/// physics-tolerance check on the two-stream growth rate.
+struct Bf16Result {
+    f32_gflops: f64,
+    bf16_gflops: f64,
+    growth_f32: f64,
+    growth_bf16: f64,
+}
+
+fn bench_bf16_kernels(reps: usize) -> (f64, f64) {
+    let arch = Scale::Paper.mlp_arch();
+    let net = arch.build(0xD15E);
+    let f32_model = net
+        .freeze(Precision::F32)
+        .expect("the paper MLP has a frozen form");
+    let bf16_model = net
+        .freeze(Precision::Bf16)
+        .expect("the paper MLP has a frozen form");
+    let input = arch.input_len();
+    let x = Tensor::new(
+        (0..input).map(|i| (i as f32 * 0.013).sin()).collect(),
+        &[1, input],
+    );
+    let flops = 2.0 * arch.param_count() as f64;
+    let iters = 20usize;
+    let run = |model: &FrozenModel| {
+        let mut ws = PredictWorkspace::new();
+        std::hint::black_box(model.predict_into(&x, &mut ws));
+        let times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(model.predict_into(&x, &mut ws));
+                }
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        flops * iters as f64 / median(times) / 1e9
+    };
+    (run(&f32_model), run(&bf16_model))
+}
+
+/// Runs two-stream at `Scale::Smoke` with one quick-trained bundle in
+/// both precisions and returns the fitted growth rates. Both runs go
+/// through the full engine path (frozen shared weights), so the numbers
+/// gate exactly what a bf16 fleet would produce.
+fn bf16_physics() -> (f64, f64) {
+    let bundle = dl::quick_train_1d(Scale::Smoke, 42);
+    let mut spec = engine::scenario("two_stream", Scale::Smoke).expect("registry");
+    // The smoke preset is a 30-step plumbing check; a growth *fit* needs
+    // the instability to actually develop (same geometry the end-to-end
+    // DL test validates growth with).
+    spec.ppc = 200;
+    spec.n_steps = 150;
+    let gamma = |bundle: dlpic_repro::core::ModelBundle| {
+        use dlpic_repro::analytics::fit::{fit_growth_rate, GrowthFitOptions};
+        let summary = Engine::new()
+            .with_model_1d(bundle)
+            .run(&spec, Backend::Dl1D)
+            .expect("two-stream smoke run");
+        let s = summary.history.mode_series(1).expect("mode 1 tracked");
+        // A smoke-quality model's field noise keeps the amplitude within
+        // one decade, so the default noise-floor→saturation window never
+        // materializes; fit the full rise up to the peak instead — the
+        // same series, the same slope, for both precisions.
+        let opts = GrowthFitOptions {
+            lo_frac: 0.0,
+            hi_frac: 1.0,
+            min_points: 5,
+        };
+        fit_growth_rate(&s.times, &s.values, opts)
+            .expect("mode-1 growth fit on two-stream")
+            .gamma
+    };
+    let g_f32 = gamma(bundle.clone());
+    let g_bf16 = gamma(bundle.with_precision(Precision::Bf16));
+    (g_f32, g_bf16)
+}
+
 struct Measurement {
     calibration: f64,
     simd: &'static str,
@@ -156,6 +290,8 @@ struct Measurement {
     solo: FleetResult,
     batched_1t: FleetResult,
     batched_mt: FleetResult,
+    weights: WeightFootprint,
+    bf16: Bf16Result,
 }
 
 fn measure(quick: bool) -> Measurement {
@@ -164,6 +300,18 @@ fn measure(quick: bool) -> Measurement {
     eprintln!("measuring calibration anchor...");
     let calibration = calibration_gflops(reps);
     verify_bit_identity();
+    eprintln!("accounting fleet weight memory...");
+    let weights = measure_weights();
+    eprintln!("measuring bf16 vs f32 solo inference...");
+    let (f32_gflops, bf16_gflops) = bench_bf16_kernels(reps);
+    eprintln!("checking bf16 physics tolerance (quick-train + 2 smoke runs)...");
+    let (growth_f32, growth_bf16) = bf16_physics();
+    let bf16 = Bf16Result {
+        f32_gflops,
+        bf16_gflops,
+        growth_f32,
+        growth_bf16,
+    };
     let specs = fleet_specs(steps);
     eprintln!("measuring solo loop ({RUNS} runs x {steps} steps x {reps} reps)...");
     let solo = bench_solo(&specs, reps);
@@ -187,6 +335,8 @@ fn measure(quick: bool) -> Measurement {
         solo,
         batched_1t,
         batched_mt,
+        weights,
+        bf16,
     }
 }
 
@@ -197,8 +347,26 @@ fn measurement_json(m: &Measurement, indent: &str) -> String {
             f.seconds, f.steps_per_sec
         )
     };
+    let weights = format!(
+        "{{\n{indent}    \"single_copy_bytes\": {},\n{indent}    \"fleet_per_copy_bytes\": {},\n{indent}    \"fleet_shared_bytes\": {},\n{indent}    \"distinct_models\": {},\n{indent}    \"fleet_vs_single_copy\": {:.3},\n{indent}    \"bf16_single_copy_bytes\": {}\n{indent}  }}",
+        m.weights.single_copy_bytes,
+        m.weights.fleet_per_copy_bytes,
+        m.weights.fleet_shared_bytes,
+        m.weights.distinct_models,
+        m.weights.fleet_shared_bytes as f64 / m.weights.single_copy_bytes as f64,
+        m.weights.bf16_single_copy_bytes,
+    );
+    let bf16 = format!(
+        "{{\n{indent}    \"f32_gflops\": {:.3},\n{indent}    \"bf16_gflops\": {:.3},\n{indent}    \"speedup_bf16\": {:.3},\n{indent}    \"growth_rate_f32\": {:.6},\n{indent}    \"growth_rate_bf16\": {:.6},\n{indent}    \"growth_rel_err\": {:.6}\n{indent}  }}",
+        m.bf16.f32_gflops,
+        m.bf16.bf16_gflops,
+        m.bf16.bf16_gflops / m.bf16.f32_gflops,
+        m.bf16.growth_f32,
+        m.bf16.growth_bf16,
+        (m.bf16.growth_bf16 - m.bf16.growth_f32).abs() / m.bf16.growth_f32.abs(),
+    );
     format!(
-        "{{\n{indent}  \"calibration_gflops\": {:.3},\n{indent}  \"simd\": \"{}\",\n{indent}  \"runs\": {RUNS},\n{indent}  \"steps\": {},\n{indent}  \"ppc\": {PPC},\n{indent}  \"threads\": {},\n{indent}  \"solo\": {},\n{indent}  \"batched_1t\": {},\n{indent}  \"batched_mt\": {},\n{indent}  \"speedup_batched\": {:.3},\n{indent}  \"speedup_threads\": {:.3}\n{indent}}}",
+        "{{\n{indent}  \"calibration_gflops\": {:.3},\n{indent}  \"simd\": \"{}\",\n{indent}  \"runs\": {RUNS},\n{indent}  \"steps\": {},\n{indent}  \"ppc\": {PPC},\n{indent}  \"threads\": {},\n{indent}  \"solo\": {},\n{indent}  \"batched_1t\": {},\n{indent}  \"batched_mt\": {},\n{indent}  \"weights\": {weights},\n{indent}  \"bf16\": {bf16},\n{indent}  \"speedup_batched\": {:.3},\n{indent}  \"speedup_threads\": {:.3}\n{indent}}}",
         m.calibration,
         m.simd,
         m.steps,
@@ -229,6 +397,32 @@ fn print_human(m: &Measurement) {
         m.batched_mt.seconds,
         m.batched_mt.steps_per_sec / m.batched_1t.steps_per_sec
     );
+    let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
+    println!(
+        "fleet weights: {:.1} MB shared across {} runs ({} model{}) vs {:.1} MB per-copy; \
+         one copy {:.1} MB f32 / {:.1} MB bf16",
+        mb(m.weights.fleet_shared_bytes),
+        RUNS,
+        m.weights.distinct_models,
+        if m.weights.distinct_models == 1 {
+            ""
+        } else {
+            "s"
+        },
+        mb(m.weights.fleet_per_copy_bytes),
+        mb(m.weights.single_copy_bytes),
+        mb(m.weights.bf16_single_copy_bytes),
+    );
+    println!(
+        "bf16 solo inference: {:.2} GFLOP/s-eq vs {:.2} f32 -> {:.2}x; growth rate {:.4} \
+         vs {:.4} f32 ({:+.2}%)",
+        m.bf16.bf16_gflops,
+        m.bf16.f32_gflops,
+        m.bf16.bf16_gflops / m.bf16.f32_gflops,
+        m.bf16.growth_bf16,
+        m.bf16.growth_f32,
+        (m.bf16.growth_bf16 / m.bf16.growth_f32 - 1.0) * 100.0,
+    );
 }
 
 fn check(m: &Measurement) -> i32 {
@@ -243,6 +437,50 @@ fn check(m: &Measurement) -> i32 {
     let mut failed = speedup < min_speedup;
     if failed {
         println!("FAIL: batched ensemble no longer amortizes the DL inference");
+    }
+
+    // Gate 1b (machine-independent): the 16-run fleet must pin at most
+    // 1.1x one weight copy — the Arc-sharing contract. Any private copy
+    // sneaking back in jumps the ratio to >= 2x, far past the gate.
+    let weight_ratio = m.weights.fleet_shared_bytes as f64 / m.weights.single_copy_bytes as f64;
+    println!(
+        "fleet/single-copy weight bytes: {weight_ratio:.3}x across {} distinct model(s) \
+         (gate: <= 1.10x)",
+        m.weights.distinct_models
+    );
+    if weight_ratio > 1.10 {
+        failed = true;
+        println!("FAIL: fleet weights are no longer shared (private copies per session?)");
+    }
+
+    // Gate 1c (machine-relative): bf16 storage must beat f32 on the
+    // memory-bound solo inference it exists for.
+    let min_bf16: f64 = std::env::var("DLPIC_BF16_MIN_SPEEDUP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.3);
+    let bf16_speedup = m.bf16.bf16_gflops / m.bf16.f32_gflops;
+    println!("bf16/f32 solo inference: {bf16_speedup:.2}x (gate: >= {min_bf16:.2}x)");
+    if bf16_speedup < min_bf16 {
+        failed = true;
+        println!("FAIL: bf16 weight storage no longer pays for its precision loss");
+    }
+
+    // Gate 1d (physics): bf16 must reproduce the f32 two-stream growth
+    // rate within tolerance — the contract that gates bf16 adoption.
+    let growth_tol: f64 = std::env::var("DLPIC_BF16_GROWTH_TOL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let growth_err = (m.bf16.growth_bf16 - m.bf16.growth_f32).abs() / m.bf16.growth_f32.abs();
+    println!(
+        "bf16 growth-rate deviation: {:.3}% (gate: <= {:.1}%)",
+        growth_err * 100.0,
+        growth_tol * 100.0
+    );
+    if growth_err > growth_tol {
+        failed = true;
+        println!("FAIL: bf16 inference drifts the two-stream growth rate past tolerance");
     }
 
     // Gate 2: absolute throughput vs the committed numbers, rescaled by

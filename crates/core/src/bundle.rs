@@ -6,17 +6,22 @@
 //! [`ModelBundle`] packages all of them into one self-describing binary
 //! blob so experiment binaries can train once and reload.
 
-use crate::builder::ArchSpec;
+use crate::builder::{ArchSpec, InputKind};
 use crate::field_solver::DlFieldSolver;
 use crate::normalize::NormStats;
 use crate::phase_space::{BinningShape, PhaseGridSpec};
 use bytes::{Buf, BufMut};
+use dlpic_nn::frozen::{FreezeError, FrozenModel, Precision};
 use dlpic_nn::network::Sequential;
 use dlpic_nn::serialize::{params_from_bytes, params_to_bytes};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"DLPB";
-const VERSION: u32 = 2;
+/// v3 appends one inference-precision byte; v2 bundles (no byte) still
+/// decode, as f32.
+const VERSION: u32 = 3;
+const V2: u32 = 2;
 
 /// A complete, serializable trained model.
 #[derive(Debug, Clone)]
@@ -32,8 +37,14 @@ pub struct ModelBundle {
     /// Total mass (= particle count) of the training histograms; 0 means
     /// "unknown" and disables inference-time mass rescaling.
     pub reference_mass: f32,
-    /// Serialized network parameters (`dlpic_nn::serialize` format).
+    /// Serialized network parameters (`dlpic_nn::serialize` format —
+    /// always full-precision f32, regardless of `precision`).
     pub params: Vec<u8>,
+    /// Weight storage precision [`Self::freeze`] snapshots into. The
+    /// serialized `params` stay f32 either way, so the choice is
+    /// revisable after the fact; bf16 is opt-in per bundle and gated on
+    /// physics tolerance by callers.
+    pub precision: Precision,
 }
 
 /// Bundle (de)serialization failure.
@@ -43,6 +54,8 @@ pub enum BundleError {
     Malformed(&'static str),
     /// The parameter blob does not fit the declared architecture.
     Params(dlpic_nn::serialize::SerializeError),
+    /// The architecture has a layer without a frozen inference form.
+    Freeze(FreezeError),
     /// Filesystem error.
     Io(std::io::Error),
 }
@@ -52,6 +65,7 @@ impl std::fmt::Display for BundleError {
         match self {
             Self::Malformed(what) => write!(f, "malformed model bundle: {what}"),
             Self::Params(e) => write!(f, "parameter restore failed: {e}"),
+            Self::Freeze(e) => write!(f, "bundle cannot be frozen: {e}"),
             Self::Io(e) => write!(f, "bundle I/O failed: {e}"),
         }
     }
@@ -81,6 +95,7 @@ impl ModelBundle {
             binning,
             norm,
             reference_mass: 0.0,
+            precision: Precision::F32,
         }
     }
 
@@ -88,6 +103,13 @@ impl ModelBundle {
     /// [`DlFieldSolver::with_reference_mass`]).
     pub fn with_reference_mass(mut self, mass: f32) -> Self {
         self.reference_mass = mass;
+        self
+    }
+
+    /// Builder-style setter for the inference weight precision (see the
+    /// `precision` field; the stored parameters stay f32).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -108,6 +130,10 @@ impl ModelBundle {
         buf.put_f32_le(self.norm.min);
         buf.put_f32_le(self.norm.max);
         buf.put_f32_le(self.reference_mass);
+        buf.put_u8(match self.precision {
+            Precision::F32 => 0,
+            Precision::Bf16 => 1,
+        });
         buf.put_u64_le(self.params.len() as u64);
         buf.put_slice(&self.params);
         buf
@@ -124,12 +150,14 @@ impl ModelBundle {
         if &magic != MAGIC {
             return Err(BundleError::Malformed("bad magic"));
         }
-        if buf.get_u32_le() != VERSION {
+        let version = buf.get_u32_le();
+        if version != VERSION && version != V2 {
             return Err(BundleError::Malformed("unsupported version"));
         }
         let arch =
             ArchSpec::decode(&mut buf).ok_or(BundleError::Malformed("bad architecture spec"))?;
-        if buf.remaining() < 4 + 4 + 8 + 8 + 1 + 4 + 4 + 4 + 8 {
+        let precision_bytes = if version >= VERSION { 1 } else { 0 };
+        if buf.remaining() < 4 + 4 + 8 + 8 + 1 + 4 + 4 + 4 + precision_bytes + 8 {
             return Err(BundleError::Malformed("truncated metadata"));
         }
         let nx = buf.get_u32_le() as usize;
@@ -156,6 +184,16 @@ impl ModelBundle {
         if !(reference_mass >= 0.0) {
             return Err(BundleError::Malformed("bad reference mass"));
         }
+        // v2 predates the precision byte: those bundles are f32.
+        let precision = if version >= VERSION {
+            match buf.get_u8() {
+                0 => Precision::F32,
+                1 => Precision::Bf16,
+                _ => return Err(BundleError::Malformed("bad precision tag")),
+            }
+        } else {
+            Precision::F32
+        };
         let plen = buf.get_u64_le() as usize;
         if buf.remaining() < plen {
             return Err(BundleError::Malformed("truncated parameters"));
@@ -168,6 +206,7 @@ impl ModelBundle {
             norm,
             reference_mass,
             params,
+            precision,
         })
     }
 
@@ -182,24 +221,111 @@ impl ModelBundle {
         Self::decode(&std::fs::read(path)?)
     }
 
-    /// Reconstructs a ready-to-run field solver from the bundle.
-    pub fn into_solver(self) -> Result<DlFieldSolver, BundleError> {
-        let mut net = self.arch.build(0);
-        params_from_bytes(&mut net, &self.params).map_err(BundleError::Params)?;
-        let name = match self.arch.kind_name() {
+    /// The solver name this bundle's architecture maps to.
+    pub fn solver_name(&self) -> &'static str {
+        match self.arch.kind_name() {
             "mlp" => "dl-mlp",
             "cnn" => "dl-cnn",
             _ => "dl-resmlp",
-        };
+        }
+    }
+
+    /// Rebuilds the trained network (architecture + restored parameters).
+    fn build_network(&self) -> Result<Sequential, BundleError> {
+        let mut net = self.arch.build(0);
+        params_from_bytes(&mut net, &self.params).map_err(BundleError::Params)?;
+        Ok(net)
+    }
+
+    /// Reconstructs a ready-to-run field solver with its **own** network
+    /// copy, without consuming the bundle (fleets that want one shared
+    /// allocation use [`Self::freeze`] instead).
+    pub fn solver(&self) -> Result<DlFieldSolver, BundleError> {
         Ok(DlFieldSolver::new(
-            net,
+            self.build_network()?,
             self.spec,
             self.binning,
             self.norm,
             self.arch.input_kind(),
-            name,
+            self.solver_name(),
         )
         .with_reference_mass(self.reference_mass))
+    }
+
+    /// Reconstructs a ready-to-run field solver from the bundle.
+    pub fn into_solver(self) -> Result<DlFieldSolver, BundleError> {
+        self.solver()
+    }
+
+    /// Snapshots the bundle into an `Arc`-shared [`FrozenBundle`] at the
+    /// bundle's `precision`, so any number of fleet members mint solvers
+    /// over one weight allocation. Errs ([`BundleError::Freeze`], naming
+    /// the layer) on architectures without a frozen inference form — the
+    /// CNN — which callers handle by falling back to [`Self::solver`].
+    pub fn freeze(&self) -> Result<FrozenBundle, BundleError> {
+        let net = self.build_network()?;
+        let model = net.freeze(self.precision).map_err(BundleError::Freeze)?;
+        Ok(FrozenBundle {
+            model: Arc::new(model),
+            spec: self.spec,
+            binning: self.binning,
+            norm: self.norm,
+            reference_mass: self.reference_mass,
+            input_kind: self.arch.input_kind(),
+            name: self.solver_name(),
+        })
+    }
+}
+
+/// A frozen, `Arc`-shareable snapshot of a [`ModelBundle`]: the immutable
+/// model plus the inference-time metadata needed to mint fleet members
+/// that all read **one** weight allocation. Cloning is cheap (one `Arc`
+/// bump) and every [`Self::solver`] shares the same weights.
+#[derive(Debug, Clone)]
+pub struct FrozenBundle {
+    model: Arc<FrozenModel>,
+    spec: PhaseGridSpec,
+    binning: BinningShape,
+    norm: NormStats,
+    reference_mass: f32,
+    input_kind: InputKind,
+    name: &'static str,
+}
+
+impl FrozenBundle {
+    /// Mints one fleet member over the shared weight allocation. At
+    /// [`Precision::F32`] the member is bit-identical to
+    /// [`ModelBundle::solver`] on the source bundle.
+    pub fn solver(&self) -> DlFieldSolver {
+        DlFieldSolver::shared(
+            Arc::clone(&self.model),
+            self.spec,
+            self.binning,
+            self.norm,
+            self.input_kind,
+            self.name,
+        )
+        .with_reference_mass(self.reference_mass)
+    }
+
+    /// The shared frozen model.
+    pub fn model(&self) -> &Arc<FrozenModel> {
+        &self.model
+    }
+
+    /// The phase-grid geometry members bin into.
+    pub fn spec(&self) -> &PhaseGridSpec {
+        &self.spec
+    }
+
+    /// The weight storage precision.
+    pub fn precision(&self) -> Precision {
+        self.model.precision()
+    }
+
+    /// Bytes of the one shared weight allocation.
+    pub fn weight_bytes(&self) -> usize {
+        self.model.weight_bytes()
     }
 }
 
@@ -272,6 +398,89 @@ mod tests {
         let loaded = ModelBundle::load(&path).unwrap();
         assert_eq!(loaded.params, bundle.params);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn precision_round_trips_and_defaults_to_f32() {
+        let bundle = tiny_bundle();
+        assert_eq!(bundle.precision, Precision::F32);
+        let bf16 = tiny_bundle().with_precision(Precision::Bf16);
+        let decoded = ModelBundle::decode(&bf16.encode()).unwrap();
+        assert_eq!(decoded.precision, Precision::Bf16);
+    }
+
+    #[test]
+    fn v2_bundles_without_precision_byte_still_decode_as_f32() {
+        // Re-serialize a bundle in the v2 layout: same fields, version 2,
+        // no precision byte.
+        let bundle = tiny_bundle().with_precision(Precision::Bf16);
+        let v3 = bundle.encode();
+        let mut v2 = Vec::with_capacity(v3.len() - 1);
+        v2.extend_from_slice(&v3[..4]);
+        v2.put_u32_le(V2);
+        // Everything between the version and the precision byte is
+        // layout-identical; the byte sits right before the u64 length.
+        let plen_at = v3.len() - 8 - bundle.params.len() - 1;
+        v2.extend_from_slice(&v3[8..plen_at]);
+        v2.extend_from_slice(&v3[plen_at + 1..]);
+        let decoded = ModelBundle::decode(&v2).unwrap();
+        assert_eq!(decoded.precision, Precision::F32);
+        assert_eq!(decoded.params, bundle.params);
+        assert_eq!(decoded.arch, bundle.arch);
+    }
+
+    #[test]
+    fn frozen_bundle_members_share_weights_and_match_owned_solver() {
+        let bundle = tiny_bundle();
+        let frozen = bundle.freeze().unwrap();
+        let grid = Grid1D::paper();
+        let p = TwoStreamInit::random(0.2, 0.01, 1_000, 6).build(&grid);
+
+        let mut owned = bundle.solver().unwrap();
+        let mut m1 = frozen.solver();
+        let mut m2 = frozen.clone().solver();
+        let mut e0 = grid.zeros();
+        let mut e1 = grid.zeros();
+        let mut e2 = grid.zeros();
+        owned.solve(&p, &grid, &mut e0);
+        m1.solve(&p, &grid, &mut e1);
+        m2.solve(&p, &grid, &mut e2);
+        assert_eq!(e0, e1);
+        assert_eq!(e1, e2);
+
+        let (id1, bytes) = m1.weight_storage().unwrap();
+        let (id2, _) = m2.weight_storage().unwrap();
+        assert_eq!(id1, id2, "members must share one allocation");
+        assert_eq!(bytes, frozen.weight_bytes());
+        assert_eq!(frozen.precision(), Precision::F32);
+        assert_eq!(m1.name(), "dl-mlp");
+    }
+
+    #[test]
+    fn cnn_bundles_refuse_to_freeze_with_a_named_error() {
+        let spec = PhaseGridSpec::new(16, 16, -0.8, 0.8);
+        let arch = ArchSpec::Cnn {
+            nv: 16,
+            nx: 16,
+            channels: (2, 2),
+            kernel: 3,
+            hidden: vec![8],
+            output: 64,
+        };
+        let mut net = arch.build(2);
+        let bundle = ModelBundle::from_network(
+            &mut net,
+            arch,
+            spec,
+            BinningShape::Cic,
+            NormStats::identity(),
+        );
+        match bundle.freeze() {
+            Err(BundleError::Freeze(e)) => assert!(e.to_string().contains("conv2d"), "{e}"),
+            other => panic!("expected a freeze error, got {other:?}"),
+        }
+        // The owned fallback still works.
+        assert!(bundle.solver().is_ok());
     }
 
     #[test]

@@ -14,15 +14,53 @@
 use crate::builder::InputKind;
 use crate::normalize::NormStats;
 use crate::phase_space::{bin_phase_space, BinningShape, PhaseGridSpec};
+use dlpic_nn::frozen::FrozenModel;
 use dlpic_nn::network::{PredictWorkspace, Sequential};
 use dlpic_nn::tensor::Tensor;
 use dlpic_pic::grid::Grid1D;
 use dlpic_pic::particles::Particles;
 use dlpic_pic::solver::{FieldSolver, PhasedFieldSolver};
+use std::sync::Arc;
+
+/// How a DL solver executes its network: an owned, per-solver
+/// [`Sequential`] (training output, CNN fallback) or an `Arc`-shared
+/// immutable [`FrozenModel`] so whole fleets read one weight allocation.
+/// At f32 the two paths run the same row-stable kernels and are
+/// bit-identical.
+pub(crate) enum NetExec {
+    /// A private network copy (mutable; the historical path).
+    Owned(Sequential),
+    /// A shared frozen snapshot (read-only; `Arc` clones are cheap).
+    Shared(Arc<FrozenModel>),
+}
+
+impl NetExec {
+    pub(crate) fn predict_batch_into<'w>(
+        &mut self,
+        input: &Tensor,
+        workspace: &'w mut PredictWorkspace,
+    ) -> &'w Tensor {
+        match self {
+            Self::Owned(net) => net.predict_batch_into(input, workspace),
+            Self::Shared(model) => model.predict_batch_into(input, workspace),
+        }
+    }
+
+    /// `(id, bytes)` of the weight allocation: shared solvers report the
+    /// `Arc` pointer (equal across all sharers) and the frozen model's
+    /// actual storage; owned solvers report their own address (never
+    /// deduplicated) and the f32 parameter footprint.
+    pub(crate) fn weight_storage(&self) -> (usize, usize) {
+        match self {
+            Self::Owned(net) => (self as *const Self as usize, net.param_count() * 4),
+            Self::Shared(model) => (Arc::as_ptr(model) as usize, model.weight_bytes()),
+        }
+    }
+}
 
 /// A neural-network-backed electric-field solver.
 pub struct DlFieldSolver {
-    net: Sequential,
+    net: NetExec,
     spec: PhaseGridSpec,
     binning: BinningShape,
     norm: NormStats,
@@ -48,6 +86,39 @@ impl DlFieldSolver {
     /// CNN).
     pub fn new(
         net: Sequential,
+        spec: PhaseGridSpec,
+        binning: BinningShape,
+        norm: NormStats,
+        input_kind: InputKind,
+        name: &'static str,
+    ) -> Self {
+        Self::with_exec(NetExec::Owned(net), spec, binning, norm, input_kind, name)
+    }
+
+    /// Wraps an `Arc`-shared frozen model: the fleet path, where N
+    /// sessions hold N of these solvers over **one** weight allocation.
+    /// At [`dlpic_nn::Precision::F32`] this is bit-identical to
+    /// [`Self::new`] on the network the model was frozen from.
+    pub fn shared(
+        model: Arc<FrozenModel>,
+        spec: PhaseGridSpec,
+        binning: BinningShape,
+        norm: NormStats,
+        input_kind: InputKind,
+        name: &'static str,
+    ) -> Self {
+        Self::with_exec(
+            NetExec::Shared(model),
+            spec,
+            binning,
+            norm,
+            input_kind,
+            name,
+        )
+    }
+
+    fn with_exec(
+        net: NetExec,
         spec: PhaseGridSpec,
         binning: BinningShape,
         norm: NormStats,
@@ -92,14 +163,32 @@ impl DlFieldSolver {
         self.binning
     }
 
-    /// Immutable access to the wrapped network.
-    pub fn network(&self) -> &Sequential {
-        &self.net
+    /// Immutable access to the wrapped network, when this solver owns a
+    /// private copy (`None` on the `Arc`-shared frozen path).
+    pub fn network(&self) -> Option<&Sequential> {
+        match &self.net {
+            NetExec::Owned(net) => Some(net),
+            NetExec::Shared(_) => None,
+        }
     }
 
-    /// Mutable access (benchmarks re-use the network for timing runs).
-    pub fn network_mut(&mut self) -> &mut Sequential {
-        &mut self.net
+    /// Mutable access to the owned network (parameter serialization and
+    /// benchmark reuse); `None` on the shared frozen path, whose weights
+    /// are immutable by construction.
+    pub fn network_mut(&mut self) -> Option<&mut Sequential> {
+        match &mut self.net {
+            NetExec::Owned(net) => Some(net),
+            NetExec::Shared(_) => None,
+        }
+    }
+
+    /// The shared frozen model, when this solver runs on one (`None` on
+    /// the owned path).
+    pub fn frozen(&self) -> Option<&Arc<FrozenModel>> {
+        match &self.net {
+            NetExec::Owned(_) => None,
+            NetExec::Shared(model) => Some(model),
+        }
     }
 
     /// Completes a solve from a *raw* (unnormalized) histogram binned
@@ -144,7 +233,7 @@ impl DlFieldSolver {
         );
         self.stage_input(histogram, 1);
         self.net
-            .predict_into(&self.input, &mut self.workspace)
+            .predict_batch_into(&self.input, &mut self.workspace)
             .data()
             .to_vec()
     }
@@ -197,6 +286,10 @@ impl FieldSolver for DlFieldSolver {
 
     fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver> {
         Some(self)
+    }
+
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        Some(self.net.weight_storage())
     }
 }
 
@@ -330,6 +423,58 @@ mod tests {
         let hist = vec![0.5f32; spec.cells()];
         let out = solver.predict_from_histogram(&hist);
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn shared_frozen_solver_is_bit_identical_to_owned() {
+        use dlpic_nn::frozen::Precision;
+        let grid = Grid1D::paper();
+        let p = TwoStreamInit::random(0.2, 0.01, 2_000, 9).build(&grid);
+        let arch = ArchSpec::Mlp {
+            input: PhaseGridSpec::smoke().cells(),
+            hidden: vec![8],
+            output: 64,
+        };
+        let model = Arc::new(arch.build(4).freeze(Precision::F32).unwrap());
+        let mk_shared = |m: Arc<dlpic_nn::FrozenModel>| {
+            DlFieldSolver::shared(
+                m,
+                PhaseGridSpec::smoke(),
+                BinningShape::Cic,
+                NormStats::identity(),
+                arch.input_kind(),
+                "dl-mlp",
+            )
+        };
+        let mut owned = DlFieldSolver::new(
+            arch.build(4),
+            PhaseGridSpec::smoke(),
+            BinningShape::Cic,
+            NormStats::identity(),
+            arch.input_kind(),
+            "dl-mlp",
+        );
+        let mut s1 = mk_shared(Arc::clone(&model));
+        let mut s2 = mk_shared(model);
+
+        let mut e_owned = grid.zeros();
+        let mut e1 = grid.zeros();
+        let mut e2 = grid.zeros();
+        FieldSolver::solve(&mut owned, &p, &grid, &mut e_owned);
+        FieldSolver::solve(&mut s1, &p, &grid, &mut e1);
+        FieldSolver::solve(&mut s2, &p, &grid, &mut e2);
+        assert_eq!(e_owned, e1);
+        assert_eq!(e1, e2);
+
+        // Sharers report one weight allocation; the owned copy its own.
+        let (id1, b1) = FieldSolver::weight_storage(&s1).unwrap();
+        let (id2, b2) = FieldSolver::weight_storage(&s2).unwrap();
+        let (id0, _) = FieldSolver::weight_storage(&owned).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(b1, b2);
+        assert_ne!(id0, id1);
+        assert!(owned.network().is_some() && owned.frozen().is_none());
+        assert!(s1.network().is_none() && s1.frozen().is_some());
     }
 
     #[test]

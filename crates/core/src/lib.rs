@@ -35,11 +35,11 @@ pub mod temporal;
 pub mod twod;
 
 pub use builder::{ArchSpec, InputKind};
-pub use bundle::{BundleError, ModelBundle};
+pub use bundle::{BundleError, FrozenBundle, ModelBundle};
 pub use field_solver::DlFieldSolver;
 pub use normalize::NormStats;
 pub use phase_space::{bin_phase_space, phase_space_histogram, BinningShape, PhaseGridSpec};
 pub use physics_loss::PhysicsInformedMse;
 pub use presets::Scale;
 pub use temporal::TemporalDlSolver;
-pub use twod::{DensityBinning, Dl2DFieldSolver};
+pub use twod::{DensityBinning, Dl2DFieldSolver, Frozen2DModel};

@@ -21,8 +21,10 @@
 //! [`FieldSolver2D`].
 
 use crate::builder::ArchSpec;
+use crate::field_solver::NetExec;
 use crate::normalize::NormStats;
 use dlpic_nn::data::Dataset;
+use dlpic_nn::frozen::{FreezeError, FrozenModel, Precision};
 use dlpic_nn::loss::Mse;
 use dlpic_nn::network::{PredictWorkspace, Sequential};
 use dlpic_nn::optimizer::adam::Adam;
@@ -32,6 +34,7 @@ use dlpic_pic2d::grid2d::Grid2D;
 use dlpic_pic2d::particles2d::Particles2D;
 use dlpic_pic2d::simulation2d::{Pic2DConfig, Simulation2D};
 use dlpic_pic2d::solver2d::{FieldSolver2D, PhasedFieldSolver2D, TraditionalSolver2D};
+use std::sync::Arc;
 
 /// Binning order for the 2-D density histogram (mirrors the 1-D
 /// `BinningShape`).
@@ -215,10 +218,61 @@ pub fn train_2d_solver(
     (solver, history)
 }
 
+/// A frozen, `Arc`-shareable snapshot of a trained 2-D solver: the
+/// immutable model plus the inference-time metadata needed to mint
+/// fleet members that all read **one** weight allocation (the 2-D
+/// analogue of the 1-D `FrozenBundle`).
+#[derive(Debug, Clone)]
+pub struct Frozen2DModel {
+    model: Arc<FrozenModel>,
+    binning: DensityBinning,
+    norm: NormStats,
+    reference_mass: f32,
+    name: &'static str,
+}
+
+impl Frozen2DModel {
+    /// Freezes a trained network into a shareable 2-D model.
+    pub fn from_network(
+        net: &Sequential,
+        binning: DensityBinning,
+        norm: NormStats,
+        reference_mass: f32,
+        name: &'static str,
+        precision: Precision,
+    ) -> Result<Self, FreezeError> {
+        Ok(Self {
+            model: Arc::new(net.freeze(precision)?),
+            binning,
+            norm,
+            reference_mass,
+            name,
+        })
+    }
+
+    /// Mints one fleet member over the shared weight allocation. At
+    /// [`Precision::F32`] the member is bit-identical to the solver the
+    /// model was frozen from.
+    pub fn solver(&self) -> Dl2DFieldSolver {
+        Dl2DFieldSolver::shared(Arc::clone(&self.model), self.binning, self.norm, self.name)
+            .with_reference_mass(self.reference_mass)
+    }
+
+    /// The shared frozen model.
+    pub fn model(&self) -> &Arc<FrozenModel> {
+        &self.model
+    }
+
+    /// Bytes of the one shared weight allocation.
+    pub fn weight_bytes(&self) -> usize {
+        self.model.weight_bytes()
+    }
+}
+
 /// A neural-network-backed 2-D field solver (density histogram in,
 /// `[Ex | Ey]` out), pluggable into [`Simulation2D`].
 pub struct Dl2DFieldSolver {
-    net: Sequential,
+    net: NetExec,
     binning: DensityBinning,
     norm: NormStats,
     name: &'static str,
@@ -238,6 +292,25 @@ impl Dl2DFieldSolver {
     /// statistics.
     pub fn new(
         net: Sequential,
+        binning: DensityBinning,
+        norm: NormStats,
+        name: &'static str,
+    ) -> Self {
+        Self::with_exec(NetExec::Owned(net), binning, norm, name)
+    }
+
+    /// Wraps an `Arc`-shared frozen model (see [`Frozen2DModel`]).
+    pub fn shared(
+        model: Arc<FrozenModel>,
+        binning: DensityBinning,
+        norm: NormStats,
+        name: &'static str,
+    ) -> Self {
+        Self::with_exec(NetExec::Shared(model), binning, norm, name)
+    }
+
+    fn with_exec(
+        net: NetExec,
         binning: DensityBinning,
         norm: NormStats,
         name: &'static str,
@@ -264,14 +337,48 @@ impl Dl2DFieldSolver {
         self
     }
 
-    /// Immutable access to the wrapped network.
-    pub fn network(&self) -> &Sequential {
-        &self.net
+    /// Immutable access to the wrapped network, when this solver owns a
+    /// private copy (`None` on the `Arc`-shared frozen path).
+    pub fn network(&self) -> Option<&Sequential> {
+        match &self.net {
+            NetExec::Owned(net) => Some(net),
+            NetExec::Shared(_) => None,
+        }
     }
 
-    /// Mutable access (parameter serialization and benchmark reuse).
-    pub fn network_mut(&mut self) -> &mut Sequential {
-        &mut self.net
+    /// Mutable access to the owned network (parameter serialization and
+    /// benchmark reuse); `None` on the shared frozen path.
+    pub fn network_mut(&mut self) -> Option<&mut Sequential> {
+        match &mut self.net {
+            NetExec::Owned(net) => Some(net),
+            NetExec::Shared(_) => None,
+        }
+    }
+
+    /// The shared frozen model, when this solver runs on one.
+    pub fn frozen(&self) -> Option<&Arc<FrozenModel>> {
+        match &self.net {
+            NetExec::Owned(_) => None,
+            NetExec::Shared(model) => Some(model),
+        }
+    }
+
+    /// Freezes this solver's network into a shareable [`Frozen2DModel`].
+    /// On the shared path the existing allocation is re-shared (its
+    /// stored precision wins — re-quantizing without the f32 source is
+    /// impossible).
+    pub fn freeze(&self, precision: Precision) -> Result<Frozen2DModel, FreezeError> {
+        let model = match &self.net {
+            NetExec::Owned(net) => Arc::new(net.freeze(precision)?),
+            NetExec::Shared(model) => Arc::clone(model),
+        };
+        Ok(Frozen2DModel {
+            model,
+            binning: self.binning,
+            norm: self.norm,
+            reference_mass: self.reference_mass,
+            name: self.name,
+        })
     }
 
     /// The training-input normalization statistics.
@@ -290,7 +397,7 @@ impl Dl2DFieldSolver {
         self.input.resize_in_place(&[1, histogram.len()]);
         self.input.data_mut().copy_from_slice(histogram);
         self.net
-            .predict_into(&self.input, &mut self.workspace)
+            .predict_batch_into(&self.input, &mut self.workspace)
             .data()
             .to_vec()
     }
@@ -327,6 +434,10 @@ impl FieldSolver2D for Dl2DFieldSolver {
 
     fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver2D> {
         Some(self)
+    }
+
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        Some(self.net.weight_storage())
     }
 }
 
@@ -524,6 +635,47 @@ mod tests {
             last < 0.5 * first,
             "training did not reduce loss: {first} → {last}"
         );
+    }
+
+    #[test]
+    fn frozen_2d_solver_is_bit_identical_to_owned() {
+        let grid = tiny_grid();
+        let arch = arch_2d(&grid, vec![16]);
+        let mut owned = Dl2DFieldSolver::new(
+            arch.build(3),
+            DensityBinning::Cic,
+            NormStats::identity(),
+            "dl-2d",
+        )
+        .with_reference_mass(512.0);
+        let frozen = owned.freeze(Precision::F32).unwrap();
+        let mut m1 = frozen.solver();
+        let mut m2 = frozen.solver();
+        let p = TwoStream2DInit::random(0.2, 0.01, 512, 5).build(&grid);
+
+        let solve = |s: &mut Dl2DFieldSolver, grid: &Grid2D| {
+            let mut ex = grid.zeros();
+            let mut ey = grid.zeros();
+            s.solve(&p, grid, &mut ex, &mut ey);
+            (ex, ey)
+        };
+        let (ex0, ey0) = solve(&mut owned, &grid);
+        let (ex1, ey1) = solve(&mut m1, &grid);
+        let (ex2, ey2) = solve(&mut m2, &grid);
+        assert_eq!(ex0, ex1);
+        assert_eq!(ey0, ey1);
+        assert_eq!(ex1, ex2);
+        assert_eq!(ey1, ey2);
+
+        // One allocation across sharers, distinct from the owned copy.
+        let (id1, bytes1) = m1.weight_storage().unwrap();
+        let (id2, _) = m2.weight_storage().unwrap();
+        let (id0, _) = owned.weight_storage().unwrap();
+        assert_eq!(id1, id2);
+        assert_ne!(id0, id1);
+        assert_eq!(bytes1, frozen.weight_bytes());
+        assert_eq!(m1.name(), "dl-2d");
+        assert_eq!(m1.reference_mass(), 512.0);
     }
 
     #[test]

@@ -1,0 +1,449 @@
+//! bf16 weight storage and the GEMM/GEMV kernels that consume it.
+//!
+//! bfloat16 keeps f32's 8-bit exponent and truncates the mantissa to
+//! 7 bits — a `u16` holding the upper half of the f32 bit pattern. For
+//! inference weights that halves storage and, on the memory-bound
+//! DL-solver GEMV shapes (megabytes of weights streamed per solve),
+//! halves the bytes the kernel must pull from DRAM. Activations and
+//! accumulation stay f32: only the B operand (the weights) is bf16,
+//! decoded lane-by-lane inside the kernel.
+//!
+//! Numerics contract: encoding is round-to-nearest-even, decoding is the
+//! exact `(u16 as u32) << 16` bit shift (every bf16 value is exactly
+//! representable in f32). Results therefore differ from the f32 kernels
+//! by the weight quantization — the engine gates the bf16 path on a
+//! *physics* tolerance (growth rate / saturation energy), not
+//! bit-identity. Within the bf16 path the kernels keep the f32 path's
+//! **row-stability** guarantee: row `i` of an `m`-row [`matmul_nn_bf16`]
+//! is bitwise identical for every `m` on a given machine, because every
+//! element is one sequential product-sum over `k` with the same
+//! contraction in the 8-row zmm tiles, the [`gemv_bf16`] remainder-row
+//! kernel and the portable tile/edge paths (no zero-skips anywhere). The
+//! ensemble scheduler batches bf16 cohorts under the same contract as
+//! f32 ones.
+
+// analyze:hot — bf16 GEMM/GEMV kernels are the reduced-precision
+// inference hot path; loop bodies here must stay allocation-free.
+
+/// Rows per register tile of the portable kernel (matches `linalg`).
+const MR: usize = 4;
+/// Columns per register tile of the portable kernel (matches `linalg`).
+const NR: usize = 16;
+
+/// Encodes one f32 as bf16 with round-to-nearest-even.
+///
+/// NaNs are quieted (the mantissa MSB is forced on) so a truncated NaN
+/// cannot collapse to infinity.
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round to nearest even on the truncated 16 bits.
+    let round = 0x7fff + ((bits >> 16) & 1);
+    ((bits + round) >> 16) as u16
+}
+
+/// Decodes one bf16 back to f32 (exact).
+#[inline]
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Encodes a slice of f32 weights to bf16 (round-to-nearest-even).
+pub fn encode_bf16(src: &[f32]) -> Vec<u16> {
+    src.iter().map(|&v| f32_to_bf16(v)).collect()
+}
+
+/// Decodes a bf16 slice back to f32 (exact).
+pub fn decode_bf16(src: &[u16]) -> Vec<f32> {
+    src.iter().map(|&b| bf16_to_f32(b)).collect()
+}
+
+/// `C = A·B` where A is `m×k` f32, B is `k×n` **bf16**, C is `m×n` f32.
+/// C is overwritten. f32 accumulation; B lanes are decoded on the fly.
+///
+/// Row-stable like [`crate::linalg::matmul_nn`]: row `i` is bitwise
+/// identical for every `m` on a given machine (see the module docs).
+///
+/// # Panics
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matmul_nn_bf16(a: &[f32], b: &[u16], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    if n == 0 || m == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if n >= 16 && crate::linalg::avx512_available() {
+        let (m8, n16) = (m - m % 8, n - n % 16);
+        if m8 > 0 {
+            // SAFETY: avx512f was detected and the slice sizes were
+            // asserted.
+            unsafe { avx512::nn_main_bf16(a, b, c, m, k, n) };
+        }
+        // Remainder rows run the GEMV kernel; its per-element FMA chains
+        // match the 8-row tiles exactly (row stability).
+        for i in m8..m {
+            // SAFETY: avx512f was detected and the row slices have the
+            // lengths gemv_main_bf16 requires (asserted above).
+            unsafe {
+                avx512::gemv_main_bf16(&a[i * k..(i + 1) * k], b, &mut c[i * n..(i + 1) * n], n)
+            };
+        }
+        if n16 < n {
+            for i in 0..m {
+                edge_rows_bf16(a, b, &mut c[i * n..(i + 1) * n], i, 1, k, n, n16);
+            }
+        }
+        return;
+    }
+    matmul_nn_bf16_portable(a, b, c, m, k, n);
+}
+
+/// `c = a·B` for one row with bf16 weights — the batch-1 inference shape.
+/// Equivalent to `matmul_nn_bf16(a, b, c, 1, k, n)`.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the dimensions.
+pub fn gemv_bf16(a: &[f32], b: &[u16], c: &mut [f32], k: usize, n: usize) {
+    matmul_nn_bf16(a, b, c, 1, k, n);
+}
+
+/// The portable register-tiled path of [`matmul_nn_bf16`] — public so
+/// equivalence tests can pin the AVX-512 path against it.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the dimensions.
+pub fn matmul_nn_bf16_portable(a: &[f32], b: &[u16], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A size");
+    assert_eq!(b.len(), k * n, "B size");
+    assert_eq!(c.len(), m * n, "C size");
+    if n == 0 || m == 0 {
+        return;
+    }
+    let main_n = n - n % NR;
+    let mut i0 = 0;
+    for c_block in c.chunks_mut(MR * n) {
+        let rows = c_block.len() / n;
+        if rows == MR {
+            let a_rows: [&[f32]; MR] = [
+                &a[i0 * k..(i0 + 1) * k],
+                &a[(i0 + 1) * k..(i0 + 2) * k],
+                &a[(i0 + 2) * k..(i0 + 3) * k],
+                &a[(i0 + 3) * k..(i0 + 4) * k],
+            ];
+            let mut j0 = 0;
+            while j0 < main_n {
+                let mut acc = [[0.0f32; NR]; MR];
+                for kk in 0..k {
+                    let braw: &[u16; NR] = b[kk * n + j0..kk * n + j0 + NR].try_into().unwrap();
+                    let mut bb = [0.0f32; NR];
+                    for (bv, &raw) in bb.iter_mut().zip(braw) {
+                        *bv = bf16_to_f32(raw);
+                    }
+                    for r in 0..MR {
+                        let av = a_rows[r][kk];
+                        for (ac, &bv) in acc[r].iter_mut().zip(&bb) {
+                            *ac += av * bv;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    c_block[r * n + j0..r * n + j0 + NR].copy_from_slice(acc_row);
+                }
+                j0 += NR;
+            }
+            if main_n < n {
+                edge_rows_bf16(a, b, c_block, i0, rows, k, n, main_n);
+            }
+        } else {
+            edge_rows_bf16(a, b, c_block, i0, rows, k, n, 0);
+        }
+        i0 += rows;
+    }
+}
+
+/// Edge path of the portable kernel (`C_row += a_ik·B_row`), restricted
+/// to columns `j_start..n`. No zero-skip: every element must be the same
+/// sequential chain as the tile path for row stability.
+#[allow(clippy::too_many_arguments)]
+fn edge_rows_bf16(
+    a: &[f32],
+    b: &[u16],
+    c_block: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    j_start: usize,
+) {
+    for r in 0..rows {
+        let c_row = &mut c_block[r * n + j_start..r * n + n];
+        c_row.fill(0.0);
+        let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n + j_start..kk * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bf16_to_f32(bv);
+            }
+        }
+    }
+}
+
+/// The explicit AVX-512 bf16 micro-kernels: the f32 tiles of
+/// `linalg::avx512` with the B loads widened from bf16 on the fly
+/// (`vpmovzxwd` + shift-left 16 reinterpreted as packed f32 — the exact
+/// decode). Every output element is one sequential FMA chain over `k` in
+/// the same order in both kernels, which is what keeps
+/// [`matmul_nn_bf16`] row-stable across batch sizes.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    /// Loads 16 bf16 lanes at `p` and widens them to packed f32.
+    ///
+    /// # Safety
+    /// `avx512f` must be available and `p..p+16` must be in bounds.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn load_bf16x16(p: *const u16) -> __m512 {
+        let raw = _mm256_loadu_si256(p as *const __m256i);
+        _mm512_castsi512_ps(_mm512_slli_epi32(_mm512_cvtepu16_epi32(raw), 16))
+    }
+
+    /// `C = A·B` main region with bf16 B: rows `0..m - m%8`, columns
+    /// `0..n - n%16`, in 8×32 (and one trailing 8×16) zmm tiles.
+    ///
+    /// # Safety
+    /// `avx512f` must be available and the slices must satisfy the
+    /// [`super::matmul_nn_bf16`] size contract.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn nn_main_bf16(a: &[f32], b: &[u16], c: &mut [f32], m: usize, k: usize, n: usize) {
+        let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+        let (m8, n16, n32) = (m - m % 8, n - n % 16, n - n % 32);
+        let mut i0 = 0;
+        while i0 < m8 {
+            let mut j0 = 0;
+            while j0 < n32 {
+                let mut acc0 = [_mm512_setzero_ps(); 8];
+                let mut acc1 = [_mm512_setzero_ps(); 8];
+                for kk in 0..k {
+                    let b0 = load_bf16x16(bp.add(kk * n + j0));
+                    let b1 = load_bf16x16(bp.add(kk * n + j0 + 16));
+                    for r in 0..8 {
+                        let av = _mm512_set1_ps(*ap.add((i0 + r) * k + kk));
+                        acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+                        acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+                    }
+                }
+                for r in 0..8 {
+                    _mm512_storeu_ps(cp.add((i0 + r) * n + j0), acc0[r]);
+                    _mm512_storeu_ps(cp.add((i0 + r) * n + j0 + 16), acc1[r]);
+                }
+                j0 += 32;
+            }
+            if j0 < n16 {
+                let mut acc = [_mm512_setzero_ps(); 8];
+                for kk in 0..k {
+                    let b0 = load_bf16x16(bp.add(kk * n + j0));
+                    for (r, ac) in acc.iter_mut().enumerate() {
+                        let av = _mm512_set1_ps(*ap.add((i0 + r) * k + kk));
+                        *ac = _mm512_fmadd_ps(av, b0, *ac);
+                    }
+                }
+                for (r, ac) in acc.iter().enumerate() {
+                    _mm512_storeu_ps(cp.add((i0 + r) * n + j0), *ac);
+                }
+            }
+            i0 += 8;
+        }
+    }
+
+    /// One-row bf16 GEMV main region: columns `0..n - n%16` of `c = a·B`,
+    /// `k`-outer / `j`-inner so the bf16 weight row streams contiguously
+    /// at half the f32 byte traffic. The accumulator row lives in `c`
+    /// (L1-resident); every element is one FMA chain over ascending `kk`
+    /// identical to a row of [`nn_main_bf16`]'s tiles. No zero-skip, for
+    /// the same reason as the f32 kernel.
+    ///
+    /// # Safety
+    /// `avx512f` must be available, `a.len() == k`, `b.len() == k·n`,
+    /// `c.len() == n`, and `n >= 16`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn gemv_main_bf16(a: &[f32], b: &[u16], c: &mut [f32], n: usize) {
+        let k = a.len();
+        let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+        let (n16, n64) = (n - n % 16, n - n % 64);
+        let mut j = 0;
+        while j < n16 {
+            _mm512_storeu_ps(cp.add(j), _mm512_setzero_ps());
+            j += 16;
+        }
+        for kk in 0..k {
+            let av = _mm512_set1_ps(*ap.add(kk));
+            let brow = bp.add(kk * n);
+            let mut j = 0;
+            // 64 columns per iteration: four independent FMA chains in
+            // flight while the bf16 row streams.
+            while j < n64 {
+                let c0 = _mm512_fmadd_ps(av, load_bf16x16(brow.add(j)), _mm512_loadu_ps(cp.add(j)));
+                let c1 = _mm512_fmadd_ps(
+                    av,
+                    load_bf16x16(brow.add(j + 16)),
+                    _mm512_loadu_ps(cp.add(j + 16)),
+                );
+                let c2 = _mm512_fmadd_ps(
+                    av,
+                    load_bf16x16(brow.add(j + 32)),
+                    _mm512_loadu_ps(cp.add(j + 32)),
+                );
+                let c3 = _mm512_fmadd_ps(
+                    av,
+                    load_bf16x16(brow.add(j + 48)),
+                    _mm512_loadu_ps(cp.add(j + 48)),
+                );
+                _mm512_storeu_ps(cp.add(j), c0);
+                _mm512_storeu_ps(cp.add(j + 16), c1);
+                _mm512_storeu_ps(cp.add(j + 32), c2);
+                _mm512_storeu_ps(cp.add(j + 48), c3);
+                j += 64;
+            }
+            while j < n16 {
+                let c0 = _mm512_fmadd_ps(av, load_bf16x16(brow.add(j)), _mm512_loadu_ps(cp.add(j)));
+                _mm512_storeu_ps(cp.add(j), c0);
+                j += 16;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::matmul_naive;
+
+    fn gen(len: usize, s: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i as u64 + s) * 2654435761 % 1000) as f32 / 500.0) - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_exact_for_bf16_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 1.5, f32::INFINITY, 65280.0] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn encode_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 sits exactly between bf16(1.0) and the next value
+        // up; nearest-even rounds down to 1.0.
+        let half_ulp = f32::from_bits(0x3f80_8000);
+        assert_eq!(bf16_to_f32(f32_to_bf16(half_ulp)), 1.0);
+        // A hair above the midpoint rounds up.
+        let above = f32::from_bits(0x3f80_8001);
+        assert_eq!(bf16_to_f32(f32_to_bf16(above)), f32::from_bits(0x3f81_0000));
+        // Midpoint with odd low bit rounds up to even.
+        let odd_mid = f32::from_bits(0x3f81_8000);
+        assert_eq!(
+            bf16_to_f32(f32_to_bf16(odd_mid)),
+            f32::from_bits(0x3f82_0000)
+        );
+    }
+
+    #[test]
+    fn nan_encoding_stays_nan() {
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        // A signaling-pattern NaN whose payload lives only in the low
+        // mantissa bits must not truncate to infinity.
+        let low_payload_nan = f32::from_bits(0x7f80_0001);
+        assert!(bf16_to_f32(f32_to_bf16(low_payload_nan)).is_nan());
+    }
+
+    #[test]
+    fn matmul_matches_oracle_on_decoded_weights() {
+        // The bf16 product must equal the f32 product of the *decoded*
+        // weights (quantization is in the encode, not the kernel).
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (5, 17, 18),
+            (8, 72, 64),
+            (9, 8, 17),
+            (13, 21, 19),
+            (1, 100, 37),
+        ] {
+            let a = gen(m * k, 5);
+            let b16 = encode_bf16(&gen(k * n, 9));
+            let b32 = decode_bf16(&b16);
+            let mut c = vec![0.0f32; m * n];
+            matmul_nn_bf16(&a, &b16, &mut c, m, k, n);
+            let oracle = matmul_naive(&a, &b32, m, k, n);
+            for (i, (x, y)) in c.iter().zip(&oracle).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                    "m={m} k={k} n={n} elem {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_bit_identical_across_batch_sizes() {
+        // The same contract as the f32 kernels: batching m rows must
+        // reproduce each solo row bit-for-bit, so bf16 cohorts batch
+        // under the ensemble scheduler like f32 ones.
+        for &(k, n) in &[(48usize, 64usize), (37, 50), (64, 16), (20, 7), (100, 33)] {
+            const M_MAX: usize = 13;
+            let a = gen(M_MAX * k, 3);
+            let b = encode_bf16(&gen(k * n, 7));
+            let mut solo = vec![0.0f32; M_MAX * n];
+            for i in 0..M_MAX {
+                gemv_bf16(
+                    &a[i * k..(i + 1) * k],
+                    &b,
+                    &mut solo[i * n..(i + 1) * n],
+                    k,
+                    n,
+                );
+            }
+            for m in [1usize, 2, 3, 5, 8, 9, 12, 13] {
+                let mut c = vec![0.0f32; m * n];
+                matmul_nn_bf16(&a[..m * k], &b, &mut c, m, k, n);
+                for (i, (x, y)) in c.iter().zip(&solo[..m * n]).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "k={k} n={n} m={m} elem {i}: batched {x} != solo {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx512_path_matches_portable_kernel() {
+        if !crate::linalg::avx512_available() {
+            eprintln!("skipping: no avx512f on this machine");
+            return;
+        }
+        for &(m, k, n) in &[(8usize, 72usize, 256usize), (16, 9, 48), (9, 17, 35)] {
+            let a = gen(m * k, 3);
+            let b = encode_bf16(&gen(k * n, 7));
+            let mut fast = vec![0.0f32; m * n];
+            let mut portable = vec![0.0f32; m * n];
+            matmul_nn_bf16(&a, &b, &mut fast, m, k, n);
+            matmul_nn_bf16_portable(&a, &b, &mut portable, m, k, n);
+            for (i, (x, y)) in fast.iter().zip(&portable).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-5 * (1.0 + x.abs().max(y.abs())),
+                    "elem {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}

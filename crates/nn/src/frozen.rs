@@ -1,0 +1,438 @@
+//! Immutable inference models: weights split from training state.
+//!
+//! A trained [`Sequential`](crate::Sequential) carries per-layer gradient and optimizer
+//! buffers, activation caches and `&mut self` inference entry points —
+//! none of which inference needs. [`Sequential::freeze`](crate::Sequential::freeze) snapshots the
+//! weights into a [`FrozenModel`]: an immutable, `Send + Sync` layer
+//! stack whose [`FrozenModel::predict_into`] takes `&self`, so **many
+//! sessions can share one weight allocation behind an `Arc`** instead of
+//! each cloning megabytes of identical parameters.
+//!
+//! Two storage precisions:
+//!
+//! * [`Precision::F32`] — the dense weights are copied verbatim and
+//!   inference runs the exact kernel sequence of
+//!   [`Sequential::predict_into`](crate::Sequential::predict_into) (`matmul_nn` + `add_bias` per dense
+//!   layer), so a frozen f32 model is **bit-identical** to the network
+//!   it was frozen from, solo or batched, at any `Arc` sharing degree.
+//! * [`Precision::Bf16`] — dense weights are stored bf16
+//!   (round-to-nearest-even) and inference runs the
+//!   [`crate::bf16`] kernels with f32 accumulation: half the weight
+//!   bytes and roughly half the GEMV memory traffic, accurate to the
+//!   weight quantization (callers gate on a task-level tolerance).
+//!
+//! Only inference-path layers freeze (dense / relu / flatten — the
+//! paper's MLP); [`Sequential::freeze`](crate::Sequential::freeze) reports the first unsupported
+//! layer by name so callers can fall back to an owned network (the CNN
+//! keeps its per-session copy).
+
+use crate::bf16::{encode_bf16, matmul_nn_bf16};
+use crate::linalg::{add_bias, matmul_nn};
+use crate::network::PredictWorkspace;
+use crate::tensor::Tensor;
+
+/// Weight storage precision of a [`FrozenModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Exact f32 copies of the source weights (bit-identical inference).
+    F32,
+    /// bf16 weight storage with f32 accumulation (half the bytes;
+    /// accurate to the weight quantization).
+    Bf16,
+}
+
+impl Precision {
+    /// Short name for logs and serialized bundles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::F32 => "f32",
+            Self::Bf16 => "bf16",
+        }
+    }
+
+    /// Parses [`Self::name`] back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "f32" => Some(Self::F32),
+            "bf16" => Some(Self::Bf16),
+            _ => None,
+        }
+    }
+}
+
+/// Dense-layer weight storage in one of the two precisions.
+pub enum DenseWeights {
+    /// Exact f32 copies.
+    F32(Vec<f32>),
+    /// Round-to-nearest-even bf16.
+    Bf16(Vec<u16>),
+}
+
+/// One frozen layer: the immutable inference form of a [`crate::Layer`].
+pub enum FrozenLayer {
+    /// A dense layer: weights `[in, out]` row-major plus an f32 bias
+    /// (bias stays f32 in both precisions — it is the accumulator seed).
+    Dense {
+        /// Input width.
+        in_features: usize,
+        /// Output width.
+        out_features: usize,
+        /// Weight matrix in the model's storage precision.
+        w: DenseWeights,
+        /// Bias row.
+        b: Vec<f32>,
+    },
+    /// Element-wise `max(0, x)`.
+    Relu,
+    /// `[batch, ...] → [batch, features]`.
+    Flatten,
+}
+
+impl FrozenLayer {
+    /// A frozen dense layer from its weight/bias slices.
+    pub fn dense(
+        in_features: usize,
+        out_features: usize,
+        w: &[f32],
+        b: &[f32],
+        precision: Precision,
+    ) -> Self {
+        assert_eq!(w.len(), in_features * out_features, "weight size");
+        assert_eq!(b.len(), out_features, "bias size");
+        let w = match precision {
+            Precision::F32 => DenseWeights::F32(w.to_vec()),
+            Precision::Bf16 => DenseWeights::Bf16(encode_bf16(w)),
+        };
+        Self::Dense {
+            in_features,
+            out_features,
+            w,
+            b: b.to_vec(),
+        }
+    }
+
+    /// Bytes of weight/bias storage this layer holds.
+    fn weight_bytes(&self) -> usize {
+        match self {
+            Self::Dense { w, b, .. } => {
+                let wb = match w {
+                    DenseWeights::F32(v) => v.len() * 4,
+                    DenseWeights::Bf16(v) => v.len() * 2,
+                };
+                wb + b.len() * 4
+            }
+            Self::Relu | Self::Flatten => 0,
+        }
+    }
+
+    /// Trainable-parameter count of the source layer.
+    fn param_count(&self) -> usize {
+        match self {
+            Self::Dense { w, b, .. } => {
+                let wn = match w {
+                    DenseWeights::F32(v) => v.len(),
+                    DenseWeights::Bf16(v) => v.len(),
+                };
+                wn + b.len()
+            }
+            Self::Relu | Self::Flatten => 0,
+        }
+    }
+
+    /// Inference for one layer, mirroring the corresponding
+    /// [`crate::Layer::infer_into`] implementation exactly (f32 dense:
+    /// the same `resize` + `matmul_nn` + `add_bias` sequence, so frozen
+    /// f32 inference is bit-identical to the mutable path).
+    fn infer_into(&self, input: &Tensor, out: &mut Tensor) {
+        match self {
+            Self::Dense {
+                in_features,
+                out_features,
+                w,
+                b,
+            } => {
+                let batch = input.batch();
+                assert_eq!(
+                    input.row_len(),
+                    *in_features,
+                    "frozen dense expected {} features, got {:?}",
+                    in_features,
+                    input.shape()
+                );
+                out.resize_in_place(&[batch, *out_features]);
+                match w {
+                    DenseWeights::F32(w) => {
+                        matmul_nn(
+                            input.data(),
+                            w,
+                            out.data_mut(),
+                            batch,
+                            *in_features,
+                            *out_features,
+                        );
+                    }
+                    DenseWeights::Bf16(w) => {
+                        matmul_nn_bf16(
+                            input.data(),
+                            w,
+                            out.data_mut(),
+                            batch,
+                            *in_features,
+                            *out_features,
+                        );
+                    }
+                }
+                add_bias(out.data_mut(), b, batch, *out_features);
+            }
+            Self::Relu => {
+                out.resize_in_place(input.shape());
+                for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+                    *o = v.max(0.0);
+                }
+            }
+            Self::Flatten => {
+                out.resize_in_place(&[input.batch(), input.row_len()]);
+                out.data_mut().copy_from_slice(input.data());
+            }
+        }
+    }
+}
+
+/// A layer cannot be frozen (it has no immutable inference form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreezeError {
+    /// Index of the offending layer in the network.
+    pub layer_index: usize,
+    /// Its [`crate::Layer::name`].
+    pub layer_name: &'static str,
+}
+
+impl std::fmt::Display for FreezeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "layer {} (`{}`) has no frozen inference form",
+            self.layer_index, self.layer_name
+        )
+    }
+}
+
+impl std::error::Error for FreezeError {}
+
+/// An immutable inference model: frozen weights plus the layer order,
+/// shareable across threads and sessions behind one `Arc`. Built with
+/// [`Sequential::freeze`](crate::Sequential::freeze).
+pub struct FrozenModel {
+    layers: Vec<FrozenLayer>,
+    precision: Precision,
+}
+
+impl std::fmt::Debug for FrozenModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenModel")
+            .field("layers", &self.layers.len())
+            .field("params", &self.param_count())
+            .field("precision", &self.precision)
+            .finish()
+    }
+}
+
+impl FrozenModel {
+    /// Assembles a model from already-frozen layers.
+    pub fn from_layers(layers: Vec<FrozenLayer>, precision: Precision) -> Self {
+        Self { layers, precision }
+    }
+
+    /// The storage precision of the dense weights.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True for a model with no layers (inference copies the input).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Trainable-parameter count of the source network.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(FrozenLayer::param_count).sum()
+    }
+
+    /// Actual bytes of weight/bias storage (the figure the fleet memory
+    /// accounting charges once per shared model): f32 models hold
+    /// `4·params`, bf16 roughly half that.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(FrozenLayer::weight_bytes).sum()
+    }
+
+    /// Inference through the reusable ping-pong `workspace` — the
+    /// `&self` twin of [`Sequential::predict_into`](crate::Sequential::predict_into), identical buffer
+    /// choreography and (at [`Precision::F32`]) identical kernels, so
+    /// results are bit-identical to the source network's.
+    pub fn predict_into<'w>(
+        &self,
+        input: &Tensor,
+        workspace: &'w mut PredictWorkspace,
+    ) -> &'w Tensor {
+        if self.layers.is_empty() {
+            workspace.a.resize_in_place(input.shape());
+            workspace.a.data_mut().copy_from_slice(input.data());
+            return &workspace.a;
+        }
+        let mut out_is_a = true;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (src, dst) = if out_is_a {
+                (&workspace.b, &mut workspace.a)
+            } else {
+                (&workspace.a, &mut workspace.b)
+            };
+            let src = if i == 0 { input } else { src };
+            layer.infer_into(src, dst);
+            out_is_a = !out_is_a;
+        }
+        if out_is_a {
+            &workspace.b
+        } else {
+            &workspace.a
+        }
+    }
+
+    /// Batched inference: identical math to [`Self::predict_into`] (the
+    /// kernels are row-stable, so row `i` of an `m`-row batch is bitwise
+    /// identical to running that row alone). Kept as a separate entry
+    /// point so callers hold distinct warm workspaces for solo and
+    /// batched shapes, mirroring [`Sequential::predict_batch_into`](crate::Sequential::predict_batch_into).
+    pub fn predict_batch_into<'w>(
+        &self,
+        batch: &Tensor,
+        workspace: &'w mut PredictWorkspace,
+    ) -> &'w Tensor {
+        self.predict_into(batch, workspace)
+    }
+}
+
+// Compile-time proof the model is shareable across threads (all fields
+// are plain owned data).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FrozenModel>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Conv2d, Dense, Flatten, Relu};
+    use crate::network::Sequential;
+
+    fn mlp(seed: u64) -> Sequential {
+        Sequential::new()
+            .push(Flatten::new())
+            .push(Dense::new(12, 32, Init::HeNormal, seed))
+            .push(Relu::new())
+            .push(Dense::new(32, 7, Init::HeNormal, seed + 1))
+    }
+
+    #[test]
+    fn frozen_f32_is_bit_identical_to_source_network() {
+        let mut net = mlp(3);
+        let frozen = net.freeze(Precision::F32).unwrap();
+        assert_eq!(frozen.param_count(), net.param_count());
+        assert_eq!(frozen.weight_bytes(), net.param_count() * 4);
+        for m in [1usize, 3, 8, 11] {
+            let x = Tensor::new(
+                (0..m * 12).map(|i| (i as f32 * 0.31).sin()).collect(),
+                &[m, 12],
+            );
+            let mut ws_net = PredictWorkspace::new();
+            let mut ws_frozen = PredictWorkspace::new();
+            let expect = net.predict_into(&x, &mut ws_net).clone();
+            let got = frozen.predict_into(&x, &mut ws_frozen);
+            assert_eq!(got.shape(), expect.shape());
+            for (i, (a, b)) in got.data().iter().zip(expect.data()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "m={m} elem {i}: {a} != {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_batch_rows_bit_identical_to_solo_rows() {
+        let net = mlp(9);
+        let frozen = net.freeze(Precision::F32).unwrap();
+        let m = 5;
+        let batch = Tensor::new(
+            (0..m * 12).map(|i| (i as f32 * 0.17).cos()).collect(),
+            &[m, 12],
+        );
+        let mut batch_ws = PredictWorkspace::new();
+        let out = frozen.predict_batch_into(&batch, &mut batch_ws).clone();
+        for r in 0..m {
+            let row = Tensor::new(batch.data()[r * 12..(r + 1) * 12].to_vec(), &[1, 12]);
+            let mut solo_ws = PredictWorkspace::new();
+            let solo = frozen.predict_into(&row, &mut solo_ws);
+            for (a, b) in out.data()[r * 7..(r + 1) * 7].iter().zip(solo.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_model_halves_dense_weight_bytes() {
+        let net = mlp(5);
+        let f32_model = net.freeze(Precision::F32).unwrap();
+        let bf16_model = net.freeze(Precision::Bf16).unwrap();
+        assert_eq!(bf16_model.precision(), Precision::Bf16);
+        // Weight matrices halve; the f32 biases stay.
+        let bias_bytes = (32 + 7) * 4;
+        let f32_w = f32_model.weight_bytes() - bias_bytes;
+        assert_eq!(bf16_model.weight_bytes() - bias_bytes, f32_w / 2);
+    }
+
+    #[test]
+    fn bf16_inference_close_and_deterministic() {
+        let mut net = mlp(7);
+        let frozen = net.freeze(Precision::Bf16).unwrap();
+        let x = Tensor::new((0..12).map(|i| (i as f32 * 0.23).sin()).collect(), &[1, 12]);
+        let mut ws = PredictWorkspace::new();
+        let first = frozen.predict_into(&x, &mut ws).clone();
+        let mut ws_net = PredictWorkspace::new();
+        let exact = net.predict_into(&x, &mut ws_net);
+        for (a, b) in first.data().iter().zip(exact.data()) {
+            // bf16 has ~2-3 decimal digits; hidden widths here are small.
+            assert!((a - b).abs() <= 2e-2 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        // Deterministic: same bytes in, same bits out.
+        let mut ws2 = PredictWorkspace::new();
+        let second = frozen.predict_into(&x, &mut ws2);
+        for (a, b) in first.data().iter().zip(second.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn conv_layers_refuse_to_freeze_with_a_named_error() {
+        let net = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, Init::HeNormal, 1))
+            .push(Relu::new());
+        let err = net.freeze(Precision::F32).unwrap_err();
+        assert_eq!(err.layer_index, 0);
+        assert_eq!(err.layer_name, "conv2d");
+        assert!(err.to_string().contains("conv2d"));
+    }
+
+    #[test]
+    fn empty_model_copies_input() {
+        let net = Sequential::new();
+        let frozen = net.freeze(Precision::F32).unwrap();
+        let x = Tensor::new(vec![1.0, -2.0], &[1, 2]);
+        let mut ws = PredictWorkspace::new();
+        let y = frozen.predict_into(&x, &mut ws);
+        assert_eq!(y.data(), x.data());
+        assert_eq!(y.shape(), x.shape());
+    }
+}

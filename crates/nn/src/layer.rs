@@ -1,5 +1,6 @@
 //! The layer abstraction: forward, backward, parameter visitation.
 
+use crate::frozen::{FrozenLayer, Precision};
 use crate::tensor::Tensor;
 
 /// A differentiable layer.
@@ -54,6 +55,15 @@ pub trait Layer: Send {
 
     /// Zeros the accumulated parameter gradients (default: no-op).
     fn zero_grads(&mut self) {}
+
+    /// The immutable inference form of this layer at the given weight
+    /// precision, or `None` when the layer has no frozen form (the
+    /// default) — then [`crate::Sequential::freeze`] fails and callers
+    /// keep an owned network. Frozen inference must match
+    /// [`Layer::infer_into`] exactly at [`Precision::F32`].
+    fn freeze(&self, _precision: Precision) -> Option<FrozenLayer> {
+        None
+    }
 
     /// Layer name for summaries.
     fn name(&self) -> &'static str;

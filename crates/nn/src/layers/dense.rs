@@ -1,5 +1,6 @@
 //! Fully connected layer: `Y = X·W + b`.
 
+use crate::frozen::{FrozenLayer, Precision};
 use crate::init::Init;
 use crate::layer::{cache_input, Layer};
 use crate::linalg::{add_bias, col_sums_into, matmul_nn, matmul_nt, matmul_tn};
@@ -158,6 +159,16 @@ impl Layer for Dense {
 
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         self.backward_core(grad_out, grad_in);
+    }
+
+    fn freeze(&self, precision: Precision) -> Option<FrozenLayer> {
+        Some(FrozenLayer::dense(
+            self.in_features,
+            self.out_features,
+            &self.w,
+            &self.b,
+            precision,
+        ))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {

@@ -1,6 +1,7 @@
 //! Flattening layer: `[batch, ...] → [batch, features]` between the
 //! convolutional blocks and the dense head of the paper's CNN.
 
+use crate::frozen::{FrozenLayer, Precision};
 use crate::layer::Layer;
 use crate::tensor::Tensor;
 
@@ -53,6 +54,10 @@ impl Layer for Flatten {
         );
         grad_in.resize_in_place(&self.input_shape);
         grad_in.data_mut().copy_from_slice(grad_out.data());
+    }
+
+    fn freeze(&self, _precision: Precision) -> Option<FrozenLayer> {
+        Some(FrozenLayer::Flatten)
     }
 
     fn name(&self) -> &'static str {

@@ -1,5 +1,6 @@
 //! Rectified linear activation.
 
+use crate::frozen::{FrozenLayer, Precision};
 use crate::layer::Layer;
 use crate::tensor::Tensor;
 
@@ -60,6 +61,10 @@ impl Layer for Relu {
         {
             *gi = if m { g } else { 0.0 };
         }
+    }
+
+    fn freeze(&self, _precision: Precision) -> Option<FrozenLayer> {
+        Some(FrozenLayer::Relu)
     }
 
     fn name(&self) -> &'static str {

@@ -22,7 +22,9 @@
 
 #![warn(missing_docs)]
 
+pub mod bf16;
 pub mod data;
+pub mod frozen;
 pub mod gradcheck;
 pub mod init;
 pub mod layer;
@@ -37,6 +39,7 @@ pub mod tensor;
 pub mod trainer;
 
 pub use data::Dataset;
+pub use frozen::{FreezeError, FrozenModel, Precision};
 pub use init::Init;
 pub use layer::Layer;
 pub use layers::{Conv2d, Dense, Flatten, MaxPool2, Relu, ResidualDense};

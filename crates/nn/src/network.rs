@@ -1,5 +1,6 @@
 //! Sequential network container.
 
+use crate::frozen::{FreezeError, FrozenModel, Precision};
 use crate::layer::Layer;
 use crate::loss::Loss;
 use crate::tensor::Tensor;
@@ -17,8 +18,8 @@ pub struct Sequential {
 /// [`Layer::infer_into`]; others fall back to the allocating path but
 /// still reuse the workspace slots).
 pub struct PredictWorkspace {
-    a: Tensor,
-    b: Tensor,
+    pub(crate) a: Tensor,
+    pub(crate) b: Tensor,
 }
 
 impl Default for PredictWorkspace {
@@ -242,6 +243,31 @@ impl Sequential {
             g = dst;
         }
         value
+    }
+
+    /// Snapshots the weights into an immutable [`FrozenModel`] at the
+    /// given storage precision — the shareable inference form
+    /// (`Arc<FrozenModel>`) whose `&self` prediction path is
+    /// bit-identical to this network's at [`Precision::F32`]. Training
+    /// state (gradients, caches) stays behind; the network is unchanged.
+    ///
+    /// Fails on the first layer without a frozen form (conv / pooling /
+    /// residual blocks), naming it, so callers can fall back to an
+    /// owned per-session network.
+    pub fn freeze(&self, precision: Precision) -> Result<FrozenModel, FreezeError> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer.freeze(precision) {
+                Some(frozen) => layers.push(frozen),
+                None => {
+                    return Err(FreezeError {
+                        layer_index: i,
+                        layer_name: layer.name(),
+                    })
+                }
+            }
+        }
+        Ok(FrozenModel::from_layers(layers, precision))
     }
 
     /// Visits every (parameter, gradient) slice pair in a stable order.

@@ -260,6 +260,11 @@ impl Simulation {
         self.solver.name()
     }
 
+    /// The injected field solver (mirrors `Simulation2D::solver`).
+    pub fn solver(&self) -> &dyn FieldSolver {
+        self.solver.as_ref()
+    }
+
     /// Phase-space snapshot `(x, v)` — the scatter data of the paper's
     /// Figs. 4/6 top panels.
     pub fn phase_space(&self) -> (&[f64], &[f64]) {

@@ -31,6 +31,17 @@ pub trait FieldSolver: Send {
     fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver> {
         None
     }
+
+    /// Identity and size of this solver's model-weight allocation, when
+    /// it has one: `(id, bytes)`. Two live solvers report the same `id`
+    /// iff they read the same underlying weight storage (an `Arc`-shared
+    /// frozen model), so fleet memory accounting can charge each distinct
+    /// allocation once. The `id` is only meaningful while the solver is
+    /// alive and unmoved (boxed solvers qualify). `None` (the default)
+    /// for solvers without model weights.
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// A field solver whose solve splits into three phases so that an

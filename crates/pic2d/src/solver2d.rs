@@ -24,6 +24,15 @@ pub trait FieldSolver2D: Send {
     fn phased(&mut self) -> Option<&mut dyn PhasedFieldSolver2D> {
         None
     }
+
+    /// Identity and size of this solver's model-weight allocation, when
+    /// it has one: `(id, bytes)`, with the same contract as
+    /// `dlpic_pic::solver::FieldSolver::weight_storage` — equal ids mean
+    /// one shared allocation, and fleet accounting charges each distinct
+    /// id once. `None` (the default) for solvers without model weights.
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// The 2-D analogue of `dlpic_pic::solver::PhasedFieldSolver`: a field

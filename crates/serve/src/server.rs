@@ -29,7 +29,8 @@ use std::time::{Duration, Instant};
 
 use dlpic_repro::engine::json::{obj, Json};
 use dlpic_repro::engine::{
-    estimate_session, Checkpoint, Engine, RunSummary, ScenarioSpec, Session, WaveBatch,
+    estimate_session, Backend, Checkpoint, Engine, RunSummary, ScenarioSpec, Session, WaveBatch,
+    WeightProfiler,
 };
 
 use crate::error::ServeError;
@@ -214,13 +215,58 @@ struct RunEntry {
     /// Global completion order (fairness is observable, not a timing
     /// guess): the n-th run to reach a final state gets n.
     finish_seq: Option<u64>,
-    /// Resource estimate ([`estimate_session`]) charged against the
-    /// memory budget while this run steps. 0 for final runs reloaded
-    /// without a spec (nothing left to charge).
+    /// The run's *private* resource estimate charged against the memory
+    /// budget while it steps: [`estimate_session`] total minus the
+    /// shared-weight slice when `weight_key` is `Some` (the weights are
+    /// charged separately, once per distinct key), the full total when
+    /// the run owns its model. 0 for final runs reloaded without a spec
+    /// (nothing left to charge).
     est_bytes: usize,
+    /// Bytes of the shared weight allocation this run reads, charged
+    /// **once per distinct `weight_key`** across all active runs. 0 when
+    /// `weight_key` is `None`.
+    weight_bytes: usize,
+    /// The engine's weight-sharing fingerprint
+    /// ([`Engine::weight_profile`](dlpic_repro::engine::Engine::weight_profile)):
+    /// active runs with equal keys read one allocation. `None` for
+    /// model-free backends and per-copy models.
+    weight_key: Option<String>,
     /// Circuit-breaker key ([`spec_fingerprint`]); empty when the spec is
     /// gone (final runs reloaded from results only).
     fingerprint: String,
+}
+
+/// Budget and breaker bookkeeping of one run under the server's weight
+/// profiler: the private estimate, the shared-weight charge, and the keys
+/// both are filed under.
+struct RunAccounting {
+    est_bytes: usize,
+    weight_bytes: usize,
+    weight_key: Option<String>,
+    fingerprint: String,
+}
+
+fn run_accounting(
+    profiler: &WeightProfiler,
+    backend: Backend,
+    spec: &ScenarioSpec,
+) -> RunAccounting {
+    let est = estimate_session(spec, backend);
+    let fingerprint = spec_fingerprint(backend, spec);
+    match profiler.profile(spec, backend) {
+        Some((key, bytes)) => RunAccounting {
+            est_bytes: est.total() - est.shared_weight_bytes,
+            weight_bytes: bytes,
+            weight_key: Some(key),
+            fingerprint,
+        },
+        None => RunAccounting {
+            est_bytes: est.total(),
+            weight_bytes: 0,
+            weight_key: None,
+            fingerprint,
+        },
+    }
 }
 
 /// One watch subscriber's bounded event queue. The scheduler pushes under
@@ -414,23 +460,53 @@ impl Shared {
             .count()
     }
 
-    /// Bytes charged against the memory budget right now (estimates of
-    /// every `Active` run).
+    /// Bytes charged against the memory budget right now: every `Active`
+    /// run's private estimate, plus each distinct shared weight
+    /// allocation **once** — N cohort members over one model charge N
+    /// private estimates and one weight copy, matching what the engine
+    /// actually allocates.
     fn active_bytes(&self) -> usize {
-        self.jobs
+        let private: usize = self
+            .jobs
             .iter()
             .flat_map(|j| &j.runs)
             .filter(|r| r.phase == Phase::Active)
             .map(|r| r.est_bytes)
-            .sum()
+            .sum();
+        private + self.active_weight_stats().1
     }
 
+    /// Distinct shared weight allocations read by active runs:
+    /// `(distinct_models, weight_bytes)` with each allocation counted
+    /// once.
+    fn active_weight_stats(&self) -> (usize, usize) {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut bytes = 0usize;
+        for r in self
+            .jobs
+            .iter()
+            .flat_map(|j| &j.runs)
+            .filter(|r| r.phase == Phase::Active)
+        {
+            if let Some(key) = r.weight_key.as_deref() {
+                if !seen.contains(&key) {
+                    seen.push(key);
+                    bytes += r.weight_bytes;
+                }
+            }
+        }
+        (seen.len(), bytes)
+    }
+
+    /// Waiting bytes, counted pessimistically (each queued run charged
+    /// its weights as if nothing were shared — what admission would cost
+    /// in the worst case).
     fn queued_bytes(&self) -> usize {
         self.jobs
             .iter()
             .flat_map(|j| &j.runs)
             .filter(|r| r.phase == Phase::Queued)
-            .map(|r| r.est_bytes)
+            .map(|r| r.est_bytes + r.weight_bytes)
             .sum()
     }
 
@@ -458,6 +534,10 @@ struct Inner {
     max_queued: usize,
     tenant_max_queued: usize,
     spool_retain: Option<usize>,
+    /// Snapshot of the engine's weight-sharing configuration, so request
+    /// handlers account submissions without the engine (which the
+    /// scheduler thread owns).
+    profiler: WeightProfiler,
 }
 
 // ---------------------------------------------------------------------
@@ -559,6 +639,7 @@ impl Server {
             draining: false,
             stopped: false,
         };
+        let profiler = engine.weight_profiler();
         if config.resume {
             let spool = spool.as_ref().ok_or_else(|| {
                 ServeError::Protocol(ProtoError::new(
@@ -570,7 +651,7 @@ impl Server {
             shared.next_job = next_job;
             shared.jobs = jobs
                 .into_iter()
-                .map(|job| load_spooled_job(spool, job))
+                .map(|job| load_spooled_job(spool, job, &profiler))
                 .collect::<Result<_, _>>()?;
         }
 
@@ -584,6 +665,7 @@ impl Server {
             max_queued: config.max_queued,
             tenant_max_queued: config.tenant_max_queued,
             spool_retain: config.spool_retain,
+            profiler,
         });
 
         let mut threads = Vec::new();
@@ -643,22 +725,29 @@ impl Server {
 /// survived (with a warning), else quarantines just that run as `failed`;
 /// a bad result file quarantines likewise. Every other run resumes
 /// untouched.
-fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError> {
+fn load_spooled_job(
+    spool: &Spool,
+    job: SpoolJob,
+    profiler: &WeightProfiler,
+) -> Result<JobEntry, ServeError> {
     let backend = job.request.backend;
     // Budget/breaker bookkeeping for reloaded runs: recompute from the
     // stored spec when it survived (final runs without one charge 0 bytes
     // and carry an empty fingerprint — neither is consulted again).
-    let accounting = |spec: Option<&ScenarioSpec>| -> (usize, String) {
-        spec.map_or((0, String::new()), |s| {
-            (
-                estimate_session(s, backend).total(),
-                spec_fingerprint(backend, s),
-            )
-        })
+    let accounting = |spec: Option<&ScenarioSpec>| -> RunAccounting {
+        spec.map_or(
+            RunAccounting {
+                est_bytes: 0,
+                weight_bytes: 0,
+                weight_key: None,
+                fingerprint: String::new(),
+            },
+            |s| run_accounting(profiler, backend, s),
+        )
     };
     let quarantine = |run: &SpoolRun, k: usize, why: String| -> RunEntry {
         eprintln!("warning: spool: {} run {k} quarantined: {why}", job.id);
-        let (est_bytes, fingerprint) = accounting(run.spec.as_ref());
+        let acct = accounting(run.spec.as_ref());
         RunEntry {
             name: run.name.clone(),
             phase: Phase::Failed,
@@ -668,8 +757,10 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
             result: None,
             error: Some(format!("unrecoverable after restart: {why}")),
             finish_seq: None,
-            est_bytes,
-            fingerprint,
+            est_bytes: acct.est_bytes,
+            weight_bytes: acct.weight_bytes,
+            weight_key: acct.weight_key,
+            fingerprint: acct.fingerprint,
         }
     };
     let mut runs = Vec::with_capacity(job.runs.len());
@@ -678,7 +769,7 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
             "done" | "stopped" => match spool.read_result(&job.id, k) {
                 Ok(result) => {
                     let steps = result.field("steps").and_then(Json::as_usize).unwrap_or(0);
-                    let (est_bytes, fingerprint) = accounting(run.spec.as_ref());
+                    let acct = accounting(run.spec.as_ref());
                     RunEntry {
                         name: run.name.clone(),
                         phase: if run.state == "done" {
@@ -692,14 +783,16 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                         result: Some(result),
                         error: None,
                         finish_seq: None,
-                        est_bytes,
-                        fingerprint,
+                        est_bytes: acct.est_bytes,
+                        weight_bytes: acct.weight_bytes,
+                        weight_key: acct.weight_key,
+                        fingerprint: acct.fingerprint,
                     }
                 }
                 Err(e) => quarantine(run, k, format!("corrupt result file: {e}")),
             },
             "cancelled" | "failed" => {
-                let (est_bytes, fingerprint) = accounting(run.spec.as_ref());
+                let acct = accounting(run.spec.as_ref());
                 RunEntry {
                     name: run.name.clone(),
                     phase: if run.state == "cancelled" {
@@ -714,8 +807,10 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                     result: spool.read_result(&job.id, k).ok(),
                     error: run.error.clone(),
                     finish_seq: None,
-                    est_bytes,
-                    fingerprint,
+                    est_bytes: acct.est_bytes,
+                    weight_bytes: acct.weight_bytes,
+                    weight_key: acct.weight_key,
+                    fingerprint: acct.fingerprint,
                 }
             }
             // "active" and "queued" both re-queue; an active run prefers
@@ -754,7 +849,7 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                             PendingRun::Fresh(s) => s,
                         };
                         let steps_total = spec.n_steps;
-                        let (est_bytes, fingerprint) = accounting(Some(spec));
+                        let acct = accounting(Some(spec));
                         RunEntry {
                             name: run.name.clone(),
                             phase: Phase::Queued,
@@ -764,8 +859,10 @@ fn load_spooled_job(spool: &Spool, job: SpoolJob) -> Result<JobEntry, ServeError
                             result: None,
                             error: None,
                             finish_seq: None,
-                            est_bytes,
-                            fingerprint,
+                            est_bytes: acct.est_bytes,
+                            weight_bytes: acct.weight_bytes,
+                            weight_key: acct.weight_key,
+                            fingerprint: acct.fingerprint,
                         }
                     }
                     Err(why) => quarantine(run, k, why),
@@ -832,6 +929,12 @@ impl Scheduler {
                 if let Some(keep) = sh.prune_request.take() {
                     let pruned = self.apply_retention(&mut sh, keep);
                     self.flush_spool(&sh);
+                    // Retention also releases the model-registry cache:
+                    // an operator pruning jobs wants the memory back, and
+                    // sessions still stepping keep their own `Arc`s.
+                    if let Some(registry) = self.engine.registry() {
+                        registry.lock().unwrap_or_else(|p| p.into_inner()).prune();
+                    }
                     sh.prune_result = Some(pruned);
                     inner.wake.notify_all();
                 }
@@ -1007,7 +1110,25 @@ impl Scheduler {
             // still make progress.
             if let Some(budget) = self.inner.memory_budget {
                 let used = sh.active_bytes();
-                if used > 0 && used + sh.jobs[j].runs[k].est_bytes > budget {
+                // Incremental cost: the private estimate always, the
+                // shared weight allocation only when no active run
+                // already holds the same weight key — a cohort member
+                // joining resident weights is cheap by exactly the
+                // weights' size.
+                let entry = &sh.jobs[j].runs[k];
+                let weights_resident = entry.weight_key.as_deref().is_some_and(|key| {
+                    sh.jobs
+                        .iter()
+                        .flat_map(|jb| &jb.runs)
+                        .any(|r| r.phase == Phase::Active && r.weight_key.as_deref() == Some(key))
+                });
+                let need = entry.est_bytes
+                    + if weights_resident {
+                        0
+                    } else {
+                        entry.weight_bytes
+                    };
+                if used > 0 && used + need > budget {
                     break;
                 }
             }
@@ -1489,14 +1610,9 @@ fn submit(
     // Overload governance, cheapest check first. Every rejection is
     // structured; the retryable ones carry `retry_after_ms`.
     let backend = job.backend;
-    let estimates: Vec<(usize, String)> = specs
+    let estimates: Vec<RunAccounting> = specs
         .iter()
-        .map(|spec| {
-            (
-                estimate_session(spec, backend).total(),
-                spec_fingerprint(backend, spec),
-            )
-        })
+        .map(|spec| run_accounting(&inner.profiler, backend, spec))
         .collect();
     // 1. Circuit breaker: a quarantined spec is rejected up front so the
     //    client backs off instead of queueing work the scheduler would
@@ -1504,7 +1620,7 @@ fn submit(
     let now = Instant::now();
     let open = estimates
         .iter()
-        .filter_map(|(_, fp)| sh.breakers.open_remaining(fp, now))
+        .filter_map(|a| sh.breakers.open_remaining(&a.fingerprint, now))
         .max();
     if let Some(remaining) = open {
         return Err(ProtoError::new(
@@ -1517,9 +1633,16 @@ fn submit(
         .with_retry_after(remaining.as_millis() as u64));
     }
     // 2. A single run that cannot fit the whole budget can never be
-    //    admitted — permanent rejection, no retry advice.
+    //    admitted — permanent rejection, no retry advice. The check uses
+    //    the solo cost (private estimate plus its own weight copy): a
+    //    run is only cheaper when its weights are already resident, which
+    //    cannot be relied on at submit time.
     if let Some(budget) = inner.memory_budget {
-        if let Some((est, _)) = estimates.iter().find(|(est, _)| *est > budget) {
+        if let Some(a) = estimates
+            .iter()
+            .find(|a| a.est_bytes + a.weight_bytes > budget)
+        {
+            let est = a.est_bytes + a.weight_bytes;
             return Err(ProtoError::new(
                 "quota-exceeded",
                 format!("run needs ~{est} bytes but the memory budget is {budget} bytes"),
@@ -1558,7 +1681,7 @@ fn submit(
     let runs = specs
         .into_iter()
         .zip(estimates)
-        .map(|(spec, (est_bytes, fingerprint))| RunEntry {
+        .map(|(spec, acct)| RunEntry {
             name: spec.name.clone(),
             phase: Phase::Queued,
             steps_done: 0,
@@ -1567,8 +1690,10 @@ fn submit(
             result: None,
             error: None,
             finish_seq: None,
-            est_bytes,
-            fingerprint,
+            est_bytes: acct.est_bytes,
+            weight_bytes: acct.weight_bytes,
+            weight_key: acct.weight_key,
+            fingerprint: acct.fingerprint,
         })
         .collect::<Vec<_>>();
     let n_runs = runs.len();
@@ -1702,9 +1827,21 @@ fn backlog_json(sh: &Shared) -> Json {
     )
 }
 
-/// Budget occupancy: the configured limit (null when unbudgeted) plus
-/// the bytes currently charged by stepping runs and waiting in queue.
+/// Budget occupancy: the configured limit (null when unbudgeted), the
+/// bytes currently charged by stepping runs (cohort-aware — each shared
+/// weight allocation counted once) and waiting in queue, plus the
+/// shared-weight breakdown: how many distinct model allocations are
+/// resident, their total bytes, and how many bytes weight sharing is
+/// saving versus per-run copies.
 fn budget_json(inner: &Inner, sh: &Shared) -> Json {
+    let (distinct_models, weight_bytes) = sh.active_weight_stats();
+    let per_copy: usize = sh
+        .jobs
+        .iter()
+        .flat_map(|j| &j.runs)
+        .filter(|r| r.phase == Phase::Active)
+        .map(|r| r.weight_bytes)
+        .sum();
     obj(vec![
         (
             "limit_bytes",
@@ -1714,6 +1851,12 @@ fn budget_json(inner: &Inner, sh: &Shared) -> Json {
         ),
         ("active_bytes", Json::Num(sh.active_bytes() as f64)),
         ("queued_bytes", Json::Num(sh.queued_bytes() as f64)),
+        ("distinct_models", Json::Num(distinct_models as f64)),
+        ("active_weight_bytes", Json::Num(weight_bytes as f64)),
+        (
+            "weight_sharing_saved_bytes",
+            Json::Num(per_copy.saturating_sub(weight_bytes) as f64),
+        ),
     ])
 }
 

@@ -524,3 +524,95 @@ fn spool_retain_auto_prunes_and_unconfigured_prune_is_rejected() {
     client.drain().expect("drain");
     server.wait();
 }
+
+/// Cohort-aware budget admission: three DL runs of the same (scenario,
+/// scale) read one shared untrained weight allocation, so a budget sized
+/// for **one** weight copy plus three private estimates admits all three
+/// concurrently — per-copy accounting (three full estimates) would not
+/// fit. The budget doc reports the sharing: one distinct model, its
+/// weights charged once, and the saved bytes; occupancy never exceeds
+/// the limit at any observed instant.
+#[test]
+fn cohort_budget_charges_shared_weights_once() {
+    // The probe must carry the same step count as the submitted job —
+    // the history estimate scales with steps.
+    let probe = dl_job(0, 3000).expand().expect("expand")[0].clone();
+    let est = estimate_session(&probe, Backend::Dl1D);
+    let (total, weights) = (est.total(), est.shared_weight_bytes);
+    assert!(weights > 0, "a DL session must carry weight bytes");
+    let budget = 3 * (total - weights) + weights;
+    assert!(
+        3 * total > budget,
+        "per-copy accounting must overflow this budget, or the test proves nothing"
+    );
+    let server = Server::start(
+        ServeConfig::default()
+            .max_sessions(3)
+            .memory_budget(budget)
+            .max_queued(100)
+            .tenant_max_queued(100),
+    )
+    .expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let job = JobRequest::sweep(
+        SweepSpec::grid("two_stream", Scale::Smoke).seeds([1, 2, 3]),
+        Backend::Dl1D,
+    )
+    .with_steps(3000);
+    let (id, runs) = client.submit(&job, "cohort").expect("submit");
+    assert_eq!(runs, 3);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "three cohort members never went active together — weight \
+             sharing is not being credited at admission"
+        );
+        let doc = client.status(None).expect("status");
+        let budget_doc = doc.field("budget").expect("budget");
+        let active_bytes = budget_doc
+            .field("active_bytes")
+            .and_then(Json::as_usize)
+            .expect("active_bytes");
+        assert!(
+            active_bytes <= budget,
+            "budget overshoot: {active_bytes} > {budget}"
+        );
+        let active_runs = doc
+            .field("active_runs")
+            .and_then(Json::as_usize)
+            .expect("active_runs");
+        if active_runs == 3 {
+            // Occupancy is exactly three private shares plus one weight
+            // copy, and the breakdown names the sharing.
+            assert_eq!(active_bytes, budget);
+            assert_eq!(
+                budget_doc
+                    .field("distinct_models")
+                    .and_then(Json::as_usize)
+                    .expect("distinct_models"),
+                1
+            );
+            assert_eq!(
+                budget_doc
+                    .field("active_weight_bytes")
+                    .and_then(Json::as_usize)
+                    .expect("active_weight_bytes"),
+                weights
+            );
+            assert_eq!(
+                budget_doc
+                    .field("weight_sharing_saved_bytes")
+                    .and_then(Json::as_usize)
+                    .expect("weight_sharing_saved_bytes"),
+                2 * weights
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    client.cancel(&id).expect("cancel");
+    client.drain().expect("drain");
+    server.wait();
+}

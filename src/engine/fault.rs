@@ -183,6 +183,10 @@ impl BackendSession for FaultInjector {
         self.inner.extras()
     }
 
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        self.inner.weight_storage()
+    }
+
     fn infer_shape(&mut self) -> Option<(usize, usize)> {
         self.inner.infer_shape()
     }

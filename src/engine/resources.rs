@@ -41,12 +41,26 @@ pub struct ResourceEstimate {
     /// The recorded diagnostics history at full length (`n_steps + 1`
     /// rows of energies, momentum and tracked-mode amplitudes).
     pub history_bytes: usize,
+    /// The slice of `model_bytes` that is the weight allocation itself
+    /// (one f32 parameter copy). Sessions minted from one `Arc`-shared
+    /// frozen model all read the same allocation, so cohort-aware
+    /// accounting charges this slice **once per distinct model** and
+    /// `total() − shared_weight_bytes` per member; the per-session
+    /// inference workspace stays private either way.
+    pub shared_weight_bytes: usize,
 }
 
 impl ResourceEstimate {
-    /// Total estimated bytes — the admission figure.
+    /// Total estimated bytes for a session that owns everything —
+    /// the solo admission figure.
     pub fn total(&self) -> usize {
         self.particle_bytes + self.grid_bytes + self.model_bytes + self.history_bytes
+    }
+
+    /// Bytes a session costs when its model weights are already resident
+    /// (a fleet member joining an existing cohort).
+    pub fn without_shared_weights(&self) -> usize {
+        self.total() - self.shared_weight_bytes
     }
 }
 
@@ -112,13 +126,16 @@ pub fn estimate_session(spec: &ScenarioSpec, backend: Backend) -> ResourceEstima
     };
 
     // DL weights (f32) doubled for the inference workspace, plus the
-    // phase-space deposit image the 1-D surrogate consumes.
+    // phase-space deposit image the 1-D surrogate consumes. One of the
+    // two weight-sized slices is the parameter allocation itself — the
+    // slice an `Arc`-shared frozen model amortizes across a cohort.
+    let shared_weight_bytes = model_params(spec, backend) * F32;
     let model_bytes = match backend {
         Backend::Dl1D => {
             let phase = spec.scale.phase_spec();
-            model_params(spec, backend) * F32 * 2 + phase.nx * phase.nv * F64
+            shared_weight_bytes * 2 + phase.nx * phase.nv * F64
         }
-        Backend::Dl2D => model_params(spec, backend) * F32 * 2,
+        Backend::Dl2D => shared_weight_bytes * 2,
         _ => 0,
     };
 
@@ -131,6 +148,27 @@ pub fn estimate_session(spec: &ScenarioSpec, backend: Backend) -> ResourceEstima
         grid_bytes,
         model_bytes,
         history_bytes,
+        shared_weight_bytes,
+    }
+}
+
+/// The weight-sharing fingerprint of a spec × backend pairing under the
+/// default engine configuration: two admitted runs with equal
+/// fingerprints read one weight allocation, so a budget should charge
+/// [`ResourceEstimate::shared_weight_bytes`] once per distinct
+/// fingerprint. `None` for model-free backends (nothing shareable).
+/// Engines with an explicit model or a registry refine this via
+/// `Engine::weight_profile`; this free function covers the untrained
+/// fallback, whose weights are keyed by dimension and scale alone.
+pub fn weight_fingerprint(spec: &ScenarioSpec, backend: Backend) -> Option<String> {
+    match backend {
+        Backend::Dl1D => Some(format!("dl1d|untrained|{:?}", spec.scale)),
+        Backend::Dl2D => Some(format!(
+            "dl2d|untrained|{:?}|{}",
+            spec.scale,
+            spec.domain.cells()
+        )),
+        _ => None,
     }
 }
 
@@ -151,6 +189,27 @@ mod tests {
             est.model_bytes
         );
         assert!(est.total() > est.model_bytes);
+    }
+
+    #[test]
+    fn shared_weight_slice_is_one_parameter_copy() {
+        let spec = registry::scenario("two_stream", Scale::Smoke).unwrap();
+        let est = estimate_session(&spec, Backend::Dl1D);
+        assert_eq!(
+            est.shared_weight_bytes,
+            spec.scale.mlp_arch().param_count() * 4
+        );
+        assert_eq!(
+            est.without_shared_weights() + est.shared_weight_bytes,
+            est.total()
+        );
+        // Fingerprints exist exactly where there are weights to share.
+        assert!(weight_fingerprint(&spec, Backend::Dl1D).is_some());
+        assert!(weight_fingerprint(&spec, Backend::Traditional1D).is_none());
+        assert_eq!(
+            estimate_session(&spec, Backend::Traditional1D).shared_weight_bytes,
+            0
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! (models, numerics, observers) and solver construction.
 
 use super::backend::Backend;
-use super::dl::{self, Dl2DModel};
+use super::dl::{self, Dl2DModel, SharedModelRegistry};
 use super::ensemble::{Ensemble, SweepSpec};
 use super::error::EngineError;
 use super::fault::FaultPlan;
@@ -20,12 +20,16 @@ use super::session::{
     BackendSession, Checkpoint, DdecompSession, Pic1DSession, Pic2DSession, Session, VlasovSession,
 };
 use super::spec::ScenarioSpec;
+use crate::core::builder::ArchSpec;
 use crate::core::presets::Scale;
-use crate::core::ModelBundle;
+use crate::core::twod::Frozen2DModel;
+use crate::core::{FrozenBundle, ModelBundle};
+use crate::nn::frozen::{FrozenModel, Precision};
 use crate::pic::solver::{FieldSolver, PoissonKind, TraditionalSolver};
 use crate::pic::Shape;
 use crate::pic2d::solver2d::FieldSolver2D;
 use crate::pic2d::TraditionalSolver2D;
+use std::sync::{Arc, Mutex};
 
 /// Numerical options of the 1-D particle backends that the paper's figure
 /// experiments vary; the scenario spec stays purely physical. Defaults
@@ -68,13 +72,43 @@ impl Numerics1D {
 /// The facade entry point: holds optional DL models and observers, builds
 /// [`Session`]s for any compatible scenario×backend pairing, and runs them
 /// to completion on request.
+///
+/// DL sessions built by one engine share weights: a configured model is
+/// frozen once into an `Arc`-shared allocation and every session minted
+/// from it reads the same memory (the f32 path is bit-identical to a
+/// per-session copy). The untrained fallback shares per (scale, grid)
+/// the same way, and a [`ModelRegistry`](super::ModelRegistry) attached
+/// via [`Self::with_registry`] extends sharing to quick-trained models
+/// keyed by (scenario, scale, seed).
 #[derive(Default)]
 pub struct Engine {
     model_1d: Option<ModelBundle>,
+    /// Frozen snapshot of `model_1d`, computed once at configuration.
+    /// `None` with `model_1d` set means the architecture has no frozen
+    /// form (the CNN) and sessions fall back to per-copy owned networks.
+    frozen_1d: Option<FrozenBundle>,
     model_2d: Option<Dl2DModel>,
+    /// Lazily frozen snapshots of `model_2d`, keyed by grid node count
+    /// (one trained parameter set can only ever fit one grid, but the
+    /// key keeps lookups honest).
+    frozen_2d: Mutex<Vec<(usize, Frozen2DModel)>>,
+    /// Shared untrained 1-D weight allocations, keyed by scale.
+    untrained_1d: Mutex<FrozenCache<Scale>>,
+    /// Shared untrained 2-D weight allocations, keyed by (scale, nodes).
+    untrained_2d: Mutex<FrozenCache<(Scale, usize)>>,
+    registry: Option<SharedModelRegistry>,
     numerics_1d: Numerics1D,
     observers: Vec<Box<dyn Observer>>,
     faults: FaultPlan,
+}
+
+/// A tiny keyed cache of `Arc`-shared frozen weight allocations.
+type FrozenCache<K> = Vec<(K, Arc<FrozenModel>)>;
+
+/// Locks tolerating poisoning: a panicked holder leaves a cache of
+/// immutable `Arc`s, which is still safe to read.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 impl Engine {
@@ -83,16 +117,33 @@ impl Engine {
         Self::default()
     }
 
-    /// Uses this trained 1-D bundle for `Backend::Dl1D` runs.
+    /// Uses this trained 1-D bundle for `Backend::Dl1D` runs. The bundle
+    /// is frozen here, once — every session shares the allocation.
     pub fn with_model_1d(mut self, bundle: ModelBundle) -> Self {
+        self.frozen_1d = bundle.freeze().ok();
         self.model_1d = Some(bundle);
         self
     }
 
     /// Uses this trained 2-D model for `Backend::Dl2D` runs.
     pub fn with_model_2d(mut self, model: Dl2DModel) -> Self {
+        *lock(&self.frozen_2d) = Vec::new();
         self.model_2d = Some(model);
         self
+    }
+
+    /// Attaches a model registry: `Dl1D`/`Dl2D` runs without an explicit
+    /// model get-or-train through it instead of falling back to untrained
+    /// networks, and sessions with equal (scenario, scale, seed) share
+    /// one weight allocation.
+    pub fn with_registry(mut self, registry: SharedModelRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The attached model registry, if any (serve's `prune` hook).
+    pub fn registry(&self) -> Option<&SharedModelRegistry> {
+        self.registry.as_ref()
     }
 
     /// Overrides the 1-D numerical options (gather/deposit shapes, Poisson
@@ -228,6 +279,32 @@ impl Engine {
         Ok(summary)
     }
 
+    /// How a DL session for this spec × backend stores its weights under
+    /// the current configuration: `Some((fingerprint, bytes))` means
+    /// sessions with equal fingerprints read **one** `bytes`-sized shared
+    /// allocation (charge it once per distinct fingerprint); `None` means
+    /// every session owns a private copy (model-free backends, or an
+    /// unfreezable explicit model). This is the accounting contract the
+    /// serve tier's budget admission keys on.
+    pub fn weight_profile(&self, spec: &ScenarioSpec, backend: Backend) -> Option<(String, usize)> {
+        self.weight_profiler().profile(spec, backend)
+    }
+
+    /// A `Send + Sync` snapshot of the engine's weight-sharing
+    /// configuration, answering [`Self::weight_profile`] without the
+    /// engine — the serve tier's request handlers hold one while the
+    /// scheduler thread owns the engine itself. The snapshot is taken at
+    /// configuration time and stays valid because models and registry
+    /// attachment are builder-time decisions.
+    pub fn weight_profiler(&self) -> WeightProfiler {
+        WeightProfiler {
+            frozen_1d_bytes: self.frozen_1d.as_ref().map(FrozenBundle::weight_bytes),
+            has_model_1d: self.model_1d.is_some(),
+            model_2d_hidden: self.model_2d.as_ref().map(|m| m.hidden.clone()),
+            has_registry: self.registry.is_some(),
+        }
+    }
+
     fn build_1d_solver(
         &self,
         spec: &ScenarioSpec,
@@ -255,10 +332,35 @@ impl Engine {
                         ),
                     });
                 }
-                match &self.model_1d {
-                    Some(bundle) => Ok(Box::new(bundle.clone().into_solver()?)),
-                    None => Ok(Box::new(dl::untrained_1d(spec.scale))),
+                if let Some(frozen) = &self.frozen_1d {
+                    // Explicit model, frozen form: every session shares
+                    // the one allocation.
+                    return Ok(Box::new(frozen.solver()));
                 }
+                if let Some(bundle) = &self.model_1d {
+                    // Unfreezable (CNN) explicit model: per-session copy.
+                    return Ok(Box::new(bundle.solver()?));
+                }
+                if let Some(registry) = &self.registry {
+                    let (bundle, frozen) = lock(registry).model_1d(spec)?;
+                    return match frozen {
+                        Some(frozen) => Ok(Box::new(frozen.solver())),
+                        None => Ok(Box::new(bundle.solver()?)),
+                    };
+                }
+                // Untrained fallback, shared per scale.
+                let model = {
+                    let mut cache = lock(&self.untrained_1d);
+                    match cache.iter().find(|(s, _)| *s == spec.scale) {
+                        Some((_, model)) => Arc::clone(model),
+                        None => {
+                            let model = dl::untrained_frozen_1d(spec.scale);
+                            cache.push((spec.scale, Arc::clone(&model)));
+                            model
+                        }
+                    }
+                };
+                Ok(Box::new(dl::untrained_1d_shared(spec.scale, model)))
             }
             _ => unreachable!("1-D solver for non-1-D backend"),
         }
@@ -271,11 +373,118 @@ impl Engine {
     ) -> Result<Box<dyn FieldSolver2D>, EngineError> {
         match backend {
             Backend::Traditional2D => Ok(Box::new(TraditionalSolver2D::default_config())),
-            Backend::Dl2D => match &self.model_2d {
-                Some(model) => Ok(Box::new(model.into_solver(&spec.grid_2d())?)),
-                None => Ok(Box::new(dl::untrained_2d(spec.scale, &spec.grid_2d()))),
-            },
+            Backend::Dl2D => {
+                let nodes = spec.domain.cells();
+                if let Some(model) = &self.model_2d {
+                    let frozen = {
+                        let cache = lock(&self.frozen_2d);
+                        cache
+                            .iter()
+                            .find(|(n, _)| *n == nodes)
+                            .map(|(_, f)| f.clone())
+                    };
+                    let frozen = match frozen {
+                        Some(frozen) => Some(frozen),
+                        None => {
+                            // Freeze once per grid; `into_solver` still
+                            // validates the parameter shapes.
+                            let solver = model.into_solver(&spec.grid_2d())?;
+                            match solver.freeze(Precision::F32) {
+                                Ok(frozen) => {
+                                    lock(&self.frozen_2d).push((nodes, frozen.clone()));
+                                    Some(frozen)
+                                }
+                                Err(_) => return Ok(Box::new(solver)),
+                            }
+                        }
+                    };
+                    return Ok(Box::new(frozen.expect("frozen or early-returned").solver()));
+                }
+                if let Some(registry) = &self.registry {
+                    let (model, frozen) = lock(registry).model_2d(spec)?;
+                    return match frozen {
+                        Some(frozen) => Ok(Box::new(frozen.solver())),
+                        None => Ok(Box::new(model.into_solver(&spec.grid_2d())?)),
+                    };
+                }
+                // Untrained fallback, shared per (scale, grid).
+                let model = {
+                    let mut cache = lock(&self.untrained_2d);
+                    match cache.iter().find(|(k, _)| *k == (spec.scale, nodes)) {
+                        Some((_, model)) => Arc::clone(model),
+                        None => {
+                            let model = dl::untrained_frozen_2d(spec.scale, &spec.grid_2d());
+                            cache.push(((spec.scale, nodes), Arc::clone(&model)));
+                            model
+                        }
+                    }
+                };
+                Ok(Box::new(dl::untrained_2d_shared(model)))
+            }
             _ => unreachable!("2-D solver for non-2-D backend"),
+        }
+    }
+}
+
+/// A detached snapshot of an engine's weight-sharing configuration (see
+/// [`Engine::weight_profiler`]): answers "which sessions share one weight
+/// allocation, and how big is it" for any spec × backend, without holding
+/// the engine.
+#[derive(Debug, Clone)]
+pub struct WeightProfiler {
+    frozen_1d_bytes: Option<usize>,
+    has_model_1d: bool,
+    model_2d_hidden: Option<Vec<usize>>,
+    has_registry: bool,
+}
+
+impl WeightProfiler {
+    /// See [`Engine::weight_profile`] for the `Some((fingerprint,
+    /// bytes))` contract.
+    pub fn profile(&self, spec: &ScenarioSpec, backend: Backend) -> Option<(String, usize)> {
+        match backend {
+            Backend::Dl1D => {
+                if let Some(bytes) = self.frozen_1d_bytes {
+                    Some(("dl1d|model".to_string(), bytes))
+                } else if self.has_model_1d {
+                    // Unfreezable (CNN) explicit model: per-session copies.
+                    None
+                } else {
+                    let bytes = spec.scale.mlp_arch().param_count() * 4;
+                    let key = if self.has_registry {
+                        format!("dl1d|reg|{}|{:?}|{}", spec.name, spec.scale, spec.seed)
+                    } else {
+                        format!("dl1d|untrained|{:?}", spec.scale)
+                    };
+                    Some((key, bytes))
+                }
+            }
+            Backend::Dl2D => {
+                let nodes = spec.domain.cells();
+                let hidden = match &self.model_2d_hidden {
+                    Some(hidden) => hidden.clone(),
+                    None => dl::hidden_2d(spec.scale),
+                };
+                let bytes = ArchSpec::Mlp {
+                    input: nodes,
+                    hidden,
+                    output: 2 * nodes,
+                }
+                .param_count()
+                    * 4;
+                let key = if self.model_2d_hidden.is_some() {
+                    "dl2d|model".to_string()
+                } else if self.has_registry {
+                    format!(
+                        "dl2d|reg|{}|{:?}|{}|{}",
+                        spec.name, spec.scale, spec.seed, nodes
+                    )
+                } else {
+                    format!("dl2d|untrained|{:?}|{}", spec.scale, nodes)
+                };
+                Some((key, bytes))
+            }
+            _ => None,
         }
     }
 }

@@ -102,6 +102,15 @@ pub trait BackendSession: Send {
         Vec::new()
     }
 
+    /// Identity and size of this session's field-solver weight
+    /// allocation: `Some((id, bytes))` where equal `id`s mean the *same*
+    /// shared allocation (so fleet accounting charges `bytes` once per
+    /// distinct id), `None` for model-free backends. The id is only
+    /// meaningful while the session is alive and unmoved.
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        None
+    }
+
     // -----------------------------------------------------------------
     // Batched-inference phase hooks (the ensemble execution path).
     //
@@ -272,6 +281,10 @@ impl BackendSession for Pic1DSession {
         })
     }
 
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        self.sim.solver().weight_storage()
+    }
+
     fn state_checkpoint(&self) -> Json {
         let (x, v) = self.sim.phase_space();
         obj(vec![
@@ -430,6 +443,10 @@ impl BackendSession for Pic2DSession {
             x: p.x.clone(),
             v: p.vx.clone(),
         })
+    }
+
+    fn weight_storage(&self) -> Option<(usize, usize)> {
+        self.sim.solver().weight_storage()
     }
 
     fn state_checkpoint(&self) -> Json {
@@ -921,6 +938,14 @@ impl Session {
     /// The backend driving it.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// Identity and size of this session's shared weight allocation —
+    /// `Some((id, bytes))` with equal ids meaning one shared allocation,
+    /// `None` when the session owns its model (or has none). See
+    /// [`BackendSession::weight_storage`].
+    pub fn weight_storage(&self) -> Option<(usize, usize)> {
+        self.inner.weight_storage()
     }
 
     /// Current simulation time.
